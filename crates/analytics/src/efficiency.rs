@@ -1,0 +1,176 @@
+//! Efficiency — equation (2) — and the Figure 6/7 sweep helpers.
+//!
+//! `E = n·p̄ / (M̄·N)`: the throughput the instance achieves relative to an
+//! ideal infrastructure of `N` reference set-top boxes with zero overhead.
+
+use crate::makespan::{makespan, InstanceParams};
+use oddci_types::{DataSize, SimDuration};
+use oddci_workload::JobProfile;
+use serde::{Deserialize, Serialize};
+
+/// Efficiency of running `profile` on `params` (equation (2)).
+pub fn efficiency(profile: &JobProfile, params: &InstanceParams) -> f64 {
+    let m = makespan(profile, params);
+    profile.task_count as f64 * profile.mean_cost.as_secs_f64()
+        / (m.as_secs_f64() * params.nodes as f64)
+}
+
+/// One point of a Figure 6/7 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Suitability Φ of the swept job.
+    pub phi: f64,
+    /// Efficiency E (equation (2)).
+    pub efficiency: f64,
+    /// Makespan M̄ in seconds (Figure 7's y-axis).
+    pub makespan_secs: f64,
+    /// Mean task cost implied by Φ, seconds.
+    pub task_cost_secs: f64,
+}
+
+/// Sweeps suitability over `phi_grid` for a fixed `n/N` ratio, holding
+/// `s̄+r̄ = moved` — exactly the scenario of Figures 6 and 7
+/// (`moved` = 1 Kbyte, I = 10 MB, β = 1 Mbps, δ = 150 Kbps there).
+pub fn efficiency_curve(
+    phi_grid: &[f64],
+    n_over_big_n: f64,
+    image: DataSize,
+    moved: DataSize,
+    params: &InstanceParams,
+) -> Vec<EfficiencyPoint> {
+    assert!(n_over_big_n > 0.0, "n/N must be positive");
+    let n = (n_over_big_n * params.nodes as f64).round() as u64;
+    assert!(n > 0, "the swept job must have at least one task");
+    phi_grid
+        .iter()
+        .map(|&phi| {
+            let profile = JobProfile::from_suitability(image, n, moved, params.delta, phi);
+            EfficiencyPoint {
+                phi,
+                efficiency: efficiency(&profile, params),
+                makespan_secs: makespan(&profile, params).as_secs_f64(),
+                task_cost_secs: profile.mean_cost.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// A log-spaced grid from `lo` to `hi` with `points` samples, for the
+/// Figure 6/7 x-axis.
+pub fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && points >= 2, "need 0 < lo < hi and >= 2 points");
+    let step = (hi / lo).powf(1.0 / (points - 1) as f64);
+    (0..points).map(|i| lo * step.powi(i as i32)).collect()
+}
+
+/// The smallest Φ on `curve` reaching at least `target` efficiency, if any
+/// — used to locate the crossover Figure 6 shows.
+pub fn phi_reaching(curve: &[EfficiencyPoint], target: f64) -> Option<f64> {
+    curve.iter().find(|p| p.efficiency >= target).map(|p| p.phi)
+}
+
+#[allow(unused_imports)]
+use oddci_types::Bandwidth; // referenced by doc examples and tests
+
+#[allow(dead_code)]
+fn _doc_anchor(_: SimDuration) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (DataSize, DataSize, InstanceParams) {
+        (
+            DataSize::from_megabytes(10),
+            DataSize::from_bytes(1000),
+            InstanceParams::paper(1000),
+        )
+    }
+
+    #[test]
+    fn efficiency_grows_with_phi() {
+        let (image, moved, params) = paper_setup();
+        let grid = log_grid(1.0, 1e5, 30);
+        let curve = efficiency_curve(&grid, 100.0, image, moved, &params);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].efficiency >= w[0].efficiency - 1e-12,
+                "efficiency must be monotone in phi"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_n_over_big_n_is_more_efficient() {
+        let (image, moved, params) = paper_setup();
+        let grid = [100.0];
+        let e1 = efficiency_curve(&grid, 1.0, image, moved, &params)[0].efficiency;
+        let e100 = efficiency_curve(&grid, 100.0, image, moved, &params)[0].efficiency;
+        let e1000 = efficiency_curve(&grid, 1000.0, image, moved, &params)[0].efficiency;
+        assert!(e1 < e100 && e100 < e1000);
+    }
+
+    #[test]
+    fn ratio_100_reaches_high_efficiency_at_practical_phi() {
+        // The paper: "A ratio above 100 is generally enough to yield very
+        // high efficiency for most practical applications."
+        let (image, moved, params) = paper_setup();
+        let grid = log_grid(1.0, 1e5, 60);
+        let curve = efficiency_curve(&grid, 100.0, image, moved, &params);
+        let phi90 = phi_reaching(&curve, 0.9).expect("n/N=100 must reach E=0.9");
+        assert!(phi90 < 1e3, "phi90={phi90}");
+    }
+
+    #[test]
+    fn efficiency_is_bounded_by_one() {
+        let (image, moved, params) = paper_setup();
+        let grid = log_grid(1.0, 1e6, 40);
+        for ratio in [1.0, 10.0, 100.0, 1000.0] {
+            for p in efficiency_curve(&grid, ratio, image, moved, &params) {
+                assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-9, "E={}", p.efficiency);
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_grows_with_phi_at_fixed_ratio() {
+        // Figure 7: higher suitability means longer tasks, so makespan
+        // rises even as efficiency does.
+        let (image, moved, params) = paper_setup();
+        let grid = log_grid(1.0, 1e5, 20);
+        let curve = efficiency_curve(&grid, 100.0, image, moved, &params);
+        for w in curve.windows(2) {
+            assert!(w[1].makespan_secs > w[0].makespan_secs);
+        }
+    }
+
+    #[test]
+    fn efficiency_equals_ratio_of_throughputs() {
+        // Direct check of equation (2) against its definition.
+        let (image, moved, params) = paper_setup();
+        let profile =
+            oddci_workload::JobProfile::from_suitability(image, 50_000, moved, params.delta, 500.0);
+        let e = efficiency(&profile, &params);
+        let m = makespan(&profile, &params).as_secs_f64();
+        let actual_throughput = profile.task_count as f64 / m;
+        let ideal_throughput = params.nodes as f64 / profile.mean_cost.as_secs_f64();
+        assert!((e - actual_throughput / ideal_throughput).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_monotonicity() {
+        let g = log_grid(1.0, 100.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[4] - 100.0).abs() < 1e-9);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn phi_reaching_none_when_unreachable() {
+        let (image, moved, params) = paper_setup();
+        let grid = log_grid(1.0, 10.0, 5);
+        let curve = efficiency_curve(&grid, 1.0, image, moved, &params);
+        assert_eq!(phi_reaching(&curve, 0.9999), None);
+    }
+}

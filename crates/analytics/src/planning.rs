@@ -1,0 +1,171 @@
+//! Inverse models: capacity planning on top of equations (1) and (2).
+//!
+//! The paper's forward models answer "given N, what makespan/efficiency?".
+//! A Provider operator asks the inverse questions: *how many nodes do I
+//! need to hit a deadline? what deadline is even reachable? how large may
+//! the image grow before wakeup dominates?* This module answers them in
+//! closed form where possible and by monotone bisection otherwise.
+
+use crate::makespan::{makespan, InstanceParams};
+use crate::wakeup::wakeup_mean;
+use oddci_types::{DataSize, SimDuration};
+use oddci_workload::JobProfile;
+
+/// The fastest possible makespan for `profile` on channels of the given
+/// capacities: infinite N still pays the wakeup plus one task round.
+pub fn makespan_floor(profile: &JobProfile, params: &InstanceParams) -> SimDuration {
+    wakeup_mean(profile.image_size, params.beta) + params.task_round_time(profile)
+}
+
+/// The smallest instance size N whose modelled makespan meets `deadline`,
+/// or `None` when the deadline is below the floor (unreachable at any N).
+///
+/// Equation (1) is strictly decreasing in N, so the answer is the ceiling
+/// of the closed-form inversion:
+/// `N = n·(round)/ (deadline − wakeup)`.
+pub fn nodes_for_deadline(
+    profile: &JobProfile,
+    params_template: &InstanceParams,
+    deadline: SimDuration,
+) -> Option<u64> {
+    let floor = makespan_floor(profile, params_template);
+    if deadline < floor {
+        return None;
+    }
+    let wake = wakeup_mean(profile.image_size, params_template.beta).as_secs_f64();
+    let round = params_template.task_round_time(profile).as_secs_f64();
+    let budget = deadline.as_secs_f64() - wake;
+    debug_assert!(budget > 0.0);
+    let n = (profile.task_count as f64 * round / budget).ceil().max(1.0) as u64;
+    // Guard against floating-point edge cases: verify and nudge.
+    let mut n = n;
+    let check = |n: u64| {
+        let params = InstanceParams { nodes: n, ..*params_template };
+        makespan(profile, &params) <= deadline
+    };
+    while !check(n) {
+        n += 1;
+    }
+    while n > 1 && check(n - 1) {
+        n -= 1;
+    }
+    Some(n)
+}
+
+/// The largest image size whose *mean wakeup* stays within `budget` at
+/// capacity β — the §5.1 "how big may the application be?" question.
+pub fn image_budget(budget: SimDuration, params: &InstanceParams) -> DataSize {
+    DataSize::from_bits((params.beta.bps() * budget.as_secs_f64() / 1.5).floor() as u64)
+}
+
+/// The task count at which adding nodes stops helping (`n < N` leaves
+/// nodes idle): the paper's guidance is to keep `n/N ≥ 100`; this returns
+/// the N that achieves exactly that ratio for the given bag.
+pub fn nodes_for_ratio(task_count: u64, target_ratio: f64) -> u64 {
+    assert!(target_ratio > 0.0, "ratio must be positive");
+    ((task_count as f64 / target_ratio).floor() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oddci_types::Bandwidth;
+
+    fn profile(n: u64, cost_secs: f64) -> JobProfile {
+        JobProfile {
+            image_size: DataSize::from_megabytes(10),
+            task_count: n,
+            mean_input: DataSize::from_bytes(500),
+            mean_result: DataSize::from_bytes(500),
+            mean_cost: SimDuration::from_secs_f64(cost_secs),
+        }
+    }
+
+    #[test]
+    fn floor_is_wakeup_plus_one_round() {
+        let p = profile(1_000, 60.0);
+        let params = InstanceParams::paper(1);
+        let floor = makespan_floor(&p, &params);
+        let expect = wakeup_mean(p.image_size, params.beta) + params.task_round_time(&p);
+        assert_eq!(floor, expect);
+    }
+
+    #[test]
+    fn nodes_for_deadline_inverts_makespan() {
+        let p = profile(10_000, 60.0);
+        let template = InstanceParams::paper(1);
+        for deadline_secs in [600u64, 1_800, 3_600, 86_400] {
+            let deadline = SimDuration::from_secs(deadline_secs);
+            match nodes_for_deadline(&p, &template, deadline) {
+                Some(n) => {
+                    let params = InstanceParams { nodes: n, ..template };
+                    assert!(
+                        makespan(&p, &params) <= deadline,
+                        "N={n} misses {deadline_secs}s"
+                    );
+                    if n > 1 {
+                        let smaller = InstanceParams { nodes: n - 1, ..template };
+                        assert!(
+                            makespan(&p, &smaller) > deadline,
+                            "N={} already meets {deadline_secs}s — not minimal",
+                            n - 1
+                        );
+                    }
+                }
+                None => {
+                    // Only acceptable when even infinite N cannot meet it.
+                    assert!(deadline < makespan_floor(&p, &template));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_deadlines_are_rejected() {
+        let p = profile(1_000, 60.0);
+        let template = InstanceParams::paper(1);
+        // Below even the wakeup time: unreachable.
+        assert_eq!(
+            nodes_for_deadline(&p, &template, SimDuration::from_secs(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn more_generous_deadlines_need_fewer_nodes() {
+        let p = profile(100_000, 30.0);
+        let template = InstanceParams::paper(1);
+        let tight = nodes_for_deadline(&p, &template, SimDuration::from_secs(1_000)).unwrap();
+        let loose = nodes_for_deadline(&p, &template, SimDuration::from_secs(10_000)).unwrap();
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn image_budget_round_trips_the_wakeup_law() {
+        let params = InstanceParams::paper(100);
+        let img = image_budget(SimDuration::from_secs(60), &params);
+        let w = wakeup_mean(img, params.beta);
+        assert!(w <= SimDuration::from_secs(60));
+        assert!(w.as_secs_f64() > 59.99);
+    }
+
+    #[test]
+    fn image_budget_scales_with_beta() {
+        let slow = InstanceParams {
+            beta: Bandwidth::from_mbps(1.0),
+            ..InstanceParams::paper(1)
+        };
+        let fast = InstanceParams {
+            beta: Bandwidth::from_mbps(4.0),
+            ..InstanceParams::paper(1)
+        };
+        let b = SimDuration::from_secs(60);
+        assert_eq!(image_budget(b, &fast).bits(), image_budget(b, &slow).bits() * 4);
+    }
+
+    #[test]
+    fn ratio_sizing() {
+        assert_eq!(nodes_for_ratio(100_000, 100.0), 1_000);
+        assert_eq!(nodes_for_ratio(50, 100.0), 1); // tiny bags: one node
+    }
+}

@@ -1,0 +1,110 @@
+//! Desktop-grid deployment model (Condor / OurGrid family).
+//!
+//! §2: desktop grids offer on-demand instantiation but "their main
+//! limitations are their slow setup and relatively low scalability. The
+//! customization of the processing environment is time consuming, since
+//! each resource needs to be individually configured". Scale is capped by
+//! cross-domain security/administration friction; the paper notes the
+//! largest deployments feature a few thousand machines and that more than
+//! a few dozen thousand is unlikely.
+
+use crate::model::DeploymentModel;
+use oddci_types::{Bandwidth, DataSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Calibration of the desktop-grid model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesktopGrid {
+    /// Per-node configuration effort (admin touches every machine; a few
+    /// minutes each, amortized over scripted rollouts).
+    pub per_node_setup: SimDuration,
+    /// Concurrent administrators / rollout streams.
+    pub parallel_streams: u64,
+    /// Staging server uplink shared by all nodes fetching the image.
+    pub staging_bandwidth: Bandwidth,
+    /// Practical ceiling (§2: "a few dozens of thousands").
+    pub max_nodes: u64,
+}
+
+impl Default for DesktopGrid {
+    fn default() -> Self {
+        DesktopGrid {
+            per_node_setup: SimDuration::from_secs(120),
+            parallel_streams: 20,
+            staging_bandwidth: Bandwidth::from_mbps(1000.0),
+            max_nodes: 50_000,
+        }
+    }
+}
+
+impl DeploymentModel for DesktopGrid {
+    fn name(&self) -> &'static str {
+        "Desktop grid"
+    }
+
+    fn max_scale(&self) -> u64 {
+        self.max_nodes
+    }
+
+    fn on_demand(&self) -> bool {
+        true
+    }
+
+    fn efficient_setup(&self) -> bool {
+        false // per-node configuration
+    }
+
+    fn instantiation_time(&self, nodes: u64, image: DataSize) -> Option<SimDuration> {
+        if nodes == 0 || nodes > self.max_nodes {
+            return None;
+        }
+        // Per-node configuration, parallelized over admin streams.
+        let config = self.per_node_setup * nodes.div_ceil(self.parallel_streams);
+        // Unicast image staging: every node pulls its own copy through the
+        // shared staging uplink.
+        let staging = DataSize::from_bits(image.bits() * nodes).transfer_time(self.staging_bandwidth);
+        Some(config + staging)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_scales_linearly_with_nodes() {
+        let g = DesktopGrid::default();
+        let image = DataSize::from_megabytes(10);
+        let t100 = g.instantiation_time(100, image).unwrap();
+        let t1000 = g.instantiation_time(1000, image).unwrap();
+        let ratio = t1000.as_secs_f64() / t100.as_secs_f64();
+        assert!((9.0..11.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn capped_at_max_nodes() {
+        let g = DesktopGrid::default();
+        let image = DataSize::from_megabytes(10);
+        assert!(g.instantiation_time(50_000, image).is_some());
+        assert!(g.instantiation_time(50_001, image).is_none());
+        assert!(g.instantiation_time(0, image).is_none());
+    }
+
+    #[test]
+    fn unicast_staging_grows_with_image_size() {
+        let g = DesktopGrid::default();
+        let small = g.instantiation_time(10_000, DataSize::from_megabytes(1)).unwrap();
+        let big = g.instantiation_time(10_000, DataSize::from_megabytes(100)).unwrap();
+        // The staging delta is 99 MB × 10k nodes over 1 Gbps ≈ 2.2 hours.
+        assert!(big.as_secs_f64() - small.as_secs_f64() > 2.0 * 3600.0);
+    }
+
+    #[test]
+    fn thousand_node_grid_takes_hours() {
+        // Sanity-check the calibration: 1000 nodes ≈ (1000/20)*120 s config
+        // + staging ≈ 100 min + 84 s — clearly hours-scale, as §2 claims.
+        let g = DesktopGrid::default();
+        let t = g.instantiation_time(1000, DataSize::from_megabytes(10)).unwrap();
+        assert!(t > SimDuration::from_mins(60) && t < SimDuration::from_mins(600), "{t}");
+    }
+}

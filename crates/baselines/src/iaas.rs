@@ -1,0 +1,102 @@
+//! IaaS deployment model (EC2-class cloud, 2009 vintage).
+//!
+//! §2: IaaS offers on-demand instantiation and efficient setup, but
+//! "current implementations allow only a few virtual machines to be
+//! automatically instantiated [and] concurrent access to the shared
+//! storage by millions of clients would certainly produce a bottleneck on
+//! the storage server". We model a bounded VM-boot rate plus an image-
+//! staging phase limited by shared storage bandwidth.
+
+use crate::model::DeploymentModel;
+use oddci_types::{Bandwidth, DataSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Calibration of the IaaS model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IaasProvider {
+    /// Boot latency of one VM.
+    pub boot_latency: SimDuration,
+    /// VMs the control plane can launch per second.
+    pub boot_rate: f64,
+    /// Aggregate shared-storage bandwidth serving image reads.
+    pub storage_bandwidth: Bandwidth,
+    /// Account/provider instance ceiling.
+    pub max_vms: u64,
+}
+
+impl Default for IaasProvider {
+    fn default() -> Self {
+        IaasProvider {
+            boot_latency: SimDuration::from_secs(90),
+            boot_rate: 10.0,
+            storage_bandwidth: Bandwidth::from_mbps(10_000.0),
+            max_vms: 20_000,
+        }
+    }
+}
+
+impl DeploymentModel for IaasProvider {
+    fn name(&self) -> &'static str {
+        "IaaS"
+    }
+
+    fn max_scale(&self) -> u64 {
+        self.max_vms
+    }
+
+    fn on_demand(&self) -> bool {
+        true
+    }
+
+    fn efficient_setup(&self) -> bool {
+        true // one image, API-driven provisioning
+    }
+
+    fn instantiation_time(&self, nodes: u64, image: DataSize) -> Option<SimDuration> {
+        if nodes == 0 || nodes > self.max_vms {
+            return None;
+        }
+        let launch = SimDuration::from_secs_f64(nodes as f64 / self.boot_rate);
+        // Every VM streams the image from shared storage.
+        let staging =
+            DataSize::from_bits(image.bits() * nodes).transfer_time(self.storage_bandwidth);
+        Some(self.boot_latency + launch + staging)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleets_boot_in_minutes() {
+        let c = IaasProvider::default();
+        let t = c.instantiation_time(100, DataSize::from_megabytes(10)).unwrap();
+        assert!(t < SimDuration::from_mins(5), "{t}");
+    }
+
+    #[test]
+    fn ceiling_enforced() {
+        let c = IaasProvider::default();
+        assert!(c.instantiation_time(20_000, DataSize::from_megabytes(10)).is_some());
+        assert!(c.instantiation_time(20_001, DataSize::from_megabytes(10)).is_none());
+    }
+
+    #[test]
+    fn storage_bottleneck_shows_at_scale() {
+        let c = IaasProvider::default();
+        let img = DataSize::from_megabytes(10);
+        let t_small = c.instantiation_time(100, img).unwrap();
+        let t_large = c.instantiation_time(20_000, img).unwrap();
+        // 200× nodes, staging + launch scale linearly past the fixed boot latency.
+        assert!(t_large.as_secs_f64() > t_small.as_secs_f64() * 10.0);
+    }
+
+    #[test]
+    fn requirement_flags() {
+        let c = IaasProvider::default();
+        assert!(c.on_demand());
+        assert!(c.efficient_setup());
+        assert!(c.max_scale() < 100_000_000);
+    }
+}

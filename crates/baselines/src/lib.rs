@@ -1,0 +1,83 @@
+#![forbid(unsafe_code)]
+
+//! Baseline DCI deployment models for the Table I comparison.
+//!
+//! §2 of the paper argues that voluntary computing, desktop grids and IaaS
+//! each miss at least one of the three requirements (extreme scale,
+//! on-demand instantiation, efficient setup). This crate turns that
+//! qualitative argument into quantitative *instantiation-time* models, so
+//! the Table 1 harness can show, for each technology, how long assembling
+//! a pool of N nodes takes — and where it becomes impossible.
+//!
+//! The numbers parameterizing each model are stated inline with their
+//! provenance; they are order-of-magnitude calibrations, which is all the
+//! comparison needs (the paper's Table I is itself qualitative).
+
+pub mod desktop_grid;
+pub mod iaas;
+pub mod model;
+pub mod oddci;
+pub mod voluntary;
+
+pub use desktop_grid::DesktopGrid;
+pub use iaas::IaasProvider;
+pub use model::{DeploymentModel, InstantiationOutcome};
+pub use oddci::OddciBroadcast;
+pub use voluntary::VoluntaryComputing;
+
+use oddci_types::DataSize;
+
+/// All four models with their default calibrations, in Table I order.
+pub fn all_models() -> Vec<Box<dyn DeploymentModel>> {
+    vec![
+        Box::new(VoluntaryComputing::default()),
+        Box::new(DesktopGrid::default()),
+        Box::new(IaasProvider::default()),
+        Box::new(OddciBroadcast::default()),
+    ]
+}
+
+/// The standard comparison scenario: a 10 MB application image.
+pub fn standard_image() -> DataSize {
+    DataSize::from_megabytes(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_models_in_table_order() {
+        let models = all_models();
+        assert_eq!(models.len(), 4);
+        assert_eq!(models[0].name(), "Voluntary computing");
+        assert_eq!(models[3].name(), "OddCI");
+    }
+
+    #[test]
+    fn only_oddci_and_voluntary_reach_extreme_scale() {
+        for m in all_models() {
+            let reaches = m.max_scale() >= 100_000_000;
+            let expect = matches!(m.name(), "OddCI" | "Voluntary computing");
+            assert_eq!(reaches, expect, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn oddci_is_fastest_at_scale() {
+        let image = standard_image();
+        let n = 1_000_000;
+        let oddci = OddciBroadcast::default()
+            .instantiation_time(n, image)
+            .expect("oddci reaches 1M");
+        for m in all_models() {
+            if m.name() == "OddCI" {
+                continue;
+            }
+            match m.instantiation_time(n, image) {
+                Some(t) => assert!(t > oddci, "{} should be slower at 1M nodes", m.name()),
+                None => {} // cannot reach 1M at all — also "slower"
+            }
+        }
+    }
+}

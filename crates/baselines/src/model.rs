@@ -1,0 +1,85 @@
+//! The deployment-model abstraction shared by all four technologies.
+
+use oddci_types::{DataSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Result of asking a technology to assemble a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InstantiationOutcome {
+    /// Pool assembled in the given time.
+    Ready {
+        /// Wall time from request to a fully provisioned pool.
+        time: SimDuration,
+    },
+    /// The technology cannot reach this scale at all.
+    Unreachable {
+        /// Its practical ceiling.
+        max_scale: u64,
+    },
+}
+
+/// A technology's deployment behaviour.
+pub trait DeploymentModel {
+    /// Display name (Table I row label).
+    fn name(&self) -> &'static str;
+
+    /// Practical upper bound on pool size.
+    fn max_scale(&self) -> u64;
+
+    /// Whether pools can be assembled and released per-application on
+    /// demand (requirement II).
+    fn on_demand(&self) -> bool;
+
+    /// Whether setup needs no per-node / per-volunteer intervention
+    /// (requirement III).
+    fn efficient_setup(&self) -> bool;
+
+    /// Time to assemble a pool of `nodes` running an application image of
+    /// size `image`, or `None` beyond [`max_scale`](Self::max_scale).
+    fn instantiation_time(&self, nodes: u64, image: DataSize) -> Option<SimDuration>;
+
+    /// Convenience wrapper returning a typed outcome.
+    fn instantiate(&self, nodes: u64, image: DataSize) -> InstantiationOutcome {
+        match self.instantiation_time(nodes, image) {
+            Some(time) => InstantiationOutcome::Ready { time },
+            None => InstantiationOutcome::Unreachable { max_scale: self.max_scale() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl DeploymentModel for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn max_scale(&self) -> u64 {
+            10
+        }
+        fn on_demand(&self) -> bool {
+            true
+        }
+        fn efficient_setup(&self) -> bool {
+            true
+        }
+        fn instantiation_time(&self, nodes: u64, _image: DataSize) -> Option<SimDuration> {
+            (nodes <= 10).then(|| SimDuration::from_secs(nodes))
+        }
+    }
+
+    #[test]
+    fn instantiate_wraps_option() {
+        let m = Fixed;
+        assert_eq!(
+            m.instantiate(5, DataSize::ZERO),
+            InstantiationOutcome::Ready { time: SimDuration::from_secs(5) }
+        );
+        assert_eq!(
+            m.instantiate(11, DataSize::ZERO),
+            InstantiationOutcome::Unreachable { max_scale: 10 }
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The OddCI deployment model — broadcast wakeup.
+//!
+//! Instantiation time is the wakeup overhead `1.5·I/β` **independent of
+//! the pool size** (broadcast reaches every tuned receiver simultaneously),
+//! bounded only by the channel audience.
+
+use crate::model::DeploymentModel;
+use oddci_analytics::wakeup_mean;
+use oddci_types::{Bandwidth, DataSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Calibration of the OddCI broadcast model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OddciBroadcast {
+    /// Unused broadcast capacity β.
+    pub beta: Bandwidth,
+    /// Receivers tuned across the federation of channels (requirement I
+    /// targets hundreds of millions; national DTV audiences support it).
+    pub audience: u64,
+}
+
+impl Default for OddciBroadcast {
+    fn default() -> Self {
+        OddciBroadcast { beta: Bandwidth::from_mbps(1.0), audience: 200_000_000 }
+    }
+}
+
+impl DeploymentModel for OddciBroadcast {
+    fn name(&self) -> &'static str {
+        "OddCI"
+    }
+
+    fn max_scale(&self) -> u64 {
+        self.audience
+    }
+
+    fn on_demand(&self) -> bool {
+        true
+    }
+
+    fn efficient_setup(&self) -> bool {
+        true // one carousel injection configures everyone
+    }
+
+    fn instantiation_time(&self, nodes: u64, image: DataSize) -> Option<SimDuration> {
+        if nodes == 0 || nodes > self.audience {
+            return None;
+        }
+        Some(wakeup_mean(image, self.beta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiation_is_scale_free() {
+        let o = OddciBroadcast::default();
+        let img = DataSize::from_megabytes(10);
+        let t10 = o.instantiation_time(10, img).unwrap();
+        let t100m = o.instantiation_time(100_000_000, img).unwrap();
+        assert_eq!(t10, t100m, "broadcast reaches everyone at once");
+    }
+
+    #[test]
+    fn matches_the_wakeup_law() {
+        let o = OddciBroadcast::default();
+        let img = DataSize::from_megabytes(8);
+        let t = o.instantiation_time(1_000_000, img).unwrap();
+        // 1.5 × 67.1 s ≈ 100.7 s.
+        assert!((t.as_secs_f64() - 100.663296).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bounded_by_audience() {
+        let o = OddciBroadcast::default();
+        assert!(o.instantiation_time(200_000_001, DataSize::from_megabytes(1)).is_none());
+    }
+
+    #[test]
+    fn requirement_flags() {
+        let o = OddciBroadcast::default();
+        assert!(o.on_demand());
+        assert!(o.efficient_setup());
+        assert!(o.max_scale() >= 100_000_000);
+    }
+}

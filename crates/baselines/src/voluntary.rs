@@ -1,0 +1,109 @@
+//! Voluntary-computing deployment model (SETI@home / BOINC family).
+//!
+//! §2: voluntary computing reaches millions of nodes, but growth is
+//! recruitment-driven — "slow and out of the control of the infrastructure
+//! provider" — and each new application needs its own campaign; resources
+//! attached to one project are not available to others without explicit
+//! volunteer action. We model pool growth as a saturating exponential
+//! (classic adoption curve) on top of a fixed campaign lead time.
+
+use crate::model::DeploymentModel;
+use oddci_types::{DataSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Calibration of the voluntary-computing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoluntaryComputing {
+    /// Preparation before the first volunteer arrives: porting to the
+    /// platform, publicity, web presence (the paper calls this significant
+    /// effort; weeks is generous to the baseline).
+    pub campaign_lead: SimDuration,
+    /// Volunteer population the project saturates at.
+    pub capacity: u64,
+    /// Adoption time constant τ of `N(t) = capacity·(1 − e^(−t/τ))`
+    /// (SETI@home took months to reach its first million).
+    pub adoption_tau: SimDuration,
+}
+
+impl Default for VoluntaryComputing {
+    fn default() -> Self {
+        VoluntaryComputing {
+            campaign_lead: SimDuration::from_secs(14 * 24 * 3600), // two weeks
+            capacity: 300_000_000,
+            adoption_tau: SimDuration::from_secs(90 * 24 * 3600), // ~3 months
+        }
+    }
+}
+
+impl DeploymentModel for VoluntaryComputing {
+    fn name(&self) -> &'static str {
+        "Voluntary computing"
+    }
+
+    fn max_scale(&self) -> u64 {
+        self.capacity
+    }
+
+    fn on_demand(&self) -> bool {
+        false // pools cannot be assembled/released per application
+    }
+
+    fn efficient_setup(&self) -> bool {
+        false // per-volunteer install and attach
+    }
+
+    fn instantiation_time(&self, nodes: u64, _image: DataSize) -> Option<SimDuration> {
+        if nodes == 0 || nodes >= self.capacity {
+            return None;
+        }
+        // Invert the adoption curve: t = −τ·ln(1 − N/capacity).
+        let frac = nodes as f64 / self.capacity as f64;
+        let t = -self.adoption_tau.as_secs_f64() * (1.0 - frac).ln();
+        Some(self.campaign_lead + SimDuration::from_secs_f64(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pools_still_pay_the_campaign_lead() {
+        let v = VoluntaryComputing::default();
+        let t = v.instantiation_time(100, DataSize::ZERO).unwrap();
+        assert!(t >= v.campaign_lead);
+    }
+
+    #[test]
+    fn growth_is_saturating() {
+        let v = VoluntaryComputing::default();
+        let t1m = v.instantiation_time(1_000_000, DataSize::ZERO).unwrap();
+        let t100m = v.instantiation_time(100_000_000, DataSize::ZERO).unwrap();
+        // 100× the nodes costs far more than 100× near saturation... but at
+        // the low end the curve is near-linear; both must at least be
+        // months apart.
+        assert!(t100m.as_secs_f64() - t1m.as_secs_f64() > 20.0 * 24.0 * 3600.0);
+    }
+
+    #[test]
+    fn capacity_is_unreachable() {
+        let v = VoluntaryComputing::default();
+        assert!(v.instantiation_time(v.capacity, DataSize::ZERO).is_none());
+        assert!(v.instantiation_time(v.capacity - 1, DataSize::ZERO).is_some());
+    }
+
+    #[test]
+    fn million_nodes_takes_weeks_not_seconds() {
+        let v = VoluntaryComputing::default();
+        let t = v.instantiation_time(1_000_000, DataSize::ZERO).unwrap();
+        assert!(t.as_secs_f64() > 14.0 * 24.0 * 3600.0);
+    }
+
+    #[test]
+    fn requirement_flags() {
+        let v = VoluntaryComputing::default();
+        assert!(!v.on_demand());
+        assert!(!v.efficient_setup());
+        assert!(v.max_scale() >= 100_000_000);
+    }
+}

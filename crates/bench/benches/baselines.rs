@@ -1,0 +1,52 @@
+//! Criterion bench: the Table 1 baseline models (they back an interactive
+//! comparison, so evaluation must be trivially cheap) plus the crypto
+//! primitives on the control-message hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oddci_baselines::{all_models, standard_image};
+use oddci_crypto::{HmacSha256, MessageAuthenticator, Sha256};
+use std::hint::black_box;
+
+fn model_evaluation(c: &mut Criterion) {
+    let models = all_models();
+    let image = standard_image();
+    c.bench_function("baselines/all_models_4_sizes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for m in &models {
+                for n in [100u64, 10_000, 1_000_000, 100_000_000] {
+                    if let Some(t) = m.instantiation_time(n, image) {
+                        acc += t.as_secs_f64();
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn crypto_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for &len in &[64usize, 4_096] {
+        let data = vec![0xa5u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", len), &data, |b, data| {
+            b.iter(|| black_box(Sha256::digest(data)));
+        });
+        g.bench_with_input(BenchmarkId::new("hmac", len), &data, |b, data| {
+            b.iter(|| black_box(HmacSha256::mac(b"controller-key", data)));
+        });
+    }
+    g.finish();
+
+    // A million PNAs each verify every control message: verify must be µs.
+    let auth = MessageAuthenticator::from_key(b"controller-key");
+    let msg = vec![0x42u8; 60];
+    let tag = auth.sign(&msg);
+    c.bench_function("crypto/verify_control_message", |b| {
+        b.iter(|| black_box(auth.verify(&msg, &tag)));
+    });
+}
+
+criterion_group!(benches, model_evaluation, crypto_hot_path);
+criterion_main!(benches);

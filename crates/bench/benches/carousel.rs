@@ -1,0 +1,82 @@
+//! Criterion bench + ablation X4: the carousel's 1.5-factor geometry.
+//!
+//! Measures (a) the cost of the O(1) acquisition query that lets one
+//! carousel serve a million receivers, and (b) the best/mean/worst
+//! acquisition latencies as the carousel's *other* content grows — the
+//! ablation behind DESIGN.md §5.1: the 1.5·I/β law only holds while the
+//! image dominates the cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oddci_broadcast::carousel::{CarouselFile, ObjectCarousel};
+use oddci_broadcast::tsmux::TransportMux;
+use oddci_types::{Bandwidth, DataSize, SimTime};
+use std::hint::black_box;
+
+fn carousel_with_payload(extra_files: usize) -> ObjectCarousel {
+    let mut files = vec![
+        CarouselFile::sized("config", DataSize::from_bytes(512)),
+        CarouselFile::sized("image", DataSize::from_megabytes(8)),
+    ];
+    for i in 0..extra_files {
+        files.push(CarouselFile::sized(
+            format!("other-{i}"),
+            DataSize::from_megabytes(1),
+        ));
+    }
+    ObjectCarousel::new(TransportMux::new(Bandwidth::from_mbps(1.0)), files, SimTime::ZERO)
+}
+
+fn acquisition_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("carousel/acquisition_query");
+    for &extra in &[0usize, 8, 64] {
+        let carousel = carousel_with_payload(extra);
+        let idx = carousel.file_index("image").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(extra), &carousel, |b, carousel| {
+            let mut t = 1u64;
+            b.iter(|| {
+                t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let attach = SimTime::from_micros(t % 1_000_000_000);
+                black_box(carousel.acquisition_complete(idx, attach))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Not a timing bench: prints the X4 ablation table as criterion runs.
+fn ablation_1_5_factor(c: &mut Criterion) {
+    println!("\nX4 ablation — acquisition latency vs carousel co-tenants (image 8MB @ 1Mbps):");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>16}",
+        "co-tenants", "best", "mean", "worst", "mean / (I/beta)"
+    );
+    let image_cycle = DataSize::from_megabytes(8)
+        .transfer_time(Bandwidth::from_mbps(1.0))
+        .as_secs_f64();
+    for &extra in &[0usize, 2, 8, 32] {
+        let carousel = carousel_with_payload(extra);
+        let idx = carousel.file_index("image").unwrap();
+        let best = carousel.best_acquisition(idx).as_secs_f64();
+        let mean = carousel.expected_acquisition(idx).as_secs_f64();
+        let worst = carousel.worst_acquisition(idx).as_secs_f64();
+        println!(
+            "{:>12} {:>9.1}s {:>9.1}s {:>9.1}s {:>16.2}",
+            extra,
+            best,
+            mean,
+            worst,
+            mean / image_cycle
+        );
+    }
+    println!("(0 co-tenants reproduces the paper's 1.5 factor; heavy co-tenancy dilutes it)\n");
+
+    // Keep criterion happy with a trivial measured closure.
+    c.bench_function("carousel/expected_acquisition", |b| {
+        let carousel = carousel_with_payload(8);
+        let idx = carousel.file_index("image").unwrap();
+        b.iter(|| black_box(carousel.expected_acquisition(idx)));
+    });
+}
+
+criterion_group!(benches, acquisition_query, ablation_1_5_factor);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: churn machinery — per-node on/off process sampling
+//! and the event cost of a churning world.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oddci_core::world::ChurnConfig;
+use oddci_core::{World, WorldConfig};
+use oddci_sim::{ChurnProcess, OnOffState};
+use oddci_types::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn churn_process_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn/process");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("1000_toggles", |b| {
+        b.iter(|| {
+            let mut p = ChurnProcess::new(
+                SimDuration::from_mins(60),
+                SimDuration::from_mins(20),
+                OnOffState::On,
+                9,
+            );
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                p.toggle();
+                acc = acc.wrapping_add(p.next_toggle().as_micros());
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn churning_world_hour(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn/world_hour");
+    g.sample_size(10);
+    for &nodes in &[1_000u64, 5_000] {
+        g.throughput(Throughput::Elements(nodes));
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut cfg = WorldConfig::default();
+                cfg.nodes = nodes;
+                cfg.churn = Some(ChurnConfig {
+                    mean_on: SimDuration::from_mins(40),
+                    mean_off: SimDuration::from_mins(20),
+                });
+                let mut sim = World::simulation(cfg, 13);
+                sim.run_until(SimTime::from_secs(3_600));
+                black_box(sim.events_processed())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, churn_process_sampling, churning_world_hour);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: the Figure 6/7 analytics pipeline (curve generation
+//! must be cheap enough for interactive exploration) and one end-to-end
+//! simulated efficiency measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oddci_analytics::efficiency::{efficiency_curve, log_grid};
+use oddci_analytics::InstanceParams;
+use oddci_core::{World, WorldConfig};
+use oddci_types::{DataSize, SimDuration, SimTime};
+use oddci_workload::JobGenerator;
+use std::hint::black_box;
+
+fn curve_generation(c: &mut Criterion) {
+    let params = InstanceParams::paper(1_000);
+    let image = DataSize::from_megabytes(10);
+    let moved = DataSize::from_bytes(1_000);
+    let mut g = c.benchmark_group("analytics/efficiency_curve");
+    for &points in &[100usize, 10_000] {
+        let grid = log_grid(1.0, 1e5, points);
+        g.throughput(Throughput::Elements(points as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(points), &grid, |b, grid| {
+            b.iter(|| black_box(efficiency_curve(grid, 100.0, image, moved, &params)));
+        });
+    }
+    g.finish();
+}
+
+fn simulated_efficiency_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world/efficiency_point");
+    g.sample_size(10);
+    g.bench_function("500-node_job", |b| {
+        b.iter(|| {
+            let mut cfg = WorldConfig::default();
+            cfg.nodes = 500;
+            let job = JobGenerator::homogeneous(
+                DataSize::from_megabytes(1),
+                DataSize::from_bytes(500),
+                DataSize::from_bytes(500),
+                SimDuration::from_secs(300),
+                3,
+            )
+            .generate(500);
+            let mut sim = World::simulation(cfg, 5);
+            let req = sim.submit_job(job, 100);
+            black_box(sim.run_request(req, SimTime::from_secs(7 * 24 * 3600)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, curve_generation, simulated_efficiency_point);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: raw discrete-event engine throughput.
+//!
+//! The whole evaluation stands on the simulator, so its event throughput
+//! is the reproduction's enabling number (millions of PNAs need millions
+//! of events).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oddci_sim::{Context, EventQueue, Model, Simulator};
+use oddci_types::{SimDuration, SimTime};
+use std::hint::black_box;
+
+struct Relay {
+    remaining: u64,
+}
+
+impl Model for Relay {
+    type Event = u32;
+    fn handle(&mut self, ev: u32, ctx: &mut Context<'_, u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_after(SimDuration::from_micros(u64::from(ev % 97) + 1), ev ^ 0x5a);
+        }
+    }
+}
+
+fn engine_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine/chain");
+    for &events in &[10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &events| {
+            b.iter(|| {
+                let mut sim = Simulator::new(Relay { remaining: events }, 7);
+                sim.schedule_at(SimTime::ZERO, 1);
+                black_box(sim.run())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn queue_mixed_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine/queue");
+    for &n in &[1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                let mut x: u64 = 0x243f6a8885a308d3;
+                for i in 0..n {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.push(SimTime::from_micros(x % 1_000_000), i as u32);
+                }
+                let mut acc = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    acc = acc.wrapping_add(t.as_micros());
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_chain, queue_mixed_ops);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: full-world instance formation (the W1 experiment's
+//! engine cost) — how long the *simulator* takes to form instances at
+//! growing audience sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oddci_core::{World, WorldConfig};
+use oddci_types::{DataSize, SimDuration, SimTime};
+use oddci_workload::JobGenerator;
+use std::hint::black_box;
+
+fn instance_formation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world/instance_formation");
+    g.sample_size(10);
+    for &nodes in &[1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(nodes));
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut cfg = WorldConfig::default();
+                cfg.nodes = nodes;
+                cfg.policy.heartbeat.interval = SimDuration::from_secs(60);
+                let job = JobGenerator::homogeneous(
+                    DataSize::from_megabytes(4),
+                    DataSize::from_bytes(100),
+                    DataSize::from_bytes(100),
+                    SimDuration::from_secs(3_600),
+                    1,
+                )
+                .generate(nodes);
+                let mut sim = World::simulation(cfg, 11);
+                let _req = sim.submit_job(job, nodes / 10);
+                // Simulate through wakeup + formation (first 10 minutes).
+                sim.run_until(SimTime::from_secs(600));
+                black_box(sim.events_processed())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, instance_formation);
+criterion_main!(benches);

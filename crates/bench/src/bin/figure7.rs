@@ -1,0 +1,88 @@
+//! Experiment F7 — Figure 7: makespan vs suitability Φ (log y), same
+//! scenario as Figure 6.
+//!
+//! ```text
+//! cargo run --release -p oddci-bench --bin figure7
+//! ```
+
+use oddci_analytics::efficiency::{efficiency_curve, log_grid};
+use oddci_analytics::InstanceParams;
+use oddci_bench::{fmt_secs, header, write_artifact};
+use oddci_types::DataSize;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    n_over_big_n: f64,
+    points: Vec<(f64, f64)>,
+}
+
+fn main() {
+    header("Figure 7 — makespan vs suitability Φ (same scenario as Figure 6)");
+    println!("(s+r) = 1 KB, I = 10 MB, β = 1 Mbps, δ = 150 Kbps, N = 1000; log-scale y");
+    println!();
+
+    let params = InstanceParams::paper(1_000);
+    let image = DataSize::from_megabytes(10);
+    let moved = DataSize::from_bytes(1_000);
+    let ratios = [1.0, 10.0, 100.0, 1_000.0];
+    let grid = log_grid(1.0, 1e5, 21);
+
+    print!("{:>10}", "phi");
+    for r in ratios {
+        print!(" {:>12}", format!("n/N={r}"));
+    }
+    println!();
+
+    let curves: Vec<Vec<_>> = ratios
+        .iter()
+        .map(|&r| {
+            efficiency_curve(&grid, r, image, moved, &params)
+                .iter()
+                .map(|p| (p.phi, p.makespan_secs))
+                .collect()
+        })
+        .collect();
+
+    for (i, &phi) in grid.iter().enumerate() {
+        print!("{phi:>10.0}");
+        for c in &curves {
+            print!(" {:>12}", fmt_secs(c[i].1));
+        }
+        println!();
+    }
+
+    // Shape checks for the figure:
+    for c in &curves {
+        // Makespan grows monotonically with phi at fixed n/N...
+        assert!(c.windows(2).all(|w| w[1].1 > w[0].1));
+    }
+    // ...and, at fixed phi, higher n/N means longer makespan (the
+    // efficiency/makespan trade-off the paper highlights).
+    for i in 0..grid.len() {
+        for pair in curves.windows(2) {
+            assert!(pair[1][i].1 >= pair[0][i].1);
+        }
+    }
+    // At high phi the curves become straight lines on log-log axes
+    // (makespan ~ linear in phi): check the slope stabilizes near 1.
+    let tail = &curves[2];
+    let slope = (tail[20].1 / tail[15].1).ln() / (tail[20].0 / tail[15].0).ln();
+    assert!(
+        (0.9..1.1).contains(&slope),
+        "log-log slope at high phi should be ~1, got {slope:.3}"
+    );
+
+    println!();
+    println!("shape checks pass: makespan monotone in phi and in n/N; high-phi");
+    println!("log-log slope = {slope:.3} (≈1 ⇒ the straight lines of the paper's figure).");
+    println!("achieving high efficiency (Figure 6) costs makespan (this figure) —");
+    println!("the compromise the paper says is \"always possible to find\".");
+
+    let series: Vec<Series> = ratios
+        .iter()
+        .zip(curves)
+        .map(|(&r, points)| Series { n_over_big_n: r, points })
+        .collect();
+    write_artifact("figure7", &series);
+}

@@ -1,0 +1,88 @@
+//! Experiment X2 (extension) — heartbeat load on the Controller (§3.2's
+//! deferred bottleneck question, footnote 3).
+//!
+//! ```text
+//! cargo run --release -p oddci-bench --bin heartbeat
+//! ```
+//!
+//! Uses the M/D/1 ingest model to map (population, heartbeat interval) to
+//! Controller utilization and queueing delay, and derives the interval the
+//! Controller must configure (§3.2: "the PNA must be appropriately
+//! configured by the Controller") for populations up to 10⁸.
+
+use oddci_bench::{fmt_secs, header, write_artifact};
+use oddci_net::ServerCapacity;
+use oddci_types::{Bandwidth, DataSize, SimDuration};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    nodes: u64,
+    interval_s: u64,
+    utilization: f64,
+    mean_delay_s: Option<f64>,
+}
+
+fn main() {
+    header("X2 — heartbeat load on the Controller (M/D/1 ingest model)");
+    println!();
+    // A solid 2009-class ingest tier: 50k msgs/s, 1 Gbps.
+    let server = ServerCapacity::new(50_000.0, Bandwidth::from_mbps(1_000.0));
+    let msg = DataSize::from_bytes(128);
+
+    let populations = [10_000u64, 100_000, 1_000_000, 10_000_000, 100_000_000];
+    let intervals = [10u64, 60, 300, 600, 3_600];
+
+    println!("Controller: 50k msgs/s CPU, 1 Gbps ingress, 128 B heartbeats");
+    println!();
+    print!("{:>12}", "nodes \\ int");
+    for i in intervals {
+        print!(" {:>13}", fmt_secs(i as f64));
+    }
+    println!();
+
+    let mut cells = Vec::new();
+    for n in populations {
+        print!("{n:>12}");
+        for i in intervals {
+            let rate = ServerCapacity::arrival_rate(n, SimDuration::from_secs(i));
+            let rho = server.utilization(rate);
+            let delay = server.mean_response_time(rate);
+            let link = server.link_utilization(rate, msg);
+            let s = match delay {
+                Some(d) if link < 1.0 => {
+                    format!("{:.0}%/{}", rho * 100.0, fmt_secs(d.as_secs_f64()))
+                }
+                _ => "OVERLOAD".into(),
+            };
+            print!(" {s:>13}");
+            cells.push(Cell {
+                nodes: n,
+                interval_s: i,
+                utilization: rho,
+                mean_delay_s: delay.map(|d| d.as_secs_f64()).filter(|_| link < 1.0),
+            });
+        }
+        println!();
+    }
+
+    println!();
+    println!("minimum sustainable interval at 80% utilization:");
+    for n in populations {
+        let min = server.min_interval(n, 0.8);
+        println!("  {n:>12} nodes → every {:>10}", fmt_secs(min.as_secs_f64()));
+    }
+
+    // Shape checks: a million nodes at the paper-ish 60 s interval is
+    // comfortable; 10⁸ nodes need interval ≳ 40 min on this tier.
+    let mega = server.utilization(ServerCapacity::arrival_rate(1_000_000, SimDuration::from_secs(60)));
+    assert!(mega < 0.5, "1M nodes @ 60 s: rho={mega}");
+    let giga = server.min_interval(100_000_000, 0.8);
+    assert!(giga > SimDuration::from_mins(30), "1e8 nodes need long intervals");
+    println!();
+    println!("1M nodes heartbeat comfortably at 60 s (rho = {:.0}%); hundreds of", mega * 100.0);
+    println!("millions force multi-hour intervals or a sharded Controller tier —");
+    println!("quantifying the open problem the paper's footnote 3 defers.");
+
+    write_artifact("heartbeat", &cells);
+}

@@ -1,0 +1,105 @@
+//! Experiment X3 (extension) — probability-gated instance sizing: how
+//! accurately does broadcasting `p = target/pool` assemble an instance of
+//! the requested size (§3.2's sizing mechanism)?
+//!
+//! ```text
+//! cargo run --release -p oddci-bench --bin sizing
+//! ```
+
+use oddci_bench::{header, write_artifact};
+use oddci_core::{World, WorldConfig};
+use oddci_types::{DataSize, SimDuration, SimTime};
+use oddci_workload::JobGenerator;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    audience: u64,
+    target: u64,
+    achieved: u64,
+    error_pct: f64,
+    wakeup_broadcasts: u32,
+    direct_resets: u64,
+}
+
+fn main() {
+    header("X3 — probability-gated instance sizing accuracy");
+    println!();
+    println!(
+        "{:>9} {:>8} {:>9} {:>8} {:>9} {:>13}",
+        "audience", "target", "achieved", "err %", "wakeups", "direct resets"
+    );
+
+    let cases: Vec<(u64, u64)> = vec![
+        (1_000, 10),
+        (1_000, 100),
+        (1_000, 500),
+        (10_000, 100),
+        (10_000, 1_000),
+        (10_000, 5_000),
+        (50_000, 500),
+        (50_000, 25_000),
+    ];
+
+    let rows: Vec<Row> = cases
+        .par_iter()
+        .map(|&(audience, target)| {
+            let mut cfg = WorldConfig::default();
+            cfg.nodes = audience;
+            cfg.policy.heartbeat.interval = SimDuration::from_secs(30);
+            cfg.controller_tick = SimDuration::from_secs(30);
+
+            // A long job keeps the instance alive while it stabilizes.
+            let job = JobGenerator::homogeneous(
+                DataSize::from_megabytes(1),
+                DataSize::from_bytes(100),
+                DataSize::from_bytes(100),
+                SimDuration::from_secs(3_600),
+                9,
+            )
+            .generate(target * 100);
+
+            let mut sim = World::simulation(cfg, audience ^ target);
+            let request = sim.submit_job(job, target);
+            // Let sizing converge: a few controller ticks + wakeup cycle.
+            sim.run_until(SimTime::from_secs(1_800));
+            let world = sim.world();
+            let inst = world.provider().instance_of(request).unwrap();
+            let achieved = world.controller().instance_size(inst);
+            Row {
+                audience,
+                target,
+                achieved,
+                error_pct: 100.0 * (achieved as f64 - target as f64) / target as f64,
+                wakeup_broadcasts: world.controller().instance(inst).unwrap().wakeups_sent,
+                direct_resets: world.metrics().direct_resets,
+            }
+        })
+        .collect();
+
+    for r in &rows {
+        println!(
+            "{:>9} {:>8} {:>9} {:>+7.1}% {:>9} {:>13}",
+            r.audience, r.target, r.achieved, r.error_pct, r.wakeup_broadcasts, r.direct_resets
+        );
+    }
+
+    // Shape checks: sizing lands within ±10% after convergence and never
+    // overshoots more than the trimming machinery can cut back.
+    for r in &rows {
+        assert!(
+            r.error_pct.abs() <= 10.0,
+            "audience={} target={}: {:.1}% off",
+            r.audience,
+            r.target,
+            r.error_pct
+        );
+    }
+    println!();
+    println!("one binomial broadcast plus recomposition/trimming converges every");
+    println!("case to within ±10% of the requested size — the paper's claim that");
+    println!("\"it is always possible to precisely define the size of the instance\".");
+
+    write_artifact("sizing", &rows);
+}

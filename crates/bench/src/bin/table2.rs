@@ -1,0 +1,76 @@
+//! Experiment T2 — Table II: BLASTALL runtimes on the set-top box (in use
+//! and standby) vs the reference PC, paper vs calibrated model.
+//!
+//! ```text
+//! cargo run --release -p oddci-bench --bin table2
+//! ```
+
+use oddci_bench::{header, write_artifact};
+use oddci_receiver::compute::{ComputeModel, DeviceClass, UsageMode};
+use oddci_workload::blast::{mean_in_use_penalty, TABLE2_EXPERIMENTS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    test: u32,
+    paper_in_use_s: f64,
+    paper_standby_s: f64,
+    pc_s: f64,
+    model_in_use_s: f64,
+    model_standby_s: f64,
+    in_use_err_pct: f64,
+    standby_err_pct: f64,
+}
+
+fn main() {
+    header("Table II — BLASTALL on STB (in use / standby) vs reference PC");
+    println!();
+    println!(
+        "{:>5} {:>14} {:>14} {:>11} | {:>14} {:>14} {:>9} {:>9}",
+        "#", "paper in-use", "paper standby", "PC (rec.)", "model in-use", "model standby",
+        "err(iu)%", "err(sb)%"
+    );
+
+    let model = ComputeModel::paper();
+    let mut rows = Vec::new();
+    for e in TABLE2_EXPERIMENTS {
+        let model_in_use =
+            model.from_pc_time(e.pc(), DeviceClass::SetTopBox, UsageMode::InUse).as_secs_f64();
+        let model_standby =
+            model.from_pc_time(e.pc(), DeviceClass::SetTopBox, UsageMode::Standby).as_secs_f64();
+        let err_iu = 100.0 * (model_in_use - e.stb_in_use_secs) / e.stb_in_use_secs;
+        let err_sb = 100.0 * (model_standby - e.stb_standby_secs) / e.stb_standby_secs;
+        println!(
+            "{:>5} {:>13.3}s {:>13.3}s {:>10.3}s | {:>13.3}s {:>13.3}s {:>+8.1}% {:>+8.1}%",
+            e.test, e.stb_in_use_secs, e.stb_standby_secs, e.pc_secs, model_in_use,
+            model_standby, err_iu, err_sb
+        );
+        rows.push(Row {
+            test: e.test,
+            paper_in_use_s: e.stb_in_use_secs,
+            paper_standby_s: e.stb_standby_secs,
+            pc_s: e.pc_secs,
+            model_in_use_s: model_in_use,
+            model_standby_s: model_standby,
+            in_use_err_pct: err_iu,
+            standby_err_pct: err_sb,
+        });
+    }
+
+    println!();
+    let mean_penalty = mean_in_use_penalty();
+    println!("paper aggregate:  STB/PC = 20.6x (±10%),  in-use/standby = 1.65x (±17%)");
+    println!(
+        "dataset aggregate: in-use/standby = {:.2}x (per-row spread is the paper's ±17%)",
+        mean_penalty
+    );
+    println!();
+    println!("per-row standby error reflects real per-workload variance the single");
+    println!("1.65x constant cannot capture — the same spread the paper reports as");
+    println!("its confidence interval. PC column is reconstructed (in_use/20.6);");
+    println!("see EXPERIMENTS.md for provenance.");
+
+    // The aggregate must stay within the paper's stated confidence bounds.
+    assert!((mean_penalty - 1.65).abs() / 1.65 < 0.17);
+    write_artifact("table2", &rows);
+}

@@ -1,0 +1,76 @@
+#![forbid(unsafe_code)]
+
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every `cargo run -p oddci-bench --bin <exp>` binary prints a
+//! human-readable table to stdout **and** writes a machine-readable JSON
+//! artifact under `results/` so EXPERIMENTS.md entries are diffable
+//! against re-runs.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where experiment artifacts are written (`results/` at the workspace
+/// root, or `$ODDCI_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("ODDCI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serializes `value` as pretty JSON into `results/<name>.json`.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    f.write_all(json.as_bytes()).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+}
+
+/// Formats a duration in seconds with a sensible unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 2.0 * 24.0 * 3600.0 {
+        format!("{:.1}d", s / (24.0 * 3600.0))
+    } else if s >= 2.0 * 3600.0 {
+        format!("{:.1}h", s / 3600.0)
+    } else if s >= 120.0 {
+        format!("{:.1}min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+/// Prints a rule-of-dashes header.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(0.5), "500ms");
+        assert_eq!(fmt_secs(42.0), "42.0s");
+        assert_eq!(fmt_secs(600.0), "10.0min");
+        assert_eq!(fmt_secs(7200.0), "2.0h");
+        assert_eq!(fmt_secs(3.0 * 24.0 * 3600.0), "3.0d");
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        std::env::set_var("ODDCI_RESULTS_DIR", std::env::temp_dir().join("oddci-test-results"));
+        write_artifact("unit-test", &serde_json::json!({"x": 1}));
+        let path = results_dir().join("unit-test.json");
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back["x"], 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! A complete broadcast channel: transport mux + object carousel + AIT.
+//!
+//! This is the object the Controller configures (§4.3: *"the Controller
+//! configures the carousel to transmit a control message composed by the
+//! PNA Xlet and two other files"*) and that every receiver queries.
+
+use crate::ait::{Ait, AitEntry};
+use crate::carousel::{CarouselFile, ObjectCarousel};
+use crate::tsmux::TransportMux;
+use oddci_types::{Bandwidth, ChannelId, SimDuration, SimTime};
+
+/// One DTV service carrying an OddCI carousel.
+#[derive(Debug, Clone)]
+pub struct BroadcastChannel {
+    id: ChannelId,
+    carousel: ObjectCarousel,
+    ait: Ait,
+}
+
+impl BroadcastChannel {
+    /// Creates a channel with spare capacity `beta`, initially transmitting
+    /// `files` with an empty AIT.
+    pub fn new(id: ChannelId, beta: Bandwidth, files: Vec<CarouselFile>, epoch: SimTime) -> Self {
+        BroadcastChannel {
+            id,
+            carousel: ObjectCarousel::new(TransportMux::new(beta), files, epoch),
+            ait: Ait::new(),
+        }
+    }
+
+    /// Channel identifier.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The carousel currently on air.
+    pub fn carousel(&self) -> &ObjectCarousel {
+        &self.carousel
+    }
+
+    /// The signalling table currently on air.
+    pub fn ait(&self) -> &Ait {
+        &self.ait
+    }
+
+    /// Replaces carousel contents and signalling atomically at `now` —
+    /// the Controller-side "inject a control message" operation.
+    pub fn publish(&mut self, files: Vec<CarouselFile>, entries: Vec<AitEntry>, now: SimTime) {
+        self.carousel.update(files, now);
+        self.ait.publish(entries);
+    }
+
+    /// Updates signalling only (e.g. flip AUTOSTART → KILL without touching
+    /// the data files).
+    pub fn publish_ait(&mut self, entries: Vec<AitEntry>) {
+        self.ait.publish(entries);
+    }
+
+    /// When a receiver attaching at `attach` finishes acquiring the named
+    /// file of the *current* carousel version, or `None` if absent.
+    pub fn acquisition_complete(&self, file: &str, attach: SimTime) -> Option<SimTime> {
+        self.carousel.acquisition_complete_by_name(file, attach)
+    }
+
+    /// Expected end-to-end latency to acquire `file` for a random attach
+    /// phase, or `None` if absent.
+    pub fn expected_acquisition(&self, file: &str) -> Option<SimDuration> {
+        self.carousel.file_index(file).map(|i| self.carousel.expected_acquisition(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ait::AppControlCode;
+    use oddci_types::DataSize;
+
+    fn channel() -> BroadcastChannel {
+        BroadcastChannel::new(
+            ChannelId::new(1),
+            Bandwidth::from_mbps(1.0),
+            vec![CarouselFile::sized("pna.xlet", DataSize::from_kilobytes(256))],
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn publish_updates_carousel_and_ait_together() {
+        let mut ch = channel();
+        ch.publish(
+            vec![
+                CarouselFile::sized("pna.xlet", DataSize::from_kilobytes(256)),
+                CarouselFile::sized("image", DataSize::from_megabytes(8)),
+                CarouselFile::sized("config", DataSize::from_bytes(512)),
+            ],
+            vec![AitEntry {
+                app_id: 1,
+                name: "pna".into(),
+                base_file: "pna.xlet".into(),
+                control_code: AppControlCode::Autostart,
+            }],
+            SimTime::from_secs(10),
+        );
+        assert_eq!(ch.carousel().version(), 2);
+        assert_eq!(ch.ait().version, 1);
+        assert!(ch.acquisition_complete("image", SimTime::from_secs(10)).is_some());
+        assert!(ch.acquisition_complete("missing", SimTime::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn ait_only_update_leaves_carousel_alone() {
+        let mut ch = channel();
+        let v = ch.carousel().version();
+        ch.publish_ait(vec![]);
+        assert_eq!(ch.carousel().version(), v);
+        assert_eq!(ch.ait().version, 1);
+    }
+
+    #[test]
+    fn expected_acquisition_present_for_existing_files() {
+        let ch = channel();
+        assert!(ch.expected_acquisition("pna.xlet").is_some());
+        assert!(ch.expected_acquisition("nope").is_none());
+    }
+
+    #[test]
+    fn id_accessor() {
+        assert_eq!(channel().id(), ChannelId::new(1));
+    }
+}

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+
+//! The broadcast substrate: a digital-TV data path emulated faithfully
+//! enough that wakeup latencies *emerge* from the model instead of being
+//! assumed.
+//!
+//! Layering (bottom-up), mirroring §4.1 of the paper:
+//!
+//! * [`tsmux`] — the MPEG-2 transport-stream multiplex: 188-byte TS packets
+//!   and DSM-CC section framing determine how much of the channel's spare
+//!   capacity β is actually available to payload bits.
+//! * [`carousel`] — the DSM-CC **object carousel**: a versioned set of files
+//!   transmitted cyclically. Given the instant a receiver starts listening,
+//!   the carousel computes exactly when each file acquisition completes —
+//!   including the "wait for the file's next pass" phase that produces the
+//!   paper's `1.5·I/β` average wakeup law.
+//! * [`ait`] — the Application Information Table, the signalling that tells
+//!   a receiver which applications exist and whether they AUTOSTART.
+//! * [`channel`] — a [`BroadcastChannel`](channel::BroadcastChannel) gluing
+//!   the three together and exposing the query used by the receiver model:
+//!   *"I tuned in at time t; when do I have file f of carousel version v?"*
+//!
+//! The broadcast side is **computationally passive**: it never schedules
+//! discrete events. Because transmission is strictly periodic, acquisition
+//! times are closed-form functions of the attach instant, which lets a
+//! million-receiver simulation query the carousel in O(1) per receiver.
+
+pub mod ait;
+pub mod carousel;
+pub mod channel;
+pub mod tsmux;
+
+pub use ait::{Ait, AitEntry, AppControlCode};
+pub use carousel::{CarouselFile, CarouselLayout, ObjectCarousel};
+pub use channel::BroadcastChannel;
+pub use tsmux::TransportMux;

@@ -1,0 +1,100 @@
+//! Property tests on the object-carousel timing invariants.
+
+use oddci_broadcast::carousel::{CarouselFile, ObjectCarousel};
+use oddci_broadcast::tsmux::TransportMux;
+use oddci_types::{Bandwidth, DataSize, SimTime};
+use proptest::prelude::*;
+
+fn carousel_strategy() -> impl Strategy<Value = (ObjectCarousel, usize)> {
+    (
+        proptest::collection::vec(1u64..2_000_000, 1..6), // file sizes in bytes
+        1u32..20,                                         // beta in Mbps-ish units
+    )
+        .prop_flat_map(|(sizes, mbps)| {
+            let n = sizes.len();
+            let files: Vec<CarouselFile> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| CarouselFile::sized(format!("f{i}"), DataSize::from_bytes(s)))
+                .collect();
+            let carousel = ObjectCarousel::new(
+                TransportMux::new(Bandwidth::from_mbps(f64::from(mbps))),
+                files,
+                SimTime::ZERO,
+            );
+            (Just(carousel), 0..n)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Acquisition always completes within [best, worst] of the attach time.
+    #[test]
+    fn acquisition_within_envelope((carousel, idx) in carousel_strategy(),
+                                   attach_us in 0u64..100_000_000) {
+        let attach = SimTime::from_micros(attach_us);
+        let done = carousel.acquisition_complete(idx, attach);
+        let latency = done - attach;
+        let best = carousel.best_acquisition(idx);
+        let worst = carousel.worst_acquisition(idx);
+        // Allow one microsecond of clock rounding at each edge.
+        prop_assert!(latency.as_micros() + 1 >= best.as_micros(),
+                     "latency {latency} < best {best}");
+        prop_assert!(latency.as_micros() <= worst.as_micros() + 1,
+                     "latency {latency} > worst {worst}");
+    }
+
+    /// Acquisition completion is monotone in the attach time: tuning in
+    /// later can never make the file arrive earlier.
+    #[test]
+    fn acquisition_is_monotone((carousel, idx) in carousel_strategy(),
+                               t1 in 0u64..50_000_000, dt in 0u64..50_000_000) {
+        let a = carousel.acquisition_complete(idx, SimTime::from_micros(t1));
+        let b = carousel.acquisition_complete(idx, SimTime::from_micros(t1 + dt));
+        prop_assert!(b >= a, "attach later ⇒ complete no earlier");
+    }
+
+    /// One-cycle shift invariance: attaching a full cycle later completes a
+    /// full cycle later (±1 µs rounding).
+    #[test]
+    fn acquisition_is_periodic((carousel, idx) in carousel_strategy(),
+                               t in 0u64..50_000_000) {
+        let cycle = carousel.cycle_duration();
+        let a = carousel.acquisition_complete(idx, SimTime::from_micros(t));
+        let b = carousel.acquisition_complete(idx, SimTime::from_micros(t) + cycle);
+        let shifted = a + cycle;
+        prop_assert!(b.as_micros().abs_diff(shifted.as_micros()) <= 2,
+                     "b={b} vs a+cycle={shifted}");
+    }
+
+    /// The mean over a full cycle of attach phases equals
+    /// half-cycle + read (the generalized 1.5 law), within 2%.
+    #[test]
+    fn mean_latency_matches_expected((carousel, idx) in carousel_strategy()) {
+        let cycle = carousel.cycle_duration().as_secs_f64();
+        prop_assume!(cycle > 1e-4);
+        let n = 256;
+        let mean: f64 = (0..n)
+            .map(|i| {
+                let attach = SimTime::from_secs_f64(cycle * i as f64 / n as f64);
+                (carousel.acquisition_complete(idx, attach) - attach).as_secs_f64()
+            })
+            .sum::<f64>() / n as f64;
+        let expected = carousel.expected_acquisition(idx).as_secs_f64();
+        prop_assert!((mean - expected).abs() <= 0.02 * expected + 1e-6,
+                     "mean {mean} vs expected {expected}");
+    }
+
+    /// Updating the carousel never panics and restarts cleanly: the first
+    /// file acquired from the new epoch is its best case.
+    #[test]
+    fn update_restarts_epoch((carousel, _idx) in carousel_strategy(),
+                             new_size in 1u64..1_000_000, at in 1u64..100_000_000) {
+        let mut carousel = carousel;
+        let at = SimTime::from_micros(at);
+        carousel.update(vec![CarouselFile::sized("new", DataSize::from_bytes(new_size))], at);
+        let done = carousel.acquisition_complete(0, at);
+        prop_assert_eq!(done - at, carousel.best_acquisition(0));
+    }
+}

@@ -1,0 +1,215 @@
+//! The subcommand implementations.
+
+use crate::args::{ArgError, Parsed};
+use oddci_analytics::{efficiency as eq2, makespan, wakeup_envelope, InstanceParams};
+use oddci_core::world::ChurnConfig;
+use oddci_core::{World, WorldConfig};
+use oddci_types::{Bandwidth, DataSize, SimDuration, SimTime};
+use oddci_workload::{JobGenerator, JobProfile};
+use std::fmt::Write;
+
+/// `oddci simulate`: run a full world for one job.
+pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
+    let nodes: u64 = p.num("nodes", 1_000)?;
+    let target: u64 = p.num("target", 100)?;
+    let tasks: u64 = p.num("tasks", 500)?;
+    let cost_secs: f64 = p.num("cost-secs", 60.0)?;
+    let image_mb: u64 = p.num("image-mb", 4)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let churn = p.pair("churn")?;
+    if target > nodes {
+        return Err(ArgError(format!("--target {target} exceeds --nodes {nodes}")));
+    }
+
+    let mut cfg = WorldConfig::default();
+    cfg.nodes = nodes;
+    cfg.churn = churn.map(|(on, off)| ChurnConfig {
+        mean_on: SimDuration::from_mins(on),
+        mean_off: SimDuration::from_mins(off),
+    });
+
+    let job = JobGenerator::homogeneous(
+        DataSize::from_megabytes(image_mb),
+        DataSize::from_bytes(500),
+        DataSize::from_bytes(500),
+        SimDuration::from_secs_f64(cost_secs),
+        seed,
+    )
+    .generate(tasks);
+    let profile = job.profile();
+
+    let mut sim = World::simulation(cfg, seed);
+    let request = sim.submit_job(job, target);
+    let report = sim
+        .run_request(request, SimTime::from_secs(365 * 24 * 3600))
+        .ok_or_else(|| ArgError("job did not complete within a simulated year".into()))?;
+    let metrics = sim.world().metrics().snapshot();
+    let predicted = makespan(&profile, &InstanceParams::paper(target));
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "nodes": nodes,
+            "target": target,
+            "tasks_completed": report.tasks_completed,
+            "makespan_secs": report.makespan.as_secs_f64(),
+            "model_makespan_secs": predicted.as_secs_f64(),
+            "requeues": report.requeues,
+            "wakeup_broadcasts": report.wakeup_broadcasts,
+            "mean_wakeup_latency_secs": metrics.wakeup_latency.mean,
+            "joins": metrics.joins,
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "OddCI-DTV simulation (seed {seed})");
+    let _ = writeln!(out, "  audience          : {nodes} receivers");
+    let _ = writeln!(out, "  instance          : {target} nodes");
+    let _ = writeln!(out, "  job               : {tasks} tasks x {cost_secs}s");
+    let _ = writeln!(out, "  completed         : {} tasks", report.tasks_completed);
+    let _ = writeln!(out, "  makespan          : {}", report.makespan);
+    let _ = writeln!(out, "  model (eq. 1)     : {predicted}");
+    let _ = writeln!(out, "  wakeup broadcasts : {}", report.wakeup_broadcasts);
+    let _ = writeln!(out, "  requeues (churn)  : {}", report.requeues);
+    let _ = writeln!(
+        out,
+        "  mean node wakeup  : {:.1}s over {} joins",
+        metrics.wakeup_latency.mean, metrics.joins
+    );
+    Ok(out)
+}
+
+/// `oddci wakeup`: the §5.1 envelope.
+pub fn wakeup(p: &Parsed) -> Result<String, ArgError> {
+    let image_mb: u64 = p.num("image-mb", 8)?;
+    let beta_mbps: f64 = p.num("beta-mbps", 1.0)?;
+    if beta_mbps <= 0.0 {
+        return Err(ArgError("--beta-mbps must be positive".into()));
+    }
+    let image = DataSize::from_megabytes(image_mb);
+    let beta = Bandwidth::from_mbps(beta_mbps);
+    let (best, mean, worst) = wakeup_envelope(image, beta);
+    Ok(format!(
+        "wakeup envelope for a {image_mb} MB image at {beta_mbps} Mbps spare capacity:\n  \
+         best  (attach at image start) : {:.1}s\n  \
+         mean  (W = 1.5·I/β)           : {:.1}s\n  \
+         worst (just missed the start) : {:.1}s\n  \
+         independent of instance size: broadcast reaches every tuned receiver at once\n",
+        best.as_secs_f64(),
+        mean.as_secs_f64(),
+        worst.as_secs_f64()
+    ))
+}
+
+/// `oddci efficiency`: equations (1) and (2) at a point.
+pub fn efficiency(p: &Parsed) -> Result<String, ArgError> {
+    let phi: f64 = p.num("phi", 1_000.0)?;
+    let ratio: f64 = p.num("ratio", 100.0)?;
+    let nodes: u64 = p.num("nodes", 1_000)?;
+    if phi <= 0.0 || ratio <= 0.0 || nodes == 0 {
+        return Err(ArgError("--phi, --ratio and --nodes must be positive".into()));
+    }
+    let params = InstanceParams::paper(nodes);
+    let n = (ratio * nodes as f64).round() as u64;
+    let profile = JobProfile::from_suitability(
+        DataSize::from_megabytes(10),
+        n.max(1),
+        DataSize::from_bytes(1_000),
+        params.delta,
+        phi,
+    );
+    let m = makespan(&profile, &params);
+    let e = eq2(&profile, &params);
+    Ok(format!(
+        "paper scenario (I=10MB, β=1Mbps, δ=150Kbps, s+r=1KB):\n  \
+         suitability Φ       : {phi}\n  \
+         n/N                 : {ratio} ({n} tasks on {nodes} nodes)\n  \
+         task cost implied   : {:.1}s\n  \
+         makespan (eq. 1)    : {}\n  \
+         efficiency (eq. 2)  : {e:.4}\n",
+        profile.mean_cost.as_secs_f64(),
+        m
+    ))
+}
+
+/// `oddci live`: the thread-based demo.
+pub fn live(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_live::{AlignmentImage, LiveConfig, LiveOddci};
+    let nodes: u64 = p.num("nodes", 4)?;
+    let queries: u64 = p.num("queries", 8)?;
+    let target: u64 = p.num("target", 3)?;
+    if nodes == 0 || queries == 0 || target == 0 {
+        return Err(ArgError("--nodes, --queries and --target must be positive".into()));
+    }
+    let live = LiveOddci::start(LiveConfig { nodes, ..Default::default() });
+    let outcome = live
+        .run_alignment_job(
+            AlignmentImage::small_demo(),
+            queries,
+            target,
+            std::time::Duration::from_secs(120),
+        )
+        .ok_or_else(|| ArgError("live job did not complete within 120s".into()))?;
+    live.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "live OddCI run: {} receiver threads, instance {target}", nodes);
+    let _ = writeln!(out, "  makespan : {}", outcome.report.makespan);
+    let _ = writeln!(out, "  task      score  kind");
+    for (task, score) in &outcome.scores {
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>5}  {}",
+            task.to_string(),
+            score,
+            if task.raw() % 2 == 0 { "planted homolog" } else { "random noise" }
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(parts: &[&str]) -> Parsed {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Parsed::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn wakeup_matches_closed_form() {
+        let out = wakeup(&parsed(&["wakeup", "--image-mb", "10", "--beta-mbps", "2"])).unwrap();
+        // 10 MB @ 2 Mbps: mean = 1.5 * 10*2^20*8 / 2e6 = 62.9 s.
+        assert!(out.contains("62.9"), "{out}");
+    }
+
+    #[test]
+    fn wakeup_rejects_zero_beta() {
+        assert!(wakeup(&parsed(&["wakeup", "--beta-mbps", "0"])).is_err());
+    }
+
+    #[test]
+    fn efficiency_point_matches_paper_trend() {
+        let hi = efficiency(&parsed(&["efficiency", "--phi", "100000", "--ratio", "100"])).unwrap();
+        let lo = efficiency(&parsed(&["efficiency", "--phi", "1", "--ratio", "100"])).unwrap();
+        let grab = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains("efficiency"))
+                .and_then(|l| l.split(':').nth(1))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(grab(&hi) > 0.99);
+        assert!(grab(&lo) < 0.1);
+    }
+
+    #[test]
+    fn simulate_rejects_oversized_target() {
+        let err = simulate(&parsed(&["simulate", "--nodes", "10", "--target", "20"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+}

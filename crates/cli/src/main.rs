@@ -1,0 +1,13 @@
+//! The `oddci` command-line tool. All logic lives in the library crate so
+//! it is testable; this binary only shuttles argv/stdout/exit codes.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match oddci_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The Backend (§3.1): application-specific management — task scheduling,
+//! input provision, result collection.
+//!
+//! The paper assumes a suitably provisioned Backend whose result
+//! post-processing time is negligible; ours is a pull-model bag-of-tasks
+//! scheduler. Nodes request work over their direct channels; the Backend
+//! hands out pending tasks, tracks assignments, and re-queues the tasks of
+//! nodes the Controller declares lost.
+
+use oddci_types::{JobId, NodeId, OddciError, Result, SimDuration, SimTime, TaskId};
+use oddci_workload::{Job, Task};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Reply to a node's task request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome {
+    /// Run this task.
+    Assigned(Task),
+    /// No work left (the job is draining or complete); idle until reset.
+    Drained,
+}
+
+#[derive(Debug)]
+struct JobState {
+    job: Job,
+    pending: VecDeque<TaskId>,
+    assigned: BTreeMap<TaskId, NodeId>,
+    node_task: BTreeMap<NodeId, TaskId>,
+    completed: BTreeSet<TaskId>,
+    submitted_at: SimTime,
+    completed_at: Option<SimTime>,
+    /// Tasks re-queued after node loss (accounting).
+    requeues: u64,
+}
+
+/// The Backend.
+#[derive(Debug, Default)]
+pub struct Backend {
+    jobs: BTreeMap<JobId, JobState>,
+}
+
+impl Backend {
+    /// Creates an empty Backend.
+    pub fn new() -> Self {
+        Backend::default()
+    }
+
+    /// Registers a job for scheduling, timestamping its submission.
+    pub fn register_job(&mut self, job: Job, now: SimTime) {
+        let pending = job.tasks.iter().map(|t| t.id).collect();
+        self.jobs.insert(
+            job.id,
+            JobState {
+                job,
+                pending,
+                assigned: BTreeMap::new(),
+                node_task: BTreeMap::new(),
+                completed: BTreeSet::new(),
+                submitted_at: now,
+                completed_at: None,
+                requeues: 0,
+            },
+        );
+    }
+
+    /// A node asks for work on `job`.
+    ///
+    /// A fresh request from a node the Backend still believes busy means
+    /// the node lost its previous assignment without the Controller
+    /// noticing yet (it power-cycled within the heartbeat deadline): the
+    /// stale task is re-queued first, exactly as if the loss had been
+    /// reported.
+    pub fn fetch_task(&mut self, job: JobId, node: NodeId) -> Result<TaskOutcome> {
+        let state = self.jobs.get_mut(&job).ok_or(OddciError::UnknownJob(job))?;
+        if let Some(stale) = state.node_task.remove(&node) {
+            state.assigned.remove(&stale);
+            if !state.completed.contains(&stale) {
+                state.pending.push_front(stale);
+                state.requeues += 1;
+            }
+        }
+        match state.pending.pop_front() {
+            Some(task_id) => {
+                state.assigned.insert(task_id, node);
+                state.node_task.insert(node, task_id);
+                let task = state.job.tasks[task_id.index()].clone();
+                Ok(TaskOutcome::Assigned(task))
+            }
+            None => Ok(TaskOutcome::Drained),
+        }
+    }
+
+    /// A node uploads the result of `task`. Returns `true` when this was
+    /// the job's last outstanding task.
+    pub fn complete_task(
+        &mut self,
+        job: JobId,
+        task: TaskId,
+        node: NodeId,
+        now: SimTime,
+    ) -> Result<bool> {
+        let state = self.jobs.get_mut(&job).ok_or(OddciError::UnknownJob(job))?;
+        match state.assigned.get(&task) {
+            Some(&assignee) if assignee == node => {}
+            // Result from a node whose assignment was re-queued after a
+            // loss declaration (it came back): accept the work anyway if
+            // the task is still open, else drop the duplicate.
+            _ => {
+                if state.completed.contains(&task) {
+                    return Ok(state.completed_at.is_some());
+                }
+                if task.index() >= state.job.tasks.len() {
+                    return Err(OddciError::UnknownTask { job, task });
+                }
+                state.pending.retain(|&t| t != task);
+            }
+        }
+        state.assigned.remove(&task);
+        state.node_task.remove(&node);
+        state.completed.insert(task);
+        if state.completed.len() == state.job.tasks.len() {
+            state.completed_at = Some(now);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// The Controller declared `node` lost: re-queue its in-flight tasks
+    /// (front of the queue — they have waited longest). Returns the jobs
+    /// whose queues were refilled.
+    pub fn node_lost(&mut self, node: NodeId) -> Vec<JobId> {
+        let mut affected = Vec::new();
+        for (&job_id, state) in &mut self.jobs {
+            if let Some(task) = state.node_task.remove(&node) {
+                state.assigned.remove(&task);
+                if !state.completed.contains(&task) {
+                    state.pending.push_front(task);
+                    state.requeues += 1;
+                    affected.push(job_id);
+                }
+            }
+        }
+        affected
+    }
+
+    /// True once every task of `job` completed.
+    pub fn is_complete(&self, job: JobId) -> bool {
+        self.jobs.get(&job).is_some_and(|s| s.completed_at.is_some())
+    }
+
+    /// The job's makespan (completion − submission), once complete.
+    pub fn makespan(&self, job: JobId) -> Option<SimDuration> {
+        let s = self.jobs.get(&job)?;
+        s.completed_at.map(|done| done - s.submitted_at)
+    }
+
+    /// Completed-task count.
+    pub fn completed_count(&self, job: JobId) -> u64 {
+        self.jobs.get(&job).map_or(0, |s| s.completed.len() as u64)
+    }
+
+    /// Pending (unassigned) task count.
+    pub fn pending_count(&self, job: JobId) -> u64 {
+        self.jobs.get(&job).map_or(0, |s| s.pending.len() as u64)
+    }
+
+    /// Tasks re-queued after node losses.
+    pub fn requeue_count(&self, job: JobId) -> u64 {
+        self.jobs.get(&job).map_or(0, |s| s.requeues)
+    }
+
+    /// The registered job, if any.
+    pub fn job(&self, job: JobId) -> Option<&Job> {
+        self.jobs.get(&job).map(|s| &s.job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oddci_types::{DataSize, ImageId};
+
+    fn job(n: u64) -> Job {
+        let tasks = (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId::new(i),
+                    DataSize::from_bytes(100),
+                    SimDuration::from_secs(10),
+                    DataSize::from_bytes(100),
+                )
+            })
+            .collect();
+        Job::new(JobId::new(1), ImageId::new(1), DataSize::from_megabytes(1), tasks)
+    }
+
+    #[test]
+    fn fetch_assigns_in_order_then_drains() {
+        let mut b = Backend::new();
+        b.register_job(job(2), SimTime::ZERO);
+        let j = JobId::new(1);
+        let TaskOutcome::Assigned(t0) = b.fetch_task(j, NodeId::new(10)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t0.id, TaskId::new(0));
+        let TaskOutcome::Assigned(t1) = b.fetch_task(j, NodeId::new(11)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t1.id, TaskId::new(1));
+        assert_eq!(b.fetch_task(j, NodeId::new(12)).unwrap(), TaskOutcome::Drained);
+    }
+
+    #[test]
+    fn completion_detects_last_task() {
+        let mut b = Backend::new();
+        b.register_job(job(2), SimTime::ZERO);
+        let j = JobId::new(1);
+        b.fetch_task(j, NodeId::new(10)).unwrap();
+        b.fetch_task(j, NodeId::new(11)).unwrap();
+        assert!(!b
+            .complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(5))
+            .unwrap());
+        assert!(!b.is_complete(j));
+        assert!(b
+            .complete_task(j, TaskId::new(1), NodeId::new(11), SimTime::from_secs(9))
+            .unwrap());
+        assert!(b.is_complete(j));
+        assert_eq!(b.makespan(j), Some(SimDuration::from_secs(9)));
+        assert_eq!(b.completed_count(j), 2);
+    }
+
+    #[test]
+    fn unknown_job_errors() {
+        let mut b = Backend::new();
+        assert!(matches!(
+            b.fetch_task(JobId::new(9), NodeId::new(1)),
+            Err(OddciError::UnknownJob(_))
+        ));
+    }
+
+    #[test]
+    fn node_loss_requeues_in_flight_task() {
+        let mut b = Backend::new();
+        b.register_job(job(1), SimTime::ZERO);
+        let j = JobId::new(1);
+        b.fetch_task(j, NodeId::new(10)).unwrap();
+        assert_eq!(b.pending_count(j), 0);
+        let affected = b.node_lost(NodeId::new(10));
+        assert_eq!(affected, vec![j]);
+        assert_eq!(b.pending_count(j), 1);
+        assert_eq!(b.requeue_count(j), 1);
+        // Another node picks the re-queued task up and finishes the job.
+        let TaskOutcome::Assigned(t) = b.fetch_task(j, NodeId::new(11)).unwrap() else { panic!() };
+        assert_eq!(t.id, TaskId::new(0));
+        assert!(b.complete_task(j, t.id, NodeId::new(11), SimTime::from_secs(60)).unwrap());
+    }
+
+    #[test]
+    fn zombie_result_after_requeue_is_accepted_once() {
+        let mut b = Backend::new();
+        b.register_job(job(1), SimTime::ZERO);
+        let j = JobId::new(1);
+        b.fetch_task(j, NodeId::new(10)).unwrap();
+        b.node_lost(NodeId::new(10));
+        // The "lost" node was only slow; its result arrives before the
+        // task is re-assigned. It must count, and the queue must drain.
+        assert!(b.complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(99)).unwrap());
+        assert_eq!(b.pending_count(j), 0);
+        assert_eq!(b.fetch_task(j, NodeId::new(11)).unwrap(), TaskOutcome::Drained);
+    }
+
+    #[test]
+    fn duplicate_result_is_idempotent() {
+        let mut b = Backend::new();
+        b.register_job(job(1), SimTime::ZERO);
+        let j = JobId::new(1);
+        b.fetch_task(j, NodeId::new(10)).unwrap();
+        b.node_lost(NodeId::new(10));
+        b.fetch_task(j, NodeId::new(11)).unwrap();
+        assert!(b.complete_task(j, TaskId::new(0), NodeId::new(11), SimTime::from_secs(50)).unwrap());
+        // The zombie's duplicate upload changes nothing.
+        assert!(b.complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(60)).unwrap());
+        assert_eq!(b.completed_count(j), 1);
+        assert_eq!(b.makespan(j), Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn bogus_task_id_is_rejected() {
+        let mut b = Backend::new();
+        b.register_job(job(1), SimTime::ZERO);
+        let j = JobId::new(1);
+        assert!(matches!(
+            b.complete_task(j, TaskId::new(99), NodeId::new(1), SimTime::ZERO),
+            Err(OddciError::UnknownTask { .. })
+        ));
+    }
+
+    #[test]
+    fn re_request_recycles_a_stale_assignment() {
+        // A node power-cycles mid-task and asks again before the Controller
+        // notices: its old task goes back to the queue and (being at the
+        // front) is handed right back.
+        let mut b = Backend::new();
+        b.register_job(job(2), SimTime::ZERO);
+        let j = JobId::new(1);
+        let TaskOutcome::Assigned(first) = b.fetch_task(j, NodeId::new(10)).unwrap() else {
+            panic!()
+        };
+        let TaskOutcome::Assigned(again) = b.fetch_task(j, NodeId::new(10)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(first.id, again.id, "stale task re-queued at the front");
+        assert_eq!(b.requeue_count(j), 1);
+        // The job still completes exactly once per task.
+        assert!(!b.complete_task(j, again.id, NodeId::new(10), SimTime::from_secs(1)).unwrap());
+        let TaskOutcome::Assigned(second) = b.fetch_task(j, NodeId::new(10)).unwrap() else {
+            panic!()
+        };
+        assert!(b.complete_task(j, second.id, NodeId::new(10), SimTime::from_secs(2)).unwrap());
+        assert_eq!(b.completed_count(j), 2);
+    }
+
+    #[test]
+    fn loss_of_idle_node_is_a_no_op() {
+        let mut b = Backend::new();
+        b.register_job(job(1), SimTime::ZERO);
+        assert!(b.node_lost(NodeId::new(77)).is_empty());
+    }
+
+    #[test]
+    fn makespan_absent_until_done() {
+        let mut b = Backend::new();
+        b.register_job(job(1), SimTime::from_secs(100));
+        assert_eq!(b.makespan(JobId::new(1)), None);
+    }
+}

@@ -1,0 +1,596 @@
+//! The Controller (§3.1–3.2): sets up instances on the broadcast channel,
+//! consolidates heartbeats, keeps instances at their target size.
+//!
+//! The Controller is **transport-agnostic**: it never touches the carousel
+//! or the direct channels itself. Instead its methods return
+//! [`ControllerOutput`] values (broadcast this signed message, reset that
+//! node, tell the Backend this node died) that the surrounding runtime —
+//! the discrete-event [`world`](crate::world) or the live thread runtime —
+//! executes. That keeps the control logic identical across both planes and
+//! directly unit-testable.
+
+use crate::messages::{
+    ControlMessage, Heartbeat, NodeRequirements, PnaStateKind, ResetMessage, SignedMessage,
+    WakeupMessage,
+};
+use oddci_crypto::MessageAuthenticator;
+use oddci_types::{
+    DataSize, HeartbeatConfig, ImageId, InstanceId, MessageId, NodeId, OddciError, Probability,
+    Result, SimTime,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Provider's request for a new instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceRequest {
+    /// Image to distribute.
+    pub image: ImageId,
+    /// Image size (the carousel payload).
+    pub image_size: DataSize,
+    /// Desired number of member nodes.
+    pub target: u64,
+    /// Node filter to embed in the wakeup message.
+    pub requirements: NodeRequirements,
+}
+
+/// Where an instance is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceStatus {
+    /// Wakeup broadcast, members still joining.
+    Forming,
+    /// At (or near) target size.
+    Active,
+    /// Reset broadcast; stragglers are reset via heartbeat replies.
+    Dismantled,
+}
+
+/// Controller-side bookkeeping for one instance.
+#[derive(Debug, Clone)]
+pub struct InstanceRecord {
+    /// The original request.
+    pub request: InstanceRequest,
+    /// Lifecycle status.
+    pub status: InstanceStatus,
+    /// Nodes whose most recent heartbeat claimed membership.
+    pub members: BTreeSet<NodeId>,
+    /// Wakeup (re)broadcasts issued for this instance.
+    pub wakeups_sent: u32,
+}
+
+/// Tunable Controller behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerPolicy {
+    /// Heartbeat interval / loss threshold the PNAs are configured with.
+    pub heartbeat: HeartbeatConfig,
+    /// Multiplier on the sizing probability (`p = slack·target/pool`);
+    /// values slightly above 1 over-admit and rely on heartbeat-reply
+    /// trimming, trading broadcast round-trips for precision.
+    pub sizing_slack: f64,
+    /// Fraction of the target below which a Forming/Active instance is
+    /// recomposed with a fresh wakeup broadcast.
+    pub recompose_threshold: f64,
+    /// Idle-pool estimate used before any heartbeat has been consolidated
+    /// (the expected audience of the channel).
+    pub assumed_audience: u64,
+}
+
+impl Default for ControllerPolicy {
+    fn default() -> Self {
+        ControllerPolicy {
+            heartbeat: HeartbeatConfig::default(),
+            sizing_slack: 1.0,
+            recompose_threshold: 0.95,
+            assumed_audience: 10_000,
+        }
+    }
+}
+
+/// Side effects the runtime must carry out for the Controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerOutput {
+    /// Publish this signed control message (and, for wakeups, the image)
+    /// through the carousel.
+    Broadcast(SignedMessage),
+    /// Send a direct-channel reset to one node (downsizing / stragglers).
+    DirectReset {
+        /// Target node.
+        node: NodeId,
+        /// Instance it must leave.
+        instance: InstanceId,
+    },
+    /// A busy node was declared lost; the Backend must re-queue its task.
+    NodeLost {
+        /// The node that timed out.
+        node: NodeId,
+        /// Instance it belonged to.
+        instance: InstanceId,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeRecord {
+    last_heartbeat: SimTime,
+    state: PnaStateKind,
+    instance: Option<InstanceId>,
+}
+
+/// The Controller.
+pub struct Controller {
+    auth: MessageAuthenticator,
+    policy: ControllerPolicy,
+    instances: BTreeMap<InstanceId, InstanceRecord>,
+    registry: BTreeMap<NodeId, NodeRecord>,
+    next_instance: u64,
+    next_message: u64,
+    /// Heartbeats processed (experiment X2 accounting).
+    pub heartbeats_received: u64,
+}
+
+impl Controller {
+    /// Creates a Controller signing with `key` under `policy`.
+    pub fn new(key: &[u8], policy: ControllerPolicy) -> Self {
+        Controller {
+            auth: MessageAuthenticator::from_key(key),
+            policy,
+            instances: BTreeMap::new(),
+            registry: BTreeMap::new(),
+            next_instance: 0,
+            next_message: 0,
+            heartbeats_received: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &ControllerPolicy {
+        &self.policy
+    }
+
+    fn next_message_id(&mut self) -> MessageId {
+        let id = MessageId::new(self.next_message);
+        self.next_message += 1;
+        id
+    }
+
+    /// Nodes currently believed idle (alive and not in any instance).
+    pub fn idle_pool_estimate(&self, now: SimTime) -> u64 {
+        let deadline = self.policy.heartbeat.loss_deadline();
+        let live_idle = self
+            .registry
+            .values()
+            .filter(|r| r.state == PnaStateKind::Idle && now.since(r.last_heartbeat) <= deadline)
+            .count() as u64;
+        if self.registry.is_empty() {
+            self.policy.assumed_audience
+        } else {
+            live_idle
+        }
+    }
+
+    /// Creates an instance: allocates an id and returns it along with the
+    /// wakeup broadcast to publish.
+    pub fn create_instance(
+        &mut self,
+        req: InstanceRequest,
+        now: SimTime,
+    ) -> (InstanceId, Vec<ControllerOutput>) {
+        let id = InstanceId::new(self.next_instance);
+        self.next_instance += 1;
+        let mut record = InstanceRecord {
+            request: req,
+            status: InstanceStatus::Forming,
+            members: BTreeSet::new(),
+            wakeups_sent: 0,
+        };
+        let wakeup = self.wakeup_message(id, &req, req.target, now);
+        record.wakeups_sent = 1;
+        self.instances.insert(id, record);
+        (id, vec![ControllerOutput::Broadcast(wakeup)])
+    }
+
+    fn wakeup_message(
+        &mut self,
+        id: InstanceId,
+        req: &InstanceRequest,
+        deficit: u64,
+        now: SimTime,
+    ) -> SignedMessage {
+        let pool = self.idle_pool_estimate(now).max(1);
+        let p = Probability::new(self.policy.sizing_slack * deficit as f64 / pool as f64);
+        SignedMessage::sign(
+            ControlMessage::Wakeup(WakeupMessage {
+                id: self.next_message_id(),
+                instance: id,
+                image: req.image,
+                image_size: req.image_size,
+                probability: p,
+                requirements: req.requirements,
+            }),
+            &self.auth,
+        )
+    }
+
+    /// Dismantles an instance: broadcasts a reset; stragglers that heartbeat
+    /// later are trimmed via heartbeat replies.
+    pub fn dismantle(&mut self, id: InstanceId) -> Result<Vec<ControllerOutput>> {
+        let record = self.instances.get_mut(&id).ok_or(OddciError::UnknownInstance(id))?;
+        record.status = InstanceStatus::Dismantled;
+        record.members.clear();
+        let msg = SignedMessage::sign(
+            ControlMessage::Reset(ResetMessage { id: MessageId::new(self.next_message), instance: id }),
+            &self.auth,
+        );
+        self.next_message += 1;
+        Ok(vec![ControllerOutput::Broadcast(msg)])
+    }
+
+    /// Adjusts the target size of a live instance. Growing may trigger a
+    /// recomposition wakeup on the next [`tick`](Self::tick); shrinking is
+    /// enforced lazily through heartbeat replies.
+    pub fn resize(&mut self, id: InstanceId, new_target: u64) -> Result<()> {
+        let record = self.instances.get_mut(&id).ok_or(OddciError::UnknownInstance(id))?;
+        if record.status == InstanceStatus::Dismantled {
+            return Err(OddciError::InvalidState { operation: "resize", state: "Dismantled".into() });
+        }
+        record.request.target = new_target;
+        Ok(())
+    }
+
+    /// Consolidated view of one instance.
+    pub fn instance(&self, id: InstanceId) -> Option<&InstanceRecord> {
+        self.instances.get(&id)
+    }
+
+    /// Current member count of an instance (0 if unknown).
+    pub fn instance_size(&self, id: InstanceId) -> u64 {
+        self.instances.get(&id).map_or(0, |r| r.members.len() as u64)
+    }
+
+    /// Processes one heartbeat, returning the reply plus any side effects.
+    ///
+    /// Membership bookkeeping happens here: a Busy heartbeat adds the node
+    /// to its instance (unless the instance is over target or dismantled, in
+    /// which case the node is reset); an Idle heartbeat removes it.
+    pub fn on_heartbeat(&mut self, hb: Heartbeat, now: SimTime) -> Vec<ControllerOutput> {
+        self.heartbeats_received += 1;
+        let mut out = Vec::new();
+
+        // Membership transition bookkeeping needs the previous record.
+        let prev = self.registry.insert(
+            hb.node,
+            NodeRecord { last_heartbeat: now, state: hb.state, instance: hb.instance },
+        );
+        if let Some(prev) = prev {
+            if let Some(prev_inst) = prev.instance {
+                if prev.instance != hb.instance {
+                    if let Some(rec) = self.instances.get_mut(&prev_inst) {
+                        rec.members.remove(&hb.node);
+                    }
+                }
+            }
+        }
+
+        if let (PnaStateKind::Busy, Some(inst)) = (hb.state, hb.instance) {
+            match self.instances.get_mut(&inst) {
+                Some(rec) if rec.status == InstanceStatus::Dismantled => {
+                    // Straggler that missed the broadcast reset.
+                    out.push(ControllerOutput::DirectReset { node: hb.node, instance: inst });
+                    if let Entry::Occupied(mut e) = self.registry.entry(hb.node) {
+                        e.get_mut().state = PnaStateKind::Idle;
+                        e.get_mut().instance = None;
+                    }
+                }
+                Some(rec) => {
+                    let is_member = rec.members.contains(&hb.node);
+                    let size = rec.members.len() as u64;
+                    // §3.2: adjust exceeding size by replying with reset —
+                    // both for non-members knocking on a full instance and
+                    // for existing members after a shrink lowered the target.
+                    let trim =
+                        (!is_member && size >= rec.request.target) || size > rec.request.target;
+                    if trim {
+                        rec.members.remove(&hb.node);
+                        out.push(ControllerOutput::DirectReset { node: hb.node, instance: inst });
+                        if let Entry::Occupied(mut e) = self.registry.entry(hb.node) {
+                            e.get_mut().state = PnaStateKind::Idle;
+                            e.get_mut().instance = None;
+                        }
+                    } else {
+                        rec.members.insert(hb.node);
+                        if rec.members.len() as u64 >= rec.request.target {
+                            rec.status = InstanceStatus::Active;
+                        }
+                    }
+                }
+                None => {
+                    // Unknown instance (e.g. Controller restart): reset.
+                    out.push(ControllerOutput::DirectReset { node: hb.node, instance: inst });
+                }
+            }
+        }
+        out
+    }
+
+    /// Periodic maintenance: declares nodes lost after missed heartbeats
+    /// (producing [`ControllerOutput::NodeLost`]) and recomposes
+    /// under-target instances with fresh wakeup broadcasts (§3.2: *"from
+    /// time to time the Controller may need to retransmit wakeup control
+    /// messages to recompose OddCI instances"*).
+    pub fn tick(&mut self, now: SimTime) -> Vec<ControllerOutput> {
+        let mut out = Vec::new();
+        let deadline = self.policy.heartbeat.loss_deadline();
+
+        // Loss detection.
+        let mut lost = Vec::new();
+        for (&node, rec) in &self.registry {
+            if now.since(rec.last_heartbeat) > deadline {
+                lost.push((node, rec.instance));
+            }
+        }
+        for (node, instance) in lost {
+            self.registry.remove(&node);
+            if let Some(inst) = instance {
+                if let Some(rec) = self.instances.get_mut(&inst) {
+                    if rec.members.remove(&node) {
+                        out.push(ControllerOutput::NodeLost { node, instance: inst });
+                    }
+                }
+            }
+        }
+
+        // Recomposition.
+        let mut rebroadcasts = Vec::new();
+        for (&id, rec) in &self.instances {
+            if rec.status == InstanceStatus::Dismantled {
+                continue;
+            }
+            let have = rec.members.len() as u64;
+            let target = rec.request.target;
+            if (have as f64) < target as f64 * self.policy.recompose_threshold {
+                rebroadcasts.push((id, rec.request, target - have));
+            }
+        }
+        for (id, req, deficit) in rebroadcasts {
+            let msg = self.wakeup_message(id, &req, deficit, now);
+            if let Some(rec) = self.instances.get_mut(&id) {
+                rec.wakeups_sent += 1;
+                rec.status = InstanceStatus::Forming;
+            }
+            out.push(ControllerOutput::Broadcast(msg));
+        }
+        out
+    }
+
+    /// Number of nodes the Controller currently tracks.
+    pub fn known_nodes(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"ctl-key";
+
+    fn request(target: u64) -> InstanceRequest {
+        InstanceRequest {
+            image: ImageId::new(1),
+            image_size: DataSize::from_megabytes(10),
+            target,
+            requirements: NodeRequirements::default(),
+        }
+    }
+
+    fn busy_hb(node: u64, inst: InstanceId, t: u64) -> Heartbeat {
+        Heartbeat {
+            node: NodeId::new(node),
+            state: PnaStateKind::Busy,
+            instance: Some(inst),
+            sent_at: SimTime::from_secs(t),
+        }
+    }
+
+    fn idle_hb(node: u64, t: u64) -> Heartbeat {
+        Heartbeat {
+            node: NodeId::new(node),
+            state: PnaStateKind::Idle,
+            instance: None,
+            sent_at: SimTime::from_secs(t),
+        }
+    }
+
+    #[test]
+    fn create_instance_broadcasts_signed_wakeup() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, out) = c.create_instance(request(100), SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        let ControllerOutput::Broadcast(signed) = &out[0] else { panic!("expected broadcast") };
+        signed.verify(&MessageAuthenticator::from_key(KEY)).unwrap();
+        let ControlMessage::Wakeup(w) = signed.message else { panic!("expected wakeup") };
+        assert_eq!(w.instance, id);
+        // Pool estimate falls back to assumed audience (10k): p = 100/10k.
+        assert!((w.probability.value() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_tracks_heartbeats() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(2), SimTime::ZERO);
+        assert!(c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1)).is_empty());
+        assert_eq!(c.instance_size(id), 1);
+        assert_eq!(c.instance(id).unwrap().status, InstanceStatus::Forming);
+        c.on_heartbeat(busy_hb(2, id, 1), SimTime::from_secs(1));
+        assert_eq!(c.instance_size(id), 2);
+        assert_eq!(c.instance(id).unwrap().status, InstanceStatus::Active);
+    }
+
+    #[test]
+    fn excess_members_are_reset() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(1), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        let out = c.on_heartbeat(busy_hb(2, id, 1), SimTime::from_secs(1));
+        assert_eq!(
+            out,
+            vec![ControllerOutput::DirectReset { node: NodeId::new(2), instance: id }]
+        );
+        assert_eq!(c.instance_size(id), 1);
+        // An existing member is NOT reset.
+        assert!(c.on_heartbeat(busy_hb(1, id, 2), SimTime::from_secs(2)).is_empty());
+    }
+
+    #[test]
+    fn dismantle_then_straggler_reset() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(1), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        let out = c.dismantle(id).unwrap();
+        assert!(matches!(
+            &out[0],
+            ControllerOutput::Broadcast(SignedMessage { message: ControlMessage::Reset(_), .. })
+        ));
+        // A straggler still claiming membership gets a direct reset.
+        let out = c.on_heartbeat(busy_hb(1, id, 10), SimTime::from_secs(10));
+        assert_eq!(
+            out,
+            vec![ControllerOutput::DirectReset { node: NodeId::new(1), instance: id }]
+        );
+    }
+
+    #[test]
+    fn dismantle_unknown_instance_errors() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        assert!(matches!(
+            c.dismantle(InstanceId::new(42)),
+            Err(OddciError::UnknownInstance(_))
+        ));
+    }
+
+    #[test]
+    fn lost_nodes_are_detected_and_reported() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(5), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 0), SimTime::ZERO);
+        // Default policy: 60 s interval × 3 misses = 180 s deadline.
+        let out = c.tick(SimTime::from_secs(181));
+        assert!(out.contains(&ControllerOutput::NodeLost { node: NodeId::new(1), instance: id }));
+        assert_eq!(c.instance_size(id), 0);
+        assert_eq!(c.known_nodes(), 0);
+    }
+
+    #[test]
+    fn under_target_instances_are_recomposed() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(10), SimTime::ZERO);
+        // Only 5 of 10 joined.
+        for n in 0..5 {
+            c.on_heartbeat(busy_hb(n, id, 1), SimTime::from_secs(1));
+        }
+        // Some idle listeners are known too.
+        for n in 100..200 {
+            c.on_heartbeat(idle_hb(n, 1), SimTime::from_secs(1));
+        }
+        let out = c.tick(SimTime::from_secs(2));
+        let wakeups: Vec<_> = out
+            .iter()
+            .filter_map(|o| match o {
+                ControllerOutput::Broadcast(SignedMessage {
+                    message: ControlMessage::Wakeup(w),
+                    ..
+                }) => Some(w),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wakeups.len(), 1);
+        // Deficit 5 over an idle pool of 100 → p = 0.05.
+        assert!((wakeups[0].probability.value() - 0.05).abs() < 1e-9);
+        assert_eq!(c.instance(id).unwrap().wakeups_sent, 2);
+    }
+
+    #[test]
+    fn at_target_instances_are_left_alone() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(2), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        c.on_heartbeat(busy_hb(2, id, 1), SimTime::from_secs(1));
+        let out = c.tick(SimTime::from_secs(2));
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn dismantled_instances_are_never_recomposed() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(10), SimTime::ZERO);
+        c.dismantle(id).unwrap();
+        assert!(c.tick(SimTime::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn resize_updates_target() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(1), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        c.resize(id, 2).unwrap();
+        // A second member is now admitted instead of reset.
+        assert!(c.on_heartbeat(busy_hb(2, id, 2), SimTime::from_secs(2)).is_empty());
+        assert_eq!(c.instance_size(id), 2);
+        // Resizing a dismantled instance fails.
+        c.dismantle(id).unwrap();
+        assert!(c.resize(id, 5).is_err());
+    }
+
+    #[test]
+    fn shrink_trims_existing_members_via_heartbeats() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(3), SimTime::ZERO);
+        for n in 1..=3 {
+            c.on_heartbeat(busy_hb(n, id, 1), SimTime::from_secs(1));
+        }
+        assert_eq!(c.instance_size(id), 3);
+        c.resize(id, 1).unwrap();
+        // Next heartbeats from members trim the excess one by one.
+        let out = c.on_heartbeat(busy_hb(1, id, 2), SimTime::from_secs(2));
+        assert_eq!(
+            out,
+            vec![ControllerOutput::DirectReset { node: NodeId::new(1), instance: id }]
+        );
+        let out = c.on_heartbeat(busy_hb(2, id, 2), SimTime::from_secs(2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(c.instance_size(id), 1);
+        // The survivor is left alone at exactly the target.
+        assert!(c.on_heartbeat(busy_hb(3, id, 3), SimTime::from_secs(3)).is_empty());
+        assert_eq!(c.instance_size(id), 1);
+    }
+
+    #[test]
+    fn idle_heartbeat_clears_membership() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(5), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        assert_eq!(c.instance_size(id), 1);
+        c.on_heartbeat(idle_hb(1, 2), SimTime::from_secs(2));
+        assert_eq!(c.instance_size(id), 0);
+    }
+
+    #[test]
+    fn idle_pool_estimate_uses_live_idle_nodes() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        assert_eq!(c.idle_pool_estimate(SimTime::ZERO), 10_000, "assumed audience fallback");
+        for n in 0..50 {
+            c.on_heartbeat(idle_hb(n, 1), SimTime::from_secs(1));
+        }
+        assert_eq!(c.idle_pool_estimate(SimTime::from_secs(2)), 50);
+        // Stale nodes fall out of the estimate.
+        assert_eq!(c.idle_pool_estimate(SimTime::from_secs(10_000)), 0);
+    }
+
+    #[test]
+    fn heartbeat_counter_increments() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        c.on_heartbeat(idle_hb(1, 1), SimTime::from_secs(1));
+        c.on_heartbeat(idle_hb(2, 1), SimTime::from_secs(1));
+        assert_eq!(c.heartbeats_received, 2);
+    }
+}

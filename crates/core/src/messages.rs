@@ -1,0 +1,231 @@
+//! Control-plane message types and their authenticated envelope.
+//!
+//! §3.2: the Controller broadcasts *wakeup* messages (carrying the image,
+//! a node-requirements filter and the probability gate) and *reset*
+//! messages (destroying an instance). PNAs accept only messages signed by
+//! their associated Controller. Heartbeats flow the other way over the
+//! direct channels.
+
+use oddci_crypto::{MessageAuthenticator, Tag};
+use oddci_types::{
+    DataSize, ImageId, InstanceId, MessageId, NodeId, Probability, Result, SimTime,
+};
+use serde::{Deserialize, Serialize};
+
+/// Capability requirements a node must meet to join an instance (§3.2:
+/// *"the PNA assesses its own compliance with the requirements present in
+/// the message"*).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct NodeRequirements {
+    /// Minimum free memory for the DVE + image.
+    pub min_memory: DataSize,
+    /// Whether nodes currently in active TV use may join (standby-only
+    /// instances avoid degrading the viewer experience and run 1.65×
+    /// faster).
+    pub standby_only: bool,
+}
+
+/// The wakeup control message creating or growing an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WakeupMessage {
+    /// Unique message id (deduplication and tracing).
+    pub id: MessageId,
+    /// Instance being created or recomposed.
+    pub instance: InstanceId,
+    /// Application image carried in the carousel alongside this message.
+    pub image: ImageId,
+    /// Size of that image (drives acquisition latency).
+    pub image_size: DataSize,
+    /// Probability with which an idle, compliant PNA handles the message.
+    pub probability: Probability,
+    /// Node filter.
+    pub requirements: NodeRequirements,
+}
+
+/// The reset control message destroying an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResetMessage {
+    /// Unique message id.
+    pub id: MessageId,
+    /// Instance to dismantle. PNAs not in this instance ignore the message.
+    pub instance: InstanceId,
+}
+
+/// Any broadcast control message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// Create/grow an instance.
+    Wakeup(WakeupMessage),
+    /// Destroy an instance.
+    Reset(ResetMessage),
+}
+
+impl ControlMessage {
+    /// The message id.
+    pub fn id(&self) -> MessageId {
+        match self {
+            ControlMessage::Wakeup(w) => w.id,
+            ControlMessage::Reset(r) => r.id,
+        }
+    }
+
+    /// The instance this message concerns.
+    pub fn instance(&self) -> InstanceId {
+        match self {
+            ControlMessage::Wakeup(w) => w.instance,
+            ControlMessage::Reset(r) => r.instance,
+        }
+    }
+
+    /// Canonical byte encoding for signing. Field order is fixed and all
+    /// integers are little-endian, so Controller and PNA always agree.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ControlMessage::Wakeup(w) => {
+                out.push(0x01);
+                out.extend_from_slice(&w.id.raw().to_le_bytes());
+                out.extend_from_slice(&w.instance.raw().to_le_bytes());
+                out.extend_from_slice(&w.image.raw().to_le_bytes());
+                out.extend_from_slice(&w.image_size.bits().to_le_bytes());
+                out.extend_from_slice(&w.probability.value().to_le_bytes());
+                out.extend_from_slice(&w.requirements.min_memory.bits().to_le_bytes());
+                out.push(w.requirements.standby_only as u8);
+            }
+            ControlMessage::Reset(r) => {
+                out.push(0x02);
+                out.extend_from_slice(&r.id.raw().to_le_bytes());
+                out.extend_from_slice(&r.instance.raw().to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// A control message plus its authentication tag — what actually rides the
+/// carousel's `configuration` file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignedMessage {
+    /// The message.
+    pub message: ControlMessage,
+    /// HMAC tag over [`ControlMessage::canonical_bytes`].
+    pub tag: Tag,
+}
+
+impl SignedMessage {
+    /// Signs `message` with the Controller's authenticator.
+    pub fn sign(message: ControlMessage, auth: &MessageAuthenticator) -> Self {
+        let tag = auth.sign(&message.canonical_bytes());
+        SignedMessage { message, tag }
+    }
+
+    /// Verifies the tag with the PNA's authenticator.
+    pub fn verify(&self, auth: &MessageAuthenticator) -> Result<()> {
+        auth.verify_or_err(
+            &self.message.canonical_bytes(),
+            &self.tag,
+            &format!("control message {}", self.message.id()),
+        )
+    }
+}
+
+/// The PNA state carried inside heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PnaStateKind {
+    /// Listening, not part of any instance.
+    Idle,
+    /// Executing the image of the carried instance.
+    Busy,
+}
+
+/// A heartbeat message (§3.2): PNA state and current instance membership,
+/// sent periodically over the direct channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Sender.
+    pub node: NodeId,
+    /// Idle or busy.
+    pub state: PnaStateKind,
+    /// Instance the node currently belongs to, if busy.
+    pub instance: Option<InstanceId>,
+    /// Send timestamp (sender clock; the simulation has one global clock).
+    pub sent_at: SimTime,
+}
+
+/// The Controller's possible reply to a heartbeat: a direct-channel reset
+/// for a single node (§3.2: instance downsizing "replying heartbeat
+/// messages with a reset command").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeartbeatReply {
+    /// Nothing to do.
+    Ack,
+    /// Leave `instance` and destroy the DVE.
+    Reset(InstanceId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wakeup() -> ControlMessage {
+        ControlMessage::Wakeup(WakeupMessage {
+            id: MessageId::new(1),
+            instance: InstanceId::new(2),
+            image: ImageId::new(3),
+            image_size: DataSize::from_megabytes(10),
+            probability: Probability::new(0.25),
+            requirements: NodeRequirements {
+                min_memory: DataSize::from_megabytes(32),
+                standby_only: true,
+            },
+        })
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let auth = MessageAuthenticator::from_key(b"controller-key");
+        let signed = SignedMessage::sign(wakeup(), &auth);
+        assert!(signed.verify(&auth).is_ok());
+    }
+
+    #[test]
+    fn foreign_controller_is_rejected() {
+        let ours = MessageAuthenticator::from_key(b"controller-key");
+        let theirs = MessageAuthenticator::from_key(b"rogue-key");
+        let signed = SignedMessage::sign(wakeup(), &theirs);
+        let err = signed.verify(&ours).unwrap_err();
+        assert!(err.to_string().contains("msg-000001"));
+    }
+
+    #[test]
+    fn tampering_any_field_breaks_the_tag() {
+        let auth = MessageAuthenticator::from_key(b"controller-key");
+        let mut signed = SignedMessage::sign(wakeup(), &auth);
+        if let ControlMessage::Wakeup(w) = &mut signed.message {
+            w.probability = Probability::new(1.0); // boost acceptance
+        }
+        assert!(signed.verify(&auth).is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_message_kinds() {
+        let reset = ControlMessage::Reset(ResetMessage {
+            id: MessageId::new(1),
+            instance: InstanceId::new(2),
+        });
+        assert_ne!(wakeup().canonical_bytes(), reset.canonical_bytes());
+        assert_eq!(reset.canonical_bytes()[0], 0x02);
+    }
+
+    #[test]
+    fn canonical_bytes_are_deterministic() {
+        assert_eq!(wakeup().canonical_bytes(), wakeup().canonical_bytes());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = wakeup();
+        assert_eq!(m.id(), MessageId::new(1));
+        assert_eq!(m.instance(), InstanceId::new(2));
+    }
+}

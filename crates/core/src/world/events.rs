@@ -1,0 +1,86 @@
+//! Event vocabulary of the OddCI-DTV world simulation.
+//!
+//! Node-continuation events carry the node's **power-cycle epoch** at
+//! scheduling time: a receiver that was switched off (and possibly on
+//! again) must not be affected by continuations of its previous life
+//! (an image acquisition, a compute completion, a heartbeat timer). The
+//! handler drops any event whose epoch no longer matches.
+
+use crate::messages::Heartbeat;
+use oddci_types::{InstanceId, NodeId};
+
+/// Every event the world reacts to. Task payloads live in per-node state,
+/// not in the queue, so events stay small.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorldEvent {
+    /// A node's churn process fires (power on ↔ off).
+    NodeToggle(NodeId),
+    /// A node finishes acquiring the *configuration* of `instance` from the
+    /// carousel; its PNA now considers the control message.
+    ControlDelivery {
+        /// The receiving node.
+        node: NodeId,
+        /// Which broadcast entry it read.
+        instance: InstanceId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A node finishes acquiring the *image* of `instance`; its DVE starts.
+    ImageAcquired {
+        /// The node whose acquisition completed.
+        node: NodeId,
+        /// Instance joined.
+        instance: InstanceId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A node's periodic heartbeat timer fires (message leaves the node).
+    HeartbeatSend {
+        /// The sender.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A heartbeat reaches the Controller (valid even if the sender died
+    /// in flight — the bits are already on the wire).
+    HeartbeatArrive(Heartbeat),
+    /// A direct-channel reset reaches its target node.
+    DirectResetArrive {
+        /// Target node.
+        node: NodeId,
+        /// Instance to leave.
+        instance: InstanceId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A node's task request reaches the Backend.
+    TaskRequest {
+        /// The requesting node.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A task's input data finishes downloading to the node.
+    TaskInputArrived {
+        /// The node receiving the input.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A node finishes computing its current task.
+    TaskComputed {
+        /// The computing node.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A task's result finishes uploading to the Backend.
+    ResultArrived {
+        /// The uploading node.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// The Controller's periodic maintenance timer.
+    ControllerTick,
+}

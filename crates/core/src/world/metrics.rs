@@ -1,0 +1,88 @@
+//! Aggregate observables of a world run.
+
+use oddci_sim::{Histogram, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Cap on stored size samples per instance (one per controller tick).
+const TIMELINE_CAP: usize = 100_000;
+
+/// Counters and distributions collected while the world runs.
+pub struct WorldMetrics {
+    /// Wakeup latency per joining node: publish of the instance's first
+    /// wakeup → image running (seconds).
+    pub wakeup_latency: Histogram,
+    /// Nodes that completed a join (DVE running).
+    pub joins: u64,
+    /// Tasks completed across all jobs.
+    pub tasks_completed: u64,
+    /// Control-message deliveries processed by PNAs.
+    pub control_deliveries: u64,
+    /// Heartbeats that reached the Controller.
+    pub heartbeats_delivered: u64,
+    /// Direct resets delivered to nodes.
+    pub direct_resets: u64,
+    /// Node power-offs that orphaned an in-flight task.
+    pub tasks_orphaned: u64,
+    /// Instance-size samples per instance, one `(secs, size)` point per
+    /// controller tick while the instance lives (capped).
+    pub size_timeline: BTreeMap<u64, Vec<(f64, u64)>>,
+}
+
+impl Default for WorldMetrics {
+    fn default() -> Self {
+        WorldMetrics {
+            // One-second unit: wakeups range from seconds to tens of minutes.
+            wakeup_latency: Histogram::new(1.0),
+            joins: 0,
+            tasks_completed: 0,
+            control_deliveries: 0,
+            heartbeats_delivered: 0,
+            direct_resets: 0,
+            tasks_orphaned: 0,
+            size_timeline: BTreeMap::new(),
+        }
+    }
+}
+
+impl WorldMetrics {
+    /// Appends one instance-size sample (no-op past the per-instance cap).
+    pub fn sample_instance_size(&mut self, instance_raw: u64, at_secs: f64, size: u64) {
+        let series = self.size_timeline.entry(instance_raw).or_default();
+        if series.len() < TIMELINE_CAP {
+            series.push((at_secs, size));
+        }
+    }
+
+    /// Serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            wakeup_latency: self.wakeup_latency.stats().summary(),
+            joins: self.joins,
+            tasks_completed: self.tasks_completed,
+            control_deliveries: self.control_deliveries,
+            heartbeats_delivered: self.heartbeats_delivered,
+            direct_resets: self.direct_resets,
+            tasks_orphaned: self.tasks_orphaned,
+        }
+    }
+}
+
+/// Serializable snapshot of [`WorldMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Wakeup latency statistics in seconds.
+    pub wakeup_latency: Summary,
+    /// Nodes that completed a join.
+    pub joins: u64,
+    /// Tasks completed.
+    pub tasks_completed: u64,
+    /// PNA control-message deliveries.
+    pub control_deliveries: u64,
+    /// Heartbeats received by the Controller.
+    pub heartbeats_delivered: u64,
+    /// Direct resets delivered.
+    pub direct_resets: u64,
+    /// Tasks orphaned by churn.
+    pub tasks_orphaned: u64,
+}

@@ -1,0 +1,133 @@
+//! Property tests on Controller invariants under arbitrary heartbeat
+//! interleavings.
+
+use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
+use oddci_core::messages::{Heartbeat, NodeRequirements, PnaStateKind};
+use oddci_types::{DataSize, ImageId, NodeId, SimTime};
+use proptest::prelude::*;
+
+const KEY: &[u8] = b"prop-key";
+
+fn request(target: u64) -> InstanceRequest {
+    InstanceRequest {
+        image: ImageId::new(1),
+        image_size: DataSize::from_megabytes(1),
+        target,
+        requirements: NodeRequirements::default(),
+    }
+}
+
+/// A random heartbeat script: (node, busy?, at_seconds).
+fn hb_script() -> impl Strategy<Value = Vec<(u64, bool, u64)>> {
+    proptest::collection::vec((0u64..50, any::<bool>(), 0u64..1_000), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The member set never exceeds the target, no matter the heartbeat
+    /// interleaving — excess is always trimmed with a direct reset.
+    #[test]
+    fn membership_never_exceeds_target(target in 1u64..20, script in hb_script()) {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (inst, _) = c.create_instance(request(target), SimTime::ZERO);
+        let mut sorted = script;
+        sorted.sort_by_key(|&(_, _, t)| t);
+        for (node, busy, t) in sorted {
+            let hb = Heartbeat {
+                node: NodeId::new(node),
+                state: if busy { PnaStateKind::Busy } else { PnaStateKind::Idle },
+                instance: busy.then_some(inst),
+                sent_at: SimTime::from_secs(t),
+            };
+            let outputs = c.on_heartbeat(hb, SimTime::from_secs(t));
+            prop_assert!(c.instance_size(inst) <= target,
+                         "size {} exceeded target {target}", c.instance_size(inst));
+            // Every emitted reset targets this instance.
+            for o in outputs {
+                if let ControllerOutput::DirectReset { instance, .. } = o {
+                    prop_assert_eq!(instance, inst);
+                }
+            }
+        }
+    }
+
+    /// After dismantle, every busy heartbeat for the instance draws a
+    /// direct reset and the member set stays empty.
+    #[test]
+    fn dismantled_instances_shed_all_members(script in hb_script()) {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (inst, _) = c.create_instance(request(100), SimTime::ZERO);
+        c.dismantle(inst).unwrap();
+        for (node, busy, t) in script {
+            let hb = Heartbeat {
+                node: NodeId::new(node),
+                state: if busy { PnaStateKind::Busy } else { PnaStateKind::Idle },
+                instance: busy.then_some(inst),
+                sent_at: SimTime::from_secs(t),
+            };
+            let outputs = c.on_heartbeat(hb, SimTime::from_secs(t));
+            prop_assert_eq!(c.instance_size(inst), 0);
+            if busy {
+                let reset_sent = outputs.iter().any(|o| matches!(
+                    o,
+                    ControllerOutput::DirectReset { node: n, instance }
+                        if *n == NodeId::new(node) && *instance == inst
+                ));
+                prop_assert!(reset_sent, "busy straggler must be reset");
+            }
+        }
+    }
+
+    /// The idle-pool estimate is never larger than the number of known
+    /// nodes (once any heartbeat has been seen).
+    #[test]
+    fn idle_pool_bounded_by_registry(script in hb_script()) {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (inst, _) = c.create_instance(request(10), SimTime::ZERO);
+        let mut latest = 0;
+        for (node, busy, t) in script {
+            latest = latest.max(t);
+            let hb = Heartbeat {
+                node: NodeId::new(node),
+                state: if busy { PnaStateKind::Busy } else { PnaStateKind::Idle },
+                instance: busy.then_some(inst),
+                sent_at: SimTime::from_secs(t),
+            };
+            c.on_heartbeat(hb, SimTime::from_secs(t));
+        }
+        let estimate = c.idle_pool_estimate(SimTime::from_secs(latest));
+        prop_assert!(estimate <= c.known_nodes() as u64,
+                     "estimate {estimate} > registry {}", c.known_nodes());
+    }
+
+    /// Ticks never grow an instance by themselves, never panic, and only
+    /// report losses for nodes that actually went silent.
+    #[test]
+    fn ticks_are_safe(script in hb_script(), tick_at in 0u64..5_000) {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (inst, _) = c.create_instance(request(25), SimTime::ZERO);
+        let mut sorted = script;
+        sorted.sort_by_key(|&(_, _, t)| t);
+        for (node, busy, t) in sorted {
+            let hb = Heartbeat {
+                node: NodeId::new(node),
+                state: if busy { PnaStateKind::Busy } else { PnaStateKind::Idle },
+                instance: busy.then_some(inst),
+                sent_at: SimTime::from_secs(t),
+            };
+            c.on_heartbeat(hb, SimTime::from_secs(t));
+        }
+        let before = c.instance_size(inst);
+        let outputs = c.tick(SimTime::from_secs(tick_at));
+        prop_assert!(c.instance_size(inst) <= before);
+        let deadline = c.policy().heartbeat.loss_deadline();
+        for o in outputs {
+            if let ControllerOutput::NodeLost { .. } = o {
+                // A loss implies the tick time is past the deadline of the
+                // earliest possible heartbeat (t=0).
+                prop_assert!(SimTime::from_secs(tick_at) > SimTime::ZERO + deadline);
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! The live runtime: a headend thread (Provider + Controller + Backend)
+//! and one OS thread per receiver, all speaking the §3.2 protocol over
+//! real channels.
+//!
+//! Wall-clock time is mapped onto [`SimTime`] (microseconds since runtime
+//! start) so the *identical* Controller/Backend/Provider code from
+//! `oddci-core` runs unmodified on this plane.
+
+use crate::bus::BroadcastBus;
+use crate::image::{AlignmentImage, LiveBroadcast};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use oddci_core::backend::{Backend, TaskOutcome};
+use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
+use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
+use oddci_core::pna::{HostInfo, Pna, PnaAction};
+use oddci_core::provider::{JobReport, Provider, ProviderRequest};
+use oddci_receiver::compute::UsageMode;
+use oddci_types::{
+    DataSize, HeartbeatConfig, ImageId, InstanceId, JobId, NodeId, SimDuration, SimTime, TaskId,
+};
+use oddci_workload::alignment::{mutate, random_sequence};
+use oddci_workload::{Job, Task};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live runtime parameters.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Receiver threads to spawn.
+    pub nodes: u64,
+    /// Controller↔PNA shared key.
+    pub key: Vec<u8>,
+    /// PNA heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Controller maintenance period (loss detection, recomposition).
+    pub controller_tick: Duration,
+    /// Master seed for per-node randomness.
+    pub seed: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            nodes: 4,
+            key: b"live-oddci-key".to_vec(),
+            heartbeat_interval: Duration::from_millis(150),
+            controller_tick: Duration::from_millis(200),
+            seed: 42,
+        }
+    }
+}
+
+/// What rides the bus.
+#[derive(Debug, Clone)]
+enum BusMsg {
+    Control(LiveBroadcast),
+    Shutdown,
+}
+
+/// Node → headend messages.
+enum ToHeadend {
+    Heartbeat(Heartbeat, Sender<HeartbeatReply>),
+    TaskRequest {
+        instance: InstanceId,
+        node: NodeId,
+        reply: Sender<TaskReply>,
+    },
+    TaskResult {
+        job: JobId,
+        task: TaskId,
+        node: NodeId,
+        score: i32,
+    },
+    Submit {
+        job: Job,
+        queries: Vec<Arc<Vec<u8>>>,
+        image: Arc<AlignmentImage>,
+        target: u64,
+        reply: Sender<ProviderRequest>,
+    },
+    Report {
+        req: ProviderRequest,
+        reply: Sender<Option<(JobReport, BTreeMap<TaskId, i32>)>>,
+    },
+    Shutdown,
+}
+
+#[derive(Debug, Clone)]
+enum TaskReply {
+    Assigned { job: JobId, task: Task, query: Arc<Vec<u8>> },
+    Drained,
+}
+
+/// Result of a completed live job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The Provider's report (makespan in runtime microseconds, etc.).
+    pub report: JobReport,
+    /// Best alignment score per task.
+    pub scores: BTreeMap<TaskId, i32>,
+}
+
+/// The live OddCI system.
+pub struct LiveOddci {
+    tx: Sender<ToHeadend>,
+    bus: Arc<BroadcastBus<BusMsg>>,
+    headend: Option<JoinHandle<()>>,
+    nodes: Vec<JoinHandle<()>>,
+    next_job: AtomicU64,
+    config: LiveConfig,
+}
+
+impl LiveOddci {
+    /// Spawns the headend and all receiver threads.
+    pub fn start(config: LiveConfig) -> Self {
+        assert!(config.nodes > 0, "a live system needs at least one node");
+        let bus = Arc::new(BroadcastBus::new());
+        let (tx, rx) = unbounded();
+        let start = Instant::now();
+
+        let mut nodes = Vec::with_capacity(config.nodes as usize);
+        for i in 0..config.nodes {
+            let bus_rx = bus.subscribe();
+            let tx = tx.clone();
+            let key = config.key.clone();
+            let hb = config.heartbeat_interval;
+            let seed = config.seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15));
+            nodes.push(std::thread::spawn(move || {
+                node_main(NodeId::new(i), key, bus_rx, tx, hb, seed, start)
+            }));
+        }
+
+        let headend = {
+            let bus = Arc::clone(&bus);
+            let cfg = config.clone();
+            std::thread::spawn(move || headend_main(cfg, bus, rx, start))
+        };
+
+        LiveOddci {
+            tx,
+            bus,
+            headend: Some(headend),
+            nodes,
+            next_job: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The configuration this runtime started with.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Submits an alignment job with `n_queries` queries against `image`'s
+    /// database on an instance of `target` nodes, waits up to `timeout`
+    /// and returns the outcome if the job completed in time.
+    ///
+    /// Half the queries are homologs planted in the database (they should
+    /// score high), half are random noise (they should score ~0) — so the
+    /// caller can verify that the distributed computation really ran.
+    pub fn run_alignment_job(
+        &self,
+        image: AlignmentImage,
+        n_queries: u64,
+        target: u64,
+        timeout: Duration,
+    ) -> Option<JobOutcome> {
+        assert!(n_queries > 0, "a job needs at least one query");
+        let job_id = JobId::new(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let db = random_sequence(image.db_len, image.db_seed);
+        let queries: Vec<Arc<Vec<u8>>> = (0..n_queries)
+            .map(|i| {
+                let q = if i % 2 == 0 {
+                    // Planted homolog: a mutated slice of the database.
+                    let start = (i as usize * 131) % db.len().saturating_sub(200);
+                    mutate(&db[start..start + 150], 0.05, image.db_seed ^ i)
+                } else {
+                    random_sequence(150, image.db_seed ^ (i | 1 << 60))
+                };
+                Arc::new(q)
+            })
+            .collect();
+        let tasks = (0..n_queries)
+            .map(|i| {
+                Task::new(
+                    TaskId::new(i),
+                    DataSize::from_bytes(150),
+                    SimDuration::from_millis(10),
+                    DataSize::from_bytes(8),
+                )
+            })
+            .collect();
+        let job = Job::new(job_id, ImageId::new(job_id.raw()), DataSize::from_megabytes(1), tasks);
+
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(ToHeadend::Submit {
+                job,
+                queries,
+                image: Arc::new(image),
+                target,
+                reply: reply_tx,
+            })
+            .ok()?;
+        let req = reply_rx.recv_timeout(Duration::from_secs(5)).ok()?;
+
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (tx, rx) = bounded(1);
+            self.tx.send(ToHeadend::Report { req, reply: tx }).ok()?;
+            if let Ok(Some((report, scores))) = rx.recv_timeout(Duration::from_secs(5)) {
+                return Some(JobOutcome { report, scores });
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops the headend and all nodes, joining every thread.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(ToHeadend::Shutdown);
+        self.bus.publish(&BusMsg::Shutdown);
+        if let Some(h) = self.headend.take() {
+            let _ = h.join();
+        }
+        for n in self.nodes.drain(..) {
+            let _ = n.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headend
+// ---------------------------------------------------------------------
+
+struct HeadendState {
+    controller: Controller,
+    backend: Backend,
+    provider: Provider,
+    bus: Arc<BroadcastBus<BusMsg>>,
+    start: Instant,
+    instance_job: BTreeMap<InstanceId, JobId>,
+    job_queries: BTreeMap<JobId, Vec<Arc<Vec<u8>>>>,
+    job_scores: BTreeMap<JobId, BTreeMap<TaskId, i32>>,
+    instance_image: BTreeMap<InstanceId, Arc<AlignmentImage>>,
+}
+
+impl HeadendState {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn process_outputs(&mut self, outputs: Vec<ControllerOutput>) -> Vec<HeartbeatReply> {
+        let mut replies = Vec::new();
+        for out in outputs {
+            match out {
+                ControllerOutput::Broadcast(signed) => {
+                    let image = match signed.message {
+                        ControlMessage::Wakeup(w) => self.instance_image.get(&w.instance).cloned(),
+                        ControlMessage::Reset(r) => {
+                            self.instance_image.remove(&r.instance);
+                            None
+                        }
+                    };
+                    self.bus.publish(&BusMsg::Control(LiveBroadcast { signed, image }));
+                }
+                ControllerOutput::DirectReset { instance, .. } => {
+                    // In the live plane direct resets ride heartbeat replies.
+                    replies.push(HeartbeatReply::Reset(instance));
+                }
+                ControllerOutput::NodeLost { node, .. } => {
+                    let _ = self.backend.node_lost(node);
+                }
+            }
+        }
+        replies
+    }
+
+    fn finish_if_done(&mut self, job: JobId) {
+        if !self.backend.is_complete(job) {
+            return;
+        }
+        let Some(req) = self.provider.request_for_job(job) else { return };
+        let Some((&inst, _)) = self.instance_job.iter().find(|(_, &j)| j == job) else { return };
+        let wakeups = self.controller.instance(inst).map_or(0, |r| r.wakeups_sent);
+        let completed = self.backend.completed_count(job);
+        let requeues = self.backend.requeue_count(job);
+        let now = self.now();
+        if self.provider.complete(req, now, completed, requeues, wakeups).is_some() {
+            if let Ok(outputs) = self.controller.dismantle(inst) {
+                let _ = self.process_outputs(outputs);
+            }
+        }
+    }
+}
+
+fn headend_main(
+    config: LiveConfig,
+    bus: Arc<BroadcastBus<BusMsg>>,
+    rx: Receiver<ToHeadend>,
+    start: Instant,
+) {
+    let policy = ControllerPolicy {
+        heartbeat: HeartbeatConfig {
+            interval: SimDuration::from_micros(config.heartbeat_interval.as_micros() as u64),
+            // Generous: live nodes block while computing and may skip beats.
+            miss_threshold: 50,
+            message_bytes: 128,
+        },
+        sizing_slack: 1.0,
+        recompose_threshold: 0.99,
+        assumed_audience: config.nodes,
+    };
+    let mut st = HeadendState {
+        controller: Controller::new(&config.key, policy),
+        backend: Backend::new(),
+        provider: Provider::new(),
+        bus,
+        start,
+        instance_job: BTreeMap::new(),
+        job_queries: BTreeMap::new(),
+        job_scores: BTreeMap::new(),
+        instance_image: BTreeMap::new(),
+    };
+    let mut last_tick = Instant::now();
+
+    loop {
+        match rx.recv_timeout(config.controller_tick) {
+            Ok(ToHeadend::Shutdown) => return,
+            Ok(ToHeadend::Heartbeat(hb, reply)) => {
+                let now = st.now();
+                let outputs = st.controller.on_heartbeat(hb, now);
+                let mut replies = st.process_outputs(outputs);
+                let _ = reply.send(replies.pop().unwrap_or(HeartbeatReply::Ack));
+            }
+            Ok(ToHeadend::TaskRequest { instance, node, reply }) => {
+                let Some(&job) = st.instance_job.get(&instance) else {
+                    let _ = reply.send(TaskReply::Drained);
+                    continue;
+                };
+                match st.backend.fetch_task(job, node) {
+                    Ok(TaskOutcome::Assigned(task)) => {
+                        let query = st.job_queries[&job][task.id.index()].clone();
+                        let _ = reply.send(TaskReply::Assigned { job, task, query });
+                    }
+                    _ => {
+                        let _ = reply.send(TaskReply::Drained);
+                    }
+                }
+            }
+            Ok(ToHeadend::TaskResult { job, task, node, score }) => {
+                let now = st.now();
+                if st.backend.complete_task(job, task, node, now).unwrap_or(false) {
+                    st.job_scores.entry(job).or_default().insert(task, score);
+                    st.finish_if_done(job);
+                } else {
+                    st.job_scores.entry(job).or_default().insert(task, score);
+                }
+            }
+            Ok(ToHeadend::Submit { job, queries, image, target, reply }) => {
+                let now = st.now();
+                let job_id = job.id;
+                let req = InstanceRequest {
+                    image: job.image,
+                    image_size: job.image_size,
+                    target,
+                    requirements: Default::default(),
+                };
+                st.backend.register_job(job, now);
+                st.job_queries.insert(job_id, queries);
+                st.job_scores.insert(job_id, BTreeMap::new());
+                let (inst, outputs) = st.controller.create_instance(req, now);
+                st.instance_job.insert(inst, job_id);
+                st.instance_image.insert(inst, image);
+                let request = st.provider.open_request(job_id, inst, target, now);
+                let _ = st.process_outputs(outputs);
+                let _ = reply.send(request);
+            }
+            Ok(ToHeadend::Report { req, reply }) => {
+                let out = st.provider.report(req).map(|r| {
+                    let scores =
+                        st.job_scores.get(&r.job).cloned().unwrap_or_default();
+                    (r, scores)
+                });
+                let _ = reply.send(out);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if last_tick.elapsed() >= config.controller_tick {
+            last_tick = Instant::now();
+            let now = st.now();
+            let outputs = st.controller.tick(now);
+            let _ = st.process_outputs(outputs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------
+
+fn node_main(
+    id: NodeId,
+    key: Vec<u8>,
+    bus_rx: Receiver<BusMsg>,
+    tx: Sender<ToHeadend>,
+    hb_interval: Duration,
+    seed: u64,
+    start: Instant,
+) {
+    let mut pna = Pna::new(id, &key);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let host = HostInfo {
+        free_memory: DataSize::from_megabytes(128),
+        usage: UsageMode::Standby,
+    };
+    loop {
+        // Idle: listen to the bus, heartbeat on the side.
+        match bus_rx.recv_timeout(hb_interval) {
+            Ok(BusMsg::Shutdown) => return,
+            Ok(BusMsg::Control(b)) => {
+                match pna.on_control_message(&b.signed, host, &mut rng) {
+                    PnaAction::BeginAcquisition { instance, .. } => {
+                        if let Some(image) = b.image {
+                            if !run_instance(
+                                &mut pna, &mut rng, host, instance, &image, &bus_rx, &tx,
+                                hb_interval, &start,
+                            ) {
+                                return; // shutdown observed while busy
+                            }
+                        } else {
+                            // Wakeup without image (race with reset): bail out.
+                            pna.on_direct_reset(instance);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !heartbeat(&mut pna, &tx, &start) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Sends one heartbeat and applies the reply. Returns false if the
+/// headend is gone.
+fn heartbeat(pna: &mut Pna, tx: &Sender<ToHeadend>, start: &Instant) -> bool {
+    let hb = pna.heartbeat(SimTime::from_micros(start.elapsed().as_micros() as u64));
+    let (rtx, rrx) = bounded(1);
+    if tx.send(ToHeadend::Heartbeat(hb, rtx)).is_err() {
+        return false;
+    }
+    match rrx.recv_timeout(Duration::from_secs(5)) {
+        Ok(HeartbeatReply::Reset(inst)) => {
+            pna.on_direct_reset(inst);
+            true
+        }
+        Ok(HeartbeatReply::Ack) => true,
+        Err(_) => false,
+    }
+}
+
+/// Runs the busy phase: materialize the image, then pull/compute/report
+/// tasks until reset. Returns false only on shutdown.
+#[allow(clippy::too_many_arguments)]
+fn run_instance(
+    pna: &mut Pna,
+    rng: &mut SmallRng,
+    host: HostInfo,
+    instance: InstanceId,
+    image: &AlignmentImage,
+    bus_rx: &Receiver<BusMsg>,
+    tx: &Sender<ToHeadend>,
+    hb_interval: Duration,
+    start: &Instant,
+) -> bool {
+    let _ = pna.image_ready();
+    // Real work: regenerate and index the database.
+    let db = image.materialize();
+    if !heartbeat(pna, tx, start) {
+        return true;
+    }
+    while !pna.is_idle() {
+        // Drain broadcast traffic (resets, other instances' wakeups).
+        while let Ok(msg) = bus_rx.try_recv() {
+            match msg {
+                BusMsg::Shutdown => return false,
+                BusMsg::Control(b) => {
+                    if let PnaAction::DveDestroyed { .. } =
+                        pna.on_control_message(&b.signed, host, rng)
+                    {
+                        let _ = heartbeat(pna, tx, start);
+                        return true;
+                    }
+                }
+            }
+        }
+        if pna.is_idle() {
+            break;
+        }
+
+        let (rtx, rrx) = bounded(1);
+        if tx.send(ToHeadend::TaskRequest { instance, node: pna.node(), reply: rtx }).is_err() {
+            return true;
+        }
+        match rrx.recv_timeout(Duration::from_secs(5)) {
+            Ok(TaskReply::Assigned { job, task, query }) => {
+                let score = image.score(&db, &query);
+                let _ = pna.task_done();
+                let _ = tx.send(ToHeadend::TaskResult {
+                    job,
+                    task: task.id,
+                    node: pna.node(),
+                    score,
+                });
+            }
+            Ok(TaskReply::Drained) => {
+                if !heartbeat(pna, tx, start) {
+                    return true;
+                }
+                match bus_rx.recv_timeout(hb_interval) {
+                    Ok(BusMsg::Shutdown) => return false,
+                    Ok(BusMsg::Control(b)) => {
+                        if let PnaAction::DveDestroyed { .. } =
+                            pna.on_control_message(&b.signed, host, rng)
+                        {
+                            let _ = heartbeat(pna, tx, start);
+                            return true;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return true,
+                }
+            }
+            Err(_) => return true,
+        }
+    }
+    true
+}

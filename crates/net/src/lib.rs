@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+
+//! The direct channels: individual full-duplex point-to-point links between
+//! each processing node and the Controller / Backend (§3.1, Figure 1).
+//!
+//! In the paper's model every set-top box has an ADSL-class uplink of
+//! capacity δ (150 Kbps is the stated lower bound). Tasks, results and
+//! heartbeats all ride these links; the broadcast channel is only used for
+//! control messages and image distribution.
+//!
+//! * [`link`] — one node's link: serial use, propagation latency, loss with
+//!   retransmission.
+//! * [`server`] — the shared *receiving* side (Controller or Backend): an
+//!   M/D/1-style capacity model that turns aggregate message rates into
+//!   utilization and queueing delay, used to study when heartbeats would
+//!   crush the Controller (§3.2's footnote 3, our experiment X2).
+
+pub mod link;
+pub mod server;
+
+pub use link::DirectLink;
+pub use server::ServerCapacity;

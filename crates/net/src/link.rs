@@ -1,0 +1,211 @@
+//! One node's direct channel.
+//!
+//! The link is full-duplex: the upstream (node → Controller/Backend) and
+//! downstream (→ node) directions have independent capacity δ and are each
+//! used serially — a node fetching a task input cannot simultaneously fetch
+//! another input, but can be uploading a result meanwhile. Transfers that
+//! hit loss are retransmitted whole after a timeout (task/result payloads
+//! are single application-level messages in this model).
+
+use oddci_types::{Bandwidth, DataSize, DirectChannelConfig, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction over a [`DirectLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Node → Controller/Backend.
+    Up,
+    /// Controller/Backend → node.
+    Down,
+}
+
+/// One node's full-duplex point-to-point channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectLink {
+    config: DirectChannelConfig,
+    busy_until_up: SimTime,
+    busy_until_down: SimTime,
+    /// Total payload bits moved (both directions), for accounting.
+    pub bits_transferred: u64,
+    /// Number of retransmissions suffered, for accounting.
+    pub retransmissions: u64,
+}
+
+impl DirectLink {
+    /// Creates an idle link with the given configuration.
+    pub fn new(config: DirectChannelConfig) -> Self {
+        config.validate().expect("valid direct channel config");
+        DirectLink {
+            config,
+            busy_until_up: SimTime::ZERO,
+            busy_until_down: SimTime::ZERO,
+            bits_transferred: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Link capacity δ.
+    pub fn capacity(&self) -> Bandwidth {
+        self.config.delta
+    }
+
+    /// The configuration this link was built with.
+    pub fn config(&self) -> &DirectChannelConfig {
+        &self.config
+    }
+
+    /// Schedules a transfer of `size` starting no earlier than `now` and
+    /// returns its completion instant. The direction stays busy until then.
+    ///
+    /// Loss is modelled per attempt: with probability `loss_rate` the whole
+    /// message is lost and retransmitted after a timeout of one RTT.
+    pub fn transfer<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        size: DataSize,
+        dir: Direction,
+        rng: &mut R,
+    ) -> SimTime {
+        let busy = match dir {
+            Direction::Up => &mut self.busy_until_up,
+            Direction::Down => &mut self.busy_until_down,
+        };
+        let start = if *busy > now { *busy } else { now };
+        let one_attempt = self.config.latency + size.transfer_time(self.config.delta);
+        let mut finish = start + one_attempt;
+        // Geometric retransmissions.
+        if self.config.loss_rate > 0.0 {
+            while rng.random::<f64>() < self.config.loss_rate {
+                self.retransmissions += 1;
+                // Loss detected after a retransmission timeout of 2 RTTs,
+                // then the attempt repeats.
+                finish = finish + self.config.latency * 4 + one_attempt;
+            }
+        }
+        *busy = finish;
+        self.bits_transferred += size.bits();
+        finish
+    }
+
+    /// Completion time of a loss-free transfer starting exactly at `now` on
+    /// an idle link — the closed-form the analytical model uses.
+    pub fn ideal_transfer_time(&self, size: DataSize) -> SimDuration {
+        self.config.latency + size.transfer_time(self.config.delta)
+    }
+
+    /// When the given direction becomes free.
+    pub fn busy_until(&self, dir: Direction) -> SimTime {
+        match dir {
+            Direction::Up => self.busy_until_up,
+            Direction::Down => self.busy_until_down,
+        }
+    }
+
+    /// Clears queued work (node power-off: in-flight transfers are lost).
+    pub fn reset(&mut self, now: SimTime) {
+        self.busy_until_up = now;
+        self.busy_until_down = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lossless() -> DirectLink {
+        DirectLink::new(DirectChannelConfig {
+            delta: Bandwidth::from_kbps(150.0),
+            latency: SimDuration::from_millis(50),
+            loss_rate: 0.0,
+        })
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialization() {
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        // 1 KB = 8192 bits over 150 kbps ≈ 54.613 ms, plus 50 ms latency.
+        let done = link.transfer(
+            SimTime::ZERO,
+            DataSize::from_kilobytes(1),
+            Direction::Up,
+            &mut rng,
+        );
+        let expect = 0.050 + 8192.0 / 150_000.0;
+        assert!((done.as_secs_f64() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serial_use_queues_transfers() {
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let first = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Up, &mut rng);
+        let second = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Up, &mut rng);
+        assert_eq!(second - first, first - SimTime::ZERO, "second waits for first");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let up = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Up, &mut rng);
+        let down = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Down, &mut rng);
+        assert_eq!(up, down, "full duplex: no cross-direction queueing");
+    }
+
+    #[test]
+    fn loss_inflates_completion() {
+        let cfg = DirectChannelConfig {
+            delta: Bandwidth::from_kbps(150.0),
+            latency: SimDuration::from_millis(50),
+            loss_rate: 0.5,
+        };
+        let mut lossy = DirectLink::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let size = DataSize::from_kilobytes(4);
+        let mut total_lossy = 0.0;
+        let n = 2000;
+        for i in 0..n {
+            let t0 = SimTime::from_secs(i * 100);
+            lossy.reset(t0);
+            let done = lossy.transfer(t0, size, Direction::Up, &mut rng);
+            total_lossy += (done - t0).as_secs_f64();
+        }
+        let mean_lossy = total_lossy / n as f64;
+        let ideal = lossless().ideal_transfer_time(size).as_secs_f64();
+        // E[attempts] = 1/(1-0.5) = 2; plus timeout overhead -> clearly >1.5x.
+        assert!(mean_lossy > ideal * 1.5, "mean={mean_lossy} ideal={ideal}");
+        assert!(lossy.retransmissions > 0);
+    }
+
+    #[test]
+    fn accounting_tracks_bits() {
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        link.transfer(SimTime::ZERO, DataSize::from_bytes(100), Direction::Up, &mut rng);
+        link.transfer(SimTime::ZERO, DataSize::from_bytes(50), Direction::Down, &mut rng);
+        assert_eq!(link.bits_transferred, 150 * 8);
+    }
+
+    #[test]
+    fn reset_clears_queue() {
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        link.transfer(SimTime::ZERO, DataSize::from_megabytes(1), Direction::Up, &mut rng);
+        assert!(link.busy_until(Direction::Up) > SimTime::from_secs(10));
+        link.reset(SimTime::from_secs(1));
+        assert_eq!(link.busy_until(Direction::Up), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn transfer_starting_later_respects_now() {
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let done =
+            link.transfer(SimTime::from_secs(100), DataSize::from_bytes(1), Direction::Up, &mut rng);
+        assert!(done > SimTime::from_secs(100));
+    }
+}

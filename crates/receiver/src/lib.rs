@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+
+//! The set-top-box (DTV receiver) substrate.
+//!
+//! §4.1 of the paper: *"The DTV receiver can be seen as a computer adapted
+//! for the needs of the television environment"* — several processors (one
+//! dedicated to interactive applications), RAM, flash, a network adapter
+//! and a middleware that abstracts the hardware and runs Java **Xlets**.
+//!
+//! This crate models the pieces of that stack the OddCI architecture
+//! touches:
+//!
+//! * [`middleware`] — the application manager and the JavaTV Xlet lifecycle
+//!   (*Loaded / Paused / Started / Destroyed*, Figure 4 of the paper),
+//!   including AUTOSTART trigger handling from the AIT.
+//! * [`stb`] — the receiver device itself: tuner, power state, hardware
+//!   inventory, and the hosted application manager.
+//! * [`dve`] — the *Device Virtualized Environment* a PNA creates to run a
+//!   user application image in isolation (§3.2).
+//! * [`compute`] — the execution-time model calibrated with the paper's
+//!   Table II/III micro-benchmarks (STB ≈ 20.6× slower than the reference
+//!   PC; in-use ≈ 1.65× slower than standby).
+
+pub mod compute;
+pub mod dve;
+pub mod middleware;
+pub mod stb;
+
+pub use compute::{ComputeModel, DeviceClass, UsageMode};
+pub use dve::{Dve, DveState};
+pub use middleware::{ApplicationManager, Xlet, XletState};
+pub use stb::{SetTopBox, StbHardware, TunerState};

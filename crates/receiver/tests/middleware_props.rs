@@ -1,0 +1,102 @@
+//! Property tests on the Xlet lifecycle state machine (paper Figure 4).
+
+use oddci_receiver::middleware::{Xlet, XletState};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Init,
+    Start,
+    Pause,
+    Destroy,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Op::Init), Just(Op::Start), Just(Op::Pause), Just(Op::Destroy)],
+        0..64,
+    )
+}
+
+/// The reference transition relation of Figure 4.
+fn legal(state: XletState, op: Op) -> Option<XletState> {
+    match (state, op) {
+        (XletState::Loaded, Op::Init) => Some(XletState::Paused),
+        (XletState::Paused, Op::Start) => Some(XletState::Started),
+        (XletState::Started, Op::Pause) => Some(XletState::Paused),
+        (XletState::Loaded | XletState::Paused | XletState::Started, Op::Destroy) => {
+            Some(XletState::Destroyed)
+        }
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The implementation agrees with the reference transition relation on
+    /// every op of every random sequence: legal ops succeed and land in the
+    /// reference state; illegal ops fail and leave the state unchanged.
+    #[test]
+    fn xlet_matches_reference_machine(script in ops()) {
+        let mut xlet = Xlet::load(1, "prop");
+        let mut model = XletState::Loaded;
+        for op in script {
+            let result = match op {
+                Op::Init => xlet.init(),
+                Op::Start => xlet.start(),
+                Op::Pause => xlet.pause(),
+                Op::Destroy => xlet.destroy(),
+            };
+            match legal(model, op) {
+                Some(next) => {
+                    prop_assert!(result.is_ok(), "{op:?} from {model:?} must succeed");
+                    model = next;
+                }
+                None => {
+                    prop_assert!(result.is_err(), "{op:?} from {model:?} must fail");
+                }
+            }
+            prop_assert_eq!(xlet.state(), model);
+        }
+    }
+
+    /// Destroyed is absorbing: once destroyed, no sequence revives the Xlet.
+    #[test]
+    fn destroyed_is_absorbing(script in ops()) {
+        let mut xlet = Xlet::load(1, "prop");
+        xlet.destroy().unwrap();
+        for op in script {
+            let _ = match op {
+                Op::Init => xlet.init(),
+                Op::Start => xlet.start(),
+                Op::Pause => xlet.pause(),
+                Op::Destroy => xlet.destroy(),
+            };
+            prop_assert_eq!(xlet.state(), XletState::Destroyed);
+        }
+    }
+
+    /// pause_cycles counts exactly the successful Started→Paused edges.
+    #[test]
+    fn pause_cycles_accounting(script in ops()) {
+        let mut xlet = Xlet::load(1, "prop");
+        let mut model = XletState::Loaded;
+        let mut expected_pauses = 0u32;
+        for op in script {
+            if matches!(op, Op::Pause) && model == XletState::Started {
+                expected_pauses += 1;
+            }
+            let _ = match op {
+                Op::Init => xlet.init(),
+                Op::Start => xlet.start(),
+                Op::Pause => xlet.pause(),
+                Op::Destroy => xlet.destroy(),
+            };
+            if let Some(next) = legal(model, op) {
+                model = next;
+            }
+        }
+        prop_assert_eq!(xlet.pause_cycles, expected_pauses);
+    }
+}

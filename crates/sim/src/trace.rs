@@ -1,0 +1,129 @@
+//! Lightweight event tracing.
+//!
+//! A [`TraceLog`] records timestamped, human-readable milestones (instance
+//! created, node joined, job finished, ...). It is bounded, cheap when
+//! disabled, and renders as a timeline — the observability hook the world
+//! model and the examples use.
+
+use oddci_types::SimTime;
+use std::fmt;
+
+/// A bounded, optionally-disabled event log.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    entries: Vec<(SimTime, String)>,
+    enabled: bool,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::disabled()
+    }
+}
+
+impl TraceLog {
+    /// A log that records up to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog { entries: Vec::new(), enabled: true, capacity, dropped: 0 }
+    }
+
+    /// A log that records nothing (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        TraceLog { entries: Vec::new(), enabled: false, capacity: 0, dropped: 0 }
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a milestone. The message closure is only evaluated when the
+    /// log is enabled and below capacity, so hot paths can trace freely.
+    pub fn record(&mut self, at: SimTime, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push((at, message()));
+    }
+
+    /// Recorded entries, in recording order (which is time order when the
+    /// producer is a discrete-event simulation).
+    pub fn entries(&self) -> &[(SimTime, String)] {
+        &self.entries
+    }
+
+    /// Entries dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of entries matching a substring (for assertions).
+    pub fn count_matching(&self, needle: &str) -> usize {
+        self.entries.iter().filter(|(_, m)| m.contains(needle)).count()
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (at, msg) in &self.entries {
+            writeln!(f, "[{:>12.3}s] {}", at.as_secs_f64(), msg)?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... and {} more entries dropped (capacity bound)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_up_to_capacity() {
+        let mut log = TraceLog::new(2);
+        log.record(SimTime::from_secs(1), || "first".into());
+        log.record(SimTime::from_secs(2), || "second".into());
+        log.record(SimTime::from_secs(3), || "third".into());
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.entries()[0].1, "first");
+    }
+
+    #[test]
+    fn disabled_log_never_evaluates_messages() {
+        let mut log = TraceLog::disabled();
+        let mut evaluated = false;
+        log.record(SimTime::ZERO, || {
+            evaluated = true;
+            "never".into()
+        });
+        assert!(!evaluated);
+        assert!(log.entries().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn display_renders_timeline() {
+        let mut log = TraceLog::new(10);
+        log.record(SimTime::from_secs(5), || "instance inst-000001 created".into());
+        let text = log.to_string();
+        assert!(text.contains("5.000s"));
+        assert!(text.contains("inst-000001"));
+    }
+
+    #[test]
+    fn count_matching() {
+        let mut log = TraceLog::new(10);
+        log.record(SimTime::ZERO, || "join pna-1".into());
+        log.record(SimTime::ZERO, || "join pna-2".into());
+        log.record(SimTime::ZERO, || "reset".into());
+        assert_eq!(log.count_matching("join"), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Strongly-typed identifiers for every entity in an OddCI deployment.
+//!
+//! All identifiers are thin `u64`/`u32` newtypes: `Copy`, hashable,
+//! ordered, and with a `Display` that makes log lines and panic messages
+//! self-describing (`pna-000042`, `inst-7`, ...).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Wraps a raw index as this identifier type.
+            #[inline]
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize` index (for dense tables).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{:06}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one processing node (a set-top box / device hosting a PNA).
+    NodeId,
+    u64,
+    "pna"
+);
+id_type!(
+    /// Identifies one OddCI instance (a dynamically provisioned DCI).
+    InstanceId,
+    u64,
+    "inst"
+);
+id_type!(
+    /// Identifies a broadcast channel (one TV service carrying a carousel).
+    ChannelId,
+    u32,
+    "chan"
+);
+id_type!(
+    /// Identifies a Provider front-end.
+    ProviderId,
+    u32,
+    "prov"
+);
+id_type!(
+    /// Identifies a Controller (the broadcast-side control component).
+    ControllerId,
+    u32,
+    "ctrl"
+);
+id_type!(
+    /// Identifies a submitted MTC job.
+    JobId,
+    u64,
+    "job"
+);
+id_type!(
+    /// Identifies one task within a job.
+    TaskId,
+    u64,
+    "task"
+);
+id_type!(
+    /// Identifies an application image staged through the carousel.
+    ImageId,
+    u64,
+    "img"
+);
+id_type!(
+    /// Identifies a control or data message (for tracing and dedup).
+    MessageId,
+    u64,
+    "msg"
+);
+
+impl NodeId {
+    /// Builds a dense range of node ids `[0, n)`, handy for simulations.
+    pub fn range(n: u64) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_is_prefixed_and_zero_padded() {
+        assert_eq!(NodeId::new(42).to_string(), "pna-000042");
+        assert_eq!(InstanceId::new(7).to_string(), "inst-000007");
+        assert_eq!(ChannelId::new(1).to_string(), "chan-000001");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = JobId::new(1);
+        let b = JobId::new(2);
+        assert!(a < b);
+        let set: HashSet<_> = [a, b, JobId::new(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn node_range_is_dense() {
+        let ids: Vec<_> = NodeId::range(4).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(ids[3].index(), 3);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let id: TaskId = 9u64.into();
+        assert_eq!(id.raw(), 9);
+    }
+}

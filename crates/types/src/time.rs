@@ -1,0 +1,281 @@
+//! Simulation time.
+//!
+//! The discrete-event engine measures time in **microseconds** stored in a
+//! `u64`. That gives ~584,000 years of range — far beyond any OddCI
+//! scenario — while keeping ordering exact (no floating-point event-time
+//! ties) and arithmetic cheap.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulation clock (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch, time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Builds an instant from fractional seconds (rounded to the nearest µs).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "simulation time cannot be negative");
+        SimTime((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Builds an instant from whole microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// This instant as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This instant as whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable duration (an "infinite" sentinel).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Builds a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Builds a duration from fractional seconds (rounded to the nearest µs).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "durations cannot be negative");
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Builds a duration from whole microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Builds a duration from whole minutes.
+    #[inline]
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * MICROS_PER_SEC)
+    }
+
+    /// This duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This duration as whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// True if this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales this duration by a non-negative factor, rounding to the µs.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "durations cannot be negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self} - {rhs}");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= MICROS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(SimDuration::from_secs(4) * 3, SimDuration::from_secs(12));
+        assert_eq!(SimDuration::from_secs(12) / 4, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late.since(early), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_micros(3).mul_f64(0.5);
+        assert_eq!(d, SimDuration::from_micros(2)); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7µs");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Seeded synthetic job generators.
+//!
+//! Experiments need job bags with controlled statistics: constant-cost
+//! bags reproduce the paper's homogeneous analysis; uniform and
+//! exponential mixes stress the schedulers the way real MTC bags do
+//! (BLAST query batches in Table II span five orders of magnitude).
+
+use crate::job::{Job, Task};
+use oddci_types::{DataSize, ImageId, JobId, SimDuration, TaskId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of a per-task quantity around a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every task gets exactly the mean.
+    Constant,
+    /// Uniform on `[mean·(1-spread), mean·(1+spread)]`, `spread` in `[0,1]`.
+    Uniform {
+        /// Relative half-width of the interval.
+        spread: f64,
+    },
+    /// Exponential with the given mean (heavy-ish tail).
+    Exponential,
+}
+
+impl Distribution {
+    fn sample(self, mean: f64, rng: &mut SmallRng) -> f64 {
+        match self {
+            Distribution::Constant => mean,
+            Distribution::Uniform { spread } => {
+                assert!((0.0..=1.0).contains(&spread), "spread must be in [0,1]");
+                if spread == 0.0 {
+                    mean
+                } else {
+                    rng.random_range(mean * (1.0 - spread)..=mean * (1.0 + spread))
+                }
+            }
+            Distribution::Exponential => {
+                let u: f64 = rng.random();
+                -mean * (1.0 - u).ln()
+            }
+        }
+    }
+}
+
+/// Generates jobs with controlled task statistics.
+#[derive(Debug, Clone)]
+pub struct JobGenerator {
+    /// Image size `I` for generated jobs.
+    pub image_size: DataSize,
+    /// Mean task input size `s̄` in bits.
+    pub mean_input: DataSize,
+    /// Mean result size `r̄` in bits.
+    pub mean_result: DataSize,
+    /// Mean task cost `p̄` (reference STB time).
+    pub mean_cost: SimDuration,
+    /// Distribution of the task cost.
+    pub cost_dist: Distribution,
+    /// Distribution of input/result sizes.
+    pub size_dist: Distribution,
+    rng: SmallRng,
+    next_job: u64,
+}
+
+impl JobGenerator {
+    /// Creates a generator with the given means and distributions, seeded
+    /// deterministically.
+    pub fn new(
+        image_size: DataSize,
+        mean_input: DataSize,
+        mean_result: DataSize,
+        mean_cost: SimDuration,
+        cost_dist: Distribution,
+        size_dist: Distribution,
+        seed: u64,
+    ) -> Self {
+        JobGenerator {
+            image_size,
+            mean_input,
+            mean_result,
+            mean_cost,
+            cost_dist,
+            size_dist,
+            rng: SmallRng::seed_from_u64(seed),
+            next_job: 0,
+        }
+    }
+
+    /// A generator for homogeneous (constant) bags — the paper's model.
+    pub fn homogeneous(
+        image_size: DataSize,
+        input: DataSize,
+        result: DataSize,
+        cost: SimDuration,
+        seed: u64,
+    ) -> Self {
+        JobGenerator::new(
+            image_size,
+            input,
+            result,
+            cost,
+            Distribution::Constant,
+            Distribution::Constant,
+            seed,
+        )
+    }
+
+    /// Generates the next job with `n` tasks.
+    pub fn generate(&mut self, n: u64) -> Job {
+        assert!(n > 0, "jobs need at least one task");
+        let id = JobId::new(self.next_job);
+        self.next_job += 1;
+        let tasks = (0..n)
+            .map(|i| {
+                let s = self.size_dist.sample(self.mean_input.bits() as f64, &mut self.rng);
+                let r = self
+                    .size_dist
+                    .sample(self.mean_result.bits() as f64, &mut self.rng)
+                    .max(1.0);
+                let p = self
+                    .cost_dist
+                    .sample(self.mean_cost.as_secs_f64(), &mut self.rng)
+                    .max(1e-6);
+                Task::new(
+                    TaskId::new(i),
+                    DataSize::from_bits(s.round() as u64),
+                    SimDuration::from_secs_f64(p),
+                    DataSize::from_bits(r.round() as u64),
+                )
+            })
+            .collect();
+        Job::new(id, ImageId::new(id.raw()), self.image_size, tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(cost_dist: Distribution, seed: u64) -> JobGenerator {
+        JobGenerator::new(
+            DataSize::from_megabytes(10),
+            DataSize::from_bytes(500),
+            DataSize::from_bytes(500),
+            SimDuration::from_secs(60),
+            cost_dist,
+            Distribution::Constant,
+            seed,
+        )
+    }
+
+    #[test]
+    fn constant_bags_are_exact() {
+        let mut g = base(Distribution::Constant, 1);
+        let job = g.generate(100);
+        assert_eq!(job.task_count(), 100);
+        for t in &job.tasks {
+            assert_eq!(t.cost, SimDuration::from_secs(60));
+            assert_eq!(t.input_size, DataSize::from_bytes(500));
+        }
+        let p = job.profile();
+        assert_eq!(p.mean_cost, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn uniform_bags_stay_in_bounds() {
+        let mut g = base(Distribution::Uniform { spread: 0.5 }, 2);
+        let job = g.generate(1000);
+        for t in &job.tasks {
+            let p = t.cost.as_secs_f64();
+            assert!((30.0..=90.0).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut g = base(Distribution::Exponential, 3);
+        let job = g.generate(20_000);
+        let mean = job.profile().mean_cost.as_secs_f64();
+        assert!((mean - 60.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn job_ids_increment() {
+        let mut g = base(Distribution::Constant, 4);
+        assert_eq!(g.generate(1).id, JobId::new(0));
+        assert_eq!(g.generate(1).id, JobId::new(1));
+    }
+
+    #[test]
+    fn same_seed_same_bag() {
+        let j1 = base(Distribution::Exponential, 5).generate(50);
+        let j2 = base(Distribution::Exponential, 5).generate(50);
+        assert_eq!(j1, j2);
+        let j3 = base(Distribution::Exponential, 6).generate(50);
+        assert_ne!(j1, j3);
+    }
+
+    #[test]
+    fn costs_are_never_zero() {
+        let mut g = base(Distribution::Exponential, 7);
+        let job = g.generate(10_000);
+        assert!(job.tasks.iter().all(|t| t.cost > SimDuration::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_task_generation_rejected() {
+        let _ = base(Distribution::Constant, 8).generate(0);
+    }
+}

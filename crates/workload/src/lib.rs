@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+
+//! MTC workload models.
+//!
+//! §5.2.1 of the paper defines a job as `J = (I, n, T, R)`: an image of `I`
+//! bits, `n` tasks `t = (s, p)` (input size, processing time on a reference
+//! set-top box) and result sizes `R`. This crate provides:
+//!
+//! * [`job`] — the job/task data model, averages, and the **suitability**
+//!   metric Φ that drives Figures 6 and 7;
+//! * [`generator`] — seeded synthetic job generators (constant, uniform and
+//!   exponential task-size/cost mixes);
+//! * [`blast`] — the paper's Table II/III BLAST micro-benchmark dataset and
+//!   the derived calibration targets;
+//! * [`alignment`] — a real Smith–Waterman / seed-and-extend kernel, so the
+//!   live runtime executes genuine sequence-alignment work instead of
+//!   sleeping.
+
+pub mod alignment;
+pub mod blast;
+pub mod generator;
+pub mod job;
+
+pub use blast::{BlastExperiment, BlastMode, TABLE2_EXPERIMENTS, TABLE3_EXPERIMENTS};
+pub use generator::{Distribution, JobGenerator};
+pub use job::{Job, JobProfile, Task};

@@ -1,0 +1,89 @@
+//! A BLAST campaign on television: the paper's motivating scenario.
+//!
+//! ```text
+//! cargo run --release --example blast_campaign
+//! ```
+//!
+//! Takes the paper's Table II BLAST micro-benchmarks, scales the large-
+//! database test (#11) into a 5,000-query campaign, and runs it on a
+//! simulated OddCI-DTV instance of 1,000 set-top boxes — then shows what
+//! the same campaign would cost on one PC and on one set-top box, i.e.
+//! the response-time collapse the paper's introduction promises.
+
+use oddci::core::{World, WorldConfig};
+use oddci::receiver::{ComputeModel, DeviceClass, UsageMode};
+use oddci::types::{DataSize, SimDuration, SimTime};
+use oddci::workload::{Distribution, JobGenerator, TABLE2_EXPERIMENTS};
+
+fn main() {
+    // Calibrate the campaign on test #2 of Table II: a mid-size query
+    // against a small database (2.102 s on an STB in use).
+    let reference = TABLE2_EXPERIMENTS[1];
+    let model = ComputeModel::paper();
+    // The paper's task cost is expressed on a reference (standby) STB.
+    let task_cost = reference.standby();
+    let queries = 5_000u64;
+
+    println!("BLAST campaign: {queries} queries, {task_cost} each on a reference STB");
+    println!("==================================================================");
+
+    // Serial executions for context.
+    let pc_serial = reference.pc().mul_f64(queries as f64);
+    let stb_serial = model
+        .from_reference_stb(task_cost, UsageMode::InUse)
+        .mul_f64(queries as f64);
+    println!("one reference PC, serial    : {:>12}", fmt_hours(pc_serial));
+    println!("one STB (in use), serial    : {:>12}", fmt_hours(stb_serial));
+
+    // The OddCI-DTV run: 1,000-receiver audience, 500-node instance.
+    let mut cfg = WorldConfig::default();
+    cfg.nodes = 1_000;
+    cfg.in_use_fraction = 0.5;
+
+    let mut gen = JobGenerator::new(
+        DataSize::from_megabytes(8), // ported NCBI toolkit image (§5.1 bound)
+        DataSize::from_bytes(600),   // FASTA query
+        DataSize::from_bytes(2_000), // hit list
+        task_cost,
+        Distribution::Uniform { spread: 0.3 },
+        Distribution::Uniform { spread: 0.2 },
+        11,
+    );
+    let job = gen.generate(queries);
+
+    let mut sim = World::simulation(cfg, 2009);
+    let request = sim.submit_job(job, 500);
+    let report = sim
+        .run_request(request, SimTime::from_secs(30 * 24 * 3600))
+        .expect("campaign completes");
+
+    println!("OddCI-DTV, 500-node instance: {:>12}", fmt_hours(report.makespan));
+    println!();
+    println!("speedup vs one PC           : {:>11.1}x",
+        pc_serial.as_secs_f64() / report.makespan.as_secs_f64());
+    println!("speedup vs one STB          : {:>11.1}x",
+        stb_serial.as_secs_f64() / report.makespan.as_secs_f64());
+    println!();
+    println!("instance wakeup broadcasts  : {}", report.wakeup_broadcasts);
+    println!("tasks re-queued (churn)     : {}", report.requeues);
+    println!(
+        "mean node wakeup latency    : {:.1}s",
+        sim.world().metrics().wakeup_latency.stats().mean()
+    );
+    println!();
+    println!(
+        "note: a single STB is {:.1}x slower than the reference PC (paper: 20.6x),"
+        , model.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::InUse)
+    );
+    println!("yet a television-audience-sized pool still collapses the campaign");
+    println!("from {} to {}.", fmt_hours(pc_serial), fmt_hours(report.makespan));
+}
+
+fn fmt_hours(d: SimDuration) -> String {
+    let h = d.as_secs_f64() / 3600.0;
+    if h >= 1.0 {
+        format!("{h:.1} h")
+    } else {
+        format!("{:.1} min", d.as_secs_f64() / 60.0)
+    }
+}

@@ -1,0 +1,73 @@
+//! Churn storm: OddCI under hostile viewer behaviour.
+//!
+//! ```text
+//! cargo run --release --example churn_storm
+//! ```
+//!
+//! §3.2: "a PNA can generally be switched off at the will of its owner
+//! [so] from time to time the Controller may need to retransmit wakeup
+//! control messages to recompose OddCI instances". This example runs the
+//! same job under increasingly violent churn and reports how the
+//! Controller's recomposition machinery holds the instance together.
+
+use oddci::core::{ChurnConfig, World, WorldConfig};
+use oddci::types::{DataSize, SimDuration, SimTime};
+use oddci::workload::JobGenerator;
+
+fn main() {
+    println!("Churn storm: 400-task job, 80-node instance, 400-receiver channel");
+    println!();
+    println!(
+        "{:<22} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "churn (on/off mins)", "makespan", "requeues", "orphans", "wakeups", "completed"
+    );
+
+    for (label, churn) in [
+        ("none", None),
+        ("120 / 15", Some((120u64, 15u64))),
+        ("60 / 20", Some((60, 20))),
+        ("30 / 20", Some((30, 20))),
+        ("15 / 15", Some((15, 15))),
+    ] {
+        let mut cfg = WorldConfig::default();
+        cfg.nodes = 400;
+        cfg.churn = churn.map(|(on, off)| ChurnConfig {
+            mean_on: SimDuration::from_mins(on),
+            mean_off: SimDuration::from_mins(off),
+        });
+        // Faster loss detection so recomposition is visible within the run.
+        cfg.policy.heartbeat.interval = SimDuration::from_secs(30);
+        cfg.controller_tick = SimDuration::from_secs(30);
+
+        let job = JobGenerator::homogeneous(
+            DataSize::from_megabytes(2),
+            DataSize::from_bytes(500),
+            DataSize::from_bytes(500),
+            SimDuration::from_secs(120),
+            5,
+        )
+        .generate(400);
+
+        let mut sim = World::simulation(cfg, 1234);
+        let request = sim.submit_job(job, 80);
+        match sim.run_request(request, SimTime::from_secs(14 * 24 * 3600)) {
+            Some(report) => {
+                let m = sim.world().metrics();
+                println!(
+                    "{:<22} {:>9.1}m {:>9} {:>9} {:>9} {:>9}/400",
+                    label,
+                    report.makespan.as_secs_f64() / 60.0,
+                    report.requeues,
+                    m.tasks_orphaned,
+                    report.wakeup_broadcasts,
+                    report.tasks_completed,
+                );
+            }
+            None => println!("{label:<22} did not finish within two weeks"),
+        }
+    }
+
+    println!();
+    println!("every task completes regardless of churn; the price is re-queued");
+    println!("work and extra wakeup broadcasts, growing with the off-rate.");
+}

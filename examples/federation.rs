@@ -1,0 +1,64 @@
+//! Multi-channel federation: growing past one channel's audience (§4.3).
+//!
+//! ```text
+//! cargo run --release --example federation
+//! ```
+//!
+//! One TV channel caps an OddCI instance at its audience. Federating
+//! channels — each with its own Controller and carousel — multiplies the
+//! ceiling. This example runs the same 3,000-task job on 1, 2 and 4
+//! federated channels and shows the makespan shrinking as the federation
+//! grows.
+
+use oddci::core::{Federation, WorldConfig};
+use oddci::types::{DataSize, SimDuration, SimTime};
+use oddci::workload::JobGenerator;
+
+fn main() {
+    println!("Federating OddCI-DTV channels (500 receivers each, 100-node instances)");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>14} {:>12}",
+        "channels", "audience", "instance", "makespan"
+    );
+
+    let mut baseline = None;
+    for n_channels in [1usize, 2, 4] {
+        let configs: Vec<WorldConfig> = (0..n_channels)
+            .map(|_| WorldConfig { nodes: 500, ..Default::default() })
+            .collect();
+        let mut fed = Federation::new(configs, 77);
+
+        let job = JobGenerator::homogeneous(
+            DataSize::from_megabytes(2),
+            DataSize::from_bytes(500),
+            DataSize::from_bytes(500),
+            SimDuration::from_secs(60),
+            3,
+        )
+        .generate(3_000);
+
+        fed.submit_job(job, 100 * n_channels as u64);
+        let report = fed
+            .run(SimTime::from_secs(30 * 24 * 3600))
+            .expect("federated job completes");
+        assert_eq!(report.tasks_completed, 3_000);
+
+        let makespan_min = report.makespan_secs / 60.0;
+        let speedup = baseline.get_or_insert(report.makespan_secs);
+        println!(
+            "{:<10} {:>10} {:>14} {:>10.1}m  ({:.2}x vs 1 channel)",
+            n_channels,
+            fed.total_audience(),
+            format!("{} nodes", 100 * n_channels),
+            makespan_min,
+            *speedup / report.makespan_secs,
+        );
+    }
+
+    println!();
+    println!("each added channel brings its own broadcast capacity and audience,");
+    println!("so the instance ceiling — and the throughput — scales with the");
+    println!("federation, which is how OddCI reaches \"hundreds of millions\" of");
+    println!("nodes (requirement I) from individual channels of finite reach.");
+}

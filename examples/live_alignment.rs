@@ -1,0 +1,63 @@
+//! The live runtime in action: real threads, real alignment work.
+//!
+//! ```text
+//! cargo run --release --example live_alignment
+//! ```
+//!
+//! Starts a live OddCI system with eight receiver threads, broadcasts a
+//! signed wakeup whose "image" is a sequence-alignment workload, and runs
+//! 16 queries against the distributed database. Half the queries are
+//! homologs planted in the database, half are random noise — the score
+//! separation proves the distributed computation actually ran.
+
+use oddci::live::{AlignmentImage, LiveConfig, LiveOddci};
+use std::time::Duration;
+
+fn main() {
+    let config = LiveConfig { nodes: 8, ..Default::default() };
+    println!("starting live OddCI: {} receiver threads + headend", config.nodes);
+    let live = LiveOddci::start(config);
+
+    let image = AlignmentImage::small_demo();
+    println!(
+        "broadcasting wakeup: {}-base database (seed {:#x}), k={}",
+        image.db_len, image.db_seed, image.k
+    );
+
+    let outcome = live
+        .run_alignment_job(image, 16, 5, Duration::from_secs(60))
+        .expect("live job completes");
+
+    println!();
+    println!("job complete: instance {}", outcome.report.instance);
+    println!("makespan     : {}", outcome.report.makespan);
+    println!("wakeups sent : {}", outcome.report.wakeup_broadcasts);
+    println!();
+    println!("{:<8} {:>8}  {}", "task", "score", "kind");
+    let mut planted_min = i32::MAX;
+    let mut noise_max = i32::MIN;
+    for (task, score) in &outcome.scores {
+        let planted = task.raw() % 2 == 0;
+        if planted {
+            planted_min = planted_min.min(*score);
+        } else {
+            noise_max = noise_max.max(*score);
+        }
+        println!(
+            "{:<8} {:>8}  {}",
+            task.to_string(),
+            score,
+            if planted { "planted homolog" } else { "random noise" }
+        );
+    }
+    println!();
+    println!("min planted score: {planted_min}   max noise score: {noise_max}");
+    assert!(
+        planted_min > noise_max,
+        "planted homologs must outscore noise — the computation is real"
+    );
+    println!("planted homologs outscore noise: the distributed run is genuine.");
+
+    live.shutdown();
+    println!("shut down cleanly.");
+}

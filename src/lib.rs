@@ -1,0 +1,74 @@
+#![forbid(unsafe_code)]
+
+//! # OddCI — On-Demand Distributed Computing Infrastructure
+//!
+//! A full reproduction of Costa, Brasileiro, Lemos Filho & Mariz Sousa,
+//! *"OddCI: On-Demand Distributed Computing Infrastructure"* (SC/MTAGS
+//! 2009): the broadcast-activated DCI architecture, its digital-TV
+//! instantiation (OddCI-DTV), the paper's analytical performance models,
+//! and every experiment of its evaluation section.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! roof. Depend on it for everything, or on the individual crates
+//! (`oddci-core`, `oddci-sim`, ...) for narrower builds.
+//!
+//! ## Layer map
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`types`] | `oddci-types` | IDs, units (bits / bps / sim-time), config, errors |
+//! | [`crypto`] | `oddci-crypto` | SHA-256 + HMAC message authentication (from scratch) |
+//! | [`sim`] | `oddci-sim` | deterministic discrete-event engine, churn, statistics |
+//! | [`broadcast`] | `oddci-broadcast` | MPEG-2 TS multiplex, DSM-CC object carousel, AIT |
+//! | [`receiver`] | `oddci-receiver` | set-top box, Xlet middleware, DVE, calibrated compute |
+//! | [`net`] | `oddci-net` | δ-bps direct channels, Controller capacity model |
+//! | [`core`] | `oddci-core` | Provider / Controller / Backend / PNA + the world simulation |
+//! | [`workload`] | `oddci-workload` | MTC jobs, suitability Φ, BLAST dataset, alignment kernel |
+//! | [`analytics`] | `oddci-analytics` | closed forms: `W = 1.5·I/β`, makespan eq. (1), efficiency eq. (2) |
+//! | [`baselines`] | `oddci-baselines` | desktop grid / voluntary / IaaS deployment models |
+//! | [`live`] | `oddci-live` | thread-per-receiver runtime doing real alignment work |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oddci::core::{World, WorldConfig};
+//! use oddci::types::{DataSize, SimDuration, SimTime};
+//! use oddci::workload::JobGenerator;
+//!
+//! // A 500-receiver DTV channel...
+//! let mut cfg = WorldConfig::default();
+//! cfg.nodes = 500;
+//!
+//! // ...and a bag of 1000 30-second tasks behind a 1 MB image.
+//! let job = JobGenerator::homogeneous(
+//!     DataSize::from_megabytes(1),
+//!     DataSize::from_bytes(500),
+//!     DataSize::from_bytes(500),
+//!     SimDuration::from_secs(30),
+//!     7,
+//! )
+//! .generate(1000);
+//!
+//! // Wake up a 100-node OddCI instance and run the job to completion.
+//! let mut sim = World::simulation(cfg, 42);
+//! let request = sim.submit_job(job, 100);
+//! let report = sim
+//!     .run_request(request, SimTime::from_secs(24 * 3600))
+//!     .expect("completes well before a day");
+//! assert_eq!(report.tasks_completed, 1000);
+//! ```
+
+pub use oddci_analytics as analytics;
+pub use oddci_baselines as baselines;
+pub use oddci_broadcast as broadcast;
+pub use oddci_core as core;
+pub use oddci_crypto as crypto;
+pub use oddci_live as live;
+pub use oddci_net as net;
+pub use oddci_receiver as receiver;
+pub use oddci_sim as sim;
+pub use oddci_types as types;
+pub use oddci_workload as workload;
+
+/// Version of the reproduction (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,19 @@
+//! Shared helpers for the workspace integration tests.
+
+use oddci::core::ControllerPolicy;
+use oddci::types::{HeartbeatConfig, SimDuration};
+
+/// A Controller policy with short intervals so integration tests converge
+/// in few simulated minutes instead of hours.
+pub fn fast_policy() -> ControllerPolicy {
+    ControllerPolicy {
+        heartbeat: HeartbeatConfig {
+            interval: SimDuration::from_secs(15),
+            miss_threshold: 3,
+            message_bytes: 128,
+        },
+        sizing_slack: 1.0,
+        recompose_threshold: 0.95,
+        assumed_audience: 0, // overwritten by WorldConfig
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end scenario tests across the whole stack.
+
+use oddci::core::{ChurnConfig, World, WorldConfig};
+use oddci::types::{DataSize, SimDuration, SimTime};
+use oddci::workload::{Distribution, JobGenerator};
+
+mod common;
+use common::fast_policy;
+
+fn base_config(nodes: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::default();
+    cfg.nodes = nodes;
+    cfg.policy = fast_policy();
+    cfg.controller_tick = SimDuration::from_secs(15);
+    cfg
+}
+
+fn homogeneous_job(tasks: u64, cost_secs: u64, seed: u64) -> oddci::workload::Job {
+    JobGenerator::homogeneous(
+        DataSize::from_megabytes(1),
+        DataSize::from_bytes(400),
+        DataSize::from_bytes(400),
+        SimDuration::from_secs(cost_secs),
+        seed,
+    )
+    .generate(tasks)
+}
+
+#[test]
+fn three_sequential_jobs_reuse_the_pool() {
+    let mut sim = World::simulation(base_config(300), 31);
+    let mut next_job_id = 0u64;
+    for round in 0..3u64 {
+        let mut job = homogeneous_job(150, 20, 100 + round);
+        job.id = oddci::types::JobId::new(next_job_id);
+        next_job_id += 1;
+        let request = sim.submit_job(job, 60);
+        let report = sim
+            .run_request(request, sim.now() + SimDuration::from_secs(24 * 3600))
+            .unwrap_or_else(|| panic!("round {round} completes"));
+        assert_eq!(report.tasks_completed, 150, "round {round}");
+        // Let the reset propagate so the pool is idle again.
+        let settle = sim.now() + SimDuration::from_mins(15);
+        sim.run_until(settle);
+        assert_eq!(sim.world().running_members(report.instance), 0, "round {round} freed");
+    }
+}
+
+#[test]
+fn heterogeneous_bags_complete() {
+    let mut cfg = base_config(400);
+    cfg.compute = oddci::receiver::ComputeModel::paper_with_jitter(0.15);
+    let mut gen = JobGenerator::new(
+        DataSize::from_megabytes(2),
+        DataSize::from_bytes(2_000),
+        DataSize::from_bytes(1_000),
+        SimDuration::from_secs(45),
+        Distribution::Exponential,
+        Distribution::Uniform { spread: 0.8 },
+        41,
+    );
+    let job = gen.generate(500);
+    let mut sim = World::simulation(cfg, 43);
+    let request = sim.submit_job(job, 100);
+    let report = sim
+        .run_request(request, SimTime::from_secs(30 * 24 * 3600))
+        .expect("heterogeneous job completes");
+    assert_eq!(report.tasks_completed, 500);
+}
+
+#[test]
+fn standby_only_instances_exclude_watching_receivers() {
+    use oddci::core::messages::NodeRequirements;
+
+    let mut cfg = base_config(200);
+    cfg.in_use_fraction = 0.5;
+    let mut sim = World::simulation(cfg, 53);
+
+    // Long-running job so the instance is stable while we inspect it;
+    // standby_only keeps watching receivers out.
+    let job = homogeneous_job(10_000, 600, 54);
+    let request = sim.submit_job_with(
+        job,
+        200, // ask for everyone; only standby boxes may say yes
+        NodeRequirements { min_memory: DataSize::ZERO, standby_only: true },
+    );
+    sim.run_until(SimTime::from_secs(2 * 3600));
+
+    let world = sim.world();
+    let inst = world.provider().instance_of(request).unwrap();
+    // Only ~half the population is standby; all members must be standby.
+    let members = world.controller().instance(inst).unwrap().members.clone();
+    assert!(!members.is_empty(), "some standby nodes joined");
+    for m in &members {
+        assert_eq!(
+            world.node(*m).usage,
+            oddci::receiver::UsageMode::Standby,
+            "{m} is watching TV yet joined a standby-only instance"
+        );
+    }
+    // And the instance can never exceed the standby population.
+    let standby_total = (0..200)
+        .filter(|&i| world.node(oddci::types::NodeId::new(i)).usage
+            == oddci::receiver::UsageMode::Standby)
+        .count() as u64;
+    assert!(members.len() as u64 <= standby_total);
+}
+
+#[test]
+fn severe_churn_still_finishes_every_task() {
+    let mut cfg = base_config(500);
+    cfg.churn = Some(ChurnConfig {
+        mean_on: SimDuration::from_mins(20),
+        mean_off: SimDuration::from_mins(10),
+    });
+    let mut sim = World::simulation(cfg, 61);
+    let request = sim.submit_job(homogeneous_job(400, 90, 62), 100);
+    let report = sim
+        .run_request(request, SimTime::from_secs(30 * 24 * 3600))
+        .expect("completes under severe churn");
+    assert_eq!(report.tasks_completed, 400);
+    assert!(
+        report.requeues > 0,
+        "20/10-minute churn against 90 s tasks must orphan something"
+    );
+}
+
+#[test]
+fn metrics_snapshot_is_consistent() {
+    let mut sim = World::simulation(base_config(100), 71);
+    let request = sim.submit_job(homogeneous_job(100, 10, 72), 50);
+    sim.run_request(request, SimTime::from_secs(24 * 3600)).expect("completes");
+    let snap = sim.world().metrics().snapshot();
+    assert_eq!(snap.tasks_completed, 100);
+    assert!(snap.joins >= 45, "at least ~target joins, got {}", snap.joins);
+    assert!(snap.wakeup_latency.count == snap.joins);
+    assert!(snap.heartbeats_delivered > 0);
+}

@@ -1,0 +1,75 @@
+//! Integration tests of the live thread-based runtime.
+
+use oddci::live::{AlignmentImage, LiveConfig, LiveOddci};
+use std::time::Duration;
+
+fn small_config(nodes: u64) -> LiveConfig {
+    LiveConfig {
+        nodes,
+        heartbeat_interval: Duration::from_millis(60),
+        controller_tick: Duration::from_millis(80),
+        ..Default::default()
+    }
+}
+
+fn tiny_image() -> AlignmentImage {
+    AlignmentImage { db_len: 20_000, ..AlignmentImage::small_demo() }
+}
+
+#[test]
+fn live_job_completes_and_scores_separate() {
+    let live = LiveOddci::start(small_config(4));
+    let outcome = live
+        .run_alignment_job(tiny_image(), 10, 3, Duration::from_secs(60))
+        .expect("live job completes");
+    assert_eq!(outcome.scores.len(), 10);
+    assert_eq!(outcome.report.tasks_completed, 10);
+    // Planted homologs (even task ids) must outscore random noise (odd).
+    let planted_min =
+        outcome.scores.iter().filter(|(t, _)| t.raw() % 2 == 0).map(|(_, &s)| s).min().unwrap();
+    let noise_max =
+        outcome.scores.iter().filter(|(t, _)| t.raw() % 2 == 1).map(|(_, &s)| s).max().unwrap();
+    assert!(
+        planted_min > noise_max,
+        "planted_min={planted_min} noise_max={noise_max}"
+    );
+    live.shutdown();
+}
+
+#[test]
+fn two_jobs_back_to_back() {
+    let live = LiveOddci::start(small_config(4));
+    let a = live
+        .run_alignment_job(tiny_image(), 6, 2, Duration::from_secs(60))
+        .expect("first job");
+    let b = live
+        .run_alignment_job(
+            AlignmentImage { db_seed: 0xFEED, ..tiny_image() },
+            6,
+            2,
+            Duration::from_secs(60),
+        )
+        .expect("second job");
+    assert_eq!(a.report.tasks_completed, 6);
+    assert_eq!(b.report.tasks_completed, 6);
+    assert_ne!(a.report.instance, b.report.instance, "fresh instance per job");
+    live.shutdown();
+}
+
+#[test]
+fn single_node_system_works() {
+    let live = LiveOddci::start(small_config(1));
+    let outcome = live
+        .run_alignment_job(tiny_image(), 4, 1, Duration::from_secs(60))
+        .expect("single node grinds through the bag");
+    assert_eq!(outcome.report.tasks_completed, 4);
+    live.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_even_when_idle() {
+    let live = LiveOddci::start(small_config(3));
+    // Never submit anything; shutdown must still join every thread.
+    std::thread::sleep(Duration::from_millis(200));
+    live.shutdown();
+}

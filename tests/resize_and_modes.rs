@@ -1,0 +1,95 @@
+//! Instance resizing (§3.2) and the usage-mode heterogeneity effect.
+
+use oddci::core::{World, WorldConfig};
+use oddci::types::{DataSize, SimDuration, SimTime};
+use oddci::workload::JobGenerator;
+
+mod common;
+use common::fast_policy;
+
+fn long_job(seed: u64) -> oddci::workload::Job {
+    // Hour-long tasks keep the instance stable while we resize it.
+    JobGenerator::homogeneous(
+        DataSize::from_megabytes(1),
+        DataSize::from_bytes(200),
+        DataSize::from_bytes(200),
+        SimDuration::from_secs(3_600),
+        seed,
+    )
+    .generate(50_000)
+}
+
+#[test]
+fn grow_then_shrink_a_running_instance() {
+    let mut cfg = WorldConfig::default();
+    cfg.nodes = 1_000;
+    cfg.policy = fast_policy();
+    cfg.controller_tick = SimDuration::from_secs(15);
+    let mut sim = World::simulation(cfg, 91);
+    let request = sim.submit_job(long_job(92), 100);
+
+    // Let the 100-node instance form.
+    sim.run_until(SimTime::from_secs(1_200));
+    let inst = sim.world().provider().instance_of(request).unwrap();
+    let formed = sim.world().controller().instance_size(inst);
+    assert!((90..=100).contains(&formed), "formed at {formed}");
+
+    // Grow to 300: the next recomposition tick broadcasts a top-up wakeup.
+    sim.resize_request(request, 300).unwrap();
+    sim.run_until(SimTime::from_secs(2_400));
+    let grown = sim.world().controller().instance_size(inst);
+    assert!((270..=300).contains(&grown), "grew to {grown}");
+
+    // Shrink to 50: heartbeat replies trim the excess within a couple of
+    // heartbeat intervals.
+    sim.resize_request(request, 50).unwrap();
+    sim.run_until(SimTime::from_secs(3_600));
+    let shrunk = sim.world().controller().instance_size(inst);
+    assert!(shrunk <= 50, "shrunk to {shrunk}");
+    assert!(shrunk >= 45, "did not collapse: {shrunk}");
+}
+
+#[test]
+fn resize_unknown_request_errors() {
+    let mut cfg = WorldConfig::default();
+    cfg.nodes = 10;
+    let mut sim = World::simulation(cfg, 1);
+    assert!(sim.resize_request(oddci::core::ProviderRequest(99), 5).is_err());
+}
+
+/// The usage-mode mix caps throughput below the homogeneous model: an
+/// all-standby audience outperforms a 50% in-use audience by ≈ the
+/// 1/(0.5 + 0.5/1.65) ≈ 1.24 factor the compute calibration predicts.
+#[test]
+fn in_use_mix_costs_throughput_as_calibrated() {
+    let run = |in_use_fraction: f64| {
+        let mut cfg = WorldConfig::default();
+        cfg.nodes = 400;
+        cfg.policy = fast_policy();
+        cfg.in_use_fraction = in_use_fraction;
+        let job = JobGenerator::homogeneous(
+            DataSize::from_megabytes(1),
+            DataSize::from_bytes(200),
+            DataSize::from_bytes(200),
+            SimDuration::from_secs(120),
+            7,
+        )
+        .generate(2_000);
+        let mut sim = World::simulation(cfg, 55);
+        let request = sim.submit_job(job, 100);
+        sim.run_request(request, SimTime::from_secs(30 * 24 * 3600))
+            .expect("completes")
+            .makespan
+            .as_secs_f64()
+    };
+    let standby_only = run(0.0);
+    let mixed = run(0.5);
+    let ratio = mixed / standby_only;
+    // Expected slowdown ≈ 1 / (0.5 + 0.5/1.65) ≈ 1.245. Allow slack for
+    // bag-scheduling effects (fast nodes absorb more tasks) and wakeup
+    // overhead diluting the compute-bound part.
+    assert!(
+        (1.05..1.35).contains(&ratio),
+        "mixed/standby makespan ratio {ratio:.3} outside the calibrated band"
+    );
+}

@@ -1,0 +1,147 @@
+//! Scale smoke tests and fault injection across the stack.
+
+use oddci::core::{World, WorldConfig};
+use oddci::types::{Bandwidth, DataSize, DirectChannelConfig, SimDuration, SimTime};
+use oddci::workload::JobGenerator;
+
+mod common;
+use common::fast_policy;
+
+/// A 20k-receiver channel forms a 2k-node instance from one broadcast.
+/// (Debug-build friendly; the benches push this to 10⁵–10⁶ in release.)
+#[test]
+fn twenty_thousand_receivers_one_broadcast() {
+    let mut cfg = WorldConfig::default();
+    cfg.nodes = 20_000;
+    cfg.policy.heartbeat.interval = SimDuration::from_secs(300); // keep event volume sane
+    cfg.controller_tick = SimDuration::from_secs(120);
+
+    let job = JobGenerator::homogeneous(
+        DataSize::from_megabytes(4),
+        DataSize::ZERO, // parametric tasks: t.s = 0
+        DataSize::from_bytes(100),
+        SimDuration::from_secs(1_800),
+        1,
+    )
+    .generate(100_000);
+
+    let mut sim = World::simulation(cfg, 2026);
+    let request = sim.submit_job(job, 2_000);
+    sim.run_until(SimTime::from_secs(1_200));
+
+    let world = sim.world();
+    let inst = world.provider().instance_of(request).unwrap();
+    let size = world.controller().instance_size(inst);
+    // One binomial broadcast: expected 2000, sd ≈ 44. Allow ±5 sd plus
+    // trimming (which only cuts down to exactly 2000).
+    assert!(
+        (1_780..=2_000).contains(&size),
+        "instance size {size} after one wakeup + trimming"
+    );
+    // Wakeup latency is independent of the population size: mean within
+    // the [1, 2]× envelope of the 4 MB image cycle.
+    let cycle = DataSize::from_megabytes(4)
+        .transfer_time(Bandwidth::from_mbps(1.0))
+        .as_secs_f64();
+    let mean = world.metrics().wakeup_latency.stats().mean();
+    assert!(
+        mean > 0.9 * cycle && mean < 2.2 * cycle,
+        "mean wakeup {mean:.1}s vs image cycle {cycle:.1}s"
+    );
+}
+
+/// Direct-channel loss slows jobs but never corrupts completion counts.
+#[test]
+fn lossy_direct_channels_only_cost_time() {
+    let run = |loss: f64| {
+        let mut cfg = WorldConfig::default();
+        cfg.nodes = 200;
+        cfg.policy = fast_policy();
+        cfg.direct = DirectChannelConfig {
+            delta: Bandwidth::from_kbps(150.0),
+            latency: SimDuration::from_millis(50),
+            loss_rate: loss,
+        };
+        let job = JobGenerator::homogeneous(
+            DataSize::from_megabytes(1),
+            DataSize::from_kilobytes(20),
+            DataSize::from_kilobytes(20),
+            SimDuration::from_secs(10),
+            9,
+        )
+        .generate(200);
+        let mut sim = World::simulation(cfg, 33);
+        let request = sim.submit_job(job, 50);
+        let report = sim
+            .run_request(request, SimTime::from_secs(30 * 24 * 3600))
+            .expect("completes despite loss");
+        assert_eq!(report.tasks_completed, 200, "loss={loss}");
+        report.makespan.as_secs_f64()
+    };
+    let clean = run(0.0);
+    let lossy = run(0.25);
+    assert!(
+        lossy > clean,
+        "25% loss must inflate makespan: clean {clean:.0}s vs lossy {lossy:.0}s"
+    );
+}
+
+/// Tiny direct channels (δ → dial-up) shift the bottleneck to transfers;
+/// everything still completes and the makespan ordering follows δ.
+#[test]
+fn delta_bandwidth_ordering() {
+    let run = |kbps: f64| {
+        let mut cfg = WorldConfig::default();
+        cfg.nodes = 150;
+        cfg.policy = fast_policy();
+        cfg.direct.delta = Bandwidth::from_kbps(kbps);
+        let job = JobGenerator::homogeneous(
+            DataSize::from_megabytes(1),
+            DataSize::from_kilobytes(50),
+            DataSize::from_kilobytes(50),
+            SimDuration::from_secs(5),
+            4,
+        )
+        .generate(300);
+        let mut sim = World::simulation(cfg, 77);
+        let request = sim.submit_job(job, 50);
+        sim.run_request(request, SimTime::from_secs(30 * 24 * 3600))
+            .expect("completes")
+            .makespan
+            .as_secs_f64()
+    };
+    let slow = run(56.0); // dial-up
+    let adsl = run(150.0); // the paper's lower bound
+    let fast = run(1_000.0);
+    assert!(slow > adsl && adsl > fast, "δ ordering: {slow:.0} > {adsl:.0} > {fast:.0}");
+}
+
+/// Zero-input (parametric) tasks skip the input transfer entirely.
+#[test]
+fn parametric_tasks_have_no_input_cost() {
+    let run = |input_bytes: u64| {
+        let mut cfg = WorldConfig::default();
+        cfg.nodes = 100;
+        cfg.policy = fast_policy();
+        let job = JobGenerator::homogeneous(
+            DataSize::from_megabytes(1),
+            DataSize::from_bytes(input_bytes),
+            DataSize::from_bytes(100),
+            SimDuration::from_secs(5),
+            6,
+        )
+        .generate(400);
+        let mut sim = World::simulation(cfg, 21);
+        let request = sim.submit_job(job, 50);
+        sim.run_request(request, SimTime::from_secs(30 * 24 * 3600))
+            .expect("completes")
+            .makespan
+            .as_secs_f64()
+    };
+    let parametric = run(0);
+    let heavy_input = run(200_000); // 200 KB over 150 Kbps ≈ 10.7 s per task
+    assert!(
+        heavy_input > parametric * 1.5,
+        "input transfers must dominate: {heavy_input:.0}s vs {parametric:.0}s"
+    );
+}
