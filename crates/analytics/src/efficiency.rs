@@ -58,7 +58,10 @@ pub fn efficiency_curve(
 /// A log-spaced grid from `lo` to `hi` with `points` samples, for the
 /// Figure 6/7 x-axis.
 pub fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
-    assert!(lo > 0.0 && hi > lo && points >= 2, "need 0 < lo < hi and >= 2 points");
+    assert!(
+        lo > 0.0 && hi > lo && points >= 2,
+        "need 0 < lo < hi and >= 2 points"
+    );
     let step = (hi / lo).powf(1.0 / (points - 1) as f64);
     (0..points).map(|i| lo * step.powi(i as i32)).collect()
 }
@@ -127,7 +130,11 @@ mod tests {
         let grid = log_grid(1.0, 1e6, 40);
         for ratio in [1.0, 10.0, 100.0, 1000.0] {
             for p in efficiency_curve(&grid, ratio, image, moved, &params) {
-                assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-9, "E={}", p.efficiency);
+                assert!(
+                    p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-9,
+                    "E={}",
+                    p.efficiency
+                );
             }
         }
     }

@@ -81,8 +81,14 @@ mod tests {
         // s+r = 1000 B = 8000 bits over 150 kbps = 53.333 ms; p = 60 s.
         // n/N = 1000/100 = 10 rounds: 10 * 60.053333 = 600.53333 s.
         let m = makespan(&profile(1000, 60.0), &InstanceParams::paper(100));
-        let expect = 1.5 * (10.0 * 1024.0 * 1024.0 * 8.0) / 1e6 + 10.0 * (60.0 + 8000.0 / 150_000.0);
-        assert!((m.as_secs_f64() - expect).abs() < 1e-3, "{} vs {}", m.as_secs_f64(), expect);
+        let expect =
+            1.5 * (10.0 * 1024.0 * 1024.0 * 8.0) / 1e6 + 10.0 * (60.0 + 8000.0 / 150_000.0);
+        assert!(
+            (m.as_secs_f64() - expect).abs() < 1e-3,
+            "{} vs {}",
+            m.as_secs_f64(),
+            expect
+        );
     }
 
     #[test]

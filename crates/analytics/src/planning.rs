@@ -40,7 +40,10 @@ pub fn nodes_for_deadline(
     // Guard against floating-point edge cases: verify and nudge.
     let mut n = n;
     let check = |n: u64| {
-        let params = InstanceParams { nodes: n, ..*params_template };
+        let params = InstanceParams {
+            nodes: n,
+            ..*params_template
+        };
         makespan(profile, &params) <= deadline
     };
     while !check(n) {
@@ -98,13 +101,19 @@ mod tests {
             let deadline = SimDuration::from_secs(deadline_secs);
             match nodes_for_deadline(&p, &template, deadline) {
                 Some(n) => {
-                    let params = InstanceParams { nodes: n, ..template };
+                    let params = InstanceParams {
+                        nodes: n,
+                        ..template
+                    };
                     assert!(
                         makespan(&p, &params) <= deadline,
                         "N={n} misses {deadline_secs}s"
                     );
                     if n > 1 {
-                        let smaller = InstanceParams { nodes: n - 1, ..template };
+                        let smaller = InstanceParams {
+                            nodes: n - 1,
+                            ..template
+                        };
                         assert!(
                             makespan(&p, &smaller) > deadline,
                             "N={} already meets {deadline_secs}s — not minimal",
@@ -160,7 +169,10 @@ mod tests {
             ..InstanceParams::paper(1)
         };
         let b = SimDuration::from_secs(60);
-        assert_eq!(image_budget(b, &fast).bits(), image_budget(b, &slow).bits() * 4);
+        assert_eq!(
+            image_budget(b, &fast).bits(),
+            image_budget(b, &slow).bits() * 4
+        );
     }
 
     #[test]

@@ -78,16 +78,44 @@ impl Technology {
 /// IaaS instantiates on demand with efficient setup but not at extreme
 /// scale; OddCI claims all three.
 pub const TABLE1: [(Technology, Requirement, bool); 12] = [
-    (Technology::VoluntaryComputing, Requirement::ExtremelyHighScalability, true),
-    (Technology::VoluntaryComputing, Requirement::OnDemandInstantiation, false),
-    (Technology::VoluntaryComputing, Requirement::EfficientSetup, false),
-    (Technology::DesktopGrid, Requirement::ExtremelyHighScalability, false),
-    (Technology::DesktopGrid, Requirement::OnDemandInstantiation, true),
+    (
+        Technology::VoluntaryComputing,
+        Requirement::ExtremelyHighScalability,
+        true,
+    ),
+    (
+        Technology::VoluntaryComputing,
+        Requirement::OnDemandInstantiation,
+        false,
+    ),
+    (
+        Technology::VoluntaryComputing,
+        Requirement::EfficientSetup,
+        false,
+    ),
+    (
+        Technology::DesktopGrid,
+        Requirement::ExtremelyHighScalability,
+        false,
+    ),
+    (
+        Technology::DesktopGrid,
+        Requirement::OnDemandInstantiation,
+        true,
+    ),
     (Technology::DesktopGrid, Requirement::EfficientSetup, false),
-    (Technology::Iaas, Requirement::ExtremelyHighScalability, false),
+    (
+        Technology::Iaas,
+        Requirement::ExtremelyHighScalability,
+        false,
+    ),
     (Technology::Iaas, Requirement::OnDemandInstantiation, true),
     (Technology::Iaas, Requirement::EfficientSetup, true),
-    (Technology::Oddci, Requirement::ExtremelyHighScalability, true),
+    (
+        Technology::Oddci,
+        Requirement::ExtremelyHighScalability,
+        true,
+    ),
     (Technology::Oddci, Requirement::OnDemandInstantiation, true),
     (Technology::Oddci, Requirement::EfficientSetup, true),
 ];

@@ -13,7 +13,10 @@ pub fn wakeup_mean(image: DataSize, beta: Bandwidth) -> SimDuration {
 }
 
 /// `(best, mean, worst)` wakeup overhead: `(I/β, 1.5·I/β, 2·I/β)`.
-pub fn wakeup_envelope(image: DataSize, beta: Bandwidth) -> (SimDuration, SimDuration, SimDuration) {
+pub fn wakeup_envelope(
+    image: DataSize,
+    beta: Bandwidth,
+) -> (SimDuration, SimDuration, SimDuration) {
     let cycle = image.transfer_time(beta);
     (cycle, cycle.mul_f64(1.5), cycle * 2)
 }

@@ -62,7 +62,8 @@ impl DeploymentModel for DesktopGrid {
         let config = self.per_node_setup * nodes.div_ceil(self.parallel_streams);
         // Unicast image staging: every node pulls its own copy through the
         // shared staging uplink.
-        let staging = DataSize::from_bits(image.bits() * nodes).transfer_time(self.staging_bandwidth);
+        let staging =
+            DataSize::from_bits(image.bits() * nodes).transfer_time(self.staging_bandwidth);
         Some(config + staging)
     }
 }
@@ -93,8 +94,12 @@ mod tests {
     #[test]
     fn unicast_staging_grows_with_image_size() {
         let g = DesktopGrid::default();
-        let small = g.instantiation_time(10_000, DataSize::from_megabytes(1)).unwrap();
-        let big = g.instantiation_time(10_000, DataSize::from_megabytes(100)).unwrap();
+        let small = g
+            .instantiation_time(10_000, DataSize::from_megabytes(1))
+            .unwrap();
+        let big = g
+            .instantiation_time(10_000, DataSize::from_megabytes(100))
+            .unwrap();
         // The staging delta is 99 MB × 10k nodes over 1 Gbps ≈ 2.2 hours.
         assert!(big.as_secs_f64() - small.as_secs_f64() > 2.0 * 3600.0);
     }
@@ -104,7 +109,12 @@ mod tests {
         // Sanity-check the calibration: 1000 nodes ≈ (1000/20)*120 s config
         // + staging ≈ 100 min + 84 s — clearly hours-scale, as §2 claims.
         let g = DesktopGrid::default();
-        let t = g.instantiation_time(1000, DataSize::from_megabytes(10)).unwrap();
-        assert!(t > SimDuration::from_mins(60) && t < SimDuration::from_mins(600), "{t}");
+        let t = g
+            .instantiation_time(1000, DataSize::from_megabytes(10))
+            .unwrap();
+        assert!(
+            t > SimDuration::from_mins(60) && t < SimDuration::from_mins(600),
+            "{t}"
+        );
     }
 }

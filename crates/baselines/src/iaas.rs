@@ -71,15 +71,21 @@ mod tests {
     #[test]
     fn small_fleets_boot_in_minutes() {
         let c = IaasProvider::default();
-        let t = c.instantiation_time(100, DataSize::from_megabytes(10)).unwrap();
+        let t = c
+            .instantiation_time(100, DataSize::from_megabytes(10))
+            .unwrap();
         assert!(t < SimDuration::from_mins(5), "{t}");
     }
 
     #[test]
     fn ceiling_enforced() {
         let c = IaasProvider::default();
-        assert!(c.instantiation_time(20_000, DataSize::from_megabytes(10)).is_some());
-        assert!(c.instantiation_time(20_001, DataSize::from_megabytes(10)).is_none());
+        assert!(c
+            .instantiation_time(20_000, DataSize::from_megabytes(10))
+            .is_some());
+        assert!(c
+            .instantiation_time(20_001, DataSize::from_megabytes(10))
+            .is_none());
     }
 
     #[test]

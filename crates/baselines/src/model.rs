@@ -42,7 +42,9 @@ pub trait DeploymentModel {
     fn instantiate(&self, nodes: u64, image: DataSize) -> InstantiationOutcome {
         match self.instantiation_time(nodes, image) {
             Some(time) => InstantiationOutcome::Ready { time },
-            None => InstantiationOutcome::Unreachable { max_scale: self.max_scale() },
+            None => InstantiationOutcome::Unreachable {
+                max_scale: self.max_scale(),
+            },
         }
     }
 }
@@ -75,7 +77,9 @@ mod tests {
         let m = Fixed;
         assert_eq!(
             m.instantiate(5, DataSize::ZERO),
-            InstantiationOutcome::Ready { time: SimDuration::from_secs(5) }
+            InstantiationOutcome::Ready {
+                time: SimDuration::from_secs(5)
+            }
         );
         assert_eq!(
             m.instantiate(11, DataSize::ZERO),

@@ -21,7 +21,10 @@ pub struct OddciBroadcast {
 
 impl Default for OddciBroadcast {
     fn default() -> Self {
-        OddciBroadcast { beta: Bandwidth::from_mbps(1.0), audience: 200_000_000 }
+        OddciBroadcast {
+            beta: Bandwidth::from_mbps(1.0),
+            audience: 200_000_000,
+        }
     }
 }
 
@@ -75,7 +78,9 @@ mod tests {
     #[test]
     fn bounded_by_audience() {
         let o = OddciBroadcast::default();
-        assert!(o.instantiation_time(200_000_001, DataSize::from_megabytes(1)).is_none());
+        assert!(o
+            .instantiation_time(200_000_001, DataSize::from_megabytes(1))
+            .is_none());
     }
 
     #[test]

@@ -89,7 +89,9 @@ mod tests {
     fn capacity_is_unreachable() {
         let v = VoluntaryComputing::default();
         assert!(v.instantiation_time(v.capacity, DataSize::ZERO).is_none());
-        assert!(v.instantiation_time(v.capacity - 1, DataSize::ZERO).is_some());
+        assert!(v
+            .instantiation_time(v.capacity - 1, DataSize::ZERO)
+            .is_some());
     }
 
     #[test]

@@ -23,7 +23,11 @@ fn carousel_with_payload(extra_files: usize) -> ObjectCarousel {
             DataSize::from_megabytes(1),
         ));
     }
-    ObjectCarousel::new(TransportMux::new(Bandwidth::from_mbps(1.0)), files, SimTime::ZERO)
+    ObjectCarousel::new(
+        TransportMux::new(Bandwidth::from_mbps(1.0)),
+        files,
+        SimTime::ZERO,
+    )
 }
 
 fn acquisition_query(c: &mut Criterion) {
@@ -31,14 +35,18 @@ fn acquisition_query(c: &mut Criterion) {
     for &extra in &[0usize, 8, 64] {
         let carousel = carousel_with_payload(extra);
         let idx = carousel.file_index("image").unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(extra), &carousel, |b, carousel| {
-            let mut t = 1u64;
-            b.iter(|| {
-                t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let attach = SimTime::from_micros(t % 1_000_000_000);
-                black_box(carousel.acquisition_complete(idx, attach))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(extra),
+            &carousel,
+            |b, carousel| {
+                let mut t = 1u64;
+                b.iter(|| {
+                    t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let attach = SimTime::from_micros(t % 1_000_000_000);
+                    black_box(carousel.acquisition_complete(idx, attach))
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -27,13 +27,17 @@ fn engine_chain(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_engine/chain");
     for &events in &[10_000u64, 100_000] {
         g.throughput(Throughput::Elements(events));
-        g.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &events| {
-            b.iter(|| {
-                let mut sim = Simulator::new(Relay { remaining: events }, 7);
-                sim.schedule_at(SimTime::ZERO, 1);
-                black_box(sim.run())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(Relay { remaining: events }, 7);
+                    sim.schedule_at(SimTime::ZERO, 1);
+                    black_box(sim.run())
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -64,5 +64,11 @@ fn compute_model_conversion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, smith_waterman_cells, blast_search, index_build, compute_model_conversion);
+criterion_group!(
+    benches,
+    smith_waterman_cells,
+    blast_search,
+    index_build,
+    compute_model_conversion
+);
 criterion_main!(benches);

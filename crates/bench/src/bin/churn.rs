@@ -5,7 +5,7 @@
 //! cargo run --release -p oddci-bench --bin churn
 //! ```
 
-use oddci_bench::{fmt_secs, header, write_artifact};
+use oddci_bench::{fmt_secs, header, write_artifact, write_metrics};
 use oddci_core::world::ChurnConfig;
 use oddci_core::{World, WorldConfig};
 use oddci_types::{DataSize, SimDuration, SimTime};
@@ -39,19 +39,20 @@ fn main() {
 
     // Independent replications in parallel (rayon) — each is a full
     // deterministic world.
-    let results: Vec<Row> = scenarios
+    let results: Vec<(Row, oddci_core::world::MetricsSnapshot)> = scenarios
         .par_iter()
         .map(|(label, churn)| {
-            let mut cfg = WorldConfig::default();
-            cfg.nodes = 500;
+            let mut cfg = WorldConfig {
+                nodes: 500,
+                controller_tick: SimDuration::from_secs(30),
+                churn: churn.map(|(on, off)| ChurnConfig {
+                    mean_on: SimDuration::from_mins(on),
+                    mean_off: SimDuration::from_mins(off),
+                }),
+                ..Default::default()
+            };
             cfg.policy.heartbeat.interval = SimDuration::from_secs(30);
-            cfg.controller_tick = SimDuration::from_secs(30);
-            cfg.churn = churn.map(|(on, off)| ChurnConfig {
-                mean_on: SimDuration::from_mins(on),
-                mean_off: SimDuration::from_mins(off),
-            });
-            let availability =
-                churn.map_or(1.0, |(on, off)| on as f64 / (on + off) as f64);
+            let availability = churn.map_or(1.0, |(on, off)| on as f64 / (on + off) as f64);
 
             let job = JobGenerator::homogeneous(
                 DataSize::from_megabytes(2),
@@ -66,7 +67,7 @@ fn main() {
             let request = sim.submit_job(job, 100);
             let report = sim.run_request(request, SimTime::from_secs(60 * 24 * 3600));
             let m = sim.world().metrics();
-            Row {
+            let row = Row {
                 label: label.clone(),
                 availability,
                 makespan_s: report.map(|r| r.makespan.as_secs_f64()),
@@ -74,17 +75,19 @@ fn main() {
                 requeues: report.map_or(0, |r| r.requeues),
                 orphans: m.tasks_orphaned,
                 wakeup_broadcasts: report.map_or(0, |r| r.wakeup_broadcasts),
-            }
+            };
+            (row, m.snapshot())
         })
         .collect();
 
-    let baseline = results[0].makespan_s.expect("no-churn run completes");
+    let baseline = results[0].0.makespan_s.expect("no-churn run completes");
+    let heaviest_snapshot = results.last().expect("non-empty sweep").1.clone();
     let mut rows = Vec::new();
     println!(
         "{:<20} {:>7} {:>12} {:>10} {:>9} {:>9} {:>9}",
         "scenario", "avail", "makespan", "inflation", "requeues", "orphans", "wakeups"
     );
-    for mut r in results {
+    for (mut r, _) in results {
         r.inflation = r.makespan_s.map(|m| m / baseline);
         println!(
             "{:<20} {:>6.0}% {:>12} {:>9}x {:>9} {:>9} {:>9}",
@@ -101,7 +104,10 @@ fn main() {
 
     // Shape checks: every scenario completes; churn monotonically costs
     // recomposition traffic.
-    assert!(rows.iter().all(|r| r.makespan_s.is_some()), "all scenarios complete");
+    assert!(
+        rows.iter().all(|r| r.makespan_s.is_some()),
+        "all scenarios complete"
+    );
     let heaviest = rows.last().unwrap();
     assert!(heaviest.requeues > 0 && heaviest.wakeup_broadcasts > 1);
     println!();
@@ -109,4 +115,5 @@ fn main() {
     println!("recomposition wakeups, exactly as §3.2's design anticipates.");
 
     write_artifact("churn", &rows);
+    write_metrics("churn", &heaviest_snapshot);
 }

@@ -31,7 +31,10 @@ fn main() {
         .par_iter()
         .map(|&n| {
             let configs: Vec<WorldConfig> = (0..n)
-                .map(|_| WorldConfig { nodes: 500, ..Default::default() })
+                .map(|_| WorldConfig {
+                    nodes: 500,
+                    ..Default::default()
+                })
                 .collect();
             let mut fed = Federation::new(configs, 404);
             let job = JobGenerator::homogeneous(
@@ -44,7 +47,9 @@ fn main() {
             .generate(6_000);
             let target = 100 * n as u64;
             fed.submit_job(job, target);
-            let report = fed.run(SimTime::from_secs(60 * 24 * 3600)).expect("completes");
+            let report = fed
+                .run(SimTime::from_secs(60 * 24 * 3600))
+                .expect("completes");
             assert_eq!(report.tasks_completed, 6_000);
             (n, fed.total_audience(), target, report.makespan_secs)
         })
@@ -80,7 +85,9 @@ fn main() {
 
     // Shape checks: speedup grows with channels and stays reasonably
     // efficient (the wakeup overhead is paid once per channel, in parallel).
-    assert!(rows.windows(2).all(|w| w[1].speedup_vs_one > w[0].speedup_vs_one));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].speedup_vs_one > w[0].speedup_vs_one));
     assert!(rows.last().unwrap().efficiency_of_scaling > 0.6);
     println!();
     println!("federation scales the audience ceiling linearly; scaling efficiency");

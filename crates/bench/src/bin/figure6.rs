@@ -43,8 +43,10 @@ fn main() {
     }
     println!();
 
-    let curves: Vec<_> =
-        ratios.iter().map(|&r| efficiency_curve(&grid, r, image, moved, &params)).collect();
+    let curves: Vec<_> = ratios
+        .iter()
+        .map(|&r| efficiency_curve(&grid, r, image, moved, &params))
+        .collect();
     for (i, &phi) in grid.iter().enumerate() {
         print!("{phi:>10.0}");
         for c in &curves {
@@ -64,7 +66,11 @@ fn main() {
             "n/N={r:<6}  E=0.9 reached at phi = {}",
             phi90.map_or("never (within 1e7)".into(), |p| format!("{p:.0}"))
         );
-        let sim_points = if with_sim { simulate_points(r, image, moved, &params) } else { vec![] };
+        let sim_points = if with_sim {
+            simulate_points(r, image, moved, &params)
+        } else {
+            vec![]
+        };
         series.push(Series {
             n_over_big_n: r,
             points: efficiency_curve(&grid, r, image, moved, &params)
@@ -79,10 +85,16 @@ fn main() {
     // Shape assertions (what "reproduced" means for this figure).
     let c100 = efficiency_curve(&fine, 100.0, image, moved, &params);
     let phi90 = phi_reaching(&c100, 0.9).expect("n/N=100 reaches E=0.9");
-    assert!(phi90 < 1_000.0, "paper: ratio 100 suffices well before phi=1000");
+    assert!(
+        phi90 < 1_000.0,
+        "paper: ratio 100 suffices well before phi=1000"
+    );
     for c in &series {
         let e: Vec<f64> = c.points.iter().map(|&(_, e)| e).collect();
-        assert!(e.windows(2).all(|w| w[1] >= w[0] - 1e-12), "monotone in phi");
+        assert!(
+            e.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+            "monotone in phi"
+        );
     }
     println!();
     println!("shape checks pass: efficiency is monotone in phi; n/N=100 reaches");
@@ -116,8 +128,10 @@ fn simulate_points(
         )
         .generate(n_tasks);
 
-        let mut cfg = WorldConfig::default();
-        cfg.nodes = 1_000;
+        let mut cfg = WorldConfig {
+            nodes: 1_000,
+            ..Default::default()
+        };
         cfg.policy.heartbeat.interval = SimDuration::from_secs(60);
         // Apples-to-apples with equation (2): the model's `p` is defined on
         // a *reference* (standby) set-top box, so the cross-validation

@@ -82,7 +82,10 @@ fn main() {
     let series: Vec<Series> = ratios
         .iter()
         .zip(curves)
-        .map(|(&r, points)| Series { n_over_big_n: r, points })
+        .map(|(&r, points)| Series {
+            n_over_big_n: r,
+            points,
+        })
         .collect();
     write_artifact("figure7", &series);
 }

@@ -70,17 +70,29 @@ fn main() {
     println!("minimum sustainable interval at 80% utilization:");
     for n in populations {
         let min = server.min_interval(n, 0.8);
-        println!("  {n:>12} nodes → every {:>10}", fmt_secs(min.as_secs_f64()));
+        println!(
+            "  {n:>12} nodes → every {:>10}",
+            fmt_secs(min.as_secs_f64())
+        );
     }
 
     // Shape checks: a million nodes at the paper-ish 60 s interval is
     // comfortable; 10⁸ nodes need interval ≳ 40 min on this tier.
-    let mega = server.utilization(ServerCapacity::arrival_rate(1_000_000, SimDuration::from_secs(60)));
+    let mega = server.utilization(ServerCapacity::arrival_rate(
+        1_000_000,
+        SimDuration::from_secs(60),
+    ));
     assert!(mega < 0.5, "1M nodes @ 60 s: rho={mega}");
     let giga = server.min_interval(100_000_000, 0.8);
-    assert!(giga > SimDuration::from_mins(30), "1e8 nodes need long intervals");
+    assert!(
+        giga > SimDuration::from_mins(30),
+        "1e8 nodes need long intervals"
+    );
     println!();
-    println!("1M nodes heartbeat comfortably at 60 s (rho = {:.0}%); hundreds of", mega * 100.0);
+    println!(
+        "1M nodes heartbeat comfortably at 60 s (rho = {:.0}%); hundreds of",
+        mega * 100.0
+    );
     println!("millions force multi-hour intervals or a sharded Controller tier —");
     println!("quantifying the open problem the paper's footnote 3 defers.");
 

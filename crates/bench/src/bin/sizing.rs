@@ -45,10 +45,12 @@ fn main() {
     let rows: Vec<Row> = cases
         .par_iter()
         .map(|&(audience, target)| {
-            let mut cfg = WorldConfig::default();
-            cfg.nodes = audience;
+            let mut cfg = WorldConfig {
+                nodes: audience,
+                controller_tick: SimDuration::from_secs(30),
+                ..Default::default()
+            };
             cfg.policy.heartbeat.interval = SimDuration::from_secs(30);
-            cfg.controller_tick = SimDuration::from_secs(30);
 
             // A long job keeps the instance alive while it stabilizes.
             let job = JobGenerator::homogeneous(

@@ -85,8 +85,14 @@ fn main() {
             "{}: scalability verdict mismatch",
             row.technology
         );
-        assert_eq!(row.on_demand, satisfies(tech, Requirement::OnDemandInstantiation));
-        assert_eq!(row.efficient_setup, satisfies(tech, Requirement::EfficientSetup));
+        assert_eq!(
+            row.on_demand,
+            satisfies(tech, Requirement::OnDemandInstantiation)
+        );
+        assert_eq!(
+            row.efficient_setup,
+            satisfies(tech, Requirement::EfficientSetup)
+        );
     }
     println!();
     println!("model flags reproduce every ✓/✗ of the paper's Table I.");

@@ -27,23 +27,37 @@ fn main() {
     println!();
     println!(
         "{:>5} {:>14} {:>14} {:>11} | {:>14} {:>14} {:>9} {:>9}",
-        "#", "paper in-use", "paper standby", "PC (rec.)", "model in-use", "model standby",
-        "err(iu)%", "err(sb)%"
+        "#",
+        "paper in-use",
+        "paper standby",
+        "PC (rec.)",
+        "model in-use",
+        "model standby",
+        "err(iu)%",
+        "err(sb)%"
     );
 
     let model = ComputeModel::paper();
     let mut rows = Vec::new();
     for e in TABLE2_EXPERIMENTS {
-        let model_in_use =
-            model.from_pc_time(e.pc(), DeviceClass::SetTopBox, UsageMode::InUse).as_secs_f64();
-        let model_standby =
-            model.from_pc_time(e.pc(), DeviceClass::SetTopBox, UsageMode::Standby).as_secs_f64();
+        let model_in_use = model
+            .from_pc_time(e.pc(), DeviceClass::SetTopBox, UsageMode::InUse)
+            .as_secs_f64();
+        let model_standby = model
+            .from_pc_time(e.pc(), DeviceClass::SetTopBox, UsageMode::Standby)
+            .as_secs_f64();
         let err_iu = 100.0 * (model_in_use - e.stb_in_use_secs) / e.stb_in_use_secs;
         let err_sb = 100.0 * (model_standby - e.stb_standby_secs) / e.stb_standby_secs;
         println!(
             "{:>5} {:>13.3}s {:>13.3}s {:>10.3}s | {:>13.3}s {:>13.3}s {:>+8.1}% {:>+8.1}%",
-            e.test, e.stb_in_use_secs, e.stb_standby_secs, e.pc_secs, model_in_use,
-            model_standby, err_iu, err_sb
+            e.test,
+            e.stb_in_use_secs,
+            e.stb_standby_secs,
+            e.pc_secs,
+            model_in_use,
+            model_standby,
+            err_iu,
+            err_sb
         );
         rows.push(Row {
             test: e.test,

@@ -11,8 +11,8 @@
 //! a δ-capacity link) per usage mode.
 
 use oddci_bench::{header, write_artifact};
-use oddci_net::DirectLink;
 use oddci_net::link::Direction;
+use oddci_net::DirectLink;
 use oddci_types::{DataSize, DirectChannelConfig, SimTime};
 use oddci_workload::blast::TABLE3_EXPERIMENTS;
 use rand::rngs::SmallRng;
@@ -35,8 +35,7 @@ fn main() {
     println!();
     println!(
         "{:>5} {:>14} {:>14} | {:>14} {:>14} | {:>10} {:>10}",
-        "#", "paper in-use", "paper standby", "model in-use", "model standby", "sens(p)",
-        "sens(m)"
+        "#", "paper in-use", "paper standby", "model in-use", "model standby", "sens(p)", "sens(m)"
     );
 
     // Remote model: the NCBI service does the search. Local work is

@@ -67,7 +67,14 @@ fn main() {
 
     println!(
         "{:<18} {:>7} {:>8} {:>6} {:>12} {:>12} {:>12} {:>9}",
-        "technology", "β Mbps", "δ Kbps", "churn", "wakeup(mdl)", "wakeup(sim)", "makespan", "requeues"
+        "technology",
+        "β Mbps",
+        "δ Kbps",
+        "churn",
+        "wakeup(mdl)",
+        "wakeup(sim)",
+        "makespan",
+        "requeues"
     );
     for r in &rows {
         println!(

@@ -74,7 +74,10 @@ fn main() {
                 ratio
             );
             // Shape check: within TS/DSM-CC framing overhead (<6%) of 1.5·I/β.
-            assert!((0.99..1.10).contains(&ratio), "ratio {ratio} out of envelope");
+            assert!(
+                (0.99..1.10).contains(&ratio),
+                "ratio {ratio} out of envelope"
+            );
             rows.push(Row {
                 image_mb,
                 beta_mbps,

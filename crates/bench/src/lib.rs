@@ -30,6 +30,20 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
     println!("\n[artifact] {}", path.display());
 }
 
+/// Serializes a world metrics snapshot into `results/<name>.metrics.json`,
+/// alongside the experiment's own `results/<name>.json` artifact. Keeping
+/// the full counter set (joins, heartbeats, requeues, per-fault-class
+/// counts) diffable makes regressions in the control plane's behaviour
+/// visible even when the headline numbers of an experiment don't move.
+pub fn write_metrics<T: Serialize>(name: &str, snapshot: &T) {
+    let path = results_dir().join(format!("{name}.metrics.json"));
+    let mut f = std::fs::File::create(&path).expect("create metrics artifact");
+    let json = serde_json::to_string_pretty(snapshot).expect("serialize metrics");
+    f.write_all(json.as_bytes())
+        .expect("write metrics artifact");
+    println!("[artifact] {}", path.display());
+}
+
 /// Formats a duration in seconds with a sensible unit.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 2.0 * 24.0 * 3600.0 {
@@ -66,11 +80,27 @@ mod tests {
 
     #[test]
     fn artifacts_round_trip() {
-        std::env::set_var("ODDCI_RESULTS_DIR", std::env::temp_dir().join("oddci-test-results"));
+        std::env::set_var(
+            "ODDCI_RESULTS_DIR",
+            std::env::temp_dir().join("oddci-test-results"),
+        );
         write_artifact("unit-test", &serde_json::json!({"x": 1}));
         let path = results_dir().join("unit-test.json");
         let back: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(back["x"], 1);
+    }
+
+    #[test]
+    fn metrics_artifacts_get_their_own_file() {
+        std::env::set_var(
+            "ODDCI_RESULTS_DIR",
+            std::env::temp_dir().join("oddci-test-results"),
+        );
+        write_metrics("unit-test", &serde_json::json!({"requeues": 3}));
+        let path = results_dir().join("unit-test.metrics.json");
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back["requeues"], 3);
     }
 }

@@ -63,13 +63,18 @@ impl Ait {
     /// All applications flagged AUTOSTART — what a freshly tuned receiver
     /// must launch.
     pub fn autostart_entries(&self) -> impl Iterator<Item = &AitEntry> {
-        self.entries.iter().filter(|e| e.control_code == AppControlCode::Autostart)
+        self.entries
+            .iter()
+            .filter(|e| e.control_code == AppControlCode::Autostart)
     }
 
     /// True if the table signals `Kill` or `Destroy` for `app_id`.
     pub fn is_terminated(&self, app_id: u32) -> bool {
         self.entry(app_id).is_some_and(|e| {
-            matches!(e.control_code, AppControlCode::Kill | AppControlCode::Destroy)
+            matches!(
+                e.control_code,
+                AppControlCode::Kill | AppControlCode::Destroy
+            )
         })
     }
 }

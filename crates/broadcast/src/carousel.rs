@@ -31,13 +31,19 @@ pub struct CarouselFile {
 impl CarouselFile {
     /// Creates a file from name and contents.
     pub fn new(name: impl Into<String>, data: impl Into<Bytes>) -> Self {
-        CarouselFile { name: name.into(), data: data.into() }
+        CarouselFile {
+            name: name.into(),
+            data: data.into(),
+        }
     }
 
     /// Creates a file of `size` filled with zeros — used when only timing
     /// matters (multi-megabyte simulated images).
     pub fn sized(name: impl Into<String>, size: DataSize) -> Self {
-        CarouselFile { name: name.into(), data: Bytes::from(vec![0u8; size.bytes_ceil() as usize]) }
+        CarouselFile {
+            name: name.into(),
+            data: Bytes::from(vec![0u8; size.bytes_ceil() as usize]),
+        }
     }
 
     /// Payload size of this file.
@@ -80,8 +86,17 @@ impl ObjectCarousel {
         let layout = Self::layout_for(&mux, &files);
         let mut names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
         names.sort_unstable();
-        assert!(names.windows(2).all(|w| w[0] != w[1]), "duplicate file names in carousel");
-        ObjectCarousel { mux, version: 1, files, layout, epoch }
+        assert!(
+            names.windows(2).all(|w| w[0] != w[1]),
+            "duplicate file names in carousel"
+        );
+        ObjectCarousel {
+            mux,
+            version: 1,
+            files,
+            layout,
+            epoch,
+        }
     }
 
     fn layout_for(mux: &TransportMux, files: &[CarouselFile]) -> CarouselLayout {
@@ -93,14 +108,20 @@ impl ObjectCarousel {
             segments.push((cursor, wire));
             cursor += wire;
         }
-        CarouselLayout { segments, cycle_bits: cursor }
+        CarouselLayout {
+            segments,
+            cycle_bits: cursor,
+        }
     }
 
     /// Replaces the carousel contents, bumping the version (§4.1: *"it is
     /// possible to dynamically update the carousel that is being
     /// transmitted"*). The new version starts transmitting at `now`.
     pub fn update(&mut self, files: Vec<CarouselFile>, now: SimTime) {
-        assert!(now >= self.epoch, "carousel updates must move forward in time");
+        assert!(
+            now >= self.epoch,
+            "carousel updates must move forward in time"
+        );
         self.layout = Self::layout_for(&self.mux, &files);
         self.files = files;
         self.version += 1;
@@ -152,7 +173,10 @@ impl ObjectCarousel {
     /// # Panics
     /// Panics if `index` is out of range or `attach` precedes the epoch.
     pub fn acquisition_complete(&self, index: usize, attach: SimTime) -> SimTime {
-        assert!(attach >= self.epoch, "receiver cannot attach before the carousel epoch");
+        assert!(
+            attach >= self.epoch,
+            "receiver cannot attach before the carousel epoch"
+        );
         let (start_bit, len_bits) = self.layout.segments[index];
         let cycle = self.layout.cycle_bits;
         // Phase of the transmitter at the attach instant, in wire bits.
@@ -160,14 +184,19 @@ impl ObjectCarousel {
             (self.mux.nominal.bps() * (attach - self.epoch).as_secs_f64()).floor() as u64;
         let phase = elapsed_bits % cycle;
         // Bits until the file's next start.
-        let wait_bits = if phase <= start_bit { start_bit - phase } else { cycle - phase + start_bit };
+        let wait_bits = if phase <= start_bit {
+            start_bit - phase
+        } else {
+            cycle - phase + start_bit
+        };
         let total = DataSize::from_bits(wait_bits + len_bits);
         attach + total.transfer_time(self.mux.nominal)
     }
 
     /// Convenience: acquisition completion for a file by name.
     pub fn acquisition_complete_by_name(&self, name: &str, attach: SimTime) -> Option<SimTime> {
-        self.file_index(name).map(|i| self.acquisition_complete(i, attach))
+        self.file_index(name)
+            .map(|i| self.acquisition_complete(i, attach))
     }
 
     /// The expected acquisition latency for file `index` over a uniformly
@@ -212,8 +241,8 @@ mod tests {
     #[test]
     fn single_file_cycle_matches_wire_size() {
         let c = single_file_carousel(1, 1.0);
-        let wire = TransportMux::new(Bandwidth::from_mbps(1.0))
-            .wire_size(DataSize::from_megabytes(1));
+        let wire =
+            TransportMux::new(Bandwidth::from_mbps(1.0)).wire_size(DataSize::from_megabytes(1));
         assert_eq!(
             c.cycle_duration(),
             wire.transfer_time(Bandwidth::from_mbps(1.0))
@@ -254,7 +283,11 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         // Paper's W = 1.5 I/β law (here in wire terms).
-        assert!((mean / cycle - 1.5).abs() < 0.01, "mean/cycle={}", mean / cycle);
+        assert!(
+            (mean / cycle - 1.5).abs() < 0.01,
+            "mean/cycle={}",
+            mean / cycle
+        );
     }
 
     #[test]
@@ -283,12 +316,7 @@ mod tests {
         assert!(c.file("missing").is_none());
         // Segments tile the cycle exactly.
         let mut cursor = 0;
-        for &(s, l) in &ObjectCarousel::layout_for(
-            &TransportMux::default(),
-            c.files(),
-        )
-        .segments
-        {
+        for &(s, l) in &ObjectCarousel::layout_for(&TransportMux::default(), c.files()).segments {
             assert_eq!(s, cursor);
             cursor += l;
         }

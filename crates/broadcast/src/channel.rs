@@ -65,7 +65,18 @@ impl BroadcastChannel {
     /// Expected end-to-end latency to acquire `file` for a random attach
     /// phase, or `None` if absent.
     pub fn expected_acquisition(&self, file: &str) -> Option<SimDuration> {
-        self.carousel.file_index(file).map(|i| self.carousel.expected_acquisition(i))
+        self.carousel
+            .file_index(file)
+            .map(|i| self.carousel.expected_acquisition(i))
+    }
+
+    /// When a receiver whose read of `file` failed at `failed_at` (digest
+    /// mismatch, truncated module) finishes re-acquiring it. DSM-CC
+    /// recovery is stateless: the receiver simply waits for the file's
+    /// next pass and reads it end-to-end again, so a corrupt read costs
+    /// up to one extra carousel cycle.
+    pub fn reacquisition_complete(&self, file: &str, failed_at: SimTime) -> Option<SimTime> {
+        self.carousel.acquisition_complete_by_name(file, failed_at)
     }
 }
 
@@ -79,7 +90,10 @@ mod tests {
         BroadcastChannel::new(
             ChannelId::new(1),
             Bandwidth::from_mbps(1.0),
-            vec![CarouselFile::sized("pna.xlet", DataSize::from_kilobytes(256))],
+            vec![CarouselFile::sized(
+                "pna.xlet",
+                DataSize::from_kilobytes(256),
+            )],
             SimTime::ZERO,
         )
     }
@@ -103,8 +117,12 @@ mod tests {
         );
         assert_eq!(ch.carousel().version(), 2);
         assert_eq!(ch.ait().version, 1);
-        assert!(ch.acquisition_complete("image", SimTime::from_secs(10)).is_some());
-        assert!(ch.acquisition_complete("missing", SimTime::from_secs(10)).is_none());
+        assert!(ch
+            .acquisition_complete("image", SimTime::from_secs(10))
+            .is_some());
+        assert!(ch
+            .acquisition_complete("missing", SimTime::from_secs(10))
+            .is_none());
     }
 
     #[test]
@@ -126,5 +144,16 @@ mod tests {
     #[test]
     fn id_accessor() {
         assert_eq!(channel().id(), ChannelId::new(1));
+    }
+
+    #[test]
+    fn reacquisition_costs_another_pass() {
+        let ch = channel();
+        let first = ch.acquisition_complete("pna.xlet", SimTime::ZERO).unwrap();
+        // The read completed but was corrupt: recovery re-reads from the
+        // failure instant, landing strictly later.
+        let again = ch.reacquisition_complete("pna.xlet", first).unwrap();
+        assert!(again > first);
+        assert!(ch.reacquisition_complete("missing", first).is_none());
     }
 }

@@ -95,8 +95,14 @@ mod tests {
     #[test]
     fn tiny_payload_occupies_at_least_one_packet() {
         let mux = TransportMux::default();
-        assert_eq!(mux.wire_size(DataSize::from_bytes(1)), DataSize::from_bytes(188));
-        assert_eq!(mux.wire_size(DataSize::from_bits(1)), DataSize::from_bytes(188));
+        assert_eq!(
+            mux.wire_size(DataSize::from_bytes(1)),
+            DataSize::from_bytes(188)
+        );
+        assert_eq!(
+            mux.wire_size(DataSize::from_bits(1)),
+            DataSize::from_bytes(188)
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl Parsed {
                 _ => flags.push(key.to_string()),
             }
         }
-        Ok(Parsed { command, options, flags })
+        Ok(Parsed {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// True when `--flag` was given.
@@ -79,7 +83,9 @@ impl Parsed {
 
     /// An `A:B` pair option (used for `--churn ON:OFF`).
     pub fn pair(&self, name: &str) -> Result<Option<(u64, u64)>, ArgError> {
-        let Some(raw) = self.options.get(name) else { return Ok(None) };
+        let Some(raw) = self.options.get(name) else {
+            return Ok(None);
+        };
         let (a, b) = raw
             .split_once(':')
             .ok_or_else(|| ArgError(format!("`--{name}` expects A:B, got `{raw}`")))?;
@@ -101,8 +107,10 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let p = Parsed::parse(&argv(&["simulate", "--nodes", "100", "--json", "--seed", "7"]))
-            .unwrap();
+        let p = Parsed::parse(&argv(&[
+            "simulate", "--nodes", "100", "--json", "--seed", "7",
+        ]))
+        .unwrap();
         assert_eq!(p.command, "simulate");
         assert_eq!(p.get("nodes"), Some("100"));
         assert_eq!(p.num::<u64>("seed", 0).unwrap(), 7);

@@ -18,15 +18,19 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     let seed: u64 = p.num("seed", 42)?;
     let churn = p.pair("churn")?;
     if target > nodes {
-        return Err(ArgError(format!("--target {target} exceeds --nodes {nodes}")));
+        return Err(ArgError(format!(
+            "--target {target} exceeds --nodes {nodes}"
+        )));
     }
 
-    let mut cfg = WorldConfig::default();
-    cfg.nodes = nodes;
-    cfg.churn = churn.map(|(on, off)| ChurnConfig {
-        mean_on: SimDuration::from_mins(on),
-        mean_off: SimDuration::from_mins(off),
-    });
+    let cfg = WorldConfig {
+        nodes,
+        churn: churn.map(|(on, off)| ChurnConfig {
+            mean_on: SimDuration::from_mins(on),
+            mean_off: SimDuration::from_mins(off),
+        }),
+        ..Default::default()
+    };
 
     let job = JobGenerator::homogeneous(
         DataSize::from_megabytes(image_mb),
@@ -66,7 +70,11 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
     let _ = writeln!(out, "  audience          : {nodes} receivers");
     let _ = writeln!(out, "  instance          : {target} nodes");
     let _ = writeln!(out, "  job               : {tasks} tasks x {cost_secs}s");
-    let _ = writeln!(out, "  completed         : {} tasks", report.tasks_completed);
+    let _ = writeln!(
+        out,
+        "  completed         : {} tasks",
+        report.tasks_completed
+    );
     let _ = writeln!(out, "  makespan          : {}", report.makespan);
     let _ = writeln!(out, "  model (eq. 1)     : {predicted}");
     let _ = writeln!(out, "  wakeup broadcasts : {}", report.wakeup_broadcasts);
@@ -76,6 +84,99 @@ pub fn simulate(p: &Parsed) -> Result<String, ArgError> {
         "  mean node wakeup  : {:.1}s over {} joins",
         metrics.wakeup_latency.mean, metrics.joins
     );
+    Ok(out)
+}
+
+/// `oddci chaos`: run one simulation under an injected-fault plan and
+/// report how the control plane coped.
+pub fn chaos(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_faults::{FaultClass, FaultPlan};
+
+    let nodes: u64 = p.num("nodes", 500)?;
+    let target: u64 = p.num("target", 100)?;
+    let tasks: u64 = p.num("tasks", 300)?;
+    let cost_secs: f64 = p.num("cost-secs", 30.0)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let intensity: f64 = p.num("intensity", 1.0)?;
+    if target > nodes {
+        return Err(ArgError(format!(
+            "--target {target} exceeds --nodes {nodes}"
+        )));
+    }
+    if !(0.0..=10.0).contains(&intensity) {
+        return Err(ArgError("--intensity must be in [0, 10]".into()));
+    }
+    let plan = match p.get("faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(ArgError)?,
+        None => FaultPlan::standard_mix(),
+    }
+    .scaled(intensity);
+
+    let cfg = WorldConfig {
+        nodes,
+        faults: plan.clone(),
+        ..Default::default()
+    };
+
+    let job = JobGenerator::homogeneous(
+        DataSize::from_megabytes(2),
+        DataSize::from_bytes(500),
+        DataSize::from_bytes(500),
+        SimDuration::from_secs_f64(cost_secs),
+        seed,
+    )
+    .generate(tasks);
+
+    let mut sim = World::simulation(cfg, seed);
+    let request = sim.submit_job(job, target);
+    let report = sim
+        .run_request(request, SimTime::from_secs(365 * 24 * 3600))
+        .ok_or_else(|| ArgError("job did not complete within a simulated year".into()))?;
+    let metrics = sim.world().metrics().snapshot();
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "nodes": nodes,
+            "target": target,
+            "intensity": intensity,
+            "tasks_completed": report.tasks_completed,
+            "makespan_secs": report.makespan.as_secs_f64(),
+            "requeues": metrics.requeues,
+            "task_fetch_retries": metrics.task_fetch_retries,
+            "fetch_aborts": metrics.fetch_aborts,
+            "faults": serde_json::to_value(&metrics.faults).expect("counters"),
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "OddCI chaos run (seed {seed}, intensity {intensity})");
+    let _ = writeln!(out, "  audience          : {nodes} receivers");
+    let _ = writeln!(out, "  instance          : {target} nodes");
+    let _ = writeln!(out, "  job               : {tasks} tasks x {cost_secs}s");
+    let _ = writeln!(
+        out,
+        "  completed         : {} tasks",
+        report.tasks_completed
+    );
+    let _ = writeln!(out, "  makespan          : {}", report.makespan);
+    let _ = writeln!(out, "  requeues          : {}", metrics.requeues);
+    let _ = writeln!(out, "  fetch retries     : {}", metrics.task_fetch_retries);
+    let _ = writeln!(out, "  retry chains dead : {}", metrics.fetch_aborts);
+    let _ = writeln!(
+        out,
+        "  injected faults   : {} total",
+        metrics.faults.total()
+    );
+    for class in FaultClass::ALL {
+        let n = metrics.faults.get(class);
+        if n > 0 {
+            let _ = writeln!(out, "    {:<22}: {n}", class.label());
+        }
+    }
+    if plan.is_empty() {
+        let _ = writeln!(out, "  (empty fault plan — this was a calm run)");
+    }
     Ok(out)
 }
 
@@ -107,7 +208,9 @@ pub fn efficiency(p: &Parsed) -> Result<String, ArgError> {
     let ratio: f64 = p.num("ratio", 100.0)?;
     let nodes: u64 = p.num("nodes", 1_000)?;
     if phi <= 0.0 || ratio <= 0.0 || nodes == 0 {
-        return Err(ArgError("--phi, --ratio and --nodes must be positive".into()));
+        return Err(ArgError(
+            "--phi, --ratio and --nodes must be positive".into(),
+        ));
     }
     let params = InstanceParams::paper(nodes);
     let n = (ratio * nodes as f64).round() as u64;
@@ -139,9 +242,14 @@ pub fn live(p: &Parsed) -> Result<String, ArgError> {
     let queries: u64 = p.num("queries", 8)?;
     let target: u64 = p.num("target", 3)?;
     if nodes == 0 || queries == 0 || target == 0 {
-        return Err(ArgError("--nodes, --queries and --target must be positive".into()));
+        return Err(ArgError(
+            "--nodes, --queries and --target must be positive".into(),
+        ));
     }
-    let live = LiveOddci::start(LiveConfig { nodes, ..Default::default() });
+    let live = LiveOddci::start(LiveConfig {
+        nodes,
+        ..Default::default()
+    });
     let outcome = live
         .run_alignment_job(
             AlignmentImage::small_demo(),
@@ -153,7 +261,11 @@ pub fn live(p: &Parsed) -> Result<String, ArgError> {
     live.shutdown();
 
     let mut out = String::new();
-    let _ = writeln!(out, "live OddCI run: {} receiver threads, instance {target}", nodes);
+    let _ = writeln!(
+        out,
+        "live OddCI run: {} receiver threads, instance {target}",
+        nodes
+    );
     let _ = writeln!(out, "  makespan : {}", outcome.report.makespan);
     let _ = writeln!(out, "  task      score  kind");
     for (task, score) in &outcome.scores {
@@ -162,7 +274,11 @@ pub fn live(p: &Parsed) -> Result<String, ArgError> {
             "  {:<9} {:>5}  {}",
             task.to_string(),
             score,
-            if task.raw() % 2 == 0 { "planted homolog" } else { "random noise" }
+            if task.raw() % 2 == 0 {
+                "planted homolog"
+            } else {
+                "random noise"
+            }
         );
     }
     Ok(out)
@@ -191,7 +307,14 @@ mod tests {
 
     #[test]
     fn efficiency_point_matches_paper_trend() {
-        let hi = efficiency(&parsed(&["efficiency", "--phi", "100000", "--ratio", "100"])).unwrap();
+        let hi = efficiency(&parsed(&[
+            "efficiency",
+            "--phi",
+            "100000",
+            "--ratio",
+            "100",
+        ]))
+        .unwrap();
         let lo = efficiency(&parsed(&["efficiency", "--phi", "1", "--ratio", "100"])).unwrap();
         let grab = |s: &str| -> f64 {
             s.lines()
@@ -208,8 +331,7 @@ mod tests {
 
     #[test]
     fn simulate_rejects_oversized_target() {
-        let err = simulate(&parsed(&["simulate", "--nodes", "10", "--target", "20"]))
-            .unwrap_err();
+        let err = simulate(&parsed(&["simulate", "--nodes", "10", "--target", "20"])).unwrap_err();
         assert!(err.to_string().contains("exceeds"));
     }
 }

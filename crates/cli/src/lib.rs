@@ -7,6 +7,7 @@
 //! Subcommands:
 //!
 //! * `simulate` — run a full OddCI-DTV world for one job and report.
+//! * `chaos` — the same world under a deterministic fault-injection plan.
 //! * `wakeup` — evaluate the §5.1 wakeup envelope for an image/β pair.
 //! * `efficiency` — evaluate equations (1)/(2) for a scenario.
 //! * `live` — run the thread-based live demo with real alignment work.
@@ -26,6 +27,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     let parsed = args::Parsed::parse(argv).map_err(|e| format!("{e}\n\n{}", usage()))?;
     match parsed.command.as_str() {
         "simulate" => commands::simulate(&parsed).map_err(|e| e.to_string()),
+        "chaos" => commands::chaos(&parsed).map_err(|e| e.to_string()),
         "wakeup" => commands::wakeup(&parsed).map_err(|e| e.to_string()),
         "efficiency" => commands::efficiency(&parsed).map_err(|e| e.to_string()),
         "live" => commands::live(&parsed).map_err(|e| e.to_string()),
@@ -51,6 +53,15 @@ COMMANDS:
                   --image-mb M     application image MB    [4]
                   --seed S         simulation seed         [42]
                   --churn ON:OFF   mean on/off minutes     [off]
+                  --json           machine-readable output
+    chaos       simulate one job under deterministic fault injection
+                  --nodes N        channel audience        [500]
+                  --target N       instance size           [100]
+                  --tasks N        job task count          [300]
+                  --cost-secs S    task cost (ref. STB)    [30]
+                  --seed S         simulation seed         [42]
+                  --faults SPEC    class=rate[:magnitude],... (default: standard mix)
+                  --intensity F    scale every rate by F   [1.0]
                   --json           machine-readable output
     wakeup      evaluate the wakeup envelope W = 1.5·I/β
                   --image-mb M     image size MB           [8]
@@ -111,8 +122,17 @@ mod tests {
     #[test]
     fn simulate_small_world() {
         let out = run(&argv(&[
-            "simulate", "--nodes", "100", "--target", "30", "--tasks", "60", "--cost-secs",
-            "10", "--image-mb", "1",
+            "simulate",
+            "--nodes",
+            "100",
+            "--target",
+            "30",
+            "--tasks",
+            "60",
+            "--cost-secs",
+            "10",
+            "--image-mb",
+            "1",
         ]))
         .unwrap();
         assert!(out.contains("makespan"), "{out}");
@@ -120,10 +140,67 @@ mod tests {
     }
 
     #[test]
+    fn chaos_runs_and_reports_faults() {
+        let out = run(&argv(&[
+            "chaos",
+            "--nodes",
+            "100",
+            "--target",
+            "30",
+            "--tasks",
+            "60",
+            "--cost-secs",
+            "10",
+            "--faults",
+            "heartbeat-drop=0.2,direct-loss=0.1:20",
+        ]))
+        .unwrap();
+        assert!(out.contains("completed         : 60 tasks"), "{out}");
+        assert!(out.contains("injected faults"), "{out}");
+    }
+
+    #[test]
+    fn chaos_json_counts_all_tasks() {
+        let out = run(&argv(&[
+            "chaos",
+            "--nodes",
+            "80",
+            "--target",
+            "20",
+            "--tasks",
+            "40",
+            "--cost-secs",
+            "5",
+            "--intensity",
+            "0.5",
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["tasks_completed"], 40);
+    }
+
+    #[test]
+    fn chaos_rejects_bad_plan() {
+        let err = run(&argv(&["chaos", "--faults", "not-a-class=0.5"])).unwrap_err();
+        assert!(err.contains("not-a-class"), "{err}");
+    }
+
+    #[test]
     fn simulate_json_output_parses() {
         let out = run(&argv(&[
-            "simulate", "--nodes", "100", "--target", "20", "--tasks", "40", "--cost-secs",
-            "5", "--image-mb", "1", "--json",
+            "simulate",
+            "--nodes",
+            "100",
+            "--target",
+            "20",
+            "--tasks",
+            "40",
+            "--cost-secs",
+            "5",
+            "--image-mb",
+            "1",
+            "--json",
         ]))
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");

@@ -145,7 +145,9 @@ impl Backend {
 
     /// True once every task of `job` completed.
     pub fn is_complete(&self, job: JobId) -> bool {
-        self.jobs.get(&job).is_some_and(|s| s.completed_at.is_some())
+        self.jobs
+            .get(&job)
+            .is_some_and(|s| s.completed_at.is_some())
     }
 
     /// The job's makespan (completion − submission), once complete.
@@ -167,6 +169,20 @@ impl Backend {
     /// Tasks re-queued after node losses.
     pub fn requeue_count(&self, job: JobId) -> u64 {
         self.jobs.get(&job).map_or(0, |s| s.requeues)
+    }
+
+    /// Total re-queues across every registered job.
+    pub fn total_requeues(&self) -> u64 {
+        self.jobs.values().map(|s| s.requeues).sum()
+    }
+
+    /// Jobs that still have unfinished tasks (pending or assigned).
+    pub fn open_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, s)| s.completed_at.is_none())
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// The registered job, if any.
@@ -191,7 +207,12 @@ mod tests {
                 )
             })
             .collect();
-        Job::new(JobId::new(1), ImageId::new(1), DataSize::from_megabytes(1), tasks)
+        Job::new(
+            JobId::new(1),
+            ImageId::new(1),
+            DataSize::from_megabytes(1),
+            tasks,
+        )
     }
 
     #[test]
@@ -207,7 +228,10 @@ mod tests {
             panic!()
         };
         assert_eq!(t1.id, TaskId::new(1));
-        assert_eq!(b.fetch_task(j, NodeId::new(12)).unwrap(), TaskOutcome::Drained);
+        assert_eq!(
+            b.fetch_task(j, NodeId::new(12)).unwrap(),
+            TaskOutcome::Drained
+        );
     }
 
     #[test]
@@ -250,9 +274,13 @@ mod tests {
         assert_eq!(b.pending_count(j), 1);
         assert_eq!(b.requeue_count(j), 1);
         // Another node picks the re-queued task up and finishes the job.
-        let TaskOutcome::Assigned(t) = b.fetch_task(j, NodeId::new(11)).unwrap() else { panic!() };
+        let TaskOutcome::Assigned(t) = b.fetch_task(j, NodeId::new(11)).unwrap() else {
+            panic!()
+        };
         assert_eq!(t.id, TaskId::new(0));
-        assert!(b.complete_task(j, t.id, NodeId::new(11), SimTime::from_secs(60)).unwrap());
+        assert!(b
+            .complete_task(j, t.id, NodeId::new(11), SimTime::from_secs(60))
+            .unwrap());
     }
 
     #[test]
@@ -264,9 +292,14 @@ mod tests {
         b.node_lost(NodeId::new(10));
         // The "lost" node was only slow; its result arrives before the
         // task is re-assigned. It must count, and the queue must drain.
-        assert!(b.complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(99)).unwrap());
+        assert!(b
+            .complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(99))
+            .unwrap());
         assert_eq!(b.pending_count(j), 0);
-        assert_eq!(b.fetch_task(j, NodeId::new(11)).unwrap(), TaskOutcome::Drained);
+        assert_eq!(
+            b.fetch_task(j, NodeId::new(11)).unwrap(),
+            TaskOutcome::Drained
+        );
     }
 
     #[test]
@@ -277,9 +310,13 @@ mod tests {
         b.fetch_task(j, NodeId::new(10)).unwrap();
         b.node_lost(NodeId::new(10));
         b.fetch_task(j, NodeId::new(11)).unwrap();
-        assert!(b.complete_task(j, TaskId::new(0), NodeId::new(11), SimTime::from_secs(50)).unwrap());
+        assert!(b
+            .complete_task(j, TaskId::new(0), NodeId::new(11), SimTime::from_secs(50))
+            .unwrap());
         // The zombie's duplicate upload changes nothing.
-        assert!(b.complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(60)).unwrap());
+        assert!(b
+            .complete_task(j, TaskId::new(0), NodeId::new(10), SimTime::from_secs(60))
+            .unwrap());
         assert_eq!(b.completed_count(j), 1);
         assert_eq!(b.makespan(j), Some(SimDuration::from_secs(50)));
     }
@@ -312,11 +349,15 @@ mod tests {
         assert_eq!(first.id, again.id, "stale task re-queued at the front");
         assert_eq!(b.requeue_count(j), 1);
         // The job still completes exactly once per task.
-        assert!(!b.complete_task(j, again.id, NodeId::new(10), SimTime::from_secs(1)).unwrap());
+        assert!(!b
+            .complete_task(j, again.id, NodeId::new(10), SimTime::from_secs(1))
+            .unwrap());
         let TaskOutcome::Assigned(second) = b.fetch_task(j, NodeId::new(10)).unwrap() else {
             panic!()
         };
-        assert!(b.complete_task(j, second.id, NodeId::new(10), SimTime::from_secs(2)).unwrap());
+        assert!(b
+            .complete_task(j, second.id, NodeId::new(10), SimTime::from_secs(2))
+            .unwrap());
         assert_eq!(b.completed_count(j), 2);
     }
 

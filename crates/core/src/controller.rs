@@ -214,11 +214,17 @@ impl Controller {
     /// Dismantles an instance: broadcasts a reset; stragglers that heartbeat
     /// later are trimmed via heartbeat replies.
     pub fn dismantle(&mut self, id: InstanceId) -> Result<Vec<ControllerOutput>> {
-        let record = self.instances.get_mut(&id).ok_or(OddciError::UnknownInstance(id))?;
+        let record = self
+            .instances
+            .get_mut(&id)
+            .ok_or(OddciError::UnknownInstance(id))?;
         record.status = InstanceStatus::Dismantled;
         record.members.clear();
         let msg = SignedMessage::sign(
-            ControlMessage::Reset(ResetMessage { id: MessageId::new(self.next_message), instance: id }),
+            ControlMessage::Reset(ResetMessage {
+                id: MessageId::new(self.next_message),
+                instance: id,
+            }),
             &self.auth,
         );
         self.next_message += 1;
@@ -229,9 +235,15 @@ impl Controller {
     /// recomposition wakeup on the next [`tick`](Self::tick); shrinking is
     /// enforced lazily through heartbeat replies.
     pub fn resize(&mut self, id: InstanceId, new_target: u64) -> Result<()> {
-        let record = self.instances.get_mut(&id).ok_or(OddciError::UnknownInstance(id))?;
+        let record = self
+            .instances
+            .get_mut(&id)
+            .ok_or(OddciError::UnknownInstance(id))?;
         if record.status == InstanceStatus::Dismantled {
-            return Err(OddciError::InvalidState { operation: "resize", state: "Dismantled".into() });
+            return Err(OddciError::InvalidState {
+                operation: "resize",
+                state: "Dismantled".into(),
+            });
         }
         record.request.target = new_target;
         Ok(())
@@ -244,7 +256,9 @@ impl Controller {
 
     /// Current member count of an instance (0 if unknown).
     pub fn instance_size(&self, id: InstanceId) -> u64 {
-        self.instances.get(&id).map_or(0, |r| r.members.len() as u64)
+        self.instances
+            .get(&id)
+            .map_or(0, |r| r.members.len() as u64)
     }
 
     /// Processes one heartbeat, returning the reply plus any side effects.
@@ -259,13 +273,28 @@ impl Controller {
         // Membership transition bookkeeping needs the previous record.
         let prev = self.registry.insert(
             hb.node,
-            NodeRecord { last_heartbeat: now, state: hb.state, instance: hb.instance },
+            NodeRecord {
+                last_heartbeat: now,
+                state: hb.state,
+                instance: hb.instance,
+            },
         );
         if let Some(prev) = prev {
             if let Some(prev_inst) = prev.instance {
                 if prev.instance != hb.instance {
                     if let Some(rec) = self.instances.get_mut(&prev_inst) {
-                        rec.members.remove(&hb.node);
+                        if rec.members.remove(&hb.node) {
+                            // The node left its instance without a reset
+                            // from us (PNA crash and reboot, viewer
+                            // action). Whatever task it held must go back
+                            // into the Backend's queue *now* — waiting for
+                            // the node to re-join on a later wakeup can
+                            // stall a job's tail indefinitely.
+                            out.push(ControllerOutput::NodeLost {
+                                node: hb.node,
+                                instance: prev_inst,
+                            });
+                        }
                     }
                 }
             }
@@ -275,7 +304,10 @@ impl Controller {
             match self.instances.get_mut(&inst) {
                 Some(rec) if rec.status == InstanceStatus::Dismantled => {
                     // Straggler that missed the broadcast reset.
-                    out.push(ControllerOutput::DirectReset { node: hb.node, instance: inst });
+                    out.push(ControllerOutput::DirectReset {
+                        node: hb.node,
+                        instance: inst,
+                    });
                     if let Entry::Occupied(mut e) = self.registry.entry(hb.node) {
                         e.get_mut().state = PnaStateKind::Idle;
                         e.get_mut().instance = None;
@@ -291,7 +323,10 @@ impl Controller {
                         (!is_member && size >= rec.request.target) || size > rec.request.target;
                     if trim {
                         rec.members.remove(&hb.node);
-                        out.push(ControllerOutput::DirectReset { node: hb.node, instance: inst });
+                        out.push(ControllerOutput::DirectReset {
+                            node: hb.node,
+                            instance: inst,
+                        });
                         if let Entry::Occupied(mut e) = self.registry.entry(hb.node) {
                             e.get_mut().state = PnaStateKind::Idle;
                             e.get_mut().instance = None;
@@ -305,7 +340,10 @@ impl Controller {
                 }
                 None => {
                     // Unknown instance (e.g. Controller restart): reset.
-                    out.push(ControllerOutput::DirectReset { node: hb.node, instance: inst });
+                    out.push(ControllerOutput::DirectReset {
+                        node: hb.node,
+                        instance: inst,
+                    });
                 }
             }
         }
@@ -333,7 +371,10 @@ impl Controller {
             if let Some(inst) = instance {
                 if let Some(rec) = self.instances.get_mut(&inst) {
                     if rec.members.remove(&node) {
-                        out.push(ControllerOutput::NodeLost { node, instance: inst });
+                        out.push(ControllerOutput::NodeLost {
+                            node,
+                            instance: inst,
+                        });
                     }
                 }
             }
@@ -406,9 +447,13 @@ mod tests {
         let mut c = Controller::new(KEY, ControllerPolicy::default());
         let (id, out) = c.create_instance(request(100), SimTime::ZERO);
         assert_eq!(out.len(), 1);
-        let ControllerOutput::Broadcast(signed) = &out[0] else { panic!("expected broadcast") };
+        let ControllerOutput::Broadcast(signed) = &out[0] else {
+            panic!("expected broadcast")
+        };
         signed.verify(&MessageAuthenticator::from_key(KEY)).unwrap();
-        let ControlMessage::Wakeup(w) = signed.message else { panic!("expected wakeup") };
+        let ControlMessage::Wakeup(w) = signed.message else {
+            panic!("expected wakeup")
+        };
         assert_eq!(w.instance, id);
         // Pool estimate falls back to assumed audience (10k): p = 100/10k.
         assert!((w.probability.value() - 0.01).abs() < 1e-12);
@@ -418,7 +463,9 @@ mod tests {
     fn membership_tracks_heartbeats() {
         let mut c = Controller::new(KEY, ControllerPolicy::default());
         let (id, _) = c.create_instance(request(2), SimTime::ZERO);
-        assert!(c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1)).is_empty());
+        assert!(c
+            .on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1))
+            .is_empty());
         assert_eq!(c.instance_size(id), 1);
         assert_eq!(c.instance(id).unwrap().status, InstanceStatus::Forming);
         c.on_heartbeat(busy_hb(2, id, 1), SimTime::from_secs(1));
@@ -434,11 +481,16 @@ mod tests {
         let out = c.on_heartbeat(busy_hb(2, id, 1), SimTime::from_secs(1));
         assert_eq!(
             out,
-            vec![ControllerOutput::DirectReset { node: NodeId::new(2), instance: id }]
+            vec![ControllerOutput::DirectReset {
+                node: NodeId::new(2),
+                instance: id
+            }]
         );
         assert_eq!(c.instance_size(id), 1);
         // An existing member is NOT reset.
-        assert!(c.on_heartbeat(busy_hb(1, id, 2), SimTime::from_secs(2)).is_empty());
+        assert!(c
+            .on_heartbeat(busy_hb(1, id, 2), SimTime::from_secs(2))
+            .is_empty());
     }
 
     #[test]
@@ -449,13 +501,19 @@ mod tests {
         let out = c.dismantle(id).unwrap();
         assert!(matches!(
             &out[0],
-            ControllerOutput::Broadcast(SignedMessage { message: ControlMessage::Reset(_), .. })
+            ControllerOutput::Broadcast(SignedMessage {
+                message: ControlMessage::Reset(_),
+                ..
+            })
         ));
         // A straggler still claiming membership gets a direct reset.
         let out = c.on_heartbeat(busy_hb(1, id, 10), SimTime::from_secs(10));
         assert_eq!(
             out,
-            vec![ControllerOutput::DirectReset { node: NodeId::new(1), instance: id }]
+            vec![ControllerOutput::DirectReset {
+                node: NodeId::new(1),
+                instance: id
+            }]
         );
     }
 
@@ -475,7 +533,10 @@ mod tests {
         c.on_heartbeat(busy_hb(1, id, 0), SimTime::ZERO);
         // Default policy: 60 s interval × 3 misses = 180 s deadline.
         let out = c.tick(SimTime::from_secs(181));
-        assert!(out.contains(&ControllerOutput::NodeLost { node: NodeId::new(1), instance: id }));
+        assert!(out.contains(&ControllerOutput::NodeLost {
+            node: NodeId::new(1),
+            instance: id
+        }));
         assert_eq!(c.instance_size(id), 0);
         assert_eq!(c.known_nodes(), 0);
     }
@@ -534,7 +595,9 @@ mod tests {
         c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
         c.resize(id, 2).unwrap();
         // A second member is now admitted instead of reset.
-        assert!(c.on_heartbeat(busy_hb(2, id, 2), SimTime::from_secs(2)).is_empty());
+        assert!(c
+            .on_heartbeat(busy_hb(2, id, 2), SimTime::from_secs(2))
+            .is_empty());
         assert_eq!(c.instance_size(id), 2);
         // Resizing a dismantled instance fails.
         c.dismantle(id).unwrap();
@@ -554,13 +617,18 @@ mod tests {
         let out = c.on_heartbeat(busy_hb(1, id, 2), SimTime::from_secs(2));
         assert_eq!(
             out,
-            vec![ControllerOutput::DirectReset { node: NodeId::new(1), instance: id }]
+            vec![ControllerOutput::DirectReset {
+                node: NodeId::new(1),
+                instance: id
+            }]
         );
         let out = c.on_heartbeat(busy_hb(2, id, 2), SimTime::from_secs(2));
         assert_eq!(out.len(), 1);
         assert_eq!(c.instance_size(id), 1);
         // The survivor is left alone at exactly the target.
-        assert!(c.on_heartbeat(busy_hb(3, id, 3), SimTime::from_secs(3)).is_empty());
+        assert!(c
+            .on_heartbeat(busy_hb(3, id, 3), SimTime::from_secs(3))
+            .is_empty());
         assert_eq!(c.instance_size(id), 1);
     }
 
@@ -577,7 +645,11 @@ mod tests {
     #[test]
     fn idle_pool_estimate_uses_live_idle_nodes() {
         let mut c = Controller::new(KEY, ControllerPolicy::default());
-        assert_eq!(c.idle_pool_estimate(SimTime::ZERO), 10_000, "assumed audience fallback");
+        assert_eq!(
+            c.idle_pool_estimate(SimTime::ZERO),
+            10_000,
+            "assumed audience fallback"
+        );
         for n in 0..50 {
             c.on_heartbeat(idle_hb(n, 1), SimTime::from_secs(1));
         }

@@ -46,15 +46,15 @@ impl Federation {
     /// Builds a federation of `configs.len()` channels; each channel gets
     /// an independent world seeded from `seed`.
     pub fn new(configs: Vec<WorldConfig>, seed: u64) -> Self {
-        assert!(!configs.is_empty(), "a federation needs at least one channel");
+        assert!(
+            !configs.is_empty(),
+            "a federation needs at least one channel"
+        );
         let channels = configs
             .into_iter()
             .enumerate()
             .map(|(i, cfg)| ChannelSlice {
-                sim: World::simulation(
-                    cfg,
-                    seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
-                ),
+                sim: World::simulation(cfg, seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
                 request: None,
                 share: 0,
             })
@@ -69,7 +69,10 @@ impl Federation {
 
     /// Total audience across channels.
     pub fn total_audience(&self) -> u64 {
-        self.channels.iter().map(|c| c.sim.world().config().nodes).sum()
+        self.channels
+            .iter()
+            .map(|c| c.sim.world().config().nodes)
+            .sum()
     }
 
     /// Splits `job` across channels proportionally to audience, wakes an
@@ -112,7 +115,10 @@ impl Federation {
             let tasks: Vec<Task> = job.tasks[cursor..cursor + share as usize]
                 .iter()
                 .enumerate()
-                .map(|(k, t)| Task { id: oddci_types::TaskId::new(k as u64), ..t.clone() })
+                .map(|(k, t)| Task {
+                    id: oddci_types::TaskId::new(k as u64),
+                    ..t.clone()
+                })
                 .collect();
             cursor += share as usize;
             let sub_job = Job::new(
@@ -140,7 +146,11 @@ impl Federation {
             slowest = slowest.max(report.makespan.as_secs_f64());
             per_channel.push((slice.share, report.makespan.as_secs_f64()));
         }
-        Some(FederatedReport { tasks_completed: total, makespan_secs: slowest, per_channel })
+        Some(FederatedReport {
+            tasks_completed: total,
+            makespan_secs: slowest,
+            per_channel,
+        })
     }
 
     /// Access a channel's world (diagnostics).
@@ -156,7 +166,10 @@ mod tests {
     use oddci_workload::JobGenerator;
 
     fn cfg(nodes: u64) -> WorldConfig {
-        WorldConfig { nodes, ..Default::default() }
+        WorldConfig {
+            nodes,
+            ..Default::default()
+        }
     }
 
     fn job(tasks: u64) -> Job {
@@ -176,7 +189,9 @@ mod tests {
         assert_eq!(fed.channel_count(), 2);
         assert_eq!(fed.total_audience(), 600);
         fed.submit_job(job(300), 120);
-        let report = fed.run(SimTime::from_secs(14 * 24 * 3600)).expect("completes");
+        let report = fed
+            .run(SimTime::from_secs(14 * 24 * 3600))
+            .expect("completes");
         assert_eq!(report.tasks_completed, 300);
         // Proportional split: 100 / 200.
         assert_eq!(report.per_channel[0].0, 100);
@@ -192,7 +207,9 @@ mod tests {
 
         let mut sim = World::simulation(cfg(300), 9 ^ 0x9e3779b97f4a7c15);
         let request = sim.submit_job(job(150), 60);
-        let plain = sim.run_request(request, SimTime::from_secs(14 * 24 * 3600)).expect("plain");
+        let plain = sim
+            .run_request(request, SimTime::from_secs(14 * 24 * 3600))
+            .expect("plain");
 
         assert_eq!(fed_report.tasks_completed, 150);
         assert!(
@@ -210,7 +227,9 @@ mod tests {
         // (can host 60) against a federation hosting 180 total.
         let mut small = Federation::new(vec![cfg(300)], 11);
         small.submit_job(job(600), 60);
-        let small_report = small.run(SimTime::from_secs(30 * 24 * 3600)).expect("small");
+        let small_report = small
+            .run(SimTime::from_secs(30 * 24 * 3600))
+            .expect("small");
 
         let mut big = Federation::new(vec![cfg(300), cfg(300), cfg(300)], 11);
         big.submit_job(job(600), 180);
@@ -228,9 +247,14 @@ mod tests {
     fn tiny_channels_still_get_work() {
         let mut fed = Federation::new(vec![cfg(1000), cfg(20)], 13);
         fed.submit_job(job(50), 40);
-        let report = fed.run(SimTime::from_secs(14 * 24 * 3600)).expect("completes");
+        let report = fed
+            .run(SimTime::from_secs(14 * 24 * 3600))
+            .expect("completes");
         assert_eq!(report.tasks_completed, 50);
-        assert!(report.per_channel[1].0 >= 1, "small channel gets at least one task");
+        assert!(
+            report.per_channel[1].0 >= 1,
+            "small channel gets at least one task"
+        );
     }
 
     #[test]

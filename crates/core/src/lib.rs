@@ -59,8 +59,8 @@ pub mod provider;
 pub mod world;
 
 pub use backend::{Backend, TaskOutcome};
-pub use federation::{FederatedReport, Federation};
 pub use controller::{Controller, ControllerPolicy, InstanceRequest, InstanceStatus};
+pub use federation::{FederatedReport, Federation};
 pub use messages::{
     ControlMessage, Heartbeat, NodeRequirements, PnaStateKind, ResetMessage, SignedMessage,
     WakeupMessage,

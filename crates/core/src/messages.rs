@@ -7,9 +7,7 @@
 //! direct channels.
 
 use oddci_crypto::{MessageAuthenticator, Tag};
-use oddci_types::{
-    DataSize, ImageId, InstanceId, MessageId, NodeId, Probability, Result, SimTime,
-};
+use oddci_types::{DataSize, ImageId, InstanceId, MessageId, NodeId, Probability, Result, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Capability requirements a node must meet to join an instance (§3.2:

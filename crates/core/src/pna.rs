@@ -242,7 +242,11 @@ impl Pna {
     pub fn heartbeat(&self, now: SimTime) -> Heartbeat {
         Heartbeat {
             node: self.node,
-            state: if self.is_idle() { PnaStateKind::Idle } else { PnaStateKind::Busy },
+            state: if self.is_idle() {
+                PnaStateKind::Idle
+            } else {
+                PnaStateKind::Busy
+            },
             instance: self.instance(),
             sent_at: now,
         }
@@ -273,7 +277,10 @@ mod tests {
     }
 
     fn host() -> HostInfo {
-        HostInfo { free_memory: DataSize::from_megabytes(128), usage: UsageMode::Standby }
+        HostInfo {
+            free_memory: DataSize::from_megabytes(128),
+            usage: UsageMode::Standby,
+        }
     }
 
     fn wakeup(id: u64, p: f64) -> SignedMessage {
@@ -324,7 +331,10 @@ mod tests {
             }),
             &rogue,
         );
-        assert_eq!(pna.on_control_message(&msg, host(), &mut rng), PnaAction::None);
+        assert_eq!(
+            pna.on_control_message(&msg, host(), &mut rng),
+            PnaAction::None
+        );
         assert_eq!(pna.counters.bad_signatures, 1);
     }
 
@@ -344,10 +354,16 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         // Gate p=0 drops the message...
         let w = wakeup(5, 0.0);
-        assert_eq!(pna.on_control_message(&w, host(), &mut rng), PnaAction::None);
+        assert_eq!(
+            pna.on_control_message(&w, host(), &mut rng),
+            PnaAction::None
+        );
         assert_eq!(pna.counters.gated, 1);
         // ...and the next pass of the SAME message id is not re-sampled.
-        assert_eq!(pna.on_control_message(&w, host(), &mut rng), PnaAction::None);
+        assert_eq!(
+            pna.on_control_message(&w, host(), &mut rng),
+            PnaAction::None
+        );
         assert_eq!(pna.counters.duplicates, 1);
         assert_eq!(pna.counters.gated, 1);
     }
@@ -389,15 +405,26 @@ mod tests {
 
         // Too little memory.
         let mut pna = Pna::new(NodeId::new(1), KEY);
-        let poor = HostInfo { free_memory: DataSize::from_megabytes(16), usage: UsageMode::Standby };
-        assert_eq!(pna.on_control_message(&msg, poor, &mut rng), PnaAction::None);
+        let poor = HostInfo {
+            free_memory: DataSize::from_megabytes(16),
+            usage: UsageMode::Standby,
+        };
+        assert_eq!(
+            pna.on_control_message(&msg, poor, &mut rng),
+            PnaAction::None
+        );
         assert_eq!(pna.counters.requirement_drops, 1);
 
         // In use when standby-only was demanded.
         let mut pna = Pna::new(NodeId::new(2), KEY);
-        let watching =
-            HostInfo { free_memory: DataSize::from_megabytes(128), usage: UsageMode::InUse };
-        assert_eq!(pna.on_control_message(&msg, watching, &mut rng), PnaAction::None);
+        let watching = HostInfo {
+            free_memory: DataSize::from_megabytes(128),
+            usage: UsageMode::InUse,
+        };
+        assert_eq!(
+            pna.on_control_message(&msg, watching, &mut rng),
+            PnaAction::None
+        );
 
         // Compliant.
         let mut pna = Pna::new(NodeId::new(3), KEY);
@@ -413,11 +440,19 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         pna.on_control_message(&wakeup(1, 1.0), host(), &mut rng);
         // Reset for a different instance: ignored.
-        assert_eq!(pna.on_control_message(&reset(2, 99), host(), &mut rng), PnaAction::None);
+        assert_eq!(
+            pna.on_control_message(&reset(2, 99), host(), &mut rng),
+            PnaAction::None
+        );
         assert!(!pna.is_idle());
         // Reset for ours: DVE destroyed.
         let action = pna.on_control_message(&reset(3, 1), host(), &mut rng);
-        assert_eq!(action, PnaAction::DveDestroyed { instance: InstanceId::new(1) });
+        assert_eq!(
+            action,
+            PnaAction::DveDestroyed {
+                instance: InstanceId::new(1)
+            }
+        );
         assert!(pna.is_idle());
     }
 

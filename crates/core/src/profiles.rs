@@ -123,8 +123,14 @@ impl BroadcastTechnology {
     pub fn world_config(self, audience: u64) -> WorldConfig {
         WorldConfig {
             nodes: audience,
-            dtv: DtvSystemConfig { beta: self.beta(), ..Default::default() },
-            direct: DirectChannelConfig { delta: self.delta(), ..Default::default() },
+            dtv: DtvSystemConfig {
+                beta: self.beta(),
+                ..Default::default()
+            },
+            direct: DirectChannelConfig {
+                delta: self.delta(),
+                ..Default::default()
+            },
             policy: ControllerPolicy::default(),
             compute: self.compute(),
             churn: self.churn(),
@@ -132,6 +138,7 @@ impl BroadcastTechnology {
             controller_tick: SimDuration::from_secs(60),
             key: format!("oddci-{}", self.label()).into_bytes(),
             trace_capacity: None,
+            ..Default::default()
         }
     }
 }

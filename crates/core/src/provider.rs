@@ -169,7 +169,12 @@ mod tests {
     #[test]
     fn open_complete_report_cycle() {
         let mut p = Provider::new();
-        let req = p.open_request(JobId::new(1), InstanceId::new(5), 100, SimTime::from_secs(10));
+        let req = p.open_request(
+            JobId::new(1),
+            InstanceId::new(5),
+            100,
+            SimTime::from_secs(10),
+        );
         assert_eq!(p.state(req), Some(RequestState::Running));
         assert_eq!(p.instance_of(req), Some(InstanceId::new(5)));
         assert_eq!(p.job_of(req), Some(JobId::new(1)));
@@ -198,7 +203,9 @@ mod tests {
     #[test]
     fn unknown_request_is_none() {
         let mut p = Provider::new();
-        assert!(p.complete(ProviderRequest(9), SimTime::ZERO, 0, 0, 0).is_none());
+        assert!(p
+            .complete(ProviderRequest(9), SimTime::ZERO, 0, 0, 0)
+            .is_none());
         assert_eq!(p.state(ProviderRequest(9)), None);
     }
 

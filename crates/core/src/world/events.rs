@@ -59,6 +59,27 @@ pub enum WorldEvent {
         node: NodeId,
         /// Power-cycle epoch at scheduling time.
         epoch: u64,
+        /// Retry attempt (0 = first try); drives the fetch backoff.
+        attempt: u32,
+    },
+    /// A node's fetch timer expires after a lost or stalled task request;
+    /// it retries with exponential backoff.
+    TaskRequestRetry {
+        /// The retrying node.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+        /// Retry attempt about to be made.
+        attempt: u32,
+    },
+    /// A node's retransmission timer expires after a lost result upload.
+    ResultRetry {
+        /// The node holding the computed result.
+        node: NodeId,
+        /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+        /// Retry attempt about to be made.
+        attempt: u32,
     },
     /// A task's input data finishes downloading to the node.
     TaskInputArrived {
@@ -79,6 +100,14 @@ pub enum WorldEvent {
         /// The uploading node.
         node: NodeId,
         /// Power-cycle epoch at scheduling time.
+        epoch: u64,
+    },
+    /// A crashed PNA finishes rebooting (fault injection); the node
+    /// re-reads the carousel and resumes heartbeating.
+    PnaRestart {
+        /// The restarting node.
+        node: NodeId,
+        /// Software epoch assigned at crash time.
         epoch: u64,
     },
     /// The Controller's periodic maintenance timer.

@@ -1,5 +1,6 @@
 //! Aggregate observables of a world run.
 
+use oddci_faults::FaultCounters;
 use oddci_sim::{Histogram, Summary};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -24,6 +25,15 @@ pub struct WorldMetrics {
     pub direct_resets: u64,
     /// Node power-offs that orphaned an in-flight task.
     pub tasks_orphaned: u64,
+    /// Tasks re-queued by the Backend (node losses, stale re-requests).
+    pub requeues: u64,
+    /// Task fetches retried after a lost request, lost input, or Backend
+    /// stall (bounded exponential backoff).
+    pub task_fetch_retries: u64,
+    /// Retry chains abandoned after exhausting the backoff budget.
+    pub fetch_aborts: u64,
+    /// Injected-fault counts per class (all zero without a fault plan).
+    pub faults: FaultCounters,
     /// Instance-size samples per instance, one `(secs, size)` point per
     /// controller tick while the instance lives (capped).
     pub size_timeline: BTreeMap<u64, Vec<(f64, u64)>>,
@@ -40,6 +50,10 @@ impl Default for WorldMetrics {
             heartbeats_delivered: 0,
             direct_resets: 0,
             tasks_orphaned: 0,
+            requeues: 0,
+            task_fetch_retries: 0,
+            fetch_aborts: 0,
+            faults: FaultCounters::default(),
             size_timeline: BTreeMap::new(),
         }
     }
@@ -64,6 +78,10 @@ impl WorldMetrics {
             heartbeats_delivered: self.heartbeats_delivered,
             direct_resets: self.direct_resets,
             tasks_orphaned: self.tasks_orphaned,
+            requeues: self.requeues,
+            task_fetch_retries: self.task_fetch_retries,
+            fetch_aborts: self.fetch_aborts,
+            faults: self.faults,
         }
     }
 }
@@ -85,4 +103,12 @@ pub struct MetricsSnapshot {
     pub direct_resets: u64,
     /// Tasks orphaned by churn.
     pub tasks_orphaned: u64,
+    /// Tasks re-queued by the Backend.
+    pub requeues: u64,
+    /// Task fetches retried with backoff.
+    pub task_fetch_retries: u64,
+    /// Retry chains abandoned after the backoff budget.
+    pub fetch_aborts: u64,
+    /// Injected-fault counts per class.
+    pub faults: FaultCounters,
 }

@@ -77,7 +77,9 @@ impl MessageAuthenticator {
         if self.verify(message, tag) {
             Ok(())
         } else {
-            Err(OddciError::BadSignature { context: context.to_string() })
+            Err(OddciError::BadSignature {
+                context: context.to_string(),
+            })
         }
     }
 }
@@ -133,7 +135,9 @@ mod tests {
         let auth = MessageAuthenticator::from_key(b"k");
         let tag = auth.sign(b"msg");
         assert!(auth.verify_or_err(b"msg", &tag, "wakeup").is_ok());
-        let err = auth.verify_or_err(b"other", &tag, "wakeup inst-1").unwrap_err();
+        let err = auth
+            .verify_or_err(b"other", &tag, "wakeup inst-1")
+            .unwrap_err();
         assert!(err.to_string().contains("wakeup inst-1"));
     }
 

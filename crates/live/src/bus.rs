@@ -19,7 +19,9 @@ impl<T: Clone> Default for BroadcastBus<T> {
 impl<T: Clone> BroadcastBus<T> {
     /// Creates a bus with no subscribers.
     pub fn new() -> Self {
-        BroadcastBus { subscribers: Mutex::new(Vec::new()) }
+        BroadcastBus {
+            subscribers: Mutex::new(Vec::new()),
+        }
     }
 
     /// Subscribes; the returned receiver sees every message published

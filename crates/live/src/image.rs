@@ -97,8 +97,14 @@ mod tests {
 
     #[test]
     fn different_seeds_different_databases() {
-        let a = AlignmentImage { db_seed: 1, ..AlignmentImage::small_demo() };
-        let b = AlignmentImage { db_seed: 2, ..AlignmentImage::small_demo() };
+        let a = AlignmentImage {
+            db_seed: 1,
+            ..AlignmentImage::small_demo()
+        };
+        let b = AlignmentImage {
+            db_seed: 2,
+            ..AlignmentImage::small_demo()
+        };
         assert_ne!(a.materialize().db(), b.materialize().db());
     }
 }

@@ -14,6 +14,7 @@ use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, Ins
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
 use oddci_core::pna::{HostInfo, Pna, PnaAction};
 use oddci_core::provider::{JobReport, Provider, ProviderRequest};
+use oddci_faults::{Backoff, FaultInjector, FaultPlan};
 use oddci_receiver::compute::UsageMode;
 use oddci_types::{
     DataSize, HeartbeatConfig, ImageId, InstanceId, JobId, NodeId, SimDuration, SimTime, TaskId,
@@ -41,6 +42,10 @@ pub struct LiveConfig {
     pub controller_tick: Duration,
     /// Master seed for per-node randomness.
     pub seed: u64,
+    /// Faults to inject (none by default). Decisions are keyed on runtime
+    /// micros, so live injection is *statistically* faithful to the plan
+    /// rather than replay-deterministic like the simulated plane.
+    pub faults: FaultPlan,
 }
 
 impl Default for LiveConfig {
@@ -51,6 +56,7 @@ impl Default for LiveConfig {
             heartbeat_interval: Duration::from_millis(150),
             controller_tick: Duration::from_millis(200),
             seed: 42,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -92,7 +98,11 @@ enum ToHeadend {
 
 #[derive(Debug, Clone)]
 enum TaskReply {
-    Assigned { job: JobId, task: Task, query: Arc<Vec<u8>> },
+    Assigned {
+        job: JobId,
+        task: Task,
+        query: Arc<Vec<u8>>,
+    },
     Drained,
 }
 
@@ -122,6 +132,10 @@ impl LiveOddci {
         let bus = Arc::new(BroadcastBus::new());
         let (tx, rx) = unbounded();
         let start = Instant::now();
+        let injector = Arc::new(FaultInjector::new(
+            config.faults.clone(),
+            config.seed ^ 0xFA17_FA17,
+        ));
 
         let mut nodes = Vec::with_capacity(config.nodes as usize);
         for i in 0..config.nodes {
@@ -130,15 +144,17 @@ impl LiveOddci {
             let key = config.key.clone();
             let hb = config.heartbeat_interval;
             let seed = config.seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15));
+            let inj = Arc::clone(&injector);
             nodes.push(std::thread::spawn(move || {
-                node_main(NodeId::new(i), key, bus_rx, tx, hb, seed, start)
+                node_main(NodeId::new(i), key, bus_rx, tx, hb, seed, start, inj)
             }));
         }
 
         let headend = {
             let bus = Arc::clone(&bus);
             let cfg = config.clone();
-            std::thread::spawn(move || headend_main(cfg, bus, rx, start))
+            let inj = Arc::clone(&injector);
+            std::thread::spawn(move || headend_main(cfg, bus, rx, start, inj))
         };
 
         LiveOddci {
@@ -195,7 +211,12 @@ impl LiveOddci {
                 )
             })
             .collect();
-        let job = Job::new(job_id, ImageId::new(job_id.raw()), DataSize::from_megabytes(1), tasks);
+        let job = Job::new(
+            job_id,
+            ImageId::new(job_id.raw()),
+            DataSize::from_megabytes(1),
+            tasks,
+        );
 
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
@@ -269,7 +290,8 @@ impl HeadendState {
                             None
                         }
                     };
-                    self.bus.publish(&BusMsg::Control(LiveBroadcast { signed, image }));
+                    self.bus
+                        .publish(&BusMsg::Control(LiveBroadcast { signed, image }));
                 }
                 ControllerOutput::DirectReset { instance, .. } => {
                     // In the live plane direct resets ride heartbeat replies.
@@ -287,13 +309,21 @@ impl HeadendState {
         if !self.backend.is_complete(job) {
             return;
         }
-        let Some(req) = self.provider.request_for_job(job) else { return };
-        let Some((&inst, _)) = self.instance_job.iter().find(|(_, &j)| j == job) else { return };
+        let Some(req) = self.provider.request_for_job(job) else {
+            return;
+        };
+        let Some((&inst, _)) = self.instance_job.iter().find(|(_, &j)| j == job) else {
+            return;
+        };
         let wakeups = self.controller.instance(inst).map_or(0, |r| r.wakeups_sent);
         let completed = self.backend.completed_count(job);
         let requeues = self.backend.requeue_count(job);
         let now = self.now();
-        if self.provider.complete(req, now, completed, requeues, wakeups).is_some() {
+        if self
+            .provider
+            .complete(req, now, completed, requeues, wakeups)
+            .is_some()
+        {
             if let Ok(outputs) = self.controller.dismantle(inst) {
                 let _ = self.process_outputs(outputs);
             }
@@ -306,6 +336,7 @@ fn headend_main(
     bus: Arc<BroadcastBus<BusMsg>>,
     rx: Receiver<ToHeadend>,
     start: Instant,
+    injector: Arc<FaultInjector>,
 ) {
     let policy = ControllerPolicy {
         heartbeat: HeartbeatConfig {
@@ -340,7 +371,17 @@ fn headend_main(
                 let mut replies = st.process_outputs(outputs);
                 let _ = reply.send(replies.pop().unwrap_or(HeartbeatReply::Ack));
             }
-            Ok(ToHeadend::TaskRequest { instance, node, reply }) => {
+            Ok(ToHeadend::TaskRequest {
+                instance,
+                node,
+                reply,
+            }) => {
+                // Fault hook: a stalled Backend answers nothing at all; the
+                // node's reply timeout fires and it retries with backoff.
+                if injector.backend_stalled(st.now()).is_some() {
+                    drop(reply);
+                    continue;
+                }
                 let Some(&job) = st.instance_job.get(&instance) else {
                     let _ = reply.send(TaskReply::Drained);
                     continue;
@@ -355,16 +396,31 @@ fn headend_main(
                     }
                 }
             }
-            Ok(ToHeadend::TaskResult { job, task, node, score }) => {
+            Ok(ToHeadend::TaskResult {
+                job,
+                task,
+                node,
+                score,
+            }) => {
                 let now = st.now();
-                if st.backend.complete_task(job, task, node, now).unwrap_or(false) {
+                if st
+                    .backend
+                    .complete_task(job, task, node, now)
+                    .unwrap_or(false)
+                {
                     st.job_scores.entry(job).or_default().insert(task, score);
                     st.finish_if_done(job);
                 } else {
                     st.job_scores.entry(job).or_default().insert(task, score);
                 }
             }
-            Ok(ToHeadend::Submit { job, queries, image, target, reply }) => {
+            Ok(ToHeadend::Submit {
+                job,
+                queries,
+                image,
+                target,
+                reply,
+            }) => {
                 let now = st.now();
                 let job_id = job.id;
                 let req = InstanceRequest {
@@ -385,8 +441,7 @@ fn headend_main(
             }
             Ok(ToHeadend::Report { req, reply }) => {
                 let out = st.provider.report(req).map(|r| {
-                    let scores =
-                        st.job_scores.get(&r.job).cloned().unwrap_or_default();
+                    let scores = st.job_scores.get(&r.job).cloned().unwrap_or_default();
                     (r, scores)
                 });
                 let _ = reply.send(out);
@@ -407,6 +462,7 @@ fn headend_main(
 // Node
 // ---------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn node_main(
     id: NodeId,
     key: Vec<u8>,
@@ -415,6 +471,7 @@ fn node_main(
     hb_interval: Duration,
     seed: u64,
     start: Instant,
+    injector: Arc<FaultInjector>,
 ) {
     let mut pna = Pna::new(id, &key);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -427,25 +484,39 @@ fn node_main(
         match bus_rx.recv_timeout(hb_interval) {
             Ok(BusMsg::Shutdown) => return,
             Ok(BusMsg::Control(b)) => {
-                match pna.on_control_message(&b.signed, host, &mut rng) {
-                    PnaAction::BeginAcquisition { instance, .. } => {
-                        if let Some(image) = b.image {
-                            if !run_instance(
-                                &mut pna, &mut rng, host, instance, &image, &bus_rx, &tx,
-                                hb_interval, &start,
-                            ) {
-                                return; // shutdown observed while busy
-                            }
-                        } else {
-                            // Wakeup without image (race with reset): bail out.
-                            pna.on_direct_reset(instance);
+                if let PnaAction::BeginAcquisition { instance, .. } =
+                    pna.on_control_message(&b.signed, host, &mut rng)
+                {
+                    if let Some(image) = b.image {
+                        if !run_instance(
+                            &mut pna,
+                            &mut rng,
+                            host,
+                            instance,
+                            &image,
+                            &bus_rx,
+                            &tx,
+                            hb_interval,
+                            seed,
+                            &start,
+                            &injector,
+                        ) {
+                            return; // shutdown observed while busy
                         }
+                    } else {
+                        // Wakeup without image (race with reset): bail out.
+                        pna.on_direct_reset(instance);
                     }
-                    _ => {}
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                if !heartbeat(&mut pna, &tx, &start) {
+                // Fault hook: the PNA software crashes at its own timer; a
+                // reboot later it comes back idle and resumes listening
+                // (restart = this same loop — the carousel repeats).
+                if maybe_crash(&mut pna, &injector, &start) {
+                    continue;
+                }
+                if !heartbeat(&mut pna, &tx, seed, &start, &injector) {
                     return;
                 }
             }
@@ -454,21 +525,67 @@ fn node_main(
     }
 }
 
-/// Sends one heartbeat and applies the reply. Returns false if the
-/// headend is gone.
-fn heartbeat(pna: &mut Pna, tx: &Sender<ToHeadend>, start: &Instant) -> bool {
-    let hb = pna.heartbeat(SimTime::from_micros(start.elapsed().as_micros() as u64));
-    let (rtx, rrx) = bounded(1);
-    if tx.send(ToHeadend::Heartbeat(hb, rtx)).is_err() {
+/// How long a node waits for a heartbeat reply before backing off.
+const HB_REPLY_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long a node waits for a task-fetch reply before backing off.
+const TASK_REPLY_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Wall-clock runtime instant as [`SimTime`].
+fn wall_now(start: &Instant) -> SimTime {
+    SimTime::from_micros(start.elapsed().as_micros() as u64)
+}
+
+/// Rolls the PNA-crash fault. On a crash the agent loses all state and
+/// sleeps out the reboot; returns `true` if one happened.
+fn maybe_crash(pna: &mut Pna, injector: &FaultInjector, start: &Instant) -> bool {
+    let Some(downtime) = injector.pna_crash(pna.node(), wall_now(start)) else {
         return false;
-    }
-    match rrx.recv_timeout(Duration::from_secs(5)) {
-        Ok(HeartbeatReply::Reset(inst)) => {
-            pna.on_direct_reset(inst);
-            true
+    };
+    pna.power_off();
+    std::thread::sleep(Duration::from_micros(downtime.as_micros()));
+    true
+}
+
+/// Sends one heartbeat and applies the reply. A beat swallowed by an
+/// injected drop or partition is simply skipped (the miss-threshold
+/// machinery is the Controller's problem); a reply timeout is retried a
+/// few times and then given up on *without* killing the node. Returns
+/// false only when the headend is gone.
+fn heartbeat(
+    pna: &mut Pna,
+    tx: &Sender<ToHeadend>,
+    seed: u64,
+    start: &Instant,
+    injector: &FaultInjector,
+) -> bool {
+    let id = pna.node();
+    let backoff = Backoff::live();
+    let mut attempt = 0;
+    loop {
+        let now = wall_now(start);
+        if injector.partitioned(id, now) || injector.heartbeat_dropped(id, now) {
+            return true;
         }
-        Ok(HeartbeatReply::Ack) => true,
-        Err(_) => false,
+        let hb = pna.heartbeat(now);
+        let (rtx, rrx) = bounded(1);
+        if tx.send(ToHeadend::Heartbeat(hb, rtx)).is_err() {
+            return false;
+        }
+        match rrx.recv_timeout(HB_REPLY_TIMEOUT) {
+            Ok(HeartbeatReply::Reset(inst)) => {
+                pna.on_direct_reset(inst);
+                return true;
+            }
+            Ok(HeartbeatReply::Ack) => return true,
+            Err(_) => match backoff.delay_std(attempt, seed ^ 0xbea7) {
+                Some(d) => {
+                    attempt += 1;
+                    std::thread::sleep(d);
+                }
+                // Give up on this beat, not on the node.
+                None => return true,
+            },
+        }
     }
 }
 
@@ -484,14 +601,18 @@ fn run_instance(
     bus_rx: &Receiver<BusMsg>,
     tx: &Sender<ToHeadend>,
     hb_interval: Duration,
+    seed: u64,
     start: &Instant,
+    injector: &FaultInjector,
 ) -> bool {
     let _ = pna.image_ready();
     // Real work: regenerate and index the database.
     let db = image.materialize();
-    if !heartbeat(pna, tx, start) {
+    if !heartbeat(pna, tx, seed, start, injector) {
         return true;
     }
+    let backoff = Backoff::live();
+    let mut fetch_attempt: u32 = 0;
     while !pna.is_idle() {
         // Drain broadcast traffic (resets, other instances' wakeups).
         while let Ok(msg) = bus_rx.try_recv() {
@@ -501,7 +622,7 @@ fn run_instance(
                     if let PnaAction::DveDestroyed { .. } =
                         pna.on_control_message(&b.signed, host, rng)
                     {
-                        let _ = heartbeat(pna, tx, start);
+                        let _ = heartbeat(pna, tx, seed, start, injector);
                         return true;
                     }
                 }
@@ -511,23 +632,41 @@ fn run_instance(
             break;
         }
 
-        let (rtx, rrx) = bounded(1);
-        if tx.send(ToHeadend::TaskRequest { instance, node: pna.node(), reply: rtx }).is_err() {
-            return true;
-        }
-        match rrx.recv_timeout(Duration::from_secs(5)) {
-            Ok(TaskReply::Assigned { job, task, query }) => {
+        // Fault hook: a direct-channel loss episode eats the request on
+        // the wire; the reply timeout below treats a stalled Backend the
+        // same way. Both paths retry with backoff.
+        let now = wall_now(start);
+        let lost =
+            injector.partitioned(pna.node(), now) || injector.direct_dropped(pna.node(), now);
+        let reply = if lost {
+            None
+        } else {
+            let (rtx, rrx) = bounded(1);
+            if tx
+                .send(ToHeadend::TaskRequest {
+                    instance,
+                    node: pna.node(),
+                    reply: rtx,
+                })
+                .is_err()
+            {
+                return true;
+            }
+            rrx.recv_timeout(TASK_REPLY_TIMEOUT).ok()
+        };
+        match reply {
+            Some(TaskReply::Assigned { job, task, query }) => {
+                fetch_attempt = 0;
                 let score = image.score(&db, &query);
                 let _ = pna.task_done();
-                let _ = tx.send(ToHeadend::TaskResult {
-                    job,
-                    task: task.id,
-                    node: pna.node(),
-                    score,
-                });
+                send_result(pna, tx, job, task.id, score, seed, start, injector);
             }
-            Ok(TaskReply::Drained) => {
-                if !heartbeat(pna, tx, start) {
+            Some(TaskReply::Drained) => {
+                fetch_attempt = 0;
+                if maybe_crash(pna, injector, start) {
+                    return true;
+                }
+                if !heartbeat(pna, tx, seed, start, injector) {
                     return true;
                 }
                 match bus_rx.recv_timeout(hb_interval) {
@@ -536,7 +675,7 @@ fn run_instance(
                         if let PnaAction::DveDestroyed { .. } =
                             pna.on_control_message(&b.signed, host, rng)
                         {
-                            let _ = heartbeat(pna, tx, start);
+                            let _ = heartbeat(pna, tx, seed, start, injector);
                             return true;
                         }
                     }
@@ -544,8 +683,59 @@ fn run_instance(
                     Err(RecvTimeoutError::Disconnected) => return true,
                 }
             }
-            Err(_) => return true,
+            None => match backoff.delay_std(fetch_attempt, seed ^ 0xfe7c) {
+                Some(d) => {
+                    fetch_attempt += 1;
+                    std::thread::sleep(d);
+                }
+                None => {
+                    // Exhausted: give up on this chain but not on the node —
+                    // heartbeat (so the Controller still sees us) and start
+                    // a fresh chain. Pre-hardening this killed the worker.
+                    fetch_attempt = 0;
+                    if !heartbeat(pna, tx, seed, start, injector) {
+                        return true;
+                    }
+                }
+            },
         }
     }
     true
+}
+
+/// Uploads one result, retrying through loss episodes. An exhausted chain
+/// abandons the local copy: the Backend still holds the assignment and
+/// recycles it into the queue at this node's next fetch.
+#[allow(clippy::too_many_arguments)]
+fn send_result(
+    pna: &Pna,
+    tx: &Sender<ToHeadend>,
+    job: JobId,
+    task: TaskId,
+    score: i32,
+    seed: u64,
+    start: &Instant,
+    injector: &FaultInjector,
+) {
+    let backoff = Backoff::live();
+    let mut attempt = 0;
+    loop {
+        let now = wall_now(start);
+        if !(injector.partitioned(pna.node(), now) || injector.direct_dropped(pna.node(), now)) {
+            let _ = tx.send(ToHeadend::TaskResult {
+                job,
+                task,
+                node: pna.node(),
+                score,
+            });
+            return;
+        }
+        match backoff.delay_std(attempt, seed ^ 0x5e9d) {
+            Some(d) => {
+                attempt += 1;
+                std::thread::sleep(d);
+            }
+            None => return,
+        }
+    }
 }

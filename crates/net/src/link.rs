@@ -7,7 +7,8 @@
 //! hit loss are retransmitted whole after a timeout (task/result payloads
 //! are single application-level messages in this model).
 
-use oddci_types::{Bandwidth, DataSize, DirectChannelConfig, SimDuration, SimTime};
+use oddci_faults::{FaultClass, FaultCounters, FaultInjector};
+use oddci_types::{Bandwidth, DataSize, DirectChannelConfig, NodeId, SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +89,44 @@ impl DirectLink {
         finish
     }
 
+    /// [`transfer`](Self::transfer) under an injected-fault regime.
+    ///
+    /// Returns `None` when the message vanishes entirely (loss burst or
+    /// partition episode at `now`) — the link is then *not* occupied, the
+    /// message died in the network, and the caller is expected to retry
+    /// with backoff. Otherwise returns the completion instant, stretched
+    /// by the active latency-spike multiplier if any (queueing delay in
+    /// the network, so it extends delivery without monopolizing the
+    /// link's own serializer). Every injection is recorded in `counters`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_faulted<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        size: DataSize,
+        dir: Direction,
+        rng: &mut R,
+        injector: &FaultInjector,
+        node: NodeId,
+        counters: &mut FaultCounters,
+    ) -> Option<SimTime> {
+        if injector.partitioned(node, now) {
+            counters.record(FaultClass::Partition);
+            return None;
+        }
+        if injector.direct_dropped(node, now) {
+            counters.record(FaultClass::DirectLoss);
+            return None;
+        }
+        let done = self.transfer(now, size, dir, rng);
+        let mult = injector.latency_multiplier(node, now);
+        if mult > 1.0 {
+            counters.record(FaultClass::LatencySpike);
+            Some(now + (done - now).mul_f64(mult))
+        } else {
+            Some(done)
+        }
+    }
+
     /// Completion time of a loss-free transfer starting exactly at `now` on
     /// an idle link — the closed-form the analytical model uses.
     pub fn ideal_transfer_time(&self, size: DataSize) -> SimDuration {
@@ -142,17 +181,41 @@ mod tests {
     fn serial_use_queues_transfers() {
         let mut link = lossless();
         let mut rng = SmallRng::seed_from_u64(1);
-        let first = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Up, &mut rng);
-        let second = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Up, &mut rng);
-        assert_eq!(second - first, first - SimTime::ZERO, "second waits for first");
+        let first = link.transfer(
+            SimTime::ZERO,
+            DataSize::from_kilobytes(10),
+            Direction::Up,
+            &mut rng,
+        );
+        let second = link.transfer(
+            SimTime::ZERO,
+            DataSize::from_kilobytes(10),
+            Direction::Up,
+            &mut rng,
+        );
+        assert_eq!(
+            second - first,
+            first - SimTime::ZERO,
+            "second waits for first"
+        );
     }
 
     #[test]
     fn directions_are_independent() {
         let mut link = lossless();
         let mut rng = SmallRng::seed_from_u64(1);
-        let up = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Up, &mut rng);
-        let down = link.transfer(SimTime::ZERO, DataSize::from_kilobytes(10), Direction::Down, &mut rng);
+        let up = link.transfer(
+            SimTime::ZERO,
+            DataSize::from_kilobytes(10),
+            Direction::Up,
+            &mut rng,
+        );
+        let down = link.transfer(
+            SimTime::ZERO,
+            DataSize::from_kilobytes(10),
+            Direction::Down,
+            &mut rng,
+        );
         assert_eq!(up, down, "full duplex: no cross-direction queueing");
     }
 
@@ -185,8 +248,18 @@ mod tests {
     fn accounting_tracks_bits() {
         let mut link = lossless();
         let mut rng = SmallRng::seed_from_u64(1);
-        link.transfer(SimTime::ZERO, DataSize::from_bytes(100), Direction::Up, &mut rng);
-        link.transfer(SimTime::ZERO, DataSize::from_bytes(50), Direction::Down, &mut rng);
+        link.transfer(
+            SimTime::ZERO,
+            DataSize::from_bytes(100),
+            Direction::Up,
+            &mut rng,
+        );
+        link.transfer(
+            SimTime::ZERO,
+            DataSize::from_bytes(50),
+            Direction::Down,
+            &mut rng,
+        );
         assert_eq!(link.bits_transferred, 150 * 8);
     }
 
@@ -194,18 +267,125 @@ mod tests {
     fn reset_clears_queue() {
         let mut link = lossless();
         let mut rng = SmallRng::seed_from_u64(1);
-        link.transfer(SimTime::ZERO, DataSize::from_megabytes(1), Direction::Up, &mut rng);
+        link.transfer(
+            SimTime::ZERO,
+            DataSize::from_megabytes(1),
+            Direction::Up,
+            &mut rng,
+        );
         assert!(link.busy_until(Direction::Up) > SimTime::from_secs(10));
         link.reset(SimTime::from_secs(1));
         assert_eq!(link.busy_until(Direction::Up), SimTime::from_secs(1));
     }
 
     #[test]
+    fn faulted_transfer_drops_and_spikes() {
+        use oddci_faults::{FaultPlan, FaultSpec};
+        let node = NodeId::new(4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let size = DataSize::from_kilobytes(1);
+
+        // Total loss: every message vanishes, link stays idle.
+        let lossy = FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::new(FaultClass::DirectLoss, 1.0).magnitude(10.0)),
+            1,
+        );
+        let mut link = lossless();
+        let mut counters = FaultCounters::default();
+        let out = link.transfer_faulted(
+            SimTime::ZERO,
+            size,
+            Direction::Up,
+            &mut rng,
+            &lossy,
+            node,
+            &mut counters,
+        );
+        assert_eq!(out, None);
+        assert_eq!(counters.direct_losses, 1);
+        assert_eq!(
+            link.busy_until(Direction::Up),
+            SimTime::ZERO,
+            "dropped in the network"
+        );
+
+        // Permanent 4x latency spike: delivery stretches, and is counted.
+        let spiky = FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::new(FaultClass::LatencySpike, 1.0).magnitude(4.0)),
+            1,
+        );
+        let mut link = lossless();
+        let nominal = link.ideal_transfer_time(size);
+        let done = link
+            .transfer_faulted(
+                SimTime::ZERO,
+                size,
+                Direction::Up,
+                &mut rng,
+                &spiky,
+                node,
+                &mut counters,
+            )
+            .unwrap();
+        let stretch = done.as_secs_f64() / nominal.as_secs_f64();
+        assert!((3.9..4.1).contains(&stretch), "stretch {stretch}");
+        assert_eq!(counters.latency_spikes, 1);
+
+        // No faults: identical to the plain path.
+        let mut a = lossless();
+        let mut b = lossless();
+        let mut ra = SmallRng::seed_from_u64(9);
+        let mut rb = SmallRng::seed_from_u64(9);
+        let plain = a.transfer(SimTime::ZERO, size, Direction::Up, &mut ra);
+        let faulted = b
+            .transfer_faulted(
+                SimTime::ZERO,
+                size,
+                Direction::Up,
+                &mut rb,
+                &FaultInjector::disabled(),
+                node,
+                &mut counters,
+            )
+            .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn partition_cuts_both_directions() {
+        use oddci_faults::{FaultPlan, FaultSpec};
+        let inj = FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::new(FaultClass::Partition, 1.0).magnitude(60.0)),
+            2,
+        );
+        let mut link = lossless();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counters = FaultCounters::default();
+        for dir in [Direction::Up, Direction::Down] {
+            let out = link.transfer_faulted(
+                SimTime::from_secs(5),
+                DataSize::from_bytes(64),
+                dir,
+                &mut rng,
+                &inj,
+                NodeId::new(0),
+                &mut counters,
+            );
+            assert_eq!(out, None);
+        }
+        assert_eq!(counters.partitions, 2);
+    }
+
+    #[test]
     fn transfer_starting_later_respects_now() {
         let mut link = lossless();
         let mut rng = SmallRng::seed_from_u64(1);
-        let done =
-            link.transfer(SimTime::from_secs(100), DataSize::from_bytes(1), Direction::Up, &mut rng);
+        let done = link.transfer(
+            SimTime::from_secs(100),
+            DataSize::from_bytes(1),
+            Direction::Up,
+            &mut rng,
+        );
         assert!(done > SimTime::from_secs(100));
     }
 }

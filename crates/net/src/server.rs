@@ -23,7 +23,10 @@ impl ServerCapacity {
     /// Creates a capacity description.
     pub fn new(service_rate_msgs: f64, ingress: Bandwidth) -> Self {
         assert!(service_rate_msgs > 0.0, "service rate must be positive");
-        ServerCapacity { service_rate_msgs, ingress }
+        ServerCapacity {
+            service_rate_msgs,
+            ingress,
+        }
     }
 
     /// Aggregate message arrival rate for `nodes` each sending one message
@@ -64,7 +67,10 @@ impl ServerCapacity {
     /// The largest node population this server sustains (ρ < `target_rho`)
     /// at one message per `interval` per node.
     pub fn max_nodes(&self, interval: SimDuration, target_rho: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&target_rho), "target utilization in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&target_rho),
+            "target utilization in [0,1]"
+        );
         (self.service_rate_msgs * target_rho * interval.as_secs_f64()).floor() as u64
     }
 
@@ -107,7 +113,10 @@ mod tests {
         let wq = s.mean_queue_delay(5_000.0).unwrap();
         assert_eq!(wq, SimDuration::from_micros(50));
         // Response = Wq + 1/mu = 50 + 100 = 150 µs.
-        assert_eq!(s.mean_response_time(5_000.0).unwrap(), SimDuration::from_micros(150));
+        assert_eq!(
+            s.mean_response_time(5_000.0).unwrap(),
+            SimDuration::from_micros(150)
+        );
     }
 
     #[test]

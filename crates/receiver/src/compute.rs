@@ -52,7 +52,11 @@ pub struct ComputeModel {
 
 impl Default for ComputeModel {
     fn default() -> Self {
-        ComputeModel { stb_in_use_vs_pc: 20.6, in_use_vs_standby: 1.65, jitter_cv: 0.0 }
+        ComputeModel {
+            stb_in_use_vs_pc: 20.6,
+            in_use_vs_standby: 1.65,
+            jitter_cv: 0.0,
+        }
     }
 }
 
@@ -65,8 +69,14 @@ impl ComputeModel {
     /// Same constants plus multiplicative jitter with the given coefficient
     /// of variation.
     pub fn paper_with_jitter(jitter_cv: f64) -> Self {
-        assert!((0.0..1.0).contains(&jitter_cv), "jitter CV must be in [0,1)");
-        ComputeModel { jitter_cv, ..Self::default() }
+        assert!(
+            (0.0..1.0).contains(&jitter_cv),
+            "jitter CV must be in [0,1)"
+        );
+        ComputeModel {
+            jitter_cv,
+            ..Self::default()
+        }
     }
 
     /// Slowdown factor of `(class, mode)` relative to the reference PC.
@@ -160,8 +170,14 @@ mod tests {
     #[test]
     fn paper_constants() {
         let m = ComputeModel::paper();
-        assert_eq!(m.factor_vs_pc(DeviceClass::ReferencePc, UsageMode::InUse), 1.0);
-        assert_eq!(m.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::InUse), 20.6);
+        assert_eq!(
+            m.factor_vs_pc(DeviceClass::ReferencePc, UsageMode::InUse),
+            1.0
+        );
+        assert_eq!(
+            m.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::InUse),
+            20.6
+        );
         let standby = m.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::Standby);
         assert!((standby - 20.6 / 1.65).abs() < 1e-12);
     }

@@ -39,7 +39,13 @@ pub struct Dve {
 impl Dve {
     /// Creates a DVE in the `Loading` state.
     pub fn create(instance: InstanceId, image: ImageId, image_size: DataSize) -> Self {
-        Dve { instance, image, image_size, state: DveState::Loading, tasks_completed: 0 }
+        Dve {
+            instance,
+            image,
+            image_size,
+            state: DveState::Loading,
+            tasks_completed: 0,
+        }
     }
 
     /// Current state.
@@ -68,7 +74,10 @@ impl Dve {
                 self.tasks_completed += 1;
                 Ok(())
             }
-            s => Err(OddciError::InvalidState { operation: "task_done", state: format!("{s:?}") }),
+            s => Err(OddciError::InvalidState {
+                operation: "task_done",
+                state: format!("{s:?}"),
+            }),
         }
     }
 
@@ -90,7 +99,11 @@ mod tests {
     use super::*;
 
     fn dve() -> Dve {
-        Dve::create(InstanceId::new(1), ImageId::new(9), DataSize::from_megabytes(10))
+        Dve::create(
+            InstanceId::new(1),
+            ImageId::new(9),
+            DataSize::from_megabytes(10),
+        )
     }
 
     #[test]
@@ -135,6 +148,9 @@ mod tests {
     fn destroy_while_loading_is_allowed() {
         let mut d = dve();
         d.destroy();
-        assert!(d.image_loaded().is_err(), "cannot finish loading a destroyed DVE");
+        assert!(
+            d.image_loaded().is_err(),
+            "cannot finish loading a destroyed DVE"
+        );
     }
 }

@@ -41,7 +41,12 @@ pub struct Xlet {
 impl Xlet {
     /// Loads the Xlet: runs the default constructor (state *Loaded*).
     pub fn load(app_id: u32, name: impl Into<String>) -> Self {
-        Xlet { app_id, name: name.into(), state: XletState::Loaded, pause_cycles: 0 }
+        Xlet {
+            app_id,
+            name: name.into(),
+            state: XletState::Loaded,
+            pause_cycles: 0,
+        }
     }
 
     /// Current lifecycle state.
@@ -101,7 +106,10 @@ impl Xlet {
 }
 
 fn invalid(operation: &'static str, state: XletState) -> OddciError {
-    OddciError::InvalidState { operation, state: format!("{state:?}") }
+    OddciError::InvalidState {
+        operation,
+        state: format!("{state:?}"),
+    }
 }
 
 /// The middleware component that owns every Xlet on one receiver and

@@ -13,7 +13,12 @@ enum Op {
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        prop_oneof![Just(Op::Init), Just(Op::Start), Just(Op::Pause), Just(Op::Destroy)],
+        prop_oneof![
+            Just(Op::Init),
+            Just(Op::Start),
+            Just(Op::Pause),
+            Just(Op::Destroy)
+        ],
         0..64,
     )
 }

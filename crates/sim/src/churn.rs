@@ -50,10 +50,18 @@ impl ChurnProcess {
     ///
     /// A `mean_on` of `f64::INFINITY` models a node that never leaves once
     /// on (and symmetrically for `mean_off`).
-    pub fn new(mean_on: SimDuration, mean_off: SimDuration, initial: OnOffState, seed: u64) -> Self {
+    pub fn new(
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+        initial: OnOffState,
+        seed: u64,
+    ) -> Self {
         let mean_on = mean_on.as_secs_f64();
         let mean_off = mean_off.as_secs_f64();
-        assert!(mean_on > 0.0 && mean_off > 0.0, "sojourn means must be positive");
+        assert!(
+            mean_on > 0.0 && mean_off > 0.0,
+            "sojourn means must be positive"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let first_sojourn = match initial {
             OnOffState::On => exp_sample(&mut rng, mean_on),
@@ -131,7 +139,11 @@ impl ChurnProcess {
     ) -> ChurnProcess {
         let avail = mean_on.as_secs_f64() / (mean_on.as_secs_f64() + mean_off.as_secs_f64());
         let mut boot = SmallRng::seed_from_u64(seed ^ 0xc0ffee);
-        let initial = if boot.random::<f64>() < avail { OnOffState::On } else { OnOffState::Off };
+        let initial = if boot.random::<f64>() < avail {
+            OnOffState::On
+        } else {
+            OnOffState::Off
+        };
         ChurnProcess::new(mean_on, mean_off, initial, seed)
     }
 }
@@ -239,7 +251,12 @@ mod tests {
                 OnOffState::On,
                 seed,
             );
-            (0..20).map(|_| { p.toggle(); p.next_toggle().as_micros() }).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| {
+                    p.toggle();
+                    p.next_toggle().as_micros()
+                })
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

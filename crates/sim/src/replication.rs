@@ -45,7 +45,11 @@ impl ReplicatedEstimate {
             f64::INFINITY
         } else {
             let df = (n - 1) as usize;
-            let t = if df <= T_975.len() { T_975[df - 1] } else { 1.96 };
+            let t = if df <= T_975.len() {
+                T_975[df - 1]
+            } else {
+                1.96
+            };
             t * w.std_dev() / (n as f64).sqrt()
         };
         ReplicatedEstimate {
@@ -75,7 +79,9 @@ impl ReplicatedEstimate {
 /// by `base_seed` — spread via splitmix so adjacent experiments do not
 /// share streams.
 pub fn replication_seeds(base_seed: u64, n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| crate::rng::splitmix64(base_seed ^ (i.wrapping_mul(0x2545F4914F6CDD1D)))).collect()
+    (0..n as u64)
+        .map(|i| crate::rng::splitmix64(base_seed ^ (i.wrapping_mul(0x2545F4914F6CDD1D))))
+        .collect()
 }
 
 #[cfg(test)]
@@ -106,7 +112,11 @@ mod tests {
         // hw = 2.776 * sqrt(2.5)/sqrt(5) ≈ 1.963.
         let e = ReplicatedEstimate::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
         assert!((e.mean - 3.0).abs() < 1e-12);
-        assert!((e.ci95_half_width - 1.963).abs() < 1e-3, "{}", e.ci95_half_width);
+        assert!(
+            (e.ci95_half_width - 1.963).abs() < 1e-3,
+            "{}",
+            e.ci95_half_width
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl SeedForge {
     /// hand out its own labeled streams without coordinating label names
     /// globally.
     pub fn fork(&self, label: &str) -> SeedForge {
-        SeedForge { master: self.seed(label) }
+        SeedForge {
+            master: self.seed(label),
+        }
     }
 }
 
@@ -113,7 +115,11 @@ mod tests {
         let mut unique = seeds.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), seeds.len(), "collision among 1000 indexed seeds");
+        assert_eq!(
+            unique.len(),
+            seeds.len(),
+            "collision among 1000 indexed seeds"
+        );
     }
 
     #[test]
@@ -128,8 +134,18 @@ mod tests {
     #[test]
     fn rng_streams_are_reproducible() {
         let forge = SeedForge::new(11);
-        let a: Vec<u64> = (0..10).map({ let mut r = forge.rng("s"); move |_| r.random() }).collect();
-        let b: Vec<u64> = (0..10).map({ let mut r = forge.rng("s"); move |_| r.random() }).collect();
+        let a: Vec<u64> = (0..10)
+            .map({
+                let mut r = forge.rng("s");
+                move |_| r.random()
+            })
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map({
+                let mut r = forge.rng("s");
+                move |_| r.random()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -19,7 +19,13 @@ pub struct Welford {
 impl Welford {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -133,12 +139,19 @@ impl Histogram {
     /// are measured in multiples of it).
     pub fn new(unit: f64) -> Self {
         assert!(unit > 0.0, "histogram unit must be positive");
-        Histogram { buckets: vec![0; 64], unit, stats: Welford::new() }
+        Histogram {
+            buckets: vec![0; 64],
+            unit,
+            stats: Welford::new(),
+        }
     }
 
     /// Adds one (non-negative) sample.
     pub fn add(&mut self, x: f64) {
-        assert!(x >= 0.0 && x.is_finite(), "histogram samples must be finite and >= 0");
+        assert!(
+            x >= 0.0 && x.is_finite(),
+            "histogram samples must be finite and >= 0"
+        );
         self.stats.add(x);
         let ratio = x / self.unit;
         let idx = if ratio < 1.0 {
@@ -187,7 +200,11 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| {
                 let hi = self.unit * 2f64.powi(i as i32);
-                let lo = if i == 0 { 0.0 } else { self.unit * 2f64.powi(i as i32 - 1) };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    self.unit * 2f64.powi(i as i32 - 1)
+                };
                 (lo, hi, c)
             })
             .collect()

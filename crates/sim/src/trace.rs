@@ -26,12 +26,22 @@ impl Default for TraceLog {
 impl TraceLog {
     /// A log that records up to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        TraceLog { entries: Vec::new(), enabled: true, capacity, dropped: 0 }
+        TraceLog {
+            entries: Vec::new(),
+            enabled: true,
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// A log that records nothing (zero overhead beyond the branch).
     pub fn disabled() -> Self {
-        TraceLog { entries: Vec::new(), enabled: false, capacity: 0, dropped: 0 }
+        TraceLog {
+            entries: Vec::new(),
+            enabled: false,
+            capacity: 0,
+            dropped: 0,
+        }
     }
 
     /// True when recording.
@@ -65,7 +75,10 @@ impl TraceLog {
 
     /// Number of entries matching a substring (for assertions).
     pub fn count_matching(&self, needle: &str) -> usize {
-        self.entries.iter().filter(|(_, m)| m.contains(needle)).count()
+        self.entries
+            .iter()
+            .filter(|(_, m)| m.contains(needle))
+            .count()
     }
 }
 
@@ -75,7 +88,11 @@ impl fmt::Display for TraceLog {
             writeln!(f, "[{:>12.3}s] {}", at.as_secs_f64(), msg)?;
         }
         if self.dropped > 0 {
-            writeln!(f, "... and {} more entries dropped (capacity bound)", self.dropped)?;
+            writeln!(
+                f,
+                "... and {} more entries dropped (capacity bound)",
+                self.dropped
+            )?;
         }
         Ok(())
     }
@@ -112,7 +129,9 @@ mod tests {
     #[test]
     fn display_renders_timeline() {
         let mut log = TraceLog::new(10);
-        log.record(SimTime::from_secs(5), || "instance inst-000001 created".into());
+        log.record(SimTime::from_secs(5), || {
+            "instance inst-000001 created".into()
+        });
         let text = log.to_string();
         assert!(text.contains("5.000s"));
         assert!(text.contains("inst-000001"));

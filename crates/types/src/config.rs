@@ -144,13 +144,22 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let dtv = DtvSystemConfig { beta: Bandwidth::from_bps(0.0), ..Default::default() };
+        let dtv = DtvSystemConfig {
+            beta: Bandwidth::from_bps(0.0),
+            ..Default::default()
+        };
         assert!(dtv.validate().is_err());
 
-        let dc = DirectChannelConfig { loss_rate: 1.0, ..Default::default() };
+        let dc = DirectChannelConfig {
+            loss_rate: 1.0,
+            ..Default::default()
+        };
         assert!(dc.validate().is_err());
 
-        let hb = HeartbeatConfig { miss_threshold: 0, ..Default::default() };
+        let hb = HeartbeatConfig {
+            miss_threshold: 0,
+            ..Default::default()
+        };
         assert!(hb.validate().is_err());
     }
 

@@ -56,7 +56,10 @@ impl fmt::Display for OddciError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OddciError::BadSignature { context } => {
-                write!(f, "control message failed signature verification: {context}")
+                write!(
+                    f,
+                    "control message failed signature verification: {context}"
+                )
             }
             OddciError::UnknownInstance(id) => write!(f, "unknown OddCI instance {id}"),
             OddciError::UnknownNode(id) => write!(f, "unknown processing node {id}"),
@@ -64,7 +67,10 @@ impl fmt::Display for OddciError {
             OddciError::UnknownTask { job, task } => {
                 write!(f, "task {task} does not belong to job {job}")
             }
-            OddciError::InsufficientCapacity { requested, available } => write!(
+            OddciError::InsufficientCapacity {
+                requested,
+                available,
+            } => write!(
                 f,
                 "instance request for {requested} nodes exceeds available pool of {available}"
             ),
@@ -86,11 +92,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = OddciError::InsufficientCapacity { requested: 100, available: 10 };
+        let e = OddciError::InsufficientCapacity {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
 
-        let e = OddciError::UnknownTask { job: JobId::new(1), task: TaskId::new(9) };
+        let e = OddciError::UnknownTask {
+            job: JobId::new(1),
+            task: TaskId::new(9),
+        };
         assert!(e.to_string().contains("task-000009"));
         assert!(e.to_string().contains("job-000001"));
     }

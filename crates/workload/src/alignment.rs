@@ -25,7 +25,11 @@ pub struct Scoring {
 
 impl Default for Scoring {
     fn default() -> Self {
-        Scoring { matched: 1, mismatch: -3, gap: 5 }
+        Scoring {
+            matched: 1,
+            mismatch: -3,
+            gap: 5,
+        }
     }
 }
 
@@ -40,7 +44,11 @@ pub fn smith_waterman(a: &[u8], b: &[u8], s: Scoring) -> i32 {
     let mut best = 0;
     for &ca in a {
         for j in 1..=b.len() {
-            let sub = if ca == b[j - 1] { s.matched } else { s.mismatch };
+            let sub = if ca == b[j - 1] {
+                s.matched
+            } else {
+                s.mismatch
+            };
             let diag = prev[j - 1] + sub;
             let up = prev[j] - s.gap;
             let left = curr[j - 1] - s.gap;
@@ -87,7 +95,12 @@ impl BlastSearch {
                 }
             }
         }
-        BlastSearch { db, k, index, scoring }
+        BlastSearch {
+            db,
+            k,
+            index,
+            scoring,
+        }
     }
 
     /// The indexed database.
@@ -105,8 +118,12 @@ impl BlastSearch {
         }
         let mut seen = std::collections::HashSet::new();
         for qpos in 0..=query.len() - self.k {
-            let Some(key) = pack(&query[qpos..qpos + self.k]) else { continue };
-            let Some(positions) = self.index.get(&key) else { continue };
+            let Some(key) = pack(&query[qpos..qpos + self.k]) else {
+                continue;
+            };
+            let Some(positions) = self.index.get(&key) else {
+                continue;
+            };
             for &dpos in positions {
                 let dpos = dpos as usize;
                 // Deduplicate overlapping seeds extending to the same region.
@@ -121,7 +138,11 @@ impl BlastSearch {
                 let score =
                     smith_waterman(&query[qstart..qend], &self.db[dstart..dend], self.scoring);
                 if score >= min_score {
-                    hits.push(Hit { db_pos: dpos, query_pos: qpos, score });
+                    hits.push(Hit {
+                        db_pos: dpos,
+                        query_pos: qpos,
+                        score,
+                    });
                 }
             }
         }
@@ -182,7 +203,11 @@ mod tests {
     fn sw_known_small_example() {
         // Classic textbook example with match=3, mismatch=-3, gap=2:
         // TGTTACGG vs GGTTGACTA has optimal local score 13.
-        let s = Scoring { matched: 3, mismatch: -3, gap: 2 };
+        let s = Scoring {
+            matched: 3,
+            mismatch: -3,
+            gap: 2,
+        };
         assert_eq!(smith_waterman(b"TGTTACGG", b"GGTTGACTA", s), 13);
     }
 

@@ -105,9 +105,30 @@ pub const TABLE2_EXPERIMENTS: [BlastExperiment; 12] = [
     row(7, BlastMode::LocalSmallDb, 1.026, 0.612, 1.026 / 20.6, true),
     row(8, BlastMode::LocalSmallDb, 0.944, 0.610, 0.944 / 20.6, true),
     row(9, BlastMode::LocalSmallDb, 1.642, 0.990, 1.642 / 20.6, true),
-    row(10, BlastMode::LocalLargeDb, 0.177, 0.118, 0.177 / 20.6, true),
-    row(11, BlastMode::LocalLargeDb, 9314.247, 6315.410, 9314.247 / 20.6, true),
-    row(12, BlastMode::LocalLargeDb, 38858.298, 26973.262, 38858.298 / 20.6, true),
+    row(
+        10,
+        BlastMode::LocalLargeDb,
+        0.177,
+        0.118,
+        0.177 / 20.6,
+        true,
+    ),
+    row(
+        11,
+        BlastMode::LocalLargeDb,
+        9314.247,
+        6315.410,
+        9314.247 / 20.6,
+        true,
+    ),
+    row(
+        12,
+        BlastMode::LocalLargeDb,
+        38858.298,
+        26973.262,
+        38858.298 / 20.6,
+        true,
+    ),
 ];
 
 /// Table III: `blastcl3` remote runs #13–15, fully reconstructed
@@ -121,7 +142,11 @@ pub const TABLE3_EXPERIMENTS: [BlastExperiment; 3] = [
 
 /// All fifteen experiments in paper order.
 pub fn all_experiments() -> Vec<BlastExperiment> {
-    TABLE2_EXPERIMENTS.iter().chain(TABLE3_EXPERIMENTS.iter()).copied().collect()
+    TABLE2_EXPERIMENTS
+        .iter()
+        .chain(TABLE3_EXPERIMENTS.iter())
+        .copied()
+        .collect()
 }
 
 /// Mean in-use/standby penalty over Table II — the paper reports 1.65

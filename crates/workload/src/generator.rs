@@ -114,7 +114,9 @@ impl JobGenerator {
         self.next_job += 1;
         let tasks = (0..n)
             .map(|i| {
-                let s = self.size_dist.sample(self.mean_input.bits() as f64, &mut self.rng);
+                let s = self
+                    .size_dist
+                    .sample(self.mean_input.bits() as f64, &mut self.rng);
                 let r = self
                     .size_dist
                     .sample(self.mean_result.bits() as f64, &mut self.rng)

@@ -33,7 +33,12 @@ pub struct Task {
 impl Task {
     /// Creates a task.
     pub fn new(id: TaskId, input_size: DataSize, cost: SimDuration, result_size: DataSize) -> Self {
-        Task { id, input_size, cost, result_size }
+        Task {
+            id,
+            input_size,
+            cost,
+            result_size,
+        }
     }
 
     /// A parametric task (`t.s = 0`): all input is in the image/parameters.
@@ -68,7 +73,12 @@ impl Job {
     /// would produce division-by-zero averages.
     pub fn new(id: JobId, image: ImageId, image_size: DataSize, tasks: Vec<Task>) -> Self {
         assert!(!tasks.is_empty(), "a job must contain at least one task");
-        Job { id, image, image_size, tasks }
+        Job {
+            id,
+            image,
+            image_size,
+            tasks,
+        }
     }
 
     /// Number of tasks `n`.
@@ -137,8 +147,14 @@ impl JobProfile {
         delta: Bandwidth,
         phi: f64,
     ) -> JobProfile {
-        assert!(phi > 0.0 && phi.is_finite(), "phi must be positive and finite");
-        assert!(moved.bits() > 0, "moved data must be positive to define phi");
+        assert!(
+            phi > 0.0 && phi.is_finite(),
+            "phi must be positive and finite"
+        );
+        assert!(
+            moved.bits() > 0,
+            "moved data must be positive to define phi"
+        );
         let p = phi * moved.bits() as f64 / delta.bps();
         JobProfile {
             image_size,
@@ -228,7 +244,11 @@ mod tests {
 
     #[test]
     fn parametric_tasks_move_only_results() {
-        let t = Task::parametric(TaskId::new(0), SimDuration::from_secs(1), DataSize::from_bytes(64));
+        let t = Task::parametric(
+            TaskId::new(0),
+            SimDuration::from_secs(1),
+            DataSize::from_bytes(64),
+        );
         assert!(t.input_size.is_zero());
         assert_eq!(t.bytes_moved(), DataSize::from_bytes(64));
     }

@@ -33,7 +33,10 @@ fn main() {
         .from_reference_stb(task_cost, UsageMode::InUse)
         .mul_f64(queries as f64);
     println!("one reference PC, serial    : {:>12}", fmt_hours(pc_serial));
-    println!("one STB (in use), serial    : {:>12}", fmt_hours(stb_serial));
+    println!(
+        "one STB (in use), serial    : {:>12}",
+        fmt_hours(stb_serial)
+    );
 
     // The OddCI-DTV run: 1,000-receiver audience, 500-node instance.
     let mut cfg = WorldConfig::default();
@@ -57,12 +60,19 @@ fn main() {
         .run_request(request, SimTime::from_secs(30 * 24 * 3600))
         .expect("campaign completes");
 
-    println!("OddCI-DTV, 500-node instance: {:>12}", fmt_hours(report.makespan));
+    println!(
+        "OddCI-DTV, 500-node instance: {:>12}",
+        fmt_hours(report.makespan)
+    );
     println!();
-    println!("speedup vs one PC           : {:>11.1}x",
-        pc_serial.as_secs_f64() / report.makespan.as_secs_f64());
-    println!("speedup vs one STB          : {:>11.1}x",
-        stb_serial.as_secs_f64() / report.makespan.as_secs_f64());
+    println!(
+        "speedup vs one PC           : {:>11.1}x",
+        pc_serial.as_secs_f64() / report.makespan.as_secs_f64()
+    );
+    println!(
+        "speedup vs one STB          : {:>11.1}x",
+        stb_serial.as_secs_f64() / report.makespan.as_secs_f64()
+    );
     println!();
     println!("instance wakeup broadcasts  : {}", report.wakeup_broadcasts);
     println!("tasks re-queued (churn)     : {}", report.requeues);
@@ -72,11 +82,15 @@ fn main() {
     );
     println!();
     println!(
-        "note: a single STB is {:.1}x slower than the reference PC (paper: 20.6x),"
-        , model.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::InUse)
+        "note: a single STB is {:.1}x slower than the reference PC (paper: 20.6x),",
+        model.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::InUse)
     );
     println!("yet a television-audience-sized pool still collapses the campaign");
-    println!("from {} to {}.", fmt_hours(pc_serial), fmt_hours(report.makespan));
+    println!(
+        "from {} to {}.",
+        fmt_hours(pc_serial),
+        fmt_hours(report.makespan)
+    );
 }
 
 fn fmt_hours(d: SimDuration) -> String {

@@ -18,7 +18,11 @@ fn main() {
         .skip(1)
         .map(|a| a.parse().expect("ratios must be numbers"))
         .collect();
-    let ratios = if ratios.is_empty() { vec![1.0, 10.0, 100.0, 1000.0] } else { ratios };
+    let ratios = if ratios.is_empty() {
+        vec![1.0, 10.0, 100.0, 1000.0]
+    } else {
+        ratios
+    };
 
     // The paper's Figure 6/7 scenario.
     let params = InstanceParams::paper(1_000);

@@ -25,7 +25,10 @@ fn main() {
     let mut baseline = None;
     for n_channels in [1usize, 2, 4] {
         let configs: Vec<WorldConfig> = (0..n_channels)
-            .map(|_| WorldConfig { nodes: 500, ..Default::default() })
+            .map(|_| WorldConfig {
+                nodes: 500,
+                ..Default::default()
+            })
             .collect();
         let mut fed = Federation::new(configs, 77);
 

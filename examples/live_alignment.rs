@@ -14,8 +14,14 @@ use oddci::live::{AlignmentImage, LiveConfig, LiveOddci};
 use std::time::Duration;
 
 fn main() {
-    let config = LiveConfig { nodes: 8, ..Default::default() };
-    println!("starting live OddCI: {} receiver threads + headend", config.nodes);
+    let config = LiveConfig {
+        nodes: 8,
+        ..Default::default()
+    };
+    println!(
+        "starting live OddCI: {} receiver threads + headend",
+        config.nodes
+    );
     let live = LiveOddci::start(config);
 
     let image = AlignmentImage::small_demo();
@@ -47,7 +53,11 @@ fn main() {
             "{:<8} {:>8}  {}",
             task.to_string(),
             score,
-            if planted { "planted homolog" } else { "random noise" }
+            if planted {
+                "planted homolog"
+            } else {
+                "random noise"
+            }
         );
     }
     println!();

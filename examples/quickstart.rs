@@ -38,7 +38,10 @@ fn main() {
     println!("channel audience      : {nodes} receivers");
     println!("instance target       : {target} nodes");
     println!("image                 : {image}");
-    println!("tasks                 : {} x {}", profile.task_count, profile.mean_cost);
+    println!(
+        "tasks                 : {} x {}",
+        profile.task_count, profile.mean_cost
+    );
     println!();
 
     // What the paper's closed forms predict.

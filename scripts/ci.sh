@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gauntlet: build, test, formatting, lints. Run from anywhere; exits
+# non-zero on the first failure. Pass extra cargo flags (e.g. --offline)
+# via CARGO_FLAGS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:-}
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release ${CARGO_FLAGS}
+run cargo test -q ${CARGO_FLAGS}
+run cargo fmt --check
+run cargo clippy --workspace ${CARGO_FLAGS} -- -D warnings
+
+echo "==> CI green"

@@ -22,6 +22,7 @@
 //! | [`broadcast`] | `oddci-broadcast` | MPEG-2 TS multiplex, DSM-CC object carousel, AIT |
 //! | [`receiver`] | `oddci-receiver` | set-top box, Xlet middleware, DVE, calibrated compute |
 //! | [`net`] | `oddci-net` | δ-bps direct channels, Controller capacity model |
+//! | [`faults`] | `oddci-faults` | deterministic fault-injection plans, backoff policies |
 //! | [`core`] | `oddci-core` | Provider / Controller / Backend / PNA + the world simulation |
 //! | [`workload`] | `oddci-workload` | MTC jobs, suitability Φ, BLAST dataset, alignment kernel |
 //! | [`analytics`] | `oddci-analytics` | closed forms: `W = 1.5·I/β`, makespan eq. (1), efficiency eq. (2) |
@@ -63,6 +64,7 @@ pub use oddci_baselines as baselines;
 pub use oddci_broadcast as broadcast;
 pub use oddci_core as core;
 pub use oddci_crypto as crypto;
+pub use oddci_faults as faults;
 pub use oddci_live as live;
 pub use oddci_net as net;
 pub use oddci_receiver as receiver;

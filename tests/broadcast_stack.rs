@@ -10,7 +10,12 @@ use oddci::receiver::XletState;
 use oddci::types::{Bandwidth, ChannelId, DataSize, SimTime};
 
 fn pna_entry(code: AppControlCode) -> AitEntry {
-    AitEntry { app_id: 1, name: "pna".into(), base_file: "pna.xlet".into(), control_code: code }
+    AitEntry {
+        app_id: 1,
+        name: "pna".into(),
+        base_file: "pna.xlet".into(),
+        control_code: code,
+    }
 }
 
 #[test]
@@ -18,7 +23,10 @@ fn receiver_lifecycle_follows_channel_signalling() {
     let mut channel = BroadcastChannel::new(
         ChannelId::new(1),
         Bandwidth::from_mbps(1.0),
-        vec![CarouselFile::sized("pna.xlet", DataSize::from_kilobytes(256))],
+        vec![CarouselFile::sized(
+            "pna.xlet",
+            DataSize::from_kilobytes(256),
+        )],
         SimTime::ZERO,
     );
     let mut am = ApplicationManager::new();
@@ -63,7 +71,9 @@ fn carousel_update_restarts_acquisitions_from_new_epoch() {
         vec![],
         SimTime::from_secs(100),
     );
-    assert!(channel.acquisition_complete("image-v1", SimTime::from_secs(100)).is_none());
+    assert!(channel
+        .acquisition_complete("image-v1", SimTime::from_secs(100))
+        .is_none());
     let after = channel
         .acquisition_complete("image-v2", SimTime::from_secs(100))
         .expect("v2 on air");
@@ -92,7 +102,9 @@ fn file_order_determines_acquisition_order_at_epoch() {
 
     // A receiver that just finished the config can read the image in the
     // same pass: the image completes exactly when a seamless read would.
-    let chained = carousel.acquisition_complete_by_name("image", config).unwrap();
+    let chained = carousel
+        .acquisition_complete_by_name("image", config)
+        .unwrap();
     // Equal up to microsecond clock rounding at the phase boundary.
     assert!(
         chained.as_micros().abs_diff(image.as_micros()) <= 10,

@@ -42,7 +42,11 @@ fn three_sequential_jobs_reuse_the_pool() {
         // Let the reset propagate so the pool is idle again.
         let settle = sim.now() + SimDuration::from_mins(15);
         sim.run_until(settle);
-        assert_eq!(sim.world().running_members(report.instance), 0, "round {round} freed");
+        assert_eq!(
+            sim.world().running_members(report.instance),
+            0,
+            "round {round} freed"
+        );
     }
 }
 
@@ -82,7 +86,10 @@ fn standby_only_instances_exclude_watching_receivers() {
     let request = sim.submit_job_with(
         job,
         200, // ask for everyone; only standby boxes may say yes
-        NodeRequirements { min_memory: DataSize::ZERO, standby_only: true },
+        NodeRequirements {
+            min_memory: DataSize::ZERO,
+            standby_only: true,
+        },
     );
     sim.run_until(SimTime::from_secs(2 * 3600));
 
@@ -100,8 +107,9 @@ fn standby_only_instances_exclude_watching_receivers() {
     }
     // And the instance can never exceed the standby population.
     let standby_total = (0..200)
-        .filter(|&i| world.node(oddci::types::NodeId::new(i)).usage
-            == oddci::receiver::UsageMode::Standby)
+        .filter(|&i| {
+            world.node(oddci::types::NodeId::new(i)).usage == oddci::receiver::UsageMode::Standby
+        })
         .count() as u64;
     assert!(members.len() as u64 <= standby_total);
 }
@@ -129,10 +137,15 @@ fn severe_churn_still_finishes_every_task() {
 fn metrics_snapshot_is_consistent() {
     let mut sim = World::simulation(base_config(100), 71);
     let request = sim.submit_job(homogeneous_job(100, 10, 72), 50);
-    sim.run_request(request, SimTime::from_secs(24 * 3600)).expect("completes");
+    sim.run_request(request, SimTime::from_secs(24 * 3600))
+        .expect("completes");
     let snap = sim.world().metrics().snapshot();
     assert_eq!(snap.tasks_completed, 100);
-    assert!(snap.joins >= 45, "at least ~target joins, got {}", snap.joins);
+    assert!(
+        snap.joins >= 45,
+        "at least ~target joins, got {}",
+        snap.joins
+    );
     assert!(snap.wakeup_latency.count == snap.joins);
     assert!(snap.heartbeats_delivered > 0);
 }

@@ -13,7 +13,10 @@ fn small_config(nodes: u64) -> LiveConfig {
 }
 
 fn tiny_image() -> AlignmentImage {
-    AlignmentImage { db_len: 20_000, ..AlignmentImage::small_demo() }
+    AlignmentImage {
+        db_len: 20_000,
+        ..AlignmentImage::small_demo()
+    }
 }
 
 #[test]
@@ -25,10 +28,20 @@ fn live_job_completes_and_scores_separate() {
     assert_eq!(outcome.scores.len(), 10);
     assert_eq!(outcome.report.tasks_completed, 10);
     // Planted homologs (even task ids) must outscore random noise (odd).
-    let planted_min =
-        outcome.scores.iter().filter(|(t, _)| t.raw() % 2 == 0).map(|(_, &s)| s).min().unwrap();
-    let noise_max =
-        outcome.scores.iter().filter(|(t, _)| t.raw() % 2 == 1).map(|(_, &s)| s).max().unwrap();
+    let planted_min = outcome
+        .scores
+        .iter()
+        .filter(|(t, _)| t.raw() % 2 == 0)
+        .map(|(_, &s)| s)
+        .min()
+        .unwrap();
+    let noise_max = outcome
+        .scores
+        .iter()
+        .filter(|(t, _)| t.raw() % 2 == 1)
+        .map(|(_, &s)| s)
+        .max()
+        .unwrap();
     assert!(
         planted_min > noise_max,
         "planted_min={planted_min} noise_max={noise_max}"
@@ -44,7 +57,10 @@ fn two_jobs_back_to_back() {
         .expect("first job");
     let b = live
         .run_alignment_job(
-            AlignmentImage { db_seed: 0xFEED, ..tiny_image() },
+            AlignmentImage {
+                db_seed: 0xFEED,
+                ..tiny_image()
+            },
             6,
             2,
             Duration::from_secs(60),
@@ -52,7 +68,10 @@ fn two_jobs_back_to_back() {
         .expect("second job");
     assert_eq!(a.report.tasks_completed, 6);
     assert_eq!(b.report.tasks_completed, 6);
-    assert_ne!(a.report.instance, b.report.instance, "fresh instance per job");
+    assert_ne!(
+        a.report.instance, b.report.instance,
+        "fresh instance per job"
+    );
     live.shutdown();
 }
 

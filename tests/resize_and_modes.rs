@@ -54,7 +54,9 @@ fn resize_unknown_request_errors() {
     let mut cfg = WorldConfig::default();
     cfg.nodes = 10;
     let mut sim = World::simulation(cfg, 1);
-    assert!(sim.resize_request(oddci::core::ProviderRequest(99), 5).is_err());
+    assert!(sim
+        .resize_request(oddci::core::ProviderRequest(99), 5)
+        .is_err());
 }
 
 /// The usage-mode mix caps throughput below the homogeneous model: an

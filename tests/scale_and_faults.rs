@@ -113,7 +113,10 @@ fn delta_bandwidth_ordering() {
     let slow = run(56.0); // dial-up
     let adsl = run(150.0); // the paper's lower bound
     let fast = run(1_000.0);
-    assert!(slow > adsl && adsl > fast, "δ ordering: {slow:.0} > {adsl:.0} > {fast:.0}");
+    assert!(
+        slow > adsl && adsl > fast,
+        "δ ordering: {slow:.0} > {adsl:.0} > {fast:.0}"
+    );
 }
 
 /// Zero-input (parametric) tasks skip the input transfer entirely.

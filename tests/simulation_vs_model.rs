@@ -118,8 +118,7 @@ fn efficiency_ordering_matches_equation_2() {
             .run_request(request, SimTime::from_secs(30 * 24 * 3600))
             .expect("completes");
         // E = n·p / (M·N)
-        n_tasks as f64 * p.mean_cost.as_secs_f64()
-            / (report.makespan.as_secs_f64() * target as f64)
+        n_tasks as f64 * p.mean_cost.as_secs_f64() / (report.makespan.as_secs_f64() * target as f64)
     };
 
     // High suitability: 10-minute tasks moving 1 KB.

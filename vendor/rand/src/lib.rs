@@ -1,0 +1,288 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `rand` to this minimal implementation. It covers exactly the API
+//! surface the OddCI reproduction uses: `Rng::{random, random_range,
+//! random_bool}`, `SeedableRng::seed_from_u64`, and `rngs::SmallRng`.
+//!
+//! The generator is a splitmix64 counter stream — statistically sound for
+//! simulation workloads (and for the repo's statistical unit tests), not
+//! bit-compatible with upstream `SmallRng` and not cryptographic.
+
+#![forbid(unsafe_code)]
+
+/// Low-level uniform-bit source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible uniformly at random ([`Rng::random`]).
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardUniform for i128 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        u128::draw(rng) as i128
+    }
+}
+
+impl StandardUniform for bool {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]`. The single
+/// generic [`SampleRange`] impl below keeps integer-literal inference
+/// working the way upstream `rand` does (`range: Range<T>` pins `T`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut (impl RngCore + ?Sized))
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut (impl RngCore + ?Sized),
+            ) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128
+                    + u128::from(inclusive);
+                let offset = (u128::from(rng.next_u64()) % span) as $wide;
+                (lo as $wide).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_between(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Self {
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Self {
+        lo + f32::draw(rng) * (hi - lo)
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_between(start, end, true, rng)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A value drawn uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds the generator from OS entropy — here a fixed arbitrary seed,
+    /// since the stand-in targets deterministic simulations only.
+    fn from_os_rng() -> Self {
+        Self::seed_from_u64(0x6f64_6463_695f_7365)
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Generator namespaces, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small fast generator: a splitmix64-scrambled Weyl sequence.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            splitmix64(self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: splitmix64(seed) }
+        }
+    }
+
+    /// Alias so `StdRng` call sites keep compiling; same generator.
+    pub type StdRng = SmallRng;
+}
+
+/// Distribution traits namespace (subset).
+pub mod distr {
+    pub use super::{SampleRange, StandardUniform};
+}
+
+/// The commonly-imported prelude.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_streams() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| r.random()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.random_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = r.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = r.random_range(0..4usize);
+            assert!(i < 4);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+}

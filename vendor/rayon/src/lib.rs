@@ -1,0 +1,63 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` here returns the plain sequential iterator. The
+//! workspace's uses are embarrassingly parallel maps whose results are
+//! identical either way; only wall-clock time differs in the offline
+//! container.
+
+#![forbid(unsafe_code)]
+
+/// The rayon prelude: parallel-iterator entry points.
+pub mod prelude {
+    /// Sequential stand-in for `rayon`'s `par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type (a plain sequential iterator here).
+        type Iter: Iterator;
+
+        /// "Parallel" iteration over `&self` — sequential in this stand-in.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        C: 'data,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon`'s `into_par_iter()`.
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter: Iterator;
+
+        /// "Parallel" by-value iteration — sequential in this stand-in.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Iter = C::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_is_sequential_iter() {
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: u64 = (0u64..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

@@ -1,0 +1,565 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `serde` to this minimal implementation. Instead of the real
+//! visitor-based Serializer/Deserializer machinery, serialization is
+//! modeled as conversion to and from one JSON-like [`Value`] tree:
+//!
+//! - [`Serialize::to_value`] renders a type into a [`Value`]
+//! - [`Deserialize::from_value`] rebuilds a type from a [`Value`]
+//!
+//! The companion `serde_json` stand-in renders [`Value`] to text and
+//! parses text back, which together covers everything the workspace needs
+//! (artifact files, `--json` CLI output, config round-trips).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree. Object fields keep insertion order so derived
+/// output is stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, as ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in its natural machine representation so `u64`
+/// counters and seeds survive a round trip losslessly.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed (negative) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The number as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The number as `u64` if representable exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The number as `i64` if representable exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Alias for [`field`](Self::field), mirroring `serde_json::Value::get`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.field(name)
+    }
+
+    /// Array element lookup.
+    pub fn element(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// For externally-tagged enums: the single `(tag, payload)` entry.
+    pub fn single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an exact integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; missing fields yield `Null` like `serde_json`.
+    fn index(&self, name: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.field(name).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.element(index).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_value_partial_eq_num {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == Number::$variant(*other as $cast))
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_partial_eq_num!(
+    u8 => U as u64, u16 => U as u64, u32 => U as u64, u64 => U as u64, usize => U as u64,
+    i8 => I as i64, i16 => I as i64, i32 => I as i64, i64 => I as i64, isize => I as i64,
+    f32 => F as f64, f64 => F as f64
+);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Serialization: render `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `value`.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization error support.
+pub mod de {
+    /// A deserialization error with a plain-text message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// New error from any message.
+        pub fn custom(msg: impl std::fmt::Display) -> Self {
+            Error(msg.to_string())
+        }
+
+        /// Missing object field.
+        pub fn missing_field(ty: &str, field: &str) -> Self {
+            Error(format!("{ty}: missing field `{field}`"))
+        }
+
+        /// Missing array element.
+        pub fn missing_element(ty: &str, index: usize) -> Self {
+            Error(format!("{ty}: missing element {index}"))
+        }
+
+        /// No variant matched.
+        pub fn unknown_variant(ty: &str) -> Self {
+            Error(format!("{ty}: unknown or malformed variant"))
+        }
+
+        /// Type mismatch.
+        pub fn expected(what: &str) -> Self {
+            Error(format!("expected {what}"))
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Alias so `serde::de::DeserializeOwned` bounds keep compiling.
+    pub use super::Deserialize as DeserializeOwned;
+}
+
+/// `serde::ser` namespace alias.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// -------------------------------------------------------- impls: Serialize
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                value
+                    .as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| de::Error::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::Number(Number::U(v as u64)) } else { Value::Number(Number::I(v)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                value
+                    .as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| de::Error::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F(f64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                value.as_f64().map(|f| f as $t).ok_or_else(|| de::Error::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        value.as_bool().ok_or_else(|| de::Error::expected("bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        value.as_str().map(str::to_string).ok_or_else(|| de::Error::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::expected("array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| de::Error::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                Ok(($(
+                    $t::from_value(
+                        value.element($n).ok_or_else(|| de::Error::expected("tuple element"))?,
+                    )?,
+                )+))
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse().map_err(|_| de::Error::custom(format!("bad map key `{k}`")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(de::Error::expected("object")),
+        }
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.parse().map_err(|_| de::Error::custom(format!("bad map key `{k}`")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(de::Error::expected("object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_index_and_eq() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Number(Number::U(1))),
+            ("s".into(), Value::String("hi".into())),
+        ]);
+        assert_eq!(v["x"], 1);
+        assert_eq!(v["s"], "hi");
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v = vec![Some(1u64), None, Some(3)].to_value();
+        let back: Vec<Option<u64>> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, vec![Some(1), None, Some(3)]);
+    }
+
+    #[test]
+    fn numbers_compare_across_kinds() {
+        assert_eq!(Number::U(5), Number::F(5.0));
+        assert_eq!(Number::I(-2), Number::F(-2.0));
+        assert!(Number::U(5) != Number::U(6));
+    }
+}

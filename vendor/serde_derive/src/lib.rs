@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's serde stand-in models serialization as conversion to and
+//! from a single [`serde::Value`] tree, so the derives here emit
+//! `impl serde::Serialize` / `impl serde::Deserialize` in terms of
+//! `to_value` / `from_value`. The macro is written against raw
+//! `proc_macro::TokenStream` (no `syn`/`quote` in the offline container):
+//! it parses the item shape by hand and assembles the impl as source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! - structs with named fields (object), honoring `#[serde(transparent)]`
+//! - tuple structs: arity 1 is a newtype (inner value), arity ≥2 an array
+//! - unit structs (null)
+//! - enums, externally tagged: unit variants as strings, newtype variants
+//!   as `{"Variant": value}`, tuple variants as `{"Variant": [..]}`,
+//!   struct variants as `{"Variant": {..}}`
+//!
+//! Generics are intentionally unsupported (the workspace derives none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String>, transparent: bool },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("serde_derive: generated impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// True if this `#[...]` attribute group is `serde(...)` containing the
+/// word `transparent`.
+fn is_transparent_attr(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Consumes a run of `#[...]` attributes from the front of `tokens`,
+/// returning whether any was `#[serde(transparent)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut transparent = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        transparent |= is_transparent_attr(&g);
+                    }
+                    other => panic!("serde_derive: expected [...] after '#', got {other:?}"),
+                }
+            }
+            _ => return transparent,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let transparent = skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item::NamedStruct { name, fields, transparent }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `field: Type, ...` field names, skipping attributes, visibility
+/// and the types themselves (commas inside `<...>` or nested groups do not
+/// split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => return fields,
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field name, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut in_field = false;
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    in_field = false;
+                    continue;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                }
+            }
+            _ => {}
+        }
+        if !in_field {
+            in_field = true;
+            arity += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            None => return variants,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional explicit discriminant, then the separating comma.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn render_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields, transparent } => {
+            let body = if *transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "__fields.push((\"{f}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{f})));"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut __fields = ::std::vec::Vec::new(); {pushes} \
+                     ::serde::Value::Object(__fields)"
+                )
+            };
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let pushes: String = (0..*arity)
+                    .map(|i| format!("__items.push(::serde::Serialize::to_value(&self.{i}));"))
+                    .collect();
+                format!(
+                    "let mut __items = ::std::vec::Vec::new(); {pushes} \
+                     ::serde::Value::Array(__items)"
+                )
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let pushes: String = binders
+                                .iter()
+                                .map(|b| {
+                                    format!("__items.push(::serde::Serialize::to_value({b}));")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {{ \
+                                 let mut __items = ::std::vec::Vec::new(); {pushes} \
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Array(__items))]) }},",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__fields.push((\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => {{ \
+                                 let mut __fields = ::std::vec::Vec::new(); {pushes} \
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Object(__fields))]) }},",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields, transparent } => {
+            let body = if *transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__value)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             __value.field(\"{f}\").ok_or_else(|| \
+                             ::serde::de::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
+                        )
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name} {{ {inits} }})")
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__value.element({i}).ok_or_else(\
+                             || ::serde::de::Error::missing_element(\"{name}\", {i}))?)?,"
+                        )
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name}({elems}))")
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings; payload variants as
+            // single-key objects.
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => return ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let elems: String = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         __payload.element({i}).ok_or_else(|| \
+                                         ::serde::de::Error::missing_element(\"{name}\", {i}))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}({elems})),"
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __payload.field(\"{f}\").ok_or_else(|| \
+                                         ::serde::de::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "if let ::serde::Value::String(__s) = __value {{ \
+                     match __s.as_str() {{ {unit_arms} _ => {{}} }} \
+                 }} \
+                 if let ::std::option::Option::Some((__tag, __payload)) = __value.single_entry() {{ \
+                     match __tag {{ {payload_arms} _ => {{}} }} \
+                 }} \
+                 ::std::result::Result::Err(::serde::de::Error::unknown_variant(\"{name}\"))"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} }}"
+    )
+}
