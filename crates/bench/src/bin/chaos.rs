@@ -8,9 +8,10 @@
 //! cargo run --release -p oddci-bench --bin chaos
 //! ```
 
-use oddci_bench::{fmt_secs, header, write_artifact, write_metrics};
+use oddci_bench::{fmt_secs, header, write_artifact, write_metrics, RunInfo};
 use oddci_core::{World, WorldConfig};
 use oddci_faults::FaultPlan;
+use oddci_telemetry::{HistogramSummary, Telemetry};
 use oddci_types::{DataSize, SimDuration, SimTime};
 use oddci_workload::JobGenerator;
 use rayon::prelude::*;
@@ -30,11 +31,19 @@ struct Row {
     faults_injected: u64,
 }
 
-fn run_at(intensity: f64) -> (Row, oddci_core::world::MetricsSnapshot) {
+type RunOutput = (
+    Row,
+    oddci_core::world::MetricsSnapshot,
+    Vec<(&'static str, HistogramSummary)>,
+);
+
+fn run_at(intensity: f64) -> RunOutput {
+    let tele = Telemetry::disabled();
     let mut cfg = WorldConfig {
         nodes: 500,
         controller_tick: SimDuration::from_secs(30),
         faults: FaultPlan::standard_mix().scaled(intensity),
+        telemetry: tele.clone(),
         ..Default::default()
     };
     cfg.policy.heartbeat.interval = SimDuration::from_secs(30);
@@ -62,7 +71,8 @@ fn run_at(intensity: f64) -> (Row, oddci_core::world::MetricsSnapshot) {
         fetch_aborts: snapshot.fetch_aborts,
         faults_injected: snapshot.faults.total(),
     };
-    (row, snapshot)
+    let phases = tele.phase_breakdown();
+    (row, snapshot, phases)
 }
 
 fn main() {
@@ -70,17 +80,18 @@ fn main() {
     println!();
 
     let intensities = [0.0, 0.25, 0.5, 1.0, 1.5, 2.0];
-    let results: Vec<(Row, oddci_core::world::MetricsSnapshot)> =
-        intensities.par_iter().map(|&f| run_at(f)).collect();
+    let results: Vec<RunOutput> = intensities.par_iter().map(|&f| run_at(f)).collect();
 
     let baseline = results[0].0.makespan_s.expect("calm run completes");
-    let heaviest_snapshot = results.last().expect("non-empty sweep").1.clone();
+    let heaviest = results.last().expect("non-empty sweep");
+    let heaviest_snapshot = heaviest.1.clone();
+    let heaviest_phases = heaviest.2.clone();
     let mut rows = Vec::new();
     println!(
         "{:>9} {:>12} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}",
         "intensity", "makespan", "inflation", "tasks", "requeues", "retries", "aborts", "faults"
     );
-    for (mut r, _) in results {
+    for (mut r, _, _) in results {
         r.inflation = r.makespan_s.map(|m| m / baseline);
         println!(
             "{:>8.2}x {:>12} {:>9}x {:>5}/{TASKS} {:>9} {:>9} {:>8} {:>8}",
@@ -114,7 +125,36 @@ fn main() {
     println!("all {TASKS} tasks complete at every intensity: faults are paid for in");
     println!("retries, re-queues and makespan — never in lost work.");
 
+    // Per-phase latency breakdown of the heaviest run: where the injected
+    // faults actually land on the task lifecycle.
+    println!();
+    println!(
+        "per-phase latencies at intensity {:.2}x:",
+        intensities.last().unwrap()
+    );
+    println!(
+        "{:>16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for (label, s) in &heaviest_phases {
+        println!(
+            "{:>16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            s.count,
+            fmt_secs(s.mean),
+            fmt_secs(s.p50),
+            fmt_secs(s.p90),
+            fmt_secs(s.p99),
+            fmt_secs(s.max)
+        );
+    }
+
     write_artifact("chaos", &rows);
     // Full counter set of the heaviest run, for diffing across revisions.
-    write_metrics("chaos", &heaviest_snapshot);
+    write_metrics(
+        "chaos",
+        &RunInfo::new("chaos", 2024),
+        &heaviest_snapshot,
+        &heaviest_phases,
+    );
 }

@@ -5,9 +5,10 @@
 //! cargo run --release -p oddci-bench --bin churn
 //! ```
 
-use oddci_bench::{fmt_secs, header, write_artifact, write_metrics};
+use oddci_bench::{fmt_secs, header, write_artifact, write_metrics, RunInfo};
 use oddci_core::world::ChurnConfig;
 use oddci_core::{World, WorldConfig};
+use oddci_telemetry::{HistogramSummary, Telemetry};
 use oddci_types::{DataSize, SimDuration, SimTime};
 use oddci_workload::JobGenerator;
 use rayon::prelude::*;
@@ -39,9 +40,15 @@ fn main() {
 
     // Independent replications in parallel (rayon) — each is a full
     // deterministic world.
-    let results: Vec<(Row, oddci_core::world::MetricsSnapshot)> = scenarios
+    type RunOutput = (
+        Row,
+        oddci_core::world::MetricsSnapshot,
+        Vec<(&'static str, HistogramSummary)>,
+    );
+    let results: Vec<RunOutput> = scenarios
         .par_iter()
         .map(|(label, churn)| {
+            let tele = Telemetry::disabled();
             let mut cfg = WorldConfig {
                 nodes: 500,
                 controller_tick: SimDuration::from_secs(30),
@@ -49,6 +56,7 @@ fn main() {
                     mean_on: SimDuration::from_mins(on),
                     mean_off: SimDuration::from_mins(off),
                 }),
+                telemetry: tele.clone(),
                 ..Default::default()
             };
             cfg.policy.heartbeat.interval = SimDuration::from_secs(30);
@@ -73,21 +81,24 @@ fn main() {
                 makespan_s: report.map(|r| r.makespan.as_secs_f64()),
                 inflation: None,
                 requeues: report.map_or(0, |r| r.requeues),
-                orphans: m.tasks_orphaned,
+                orphans: m.tasks_orphaned.get(),
                 wakeup_broadcasts: report.map_or(0, |r| r.wakeup_broadcasts),
             };
-            (row, m.snapshot())
+            let snapshot = m.snapshot();
+            (row, snapshot, tele.phase_breakdown())
         })
         .collect();
 
     let baseline = results[0].0.makespan_s.expect("no-churn run completes");
-    let heaviest_snapshot = results.last().expect("non-empty sweep").1.clone();
+    let heaviest_run = results.last().expect("non-empty sweep");
+    let heaviest_snapshot = heaviest_run.1.clone();
+    let heaviest_phases = heaviest_run.2.clone();
     let mut rows = Vec::new();
     println!(
         "{:<20} {:>7} {:>12} {:>10} {:>9} {:>9} {:>9}",
         "scenario", "avail", "makespan", "inflation", "requeues", "orphans", "wakeups"
     );
-    for (mut r, _) in results {
+    for (mut r, _, _) in results {
         r.inflation = r.makespan_s.map(|m| m / baseline);
         println!(
             "{:<20} {:>6.0}% {:>12} {:>9}x {:>9} {:>9} {:>9}",
@@ -114,6 +125,31 @@ fn main() {
     println!("every scenario completes; churn is paid for in re-queued tasks and");
     println!("recomposition wakeups, exactly as §3.2's design anticipates.");
 
+    // Per-phase latency breakdown of the heaviest-churn run.
+    println!();
+    println!("per-phase latencies under {}:", rows.last().unwrap().label);
+    println!(
+        "{:>16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for (label, s) in &heaviest_phases {
+        println!(
+            "{:>16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            s.count,
+            fmt_secs(s.mean),
+            fmt_secs(s.p50),
+            fmt_secs(s.p90),
+            fmt_secs(s.p99),
+            fmt_secs(s.max)
+        );
+    }
+
     write_artifact("churn", &rows);
-    write_metrics("churn", &heaviest_snapshot);
+    write_metrics(
+        "churn",
+        &RunInfo::new("churn", 2024),
+        &heaviest_snapshot,
+        &heaviest_phases,
+    );
 }

@@ -1,0 +1,203 @@
+//! Validates every `results/*.metrics.json` artifact against the
+//! checked-in schema `scripts/metrics.schema.json`.
+//!
+//! The validator implements the JSON Schema subset the schema actually
+//! uses — `type`, `properties`, `required`, `additionalProperties`
+//! (boolean) and `items` — so the repository stays dependency-free while
+//! CI still refuses malformed or mis-stamped artifacts.
+//!
+//! ```text
+//! cargo run -p oddci-bench --bin schema_check [-- schema.json dir]
+//! ```
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn matches_type(v: &Value, ty: &str) -> bool {
+    match ty {
+        "object" => matches!(v, Value::Object(_)),
+        "array" => matches!(v, Value::Array(_)),
+        "string" => matches!(v, Value::String(_)),
+        "boolean" => matches!(v, Value::Bool(_)),
+        "null" => matches!(v, Value::Null),
+        "number" => matches!(v, Value::Number(_)),
+        // JSON Schema "integer": any number with zero fractional part.
+        "integer" => v.as_i64().is_some() || v.as_u64().is_some(),
+        _ => false,
+    }
+}
+
+/// Recursively checks `value` against `schema`, appending one message per
+/// violation to `errors` (`at` is the JSON-pointer-ish location).
+fn validate(value: &Value, schema: &Value, at: &str, errors: &mut Vec<String>) {
+    if let Some(ty) = schema.get("type").and_then(Value::as_str) {
+        if !matches_type(value, ty) {
+            errors.push(format!("{at}: expected {ty}, found {}", type_name(value)));
+            return;
+        }
+    }
+    if let Value::Object(entries) = value {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for name in required.iter().filter_map(Value::as_str) {
+                if !entries.iter().any(|(k, _)| k == name) {
+                    errors.push(format!("{at}: missing required field `{name}`"));
+                }
+            }
+        }
+        let props = schema.get("properties");
+        if let Some(Value::Object(prop_schemas)) = props {
+            for (key, sub) in prop_schemas {
+                if let Some(child) = entries.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                    validate(child, sub, &format!("{at}/{key}"), errors);
+                }
+            }
+            if schema.get("additionalProperties").and_then(Value::as_bool) == Some(false) {
+                for (key, _) in entries {
+                    if !prop_schemas.iter().any(|(k, _)| k == key) {
+                        errors.push(format!("{at}: unexpected field `{key}`"));
+                    }
+                }
+            }
+        }
+    }
+    if let (Value::Array(items), Some(item_schema)) = (value, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            validate(item, item_schema, &format!("{at}/{i}"), errors);
+        }
+    }
+}
+
+fn check_file(path: &Path, schema: &Value) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("unreadable: {e}")],
+    };
+    let doc: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("invalid JSON: {e:?}")],
+    };
+    let mut errors = Vec::new();
+    validate(&doc, schema, "", &mut errors);
+    errors
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let schema_path = argv
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("scripts/metrics.schema.json"));
+    let results_dir = argv
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(oddci_bench::results_dir);
+
+    let schema: Value = serde_json::from_str(
+        &std::fs::read_to_string(&schema_path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", schema_path.display())),
+    )
+    .expect("schema is valid JSON");
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&results_dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", results_dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".metrics.json"))
+        })
+        .collect();
+    files.sort();
+
+    if files.is_empty() {
+        println!(
+            "schema_check: no *.metrics.json files under {}",
+            results_dir.display()
+        );
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let errors = check_file(file, &schema);
+        if errors.is_empty() {
+            println!("ok    {}", file.display());
+        } else {
+            failed = true;
+            println!("FAIL  {}", file.display());
+            for e in errors {
+                println!("      {e}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("schema_check: {} artifact(s) valid", files.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Value {
+        serde_json::from_str(include_str!("../../../../scripts/metrics.schema.json")).unwrap()
+    }
+
+    #[test]
+    fn stamped_envelope_passes() {
+        let doc = serde_json::json!({
+            "run": {"scenario": "chaos", "seed": 2024, "git": "abc1234"},
+            "metrics": {
+                "wakeup_latency": {"count": 1, "mean": 2.0, "std_dev": 0.0, "min": 2.0, "max": 2.0},
+                "joins": 1, "tasks_completed": 1, "control_deliveries": 1,
+                "heartbeats_delivered": 1, "direct_resets": 0, "tasks_orphaned": 0,
+                "requeues": 0, "task_fetch_retries": 0, "fetch_aborts": 0,
+                "faults": {}
+            },
+            "phases": {}
+        });
+        let mut errors = Vec::new();
+        validate(&doc, &schema(), "", &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_stamp_and_wrong_types_fail() {
+        let doc = serde_json::json!({
+            "metrics": {"joins": "three"},
+            "phases": {}
+        });
+        let mut errors = Vec::new();
+        validate(&doc, &schema(), "", &mut errors);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("missing required field `run`")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("/metrics/joins")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unexpected_top_level_field_fails() {
+        let doc = serde_json::json!({"run": {}, "metrics": {}, "phases": {}, "extra": 1});
+        let mut errors = Vec::new();
+        validate(&doc, &schema(), "", &mut errors);
+        assert!(errors.iter().any(|e| e.contains("`extra`")), "{errors:?}");
+    }
+}

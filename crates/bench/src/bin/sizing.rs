@@ -75,7 +75,7 @@ fn main() {
                 achieved,
                 error_pct: 100.0 * (achieved as f64 - target as f64) / target as f64,
                 wakeup_broadcasts: world.controller().instance(inst).unwrap().wakeups_sent,
-                direct_resets: world.metrics().direct_resets,
+                direct_resets: world.metrics().direct_resets.get(),
             }
         })
         .collect();

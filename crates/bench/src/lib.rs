@@ -7,6 +7,7 @@
 //! artifact under `results/` so EXPERIMENTS.md entries are diffable
 //! against re-runs.
 
+use oddci_telemetry::HistogramSummary;
 use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
@@ -30,15 +31,78 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
     println!("\n[artifact] {}", path.display());
 }
 
+/// Provenance stamp carried by every `*.metrics.json` artifact, so a
+/// checked-in file states which scenario/seed/revision produced it.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunInfo {
+    /// Scenario name (usually the experiment/bin name).
+    pub scenario: String,
+    /// Master seed of the stamped run.
+    pub seed: u64,
+    /// `git describe` of the producing tree, or `"unknown"` outside git.
+    pub git: String,
+}
+
+impl RunInfo {
+    /// Stamp for `scenario` run with `seed` at the current revision.
+    pub fn new(scenario: &str, seed: u64) -> RunInfo {
+        RunInfo {
+            scenario: scenario.to_string(),
+            seed,
+            git: git_describe(),
+        }
+    }
+}
+
+/// `git describe --always --dirty --tags` of the working tree, or
+/// `"unknown"` when git (or the repo) is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Serializes a world metrics snapshot into `results/<name>.metrics.json`,
 /// alongside the experiment's own `results/<name>.json` artifact. Keeping
 /// the full counter set (joins, heartbeats, requeues, per-fault-class
 /// counts) diffable makes regressions in the control plane's behaviour
 /// visible even when the headline numbers of an experiment don't move.
-pub fn write_metrics<T: Serialize>(name: &str, snapshot: &T) {
+///
+/// The artifact is an envelope — `{"run": .., "metrics": .., "phases": ..}`
+/// — validated against `scripts/metrics.schema.json` by the `schema_check`
+/// bin in CI. `phases` holds the per-phase latency summaries (may be
+/// empty).
+pub fn write_metrics<T: Serialize>(
+    name: &str,
+    run: &RunInfo,
+    snapshot: &T,
+    phases: &[(&'static str, HistogramSummary)],
+) {
+    let phases_value = serde_json::Value::Object(
+        phases
+            .iter()
+            .map(|(label, s)| {
+                (
+                    label.to_string(),
+                    serde_json::to_value(s).expect("serialize phase summary"),
+                )
+            })
+            .collect(),
+    );
+    let doc = serde_json::json!({
+        "run": run,
+        "metrics": serde_json::to_value(snapshot).expect("serialize metrics"),
+        "phases": phases_value,
+    });
     let path = results_dir().join(format!("{name}.metrics.json"));
     let mut f = std::fs::File::create(&path).expect("create metrics artifact");
-    let json = serde_json::to_string_pretty(snapshot).expect("serialize metrics");
+    let json = serde_json::to_string_pretty(&doc).expect("serialize metrics");
     f.write_all(json.as_bytes())
         .expect("write metrics artifact");
     println!("[artifact] {}", path.display());
@@ -92,15 +156,25 @@ mod tests {
     }
 
     #[test]
-    fn metrics_artifacts_get_their_own_file() {
+    fn metrics_artifacts_get_their_own_file_with_run_stamp() {
         std::env::set_var(
             "ODDCI_RESULTS_DIR",
             std::env::temp_dir().join("oddci-test-results"),
         );
-        write_metrics("unit-test", &serde_json::json!({"requeues": 3}));
+        let run = RunInfo::new("unit-test", 7);
+        write_metrics(
+            "unit-test",
+            &run,
+            &serde_json::json!({"requeues": 3}),
+            &[("task.fetch", HistogramSummary::default())],
+        );
         let path = results_dir().join("unit-test.metrics.json");
         let back: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
-        assert_eq!(back["requeues"], 3);
+        assert_eq!(back["metrics"]["requeues"], 3);
+        assert_eq!(back["run"]["scenario"].as_str(), Some("unit-test"));
+        assert_eq!(back["run"]["seed"], 7);
+        assert!(back["run"]["git"].as_str().is_some());
+        assert!(back["phases"]["task.fetch"]["count"].as_u64().is_some());
     }
 }

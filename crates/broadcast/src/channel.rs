@@ -6,7 +6,8 @@
 
 use crate::ait::{Ait, AitEntry};
 use crate::carousel::{CarouselFile, ObjectCarousel};
-use crate::tsmux::TransportMux;
+use crate::tsmux::{TransportMux, SECTION_PAYLOAD_BYTES};
+use oddci_telemetry::Telemetry;
 use oddci_types::{Bandwidth, ChannelId, SimDuration, SimTime};
 
 /// One DTV service carrying an OddCI carousel.
@@ -15,6 +16,7 @@ pub struct BroadcastChannel {
     id: ChannelId,
     carousel: ObjectCarousel,
     ait: Ait,
+    telemetry: Telemetry,
 }
 
 impl BroadcastChannel {
@@ -25,7 +27,40 @@ impl BroadcastChannel {
             id,
             carousel: ObjectCarousel::new(TransportMux::new(beta), files, epoch),
             ait: Ait::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes this channel's carousel metrics into `tele`'s registry
+    /// (consuming builder; the channel stays fully functional without it).
+    pub fn attach_telemetry(mut self, tele: Telemetry) -> Self {
+        self.telemetry = tele;
+        self.publish_gauges();
+        self
+    }
+
+    /// Refreshes the carousel geometry gauges after a content change.
+    fn publish_gauges(&self) {
+        let reg = self.telemetry.registry();
+        reg.gauge("carousel.cycle_seconds")
+            .set(self.carousel.cycle_duration().as_secs_f64());
+        let payload: u64 = self
+            .carousel
+            .files()
+            .iter()
+            .map(|f| f.size().bytes_ceil())
+            .sum();
+        let sections: u64 = self
+            .carousel
+            .files()
+            .iter()
+            .map(|f| f.size().bytes_ceil().div_ceil(SECTION_PAYLOAD_BYTES).max(1))
+            .sum();
+        reg.gauge("carousel.payload_bytes").set(payload as f64);
+        reg.gauge("carousel.sections_per_cycle")
+            .set(sections as f64);
+        reg.gauge("carousel.version")
+            .set(f64::from(self.carousel.version()));
     }
 
     /// Channel identifier.
@@ -48,6 +83,11 @@ impl BroadcastChannel {
     pub fn publish(&mut self, files: Vec<CarouselFile>, entries: Vec<AitEntry>, now: SimTime) {
         self.carousel.update(files, now);
         self.ait.publish(entries);
+        self.telemetry
+            .registry()
+            .counter("carousel.publishes")
+            .inc();
+        self.publish_gauges();
     }
 
     /// Updates signalling only (e.g. flip AUTOSTART → KILL without touching
@@ -144,6 +184,24 @@ mod tests {
     #[test]
     fn id_accessor() {
         assert_eq!(channel().id(), ChannelId::new(1));
+    }
+
+    #[test]
+    fn telemetry_gauges_track_carousel_geometry() {
+        let tele = Telemetry::disabled();
+        let mut ch = channel().attach_telemetry(tele.clone());
+        let snap = tele.metrics_snapshot();
+        assert_eq!(snap.gauges["carousel.payload_bytes"], 256.0 * 1024.0);
+        assert!(snap.gauges["carousel.cycle_seconds"] > 0.0);
+        ch.publish(
+            vec![CarouselFile::sized("image", DataSize::from_megabytes(8))],
+            vec![],
+            SimTime::from_secs(1),
+        );
+        let snap = tele.metrics_snapshot();
+        assert_eq!(snap.counters["carousel.publishes"], 1);
+        assert_eq!(snap.gauges["carousel.version"], 2.0);
+        assert_eq!(snap.gauges["carousel.payload_bytes"], 8.0 * 1024.0 * 1024.0);
     }
 
     #[test]

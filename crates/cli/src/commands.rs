@@ -180,6 +180,104 @@ pub fn chaos(p: &Parsed) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `oddci trace`: run one scenario with event recording enabled, export a
+/// Chrome `trace_event` file and print the per-phase latency breakdown.
+pub fn trace(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_faults::FaultPlan;
+    use oddci_telemetry::{export, Phase, Telemetry};
+
+    let scenario = p.get("scenario").unwrap_or("small");
+    let out_path = p.get("out").unwrap_or("results/trace.json");
+    let seed: u64 = p.num("seed", 42)?;
+
+    // Scenario presets sized so even `chaos` finishes in seconds.
+    let (nodes, target, tasks, cost_secs, image_mb, faults) = match scenario {
+        "small" => (100u64, 30u64, 60u64, 10.0f64, 1u64, FaultPlan::none()),
+        "standard" => (500, 100, 300, 30.0, 4, FaultPlan::none()),
+        "chaos" => (200, 50, 120, 15.0, 2, FaultPlan::standard_mix()),
+        other => {
+            return Err(ArgError(format!(
+                "unknown scenario `{other}` (expected small | standard | chaos)"
+            )))
+        }
+    };
+
+    let tele = Telemetry::recording();
+    let cfg = WorldConfig {
+        nodes,
+        faults,
+        telemetry: tele.clone(),
+        ..Default::default()
+    };
+    let beta = cfg.dtv.beta;
+
+    let job = JobGenerator::homogeneous(
+        DataSize::from_megabytes(image_mb),
+        DataSize::from_bytes(500),
+        DataSize::from_bytes(500),
+        SimDuration::from_secs_f64(cost_secs),
+        seed,
+    )
+    .generate(tasks);
+
+    let mut sim = World::simulation(cfg, seed);
+    let request = sim.submit_job(job, target);
+    let report = sim
+        .run_request(request, SimTime::from_secs(365 * 24 * 3600))
+        .ok_or_else(|| ArgError("job did not complete within a simulated year".into()))?;
+
+    let events = tele.events();
+    let trace_json = export::chrome_trace(&events);
+    let path = std::path::Path::new(out_path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ArgError(format!("cannot create `{}`: {e}", parent.display())))?;
+        }
+    }
+    std::fs::write(path, &trace_json)
+        .map_err(|e| ArgError(format!("cannot write `{out_path}`: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "OddCI trace (scenario {scenario}, seed {seed})");
+    let _ = writeln!(out, "  audience   : {nodes} receivers, instance {target}");
+    let _ = writeln!(out, "  job        : {tasks} tasks x {cost_secs}s");
+    let _ = writeln!(out, "  makespan   : {}", report.makespan);
+    let _ = writeln!(out, "  trace      : {} events -> {out_path}", events.len());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for (label, s) in tele.phase_breakdown() {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>7} {:>9.2}s {:>9.2}s {:>9.2}s {:>9.2}s {:>9.2}s",
+            label, s.count, s.mean, s.p50, s.p90, s.p99, s.max
+        );
+    }
+
+    // Wakeup agreement: the measured wakeup is wait-for-config plus image
+    // read; the §5.1 mean W = 1.5·I/β covers the image-only carousel, so
+    // the measured mean should land inside the [best, worst] envelope
+    // widened by the small PNA/config files sharing the cycle.
+    let wait = tele.phase_summary(Phase::WakeupWait);
+    let boot = tele.phase_summary(Phase::DveBoot);
+    let measured = wait.mean + boot.mean;
+    let (_, w_mean, _) = wakeup_envelope(DataSize::from_megabytes(image_mb), beta);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  wakeup: measured {measured:.1}s (wait {:.1}s + boot {:.1}s) vs W = 1.5·I/β = {:.1}s ({:+.0}%)",
+        wait.mean,
+        boot.mean,
+        w_mean.as_secs_f64(),
+        100.0 * (measured - w_mean.as_secs_f64()) / w_mean.as_secs_f64()
+    );
+    Ok(out)
+}
+
 /// `oddci wakeup`: the §5.1 envelope.
 pub fn wakeup(p: &Parsed) -> Result<String, ArgError> {
     let image_mb: u64 = p.num("image-mb", 8)?;

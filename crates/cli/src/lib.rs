@@ -8,6 +8,7 @@
 //!
 //! * `simulate` — run a full OddCI-DTV world for one job and report.
 //! * `chaos` — the same world under a deterministic fault-injection plan.
+//! * `trace` — record a scenario's telemetry and export a Chrome trace.
 //! * `wakeup` — evaluate the §5.1 wakeup envelope for an image/β pair.
 //! * `efficiency` — evaluate equations (1)/(2) for a scenario.
 //! * `live` — run the thread-based live demo with real alignment work.
@@ -24,10 +25,24 @@ pub use args::{ArgError, Parsed};
 /// Entry point shared by `main` and the tests: parses `argv[1..]`, runs the
 /// subcommand, returns the rendered output or a usage error.
 pub fn run(argv: &[String]) -> Result<String, String> {
+    // `trace` accepts its scenario as a bare positional (`oddci trace small
+    // --out t.json`); rewrite it to `--scenario small` for the option parser.
+    let rewritten: Vec<String>;
+    let argv = if argv.first().map(String::as_str) == Some("trace")
+        && argv.get(1).is_some_and(|a| !a.starts_with("--"))
+    {
+        let mut v = vec![argv[0].clone(), "--scenario".to_string(), argv[1].clone()];
+        v.extend(argv[2..].iter().cloned());
+        rewritten = v;
+        &rewritten[..]
+    } else {
+        argv
+    };
     let parsed = args::Parsed::parse(argv).map_err(|e| format!("{e}\n\n{}", usage()))?;
     match parsed.command.as_str() {
         "simulate" => commands::simulate(&parsed).map_err(|e| e.to_string()),
         "chaos" => commands::chaos(&parsed).map_err(|e| e.to_string()),
+        "trace" => commands::trace(&parsed).map_err(|e| e.to_string()),
         "wakeup" => commands::wakeup(&parsed).map_err(|e| e.to_string()),
         "efficiency" => commands::efficiency(&parsed).map_err(|e| e.to_string()),
         "live" => commands::live(&parsed).map_err(|e| e.to_string()),
@@ -60,9 +75,15 @@ COMMANDS:
                   --tasks N        job task count          [300]
                   --cost-secs S    task cost (ref. STB)    [30]
                   --seed S         simulation seed         [42]
-                  --faults SPEC    class=rate[:magnitude],... (default: standard mix)
+                  --faults SPEC    class=rate[:magnitude][@start..end],...
+                                   (window in seconds; default: standard mix)
                   --intensity F    scale every rate by F   [1.0]
                   --json           machine-readable output
+    trace       run one scenario with event recording and export a Chrome
+                trace (chrome://tracing / Perfetto), plus a per-phase table
+                  [scenario]       small | standard | chaos [small]
+                  --out PATH       trace file              [results/trace.json]
+                  --seed S         simulation seed         [42]
     wakeup      evaluate the wakeup envelope W = 1.5·I/β
                   --image-mb M     image size MB           [8]
                   --beta-mbps B    spare capacity Mbps     [1]
@@ -184,6 +205,46 @@ mod tests {
     fn chaos_rejects_bad_plan() {
         let err = run(&argv(&["chaos", "--faults", "not-a-class=0.5"])).unwrap_err();
         assert!(err.contains("not-a-class"), "{err}");
+    }
+
+    #[test]
+    fn chaos_accepts_windowed_faults() {
+        let out = run(&argv(&[
+            "chaos",
+            "--nodes",
+            "80",
+            "--target",
+            "20",
+            "--tasks",
+            "40",
+            "--cost-secs",
+            "5",
+            "--faults",
+            "heartbeat-drop=0.3@0..600,direct-loss=0.1:20@120..900",
+        ]))
+        .unwrap();
+        assert!(out.contains("completed         : 40 tasks"), "{out}");
+        let err = run(&argv(&["chaos", "--faults", "heartbeat-drop=0.3@600"])).unwrap_err();
+        assert!(err.contains("window"), "{err}");
+    }
+
+    #[test]
+    fn trace_writes_chrome_trace_and_breakdown() {
+        let dir = std::env::temp_dir().join("oddci-cli-trace-test");
+        let path = dir.join("trace.json");
+        let out = run(&argv(&["trace", "small", "--out", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("wakeup: measured"), "{out}");
+        assert!(out.contains("dve.boot"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_rejects_unknown_scenario() {
+        let err = run(&argv(&["trace", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use oddci_receiver::compute::{ComputeModel, UsageMode};
 use oddci_receiver::dve::DveState;
 use oddci_receiver::SetTopBox;
 use oddci_sim::{ChurnProcess, Context, Model, SeedForge, Simulator, TraceLog};
+use oddci_telemetry::{Phase, Telemetry, CONTROL_TRACK};
 use oddci_types::{
     ChannelId, DataSize, DirectChannelConfig, DtvSystemConfig, InstanceId, JobId, NodeId,
     SimDuration, SimTime,
@@ -91,6 +92,11 @@ pub struct WorldConfig {
     /// Retry policy for task fetches and result uploads that hit injected
     /// losses or Backend stalls.
     pub fetch_backoff: Backoff,
+    /// Observability: the metrics registry is always on; pass
+    /// [`Telemetry::recording`] to also capture span/instant events for
+    /// trace export. Recording is write-only and never perturbs the
+    /// deterministic simulation.
+    pub telemetry: Telemetry,
 }
 
 impl Default for WorldConfig {
@@ -108,6 +114,7 @@ impl Default for WorldConfig {
             trace_capacity: None,
             faults: FaultPlan::none(),
             fetch_backoff: Backoff::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -146,6 +153,12 @@ pub struct World {
     injector: FaultInjector,
     /// Seed for deterministic backoff jitter (per-node mixing).
     jitter_seed: u64,
+    /// Shared telemetry handle (clone of `config.telemetry`), cached for
+    /// hot-path span/instant recording.
+    tele: Telemetry,
+    /// Backend queue-depth gauge (pending tasks across open jobs),
+    /// refreshed on every controller tick.
+    queue_depth: oddci_telemetry::Gauge,
 }
 
 fn config_file(inst: InstanceId) -> String {
@@ -225,6 +238,10 @@ impl World {
                 current_task: None,
                 drained: false,
                 epoch: 0,
+                accept_at: None,
+                fetch_started: None,
+                compute_started: None,
+                upload_started: None,
             });
         }
 
@@ -232,6 +249,11 @@ impl World {
         // never perturb the node/churn/usage streams above.
         let injector = FaultInjector::new(config.faults.clone(), forge.seed("faults"));
         let jitter_seed = forge.seed("fetch-jitter");
+
+        let tele = config.telemetry.clone();
+        let metrics = WorldMetrics::registered(&tele);
+        let queue_depth = tele.registry().gauge("backend.queue_depth");
+        let channel = channel.attach_telemetry(tele.clone());
 
         World {
             config,
@@ -243,13 +265,15 @@ impl World {
             entries: BTreeMap::new(),
             instance_job: BTreeMap::new(),
             job_instance: BTreeMap::new(),
-            metrics: WorldMetrics::default(),
+            metrics,
             trace: match trace_capacity {
                 Some(n) => TraceLog::new(n),
                 None => TraceLog::disabled(),
             },
             injector,
             jitter_seed,
+            tele,
+            queue_depth,
         }
     }
 
@@ -275,6 +299,11 @@ impl World {
     /// Collected metrics.
     pub fn metrics(&self) -> &WorldMetrics {
         &self.metrics
+    }
+
+    /// The world's telemetry handle (registry + recorder).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
     }
 
     /// The milestone timeline (empty unless `trace_capacity` was set).
@@ -351,7 +380,16 @@ impl World {
         }
         let node = &mut self.nodes[id.index()];
         let hb = node.pna.heartbeat(now);
-        let done = node.link.transfer(now, size, Direction::Up, &mut node.rng);
+        let done = node.link.transfer_telemetered(
+            now,
+            size,
+            Direction::Up,
+            &mut node.rng,
+            &self.tele,
+            id.raw(),
+        );
+        self.tele
+            .instant(now.as_micros(), Phase::Heartbeat, id.raw(), 0);
         sched(done, WorldEvent::HeartbeatArrive(hb));
     }
 
@@ -375,7 +413,12 @@ impl World {
         sched: &mut dyn FnMut(SimTime, WorldEvent),
     ) {
         let node = &mut self.nodes[id.index()];
-        let done = node.link.transfer_faulted(
+        // Anchor the task.fetch span at the first attempt; retries extend
+        // the same span rather than restarting it.
+        if node.fetch_started.is_none() {
+            node.fetch_started = Some(now);
+        }
+        let done = node.link.transfer_faulted_telemetered(
             now,
             DataSize::from_bytes(REQUEST_BYTES),
             Direction::Up,
@@ -383,6 +426,7 @@ impl World {
             &self.injector,
             id,
             &mut self.metrics.faults,
+            &self.tele,
         );
         match done {
             Some(done) => {
@@ -416,7 +460,9 @@ impl World {
             .delay(attempt, self.jitter_seed ^ id.raw())
         {
             Some(delay) => {
-                self.metrics.task_fetch_retries += 1;
+                self.metrics.task_fetch_retries.inc();
+                self.tele
+                    .instant(now.as_micros(), Phase::Retry, id.raw(), u64::from(attempt));
                 let epoch = self.nodes[id.index()].epoch;
                 sched(
                     now + delay,
@@ -428,7 +474,7 @@ impl World {
                 );
             }
             None => {
-                self.metrics.fetch_aborts += 1;
+                self.metrics.fetch_aborts.inc();
                 self.nodes[id.index()].drained = true;
             }
         }
@@ -470,9 +516,9 @@ impl World {
         sched: &mut dyn FnMut(SimTime, WorldEvent),
     ) {
         if self.nodes[id.index()].current_task.is_some() {
-            self.metrics.tasks_orphaned += 1;
+            self.metrics.tasks_orphaned.inc();
             let affected = self.backend.node_lost(id);
-            self.metrics.requeues = self.backend.total_requeues();
+            self.metrics.requeues.set(self.backend.total_requeues());
             self.nodes[id.index()].current_task = None;
             for job in affected {
                 self.kick_drained(job, now, sched);
@@ -543,6 +589,12 @@ impl World {
             ),
             ControlMessage::Reset(_) => format!("broadcast reset for {inst}"),
         });
+        self.tele.instant(
+            now.as_micros(),
+            Phase::CarouselPublish,
+            CONTROL_TRACK,
+            inst.raw(),
+        );
         self.rebuild_carousel(now);
         self.schedule_deliveries_for(inst, now, sched);
     }
@@ -635,7 +687,7 @@ impl World {
                 ControllerOutput::DirectReset { node, instance } => {
                     let n = &mut self.nodes[node.index()];
                     if n.is_on() {
-                        let done = n.link.transfer_faulted(
+                        let done = n.link.transfer_faulted_telemetered(
                             now,
                             DataSize::from_bytes(REQUEST_BYTES),
                             Direction::Down,
@@ -643,6 +695,7 @@ impl World {
                             &self.injector,
                             node,
                             &mut self.metrics.faults,
+                            &self.tele,
                         );
                         // A reset lost to a fault episode self-heals: the
                         // Controller re-issues it on the node's next
@@ -663,8 +716,10 @@ impl World {
                 ControllerOutput::NodeLost { node, instance } => {
                     self.trace
                         .record(now, || format!("{node} lost from {instance}"));
+                    self.tele
+                        .instant(now.as_micros(), Phase::NodeLost, node.raw(), instance.raw());
                     let affected = self.backend.node_lost(node);
-                    self.metrics.requeues = self.backend.total_requeues();
+                    self.metrics.requeues.set(self.backend.total_requeues());
                     for job in affected {
                         self.kick_drained(job, now, sched);
                     }
@@ -696,6 +751,16 @@ impl World {
             self.trace.record(now, || {
                 format!("{job} complete: {completed} tasks, {requeues} requeues")
             });
+            if let Some(report) = self.provider.report(req) {
+                let begin = now.as_micros().saturating_sub(report.makespan.as_micros());
+                self.tele.span(
+                    begin,
+                    now.as_micros(),
+                    Phase::JobRun,
+                    CONTROL_TRACK,
+                    job.raw(),
+                );
+            }
             if let Ok(outputs) = self.controller.dismantle(inst) {
                 self.process_outputs(outputs, now, sched);
             }
@@ -719,10 +784,11 @@ impl World {
         };
         let msg = entry.msg;
         let has_image = entry.image_size.is_some();
+        let first_publish = entry.first_publish;
         if !self.nodes[id.index()].is_on() || self.nodes[id.index()].epoch != epoch {
             return;
         }
-        self.metrics.control_deliveries += 1;
+        self.metrics.control_deliveries.inc();
         // Middleware: the AIT AUTOSTART (re)launches the PNA Xlet.
         let ait = self.channel.ait().clone();
         let host = Self::host_info(&self.nodes[id.index()]);
@@ -731,6 +797,18 @@ impl World {
         let action = node.pna.on_control_message(&msg, host, &mut node.rng);
         match action {
             PnaAction::BeginAcquisition { instance, .. } => {
+                // Publish → config read: the paper's wakeup *waiting*
+                // component. The acceptance decision happens here too.
+                self.tele.span(
+                    first_publish.as_micros(),
+                    now.as_micros(),
+                    Phase::WakeupWait,
+                    id.raw(),
+                    instance.raw(),
+                );
+                self.tele
+                    .instant(now.as_micros(), Phase::PnaAccept, id.raw(), instance.raw());
+                self.nodes[id.index()].accept_at = Some(now);
                 if has_image {
                     if let Some(done) = self
                         .channel
@@ -805,15 +883,25 @@ impl World {
             }
             return;
         }
-        {
+        let accept_at = {
             let node = &mut self.nodes[id.index()];
             node.pna.image_ready().expect("loading DVE starts");
             node.job = job;
-        }
-        self.metrics.joins += 1;
+            node.accept_at.unwrap_or(first_publish)
+        };
+        self.metrics.joins.inc();
         self.metrics
             .wakeup_latency
             .add((now - first_publish).as_secs_f64());
+        // Acceptance → image running: the paper's image-transfer component
+        // of wakeup (`I/β` under carousel framing).
+        self.tele.span(
+            accept_at.as_micros(),
+            now.as_micros(),
+            Phase::DveBoot,
+            id.raw(),
+            inst.raw(),
+        );
         self.trace.record(now, || {
             format!(
                 "{id} joined {inst} ({:.1}s after publish)",
@@ -856,14 +944,14 @@ impl World {
         let outcome = self.backend.fetch_task(job, id);
         // fetch_task recycles stale assignments (idempotent re-assignment),
         // which shows up as requeues.
-        self.metrics.requeues = self.backend.total_requeues();
+        self.metrics.requeues.set(self.backend.total_requeues());
         match outcome {
             Ok(TaskOutcome::Assigned(task)) => {
                 let node = &mut self.nodes[id.index()];
                 let done = if task.input_size.is_zero() {
                     Some(now + node.link.config().latency)
                 } else {
-                    node.link.transfer_faulted(
+                    node.link.transfer_faulted_telemetered(
                         now,
                         task.input_size,
                         Direction::Down,
@@ -871,6 +959,7 @@ impl World {
                         &self.injector,
                         id,
                         &mut self.metrics.faults,
+                        &self.tele,
                     )
                 };
                 match done {
@@ -906,7 +995,20 @@ impl World {
         let Some(task) = &node.current_task else {
             return;
         };
-        let dur = compute.sample_from_reference_stb(task.cost, node.usage, &mut node.rng);
+        let task_id = task.id.raw();
+        let cost = task.cost;
+        let usage = node.usage;
+        // Request sent → input fully here: the task.fetch span closes.
+        let fetch_started = node.fetch_started.take().unwrap_or(now);
+        node.compute_started = Some(now);
+        self.tele.span(
+            fetch_started.as_micros(),
+            now.as_micros(),
+            Phase::TaskFetch,
+            id.raw(),
+            task_id,
+        );
+        let dur = compute.sample_instrumented(cost, usage, &mut node.rng, &self.tele);
         sched(now + dur, WorldEvent::TaskComputed { node: id, epoch });
     }
 
@@ -924,6 +1026,17 @@ impl World {
         if node.current_task.is_none() || node.pna.task_done().is_err() {
             return;
         }
+        // Input here → computation done: the task.compute span closes.
+        let compute_started = node.compute_started.take().unwrap_or(now);
+        let task_id = node.current_task.as_ref().map_or(0, |t| t.id.raw());
+        node.upload_started = Some(now);
+        self.tele.span(
+            compute_started.as_micros(),
+            now.as_micros(),
+            Phase::Compute,
+            id.raw(),
+            task_id,
+        );
         self.upload_result_attempt(id, 0, now, sched);
     }
 
@@ -941,7 +1054,10 @@ impl World {
         let Some(result) = node.current_task.as_ref().map(|t| t.result_size) else {
             return;
         };
-        let done = node.link.transfer_faulted(
+        if node.upload_started.is_none() {
+            node.upload_started = Some(now);
+        }
+        let done = node.link.transfer_faulted_telemetered(
             now,
             result,
             Direction::Up,
@@ -949,6 +1065,7 @@ impl World {
             &self.injector,
             id,
             &mut self.metrics.faults,
+            &self.tele,
         );
         match done {
             Some(done) => {
@@ -962,7 +1079,13 @@ impl World {
                     .delay(attempt, self.jitter_seed ^ id.raw() ^ 1)
                 {
                     Some(delay) => {
-                        self.metrics.task_fetch_retries += 1;
+                        self.metrics.task_fetch_retries.inc();
+                        self.tele.instant(
+                            now.as_micros(),
+                            Phase::Retry,
+                            id.raw(),
+                            u64::from(attempt),
+                        );
                         let epoch = self.nodes[id.index()].epoch;
                         sched(
                             now + delay,
@@ -976,8 +1099,11 @@ impl World {
                     None => {
                         // Give up on this copy; the Backend will treat the
                         // task as stale and re-issue it.
-                        self.metrics.fetch_aborts += 1;
-                        self.nodes[id.index()].current_task = None;
+                        self.metrics.fetch_aborts.inc();
+                        let n = &mut self.nodes[id.index()];
+                        n.current_task = None;
+                        n.upload_started = None;
+                        n.fetch_started = None;
                         self.request_task(id, now, sched);
                     }
                 }
@@ -1000,13 +1126,22 @@ impl World {
             return;
         };
         let Some(job) = node.job else { return };
+        // Upload started → result accepted: the task.upload span closes.
+        let upload_started = node.upload_started.take().unwrap_or(now);
+        self.tele.span(
+            upload_started.as_micros(),
+            now.as_micros(),
+            Phase::ResultUpload,
+            id.raw(),
+            task.id.raw(),
+        );
         match self.backend.complete_task(job, task.id, id, now) {
             Ok(true) => {
-                self.metrics.tasks_completed += 1;
+                self.metrics.tasks_completed.inc();
                 self.job_finished(job, now, sched);
             }
             Ok(false) => {
-                self.metrics.tasks_completed += 1;
+                self.metrics.tasks_completed.inc();
                 self.request_task(id, now, sched);
             }
             Err(_) => {}
@@ -1037,7 +1172,7 @@ impl World {
                 node.clear_work();
                 if had_task {
                     // The Backend only learns through heartbeat loss.
-                    self.metrics.tasks_orphaned += 1;
+                    self.metrics.tasks_orphaned.inc();
                 }
             }
             oddci_sim::OnOffState::On => {
@@ -1066,7 +1201,9 @@ impl World {
             return;
         }
         if node.pna.on_direct_reset(inst) {
-            self.metrics.direct_resets += 1;
+            self.metrics.direct_resets.inc();
+            self.tele
+                .instant(now.as_micros(), Phase::DirectReset, id.raw(), inst.raw());
             self.orphan_task_of(id, now, sched);
             self.nodes[id.index()].clear_work();
             self.send_heartbeat(id, now, sched);
@@ -1116,7 +1253,7 @@ impl Model for World {
                             n.clear_work();
                             if had_task {
                                 // The Backend learns through heartbeat loss.
-                                self.metrics.tasks_orphaned += 1;
+                                self.metrics.tasks_orphaned.inc();
                             }
                             let new_epoch = n.epoch;
                             self.trace.record(now, || format!("{node} PNA crashed"));
@@ -1147,7 +1284,7 @@ impl Model for World {
                     }
                 }
                 WorldEvent::HeartbeatArrive(hb) => {
-                    self.metrics.heartbeats_delivered += 1;
+                    self.metrics.heartbeats_delivered.inc();
                     let outputs = self.controller.on_heartbeat(hb, now);
                     self.process_outputs(outputs, now, &mut sched);
                 }
@@ -1201,6 +1338,14 @@ impl Model for World {
                         self.metrics
                             .sample_instance_size(inst_raw, now.as_secs_f64(), size);
                     }
+                    // Backend queue depth (pending tasks over open jobs).
+                    let depth: u64 = self
+                        .backend
+                        .open_jobs()
+                        .iter()
+                        .map(|&j| self.backend.pending_count(j))
+                        .sum();
+                    self.queue_depth.set(depth as f64);
                     let outputs = self.controller.tick(now);
                     self.process_outputs(outputs, now, &mut sched);
                     // Liveness safety net: members parked as drained (by a
@@ -1463,7 +1608,7 @@ mod tests {
         let req = sim.submit_job(gen.generate(10_000), 100);
         sim.run_until(SimTime::from_secs(2 * 3600));
         let world = sim.world();
-        assert!(world.metrics().joins > 0, "nodes joined");
+        assert!(world.metrics().joins.get() > 0, "nodes joined");
         let mean = world.metrics().wakeup_latency.stats().mean();
         // All initially-on nodes attach at the same publish instant, so
         // they all see the config at its first pass and then read the
@@ -1597,7 +1742,7 @@ mod tests {
     fn heartbeats_flow_and_are_counted() {
         let mut sim = World::simulation(quick_config(50), 19);
         sim.run_until(SimTime::from_secs(120));
-        let m = sim.world().metrics();
+        let m = sim.world().metrics().snapshot();
         // 50 nodes, 30 s interval, 120 s: ≥ 150 heartbeats (plus joins).
         assert!(m.heartbeats_delivered >= 150, "{}", m.heartbeats_delivered);
         assert_eq!(sim.world().controller().known_nodes(), 50);

@@ -5,7 +5,7 @@ use crate::pna::Pna;
 use oddci_net::DirectLink;
 use oddci_receiver::{SetTopBox, UsageMode};
 use oddci_sim::ChurnProcess;
-use oddci_types::JobId;
+use oddci_types::{JobId, SimTime};
 use oddci_workload::Task;
 use rand::rngs::SmallRng;
 
@@ -33,6 +33,15 @@ pub struct NodeRuntime {
     /// Monotonic power-cycle counter; stale in-flight events from before
     /// the last toggle are recognized and dropped by comparing epochs.
     pub epoch: u64,
+    /// When this node accepted the current instance's wakeup (telemetry
+    /// anchor for the DVE-boot span).
+    pub accept_at: Option<SimTime>,
+    /// When the current task fetch started (telemetry anchor).
+    pub fetch_started: Option<SimTime>,
+    /// When the current task's compute started (telemetry anchor).
+    pub compute_started: Option<SimTime>,
+    /// When the current result upload started (telemetry anchor).
+    pub upload_started: Option<SimTime>,
 }
 
 impl NodeRuntime {
@@ -46,5 +55,9 @@ impl NodeRuntime {
         self.job = None;
         self.current_task = None;
         self.drained = false;
+        self.accept_at = None;
+        self.fetch_started = None;
+        self.compute_started = None;
+        self.upload_started = None;
     }
 }

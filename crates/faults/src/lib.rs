@@ -259,16 +259,22 @@ impl FaultPlan {
     }
 
     /// Parses the CLI syntax: a comma-separated list of
-    /// `class=rate[:magnitude]`, e.g.
-    /// `heartbeat-drop=0.2,pna-crash=0.01:90,partition=0.05`.
+    /// `class=rate[:magnitude][@start..end]`, e.g.
+    /// `heartbeat-drop=0.2,pna-crash=0.01:90,partition=0.05@600..1800`.
+    /// The optional `@start..end` suffix limits the fault to an activity
+    /// window given in seconds of run time.
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
         for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (name, value) = part
                 .split_once('=')
-                .ok_or_else(|| format!("`{part}`: expected class=rate[:magnitude]"))?;
+                .ok_or_else(|| format!("`{part}`: expected class=rate[:magnitude][@start..end]"))?;
             let class = FaultClass::from_label(name.trim())
                 .ok_or_else(|| format!("unknown fault class `{}`", name.trim()))?;
+            let (value, window) = match value.split_once('@') {
+                Some((v, w)) => (v, Some(w)),
+                None => (value, None),
+            };
             let (rate_s, mag) = match value.split_once(':') {
                 Some((r, m)) => (r, Some(m)),
                 None => (value, None),
@@ -284,6 +290,26 @@ impl FaultPlan {
                     .parse()
                     .map_err(|_| format!("{class}: `{m}` is not a magnitude"))?;
                 spec = spec.magnitude(magnitude);
+            }
+            if let Some(w) = window {
+                let (from_s, until_s) = w
+                    .split_once("..")
+                    .ok_or_else(|| format!("{class}: `@{w}` is not a start..end window"))?;
+                let from: f64 = from_s
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{class}: `{from_s}` is not a window start (seconds)"))?;
+                let until: f64 = until_s
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{class}: `{until_s}` is not a window end (seconds)"))?;
+                if from < 0.0 || until < 0.0 {
+                    return Err(format!("{class}: window bounds must be non-negative"));
+                }
+                spec = spec.window(
+                    SimTime::from_micros((from * 1e6) as u64),
+                    SimTime::from_micros((until * 1e6) as u64),
+                );
             }
             plan.specs.push(spec);
         }
@@ -755,6 +781,36 @@ mod tests {
         assert!(FaultPlan::parse("heartbeat-drop=1.5").is_err());
         assert!(FaultPlan::parse("heartbeat-drop").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_parse_window_suffix() {
+        let plan = FaultPlan::parse("partition=0.05@600..1800").unwrap();
+        assert_eq!(
+            plan.specs[0].window,
+            Some((SimTime::from_secs(600), SimTime::from_secs(1800)))
+        );
+        // Window composes with an explicit magnitude.
+        let plan = FaultPlan::parse("pna-crash=0.01:90@0..3600").unwrap();
+        assert_eq!(plan.specs[0].magnitude, 90.0);
+        assert_eq!(
+            plan.specs[0].window,
+            Some((SimTime::ZERO, SimTime::from_secs(3600)))
+        );
+        // Fractional seconds are honoured at micro resolution.
+        let plan = FaultPlan::parse("heartbeat-drop=1.0@0.5..1.25").unwrap();
+        assert_eq!(
+            plan.specs[0].window,
+            Some((
+                SimTime::from_micros(500_000),
+                SimTime::from_micros(1_250_000)
+            ))
+        );
+        // Malformed or empty windows are rejected.
+        assert!(FaultPlan::parse("partition=0.05@600").is_err());
+        assert!(FaultPlan::parse("partition=0.05@x..y").is_err());
+        assert!(FaultPlan::parse("partition=0.05@1800..600").is_err());
+        assert!(FaultPlan::parse("partition=0.05@-5..600").is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use oddci_core::pna::{HostInfo, Pna, PnaAction};
 use oddci_core::provider::{JobReport, Provider, ProviderRequest};
 use oddci_faults::{Backoff, FaultInjector, FaultPlan};
 use oddci_receiver::compute::UsageMode;
+use oddci_telemetry::{Phase, Telemetry, CONTROL_TRACK};
 use oddci_types::{
     DataSize, HeartbeatConfig, ImageId, InstanceId, JobId, NodeId, SimDuration, SimTime, TaskId,
 };
@@ -46,6 +47,10 @@ pub struct LiveConfig {
     /// micros, so live injection is *statistically* faithful to the plan
     /// rather than replay-deterministic like the simulated plane.
     pub faults: FaultPlan,
+    /// Observability sink shared by the headend and every node thread.
+    /// Timestamps are wall-clock microseconds since runtime start, so live
+    /// traces open in the same viewers as simulated ones.
+    pub telemetry: Telemetry,
 }
 
 impl Default for LiveConfig {
@@ -57,6 +62,7 @@ impl Default for LiveConfig {
             controller_tick: Duration::from_millis(200),
             seed: 42,
             faults: FaultPlan::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -145,8 +151,9 @@ impl LiveOddci {
             let hb = config.heartbeat_interval;
             let seed = config.seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15));
             let inj = Arc::clone(&injector);
+            let tele = config.telemetry.clone();
             nodes.push(std::thread::spawn(move || {
-                node_main(NodeId::new(i), key, bus_rx, tx, hb, seed, start, inj)
+                node_main(NodeId::new(i), key, bus_rx, tx, hb, seed, start, inj, tele)
             }));
         }
 
@@ -170,6 +177,11 @@ impl LiveOddci {
     /// The configuration this runtime started with.
     pub fn config(&self) -> &LiveConfig {
         &self.config
+    }
+
+    /// The runtime's telemetry bundle (all threads report into it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
     }
 
     /// Submits an alignment job with `n_queries` queries against `image`'s
@@ -271,6 +283,8 @@ struct HeadendState {
     job_queries: BTreeMap<JobId, Vec<Arc<Vec<u8>>>>,
     job_scores: BTreeMap<JobId, BTreeMap<TaskId, i32>>,
     instance_image: BTreeMap<InstanceId, Arc<AlignmentImage>>,
+    tele: Telemetry,
+    queue_depth: oddci_telemetry::Gauge,
 }
 
 impl HeadendState {
@@ -283,21 +297,37 @@ impl HeadendState {
         for out in outputs {
             match out {
                 ControllerOutput::Broadcast(signed) => {
-                    let image = match signed.message {
-                        ControlMessage::Wakeup(w) => self.instance_image.get(&w.instance).cloned(),
+                    let (image, inst) = match signed.message {
+                        ControlMessage::Wakeup(w) => {
+                            (self.instance_image.get(&w.instance).cloned(), w.instance)
+                        }
                         ControlMessage::Reset(r) => {
                             self.instance_image.remove(&r.instance);
-                            None
+                            (None, r.instance)
                         }
                     };
+                    self.tele.instant(
+                        self.now().as_micros(),
+                        Phase::CarouselPublish,
+                        CONTROL_TRACK,
+                        inst.raw(),
+                    );
                     self.bus
                         .publish(&BusMsg::Control(LiveBroadcast { signed, image }));
                 }
-                ControllerOutput::DirectReset { instance, .. } => {
+                ControllerOutput::DirectReset { node, instance } => {
                     // In the live plane direct resets ride heartbeat replies.
+                    self.tele.instant(
+                        self.now().as_micros(),
+                        Phase::DirectReset,
+                        node.raw(),
+                        instance.raw(),
+                    );
                     replies.push(HeartbeatReply::Reset(instance));
                 }
                 ControllerOutput::NodeLost { node, .. } => {
+                    self.tele
+                        .instant(self.now().as_micros(), Phase::NodeLost, node.raw(), 0);
                     let _ = self.backend.node_lost(node);
                 }
             }
@@ -324,6 +354,16 @@ impl HeadendState {
             .complete(req, now, completed, requeues, wakeups)
             .is_some()
         {
+            if let Some(report) = self.provider.report(req) {
+                let end = now.as_micros();
+                self.tele.span(
+                    end.saturating_sub(report.makespan.as_micros()),
+                    end,
+                    Phase::JobRun,
+                    CONTROL_TRACK,
+                    job.raw(),
+                );
+            }
             if let Ok(outputs) = self.controller.dismantle(inst) {
                 let _ = self.process_outputs(outputs);
             }
@@ -349,6 +389,8 @@ fn headend_main(
         recompose_threshold: 0.99,
         assumed_audience: config.nodes,
     };
+    let tele = config.telemetry.clone();
+    let queue_depth = tele.registry().gauge("backend.queue_depth");
     let mut st = HeadendState {
         controller: Controller::new(&config.key, policy),
         backend: Backend::new(),
@@ -359,6 +401,8 @@ fn headend_main(
         job_queries: BTreeMap::new(),
         job_scores: BTreeMap::new(),
         instance_image: BTreeMap::new(),
+        tele,
+        queue_depth,
     };
     let mut last_tick = Instant::now();
 
@@ -454,6 +498,13 @@ fn headend_main(
             let now = st.now();
             let outputs = st.controller.tick(now);
             let _ = st.process_outputs(outputs);
+            let depth: u64 = st
+                .backend
+                .open_jobs()
+                .iter()
+                .map(|&j| st.backend.pending_count(j))
+                .sum();
+            st.queue_depth.set(depth as f64);
         }
     }
 }
@@ -472,6 +523,7 @@ fn node_main(
     seed: u64,
     start: Instant,
     injector: Arc<FaultInjector>,
+    tele: Telemetry,
 ) {
     let mut pna = Pna::new(id, &key);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -487,6 +539,12 @@ fn node_main(
                 if let PnaAction::BeginAcquisition { instance, .. } =
                     pna.on_control_message(&b.signed, host, &mut rng)
                 {
+                    tele.instant(
+                        wall_now(&start).as_micros(),
+                        Phase::PnaAccept,
+                        id.raw(),
+                        instance.raw(),
+                    );
                     if let Some(image) = b.image {
                         if !run_instance(
                             &mut pna,
@@ -500,6 +558,7 @@ fn node_main(
                             seed,
                             &start,
                             &injector,
+                            &tele,
                         ) {
                             return; // shutdown observed while busy
                         }
@@ -516,7 +575,7 @@ fn node_main(
                 if maybe_crash(&mut pna, &injector, &start) {
                     continue;
                 }
-                if !heartbeat(&mut pna, &tx, seed, &start, &injector) {
+                if !heartbeat(&mut pna, &tx, seed, &start, &injector, &tele) {
                     return;
                 }
             }
@@ -557,6 +616,7 @@ fn heartbeat(
     seed: u64,
     start: &Instant,
     injector: &FaultInjector,
+    tele: &Telemetry,
 ) -> bool {
     let id = pna.node();
     let backoff = Backoff::live();
@@ -573,12 +633,22 @@ fn heartbeat(
         }
         match rrx.recv_timeout(HB_REPLY_TIMEOUT) {
             Ok(HeartbeatReply::Reset(inst)) => {
+                tele.instant(wall_now(start).as_micros(), Phase::Heartbeat, id.raw(), 1);
                 pna.on_direct_reset(inst);
                 return true;
             }
-            Ok(HeartbeatReply::Ack) => return true,
+            Ok(HeartbeatReply::Ack) => {
+                tele.instant(wall_now(start).as_micros(), Phase::Heartbeat, id.raw(), 0);
+                return true;
+            }
             Err(_) => match backoff.delay_std(attempt, seed ^ 0xbea7) {
                 Some(d) => {
+                    tele.instant(
+                        wall_now(start).as_micros(),
+                        Phase::Retry,
+                        id.raw(),
+                        u64::from(attempt),
+                    );
                     attempt += 1;
                     std::thread::sleep(d);
                 }
@@ -604,15 +674,26 @@ fn run_instance(
     seed: u64,
     start: &Instant,
     injector: &FaultInjector,
+    tele: &Telemetry,
 ) -> bool {
     let _ = pna.image_ready();
-    // Real work: regenerate and index the database.
+    // Real work: regenerate and index the database — the live plane's
+    // DVE boot. The span runs accept → database ready.
+    let boot_begin = wall_now(start).as_micros();
     let db = image.materialize();
-    if !heartbeat(pna, tx, seed, start, injector) {
+    tele.span(
+        boot_begin,
+        wall_now(start).as_micros(),
+        Phase::DveBoot,
+        pna.node().raw(),
+        instance.raw(),
+    );
+    if !heartbeat(pna, tx, seed, start, injector, tele) {
         return true;
     }
     let backoff = Backoff::live();
     let mut fetch_attempt: u32 = 0;
+    let mut fetch_began: Option<u64> = None;
     while !pna.is_idle() {
         // Drain broadcast traffic (resets, other instances' wakeups).
         while let Ok(msg) = bus_rx.try_recv() {
@@ -622,7 +703,7 @@ fn run_instance(
                     if let PnaAction::DveDestroyed { .. } =
                         pna.on_control_message(&b.signed, host, rng)
                     {
-                        let _ = heartbeat(pna, tx, seed, start, injector);
+                        let _ = heartbeat(pna, tx, seed, start, injector, tele);
                         return true;
                     }
                 }
@@ -638,6 +719,7 @@ fn run_instance(
         let now = wall_now(start);
         let lost =
             injector.partitioned(pna.node(), now) || injector.direct_dropped(pna.node(), now);
+        fetch_began.get_or_insert(now.as_micros());
         let reply = if lost {
             None
         } else {
@@ -657,16 +739,40 @@ fn run_instance(
         match reply {
             Some(TaskReply::Assigned { job, task, query }) => {
                 fetch_attempt = 0;
+                let track = pna.node().raw();
+                if let Some(begin) = fetch_began.take() {
+                    tele.span(
+                        begin,
+                        wall_now(start).as_micros(),
+                        Phase::TaskFetch,
+                        track,
+                        task.id.raw(),
+                    );
+                }
+                let compute_begin = wall_now(start).as_micros();
                 let score = image.score(&db, &query);
+                let computed = wall_now(start).as_micros();
+                tele.span(
+                    compute_begin,
+                    computed,
+                    Phase::Compute,
+                    track,
+                    task.id.raw(),
+                );
+                tele.duration(
+                    (computed.saturating_sub(compute_begin)) as f64 / 1e6,
+                    Phase::Kernel,
+                );
                 let _ = pna.task_done();
-                send_result(pna, tx, job, task.id, score, seed, start, injector);
+                send_result(pna, tx, job, task.id, score, seed, start, injector, tele);
             }
             Some(TaskReply::Drained) => {
                 fetch_attempt = 0;
+                fetch_began = None;
                 if maybe_crash(pna, injector, start) {
                     return true;
                 }
-                if !heartbeat(pna, tx, seed, start, injector) {
+                if !heartbeat(pna, tx, seed, start, injector, tele) {
                     return true;
                 }
                 match bus_rx.recv_timeout(hb_interval) {
@@ -675,7 +781,7 @@ fn run_instance(
                         if let PnaAction::DveDestroyed { .. } =
                             pna.on_control_message(&b.signed, host, rng)
                         {
-                            let _ = heartbeat(pna, tx, seed, start, injector);
+                            let _ = heartbeat(pna, tx, seed, start, injector, tele);
                             return true;
                         }
                     }
@@ -685,6 +791,12 @@ fn run_instance(
             }
             None => match backoff.delay_std(fetch_attempt, seed ^ 0xfe7c) {
                 Some(d) => {
+                    tele.instant(
+                        wall_now(start).as_micros(),
+                        Phase::Retry,
+                        pna.node().raw(),
+                        u64::from(fetch_attempt),
+                    );
                     fetch_attempt += 1;
                     std::thread::sleep(d);
                 }
@@ -693,7 +805,8 @@ fn run_instance(
                     // heartbeat (so the Controller still sees us) and start
                     // a fresh chain. Pre-hardening this killed the worker.
                     fetch_attempt = 0;
-                    if !heartbeat(pna, tx, seed, start, injector) {
+                    fetch_began = None;
+                    if !heartbeat(pna, tx, seed, start, injector, tele) {
                         return true;
                     }
                 }
@@ -716,9 +829,11 @@ fn send_result(
     seed: u64,
     start: &Instant,
     injector: &FaultInjector,
+    tele: &Telemetry,
 ) {
     let backoff = Backoff::live();
     let mut attempt = 0;
+    let began = wall_now(start).as_micros();
     loop {
         let now = wall_now(start);
         if !(injector.partitioned(pna.node(), now) || injector.direct_dropped(pna.node(), now)) {
@@ -728,10 +843,23 @@ fn send_result(
                 node: pna.node(),
                 score,
             });
+            tele.span(
+                began,
+                wall_now(start).as_micros(),
+                Phase::ResultUpload,
+                pna.node().raw(),
+                task.raw(),
+            );
             return;
         }
         match backoff.delay_std(attempt, seed ^ 0x5e9d) {
             Some(d) => {
+                tele.instant(
+                    wall_now(start).as_micros(),
+                    Phase::Retry,
+                    pna.node().raw(),
+                    u64::from(attempt),
+                );
                 attempt += 1;
                 std::thread::sleep(d);
             }

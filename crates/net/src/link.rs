@@ -8,6 +8,7 @@
 //! are single application-level messages in this model).
 
 use oddci_faults::{FaultClass, FaultCounters, FaultInjector};
+use oddci_telemetry::{Phase, Telemetry};
 use oddci_types::{Bandwidth, DataSize, DirectChannelConfig, NodeId, SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -125,6 +126,57 @@ impl DirectLink {
         } else {
             Some(done)
         }
+    }
+
+    /// [`transfer`](Self::transfer) that also records the delivery as a
+    /// `net.transfer` span in `tele` (feeding the direct-channel RTT
+    /// histogram). The span covers request-to-delivery including queueing
+    /// and retransmissions; `scope` carries the payload size in bytes.
+    pub fn transfer_telemetered<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        size: DataSize,
+        dir: Direction,
+        rng: &mut R,
+        tele: &Telemetry,
+        track: u64,
+    ) -> SimTime {
+        let done = self.transfer(now, size, dir, rng);
+        tele.span(
+            now.as_micros(),
+            done.as_micros(),
+            Phase::DirectTransfer,
+            track,
+            size.bits() / 8,
+        );
+        done
+    }
+
+    /// [`transfer_faulted`](Self::transfer_faulted) that records delivered
+    /// messages as `net.transfer` spans. Messages that vanish (partition or
+    /// loss burst) are not recorded here — the caller's retry path emits
+    /// the `retry` instants that account for them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_faulted_telemetered<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        size: DataSize,
+        dir: Direction,
+        rng: &mut R,
+        injector: &FaultInjector,
+        node: NodeId,
+        counters: &mut FaultCounters,
+        tele: &Telemetry,
+    ) -> Option<SimTime> {
+        let done = self.transfer_faulted(now, size, dir, rng, injector, node, counters)?;
+        tele.span(
+            now.as_micros(),
+            done.as_micros(),
+            Phase::DirectTransfer,
+            node.raw(),
+            size.bits() / 8,
+        );
+        Some(done)
     }
 
     /// Completion time of a loss-free transfer starting exactly at `now` on

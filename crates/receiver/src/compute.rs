@@ -16,6 +16,7 @@
 //! class) to any other class, with optional lognormal-ish jitter to mimic
 //! the run-to-run variance visible in Table II.
 
+use oddci_telemetry::{Phase, Telemetry};
 use oddci_types::SimDuration;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -147,6 +148,23 @@ impl ComputeModel {
         let half_width = self.jitter_cv * 3f64.sqrt();
         let m = 1.0 + rng.random_range(-half_width..half_width);
         base.mul_f64(m.max(0.05))
+    }
+
+    /// [`sample_from_reference_stb`](Self::sample_from_reference_stb) that
+    /// also records the sampled kernel time into `tele`'s
+    /// `receiver.kernel` histogram. The model itself carries no telemetry
+    /// handle (it must stay `PartialEq + Serialize`), so observability is
+    /// a call-site parameter.
+    pub fn sample_instrumented<R: Rng + ?Sized>(
+        &self,
+        stb_time: SimDuration,
+        mode: UsageMode,
+        rng: &mut R,
+        tele: &Telemetry,
+    ) -> SimDuration {
+        let dur = self.sample_from_reference_stb(stb_time, mode, rng);
+        tele.duration(dur.as_secs_f64(), Phase::Kernel);
+        dur
     }
 
     /// The paper's model expresses task cost `t.p` on a **reference STB**.

@@ -1,0 +1,241 @@
+//! Exporters: Chrome `trace_event` JSON, JSONL event log, and a
+//! Prometheus-style text dump.
+//!
+//! All three are pure functions from recorded data to text, so they can
+//! run after the simulation without holding any telemetry locks during
+//! the run itself.
+
+use crate::event::{Event, EventKind, CONTROL_TRACK};
+use crate::registry::RegistrySnapshot;
+use serde_json::Value;
+
+/// Chrome trace viewer thread id for a track: the control plane maps to
+/// tid 0, node `n` to `n + 1`.
+pub fn track_tid(track: u64) -> u64 {
+    if track == CONTROL_TRACK {
+        0
+    } else {
+        track.saturating_add(1).min(u64::MAX - 1)
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(n: u64) -> Value {
+    Value::Number(serde_json::Number::U(n))
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+/// Render events as Chrome `trace_event` JSON (the `about://tracing` /
+/// Perfetto "JSON Object Format"): `{"traceEvents": [...]}` with `B`/`E`
+/// duration events, `i` instants, and `M` metadata rows naming each
+/// track. Events are stable-sorted by timestamp so retro-emitted spans
+/// come out in viewer order.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut sorted: Vec<Event> = events.to_vec();
+    sorted.sort_by_key(|e| e.ts_us);
+
+    let mut tracks: Vec<u64> = sorted.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    let mut rows: Vec<Value> = Vec::with_capacity(sorted.len() + tracks.len());
+    for track in &tracks {
+        let name = if *track == CONTROL_TRACK {
+            "control-plane".to_string()
+        } else {
+            format!("node-{track}")
+        };
+        rows.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", num(1)),
+            ("tid", num(track_tid(*track))),
+            ("args", obj(vec![("name", s(&name))])),
+        ]));
+    }
+
+    for ev in &sorted {
+        let ph = match ev.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        let mut entries = vec![
+            ("name", s(ev.phase.label())),
+            ("cat", s("oddci")),
+            ("ph", s(ph)),
+            ("ts", num(ev.ts_us)),
+            ("pid", num(1)),
+            ("tid", num(track_tid(ev.track))),
+        ];
+        if ev.kind == EventKind::Instant {
+            entries.push(("s", s("t")));
+        }
+        entries.push(("args", obj(vec![("scope", num(ev.scope))])));
+        rows.push(obj(entries));
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(rows)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    serde_json::to_string(&doc).expect("chrome trace serializes")
+}
+
+/// Render events as JSONL: one compact JSON object per line, in recorded
+/// order (no sorting — this is the raw log).
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Replace characters Prometheus metric names reject.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a registry snapshot in Prometheus text exposition format:
+/// counters and gauges as-is, histograms flattened into
+/// `<name>_{count,mean,p50,p90,p99,max}` series (seconds).
+pub fn prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        out.push_str(&format!(
+            "# TYPE {name} gauge\n{name} {}\n",
+            fmt_f64(*value)
+        ));
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name}_seconds summary\n"));
+        out.push_str(&format!("{name}_seconds_count {}\n", h.count));
+        out.push_str(&format!("{name}_seconds_mean {}\n", fmt_f64(h.mean)));
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            out.push_str(&format!(
+                "{name}_seconds{{quantile=\"{q}\"}} {}\n",
+                fmt_f64(v)
+            ));
+        }
+        out.push_str(&format!("{name}_seconds_max {}\n", fmt_f64(h.max)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::recorder::Recorder;
+    use crate::registry::Registry;
+
+    fn sample_events() -> Vec<Event> {
+        let r = Recorder::with_capacity(64);
+        r.instant(0, Phase::CarouselPublish, CONTROL_TRACK, 7);
+        r.span(0, 1500, Phase::WakeupWait, 2, 7);
+        r.span(1500, 9000, Phase::DveBoot, 2, 7);
+        r.instant(9000, Phase::Heartbeat, 2, 7);
+        r.events()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_sorted_and_paired() {
+        let text = chrome_trace(&sample_events());
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let rows = doc["traceEvents"].as_array().unwrap();
+        // 2 metadata rows (control + node-2) + 6 events.
+        assert_eq!(rows.len(), 8);
+
+        let mut last_ts = 0u64;
+        let mut begins = 0i64;
+        for row in rows {
+            let ph = row["ph"].as_str().unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let ts = row["ts"].as_u64().unwrap();
+            assert!(ts >= last_ts, "timestamps must be monotone");
+            last_ts = ts;
+            match ph {
+                "B" => begins += 1,
+                "E" => begins -= 1,
+                "i" => assert_eq!(row["s"].as_str(), Some("t")),
+                other => panic!("unexpected ph {other}"),
+            }
+            assert_eq!(row["pid"].as_u64(), Some(1));
+            assert_eq!(row["cat"].as_str(), Some("oddci"));
+        }
+        assert_eq!(begins, 0, "every B has a matching E");
+    }
+
+    #[test]
+    fn track_tid_maps_control_to_zero() {
+        assert_eq!(track_tid(CONTROL_TRACK), 0);
+        assert_eq!(track_tid(0), 1);
+        assert_eq!(track_tid(41), 42);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("ts_us").is_some());
+            assert!(v.get("phase").is_some());
+        }
+    }
+
+    #[test]
+    fn prometheus_dump_has_expected_series() {
+        let reg = Registry::new();
+        reg.counter("world.joins").add(3);
+        reg.gauge("backend.queue-depth").set(2.0);
+        reg.histogram("dve.boot").record(0.5);
+        let text = prometheus(&reg.snapshot());
+        assert!(text.contains("world_joins 3\n"), "{text}");
+        assert!(text.contains("backend_queue_depth 2.0\n"), "{text}");
+        assert!(text.contains("dve_boot_seconds_count 1\n"), "{text}");
+        assert!(
+            text.contains("dve_boot_seconds{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(!text.contains('-'), "metric names must be sanitized");
+    }
+}

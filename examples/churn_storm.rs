@@ -58,7 +58,7 @@ fn main() {
                     label,
                     report.makespan.as_secs_f64() / 60.0,
                     report.requeues,
-                    m.tasks_orphaned,
+                    m.tasks_orphaned.get(),
                     report.wakeup_broadcasts,
                     report.tasks_completed,
                 );

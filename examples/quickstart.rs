@@ -72,7 +72,7 @@ fn main() {
         m.wakeup_latency.stats().mean(),
         m.wakeup_latency.count()
     );
-    println!("  heartbeats received : {}", m.heartbeats_delivered);
+    println!("  heartbeats received : {}", m.heartbeats_delivered.get());
     println!();
     let ratio = report.makespan.as_secs_f64() / predicted.as_secs_f64();
     println!("simulated / analytical makespan: {ratio:.2}x");

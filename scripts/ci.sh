@@ -17,4 +17,9 @@ run cargo test -q ${CARGO_FLAGS}
 run cargo fmt --check
 run cargo clippy --workspace ${CARGO_FLAGS} -- -D warnings
 
+# Telemetry gates: the Chrome-trace integration test must stay green and
+# every checked-in results/*.metrics.json must match the schema.
+run cargo test -q ${CARGO_FLAGS} --test telemetry_trace
+run cargo run -q --release ${CARGO_FLAGS} -p oddci-bench --bin schema_check
+
 echo "==> CI green"

@@ -23,6 +23,7 @@
 //! | [`receiver`] | `oddci-receiver` | set-top box, Xlet middleware, DVE, calibrated compute |
 //! | [`net`] | `oddci-net` | δ-bps direct channels, Controller capacity model |
 //! | [`faults`] | `oddci-faults` | deterministic fault-injection plans, backoff policies |
+//! | [`telemetry`] | `oddci-telemetry` | spans/events, metrics registry, latency histograms, trace exporters |
 //! | [`core`] | `oddci-core` | Provider / Controller / Backend / PNA + the world simulation |
 //! | [`workload`] | `oddci-workload` | MTC jobs, suitability Φ, BLAST dataset, alignment kernel |
 //! | [`analytics`] | `oddci-analytics` | closed forms: `W = 1.5·I/β`, makespan eq. (1), efficiency eq. (2) |
@@ -69,6 +70,7 @@ pub use oddci_live as live;
 pub use oddci_net as net;
 pub use oddci_receiver as receiver;
 pub use oddci_sim as sim;
+pub use oddci_telemetry as telemetry;
 pub use oddci_types as types;
 pub use oddci_workload as workload;
 
