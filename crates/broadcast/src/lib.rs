@@ -16,7 +16,7 @@
 //!   paper's `1.5·I/β` average wakeup law.
 //! * [`ait`] — the Application Information Table, the signalling that tells
 //!   a receiver which applications exist and whether they AUTOSTART.
-//! * [`channel`] — a [`BroadcastChannel`](channel::BroadcastChannel) gluing
+//! * [`channel`] — a [`channel::BroadcastChannel`] gluing
 //!   the three together and exposing the query used by the receiver model:
 //!   *"I tuned in at time t; when do I have file f of carousel version v?"*
 //!
@@ -24,6 +24,26 @@
 //! discrete events. Because transmission is strictly periodic, acquisition
 //! times are closed-form functions of the attach instant, which lets a
 //! million-receiver simulation query the carousel in O(1) per receiver.
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_broadcast::{BroadcastChannel, CarouselFile};
+//! use oddci_types::{Bandwidth, ChannelId, SimTime};
+//!
+//! // A 64 KB application image cycling on a 1 Mbps data channel.
+//! let files = vec![CarouselFile::new("image", vec![0u8; 64 * 1024])];
+//! let chan = BroadcastChannel::new(
+//!     ChannelId::new(1),
+//!     Bandwidth::from_mbps(1.0),
+//!     files,
+//!     SimTime::ZERO,
+//! );
+//!
+//! // Expected acquisition time for a receiver tuning in at random:
+//! let t = chan.expected_acquisition("image").expect("file is on the carousel");
+//! assert!(t.as_secs_f64() > 0.0);
+//! ```
 
 pub mod ait;
 pub mod carousel;

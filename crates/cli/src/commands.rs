@@ -5,6 +5,7 @@ use oddci_analytics::{efficiency as eq2, makespan, wakeup_envelope, InstancePara
 use oddci_core::world::ChurnConfig;
 use oddci_core::{World, WorldConfig};
 use oddci_types::{Bandwidth, DataSize, SimDuration, SimTime};
+use oddci_workload::alignment::random_sequence;
 use oddci_workload::{JobGenerator, JobProfile};
 use std::fmt::Write;
 
@@ -378,6 +379,120 @@ pub fn live(p: &Parsed) -> Result<String, ArgError> {
                 "random noise"
             }
         );
+    }
+    Ok(out)
+}
+
+/// `oddci soak`: stress the live headend and report task throughput.
+///
+/// Runs one alignment job with a deliberately small database so each task
+/// is cheap: throughput is then dominated by headend round trips, which is
+/// exactly what the sharded architecture changes. `--single-loop` selects
+/// the pre-sharding baseline headend for comparison.
+pub fn soak(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+    use oddci_telemetry::Telemetry;
+
+    let shards: usize = p.num("shards", 4)?;
+    let dispatch: usize = p.num("dispatch", shards.clamp(1, 4))?;
+    let batch: usize = p.num("batch", 16)?;
+    let nodes: u64 = p.num("nodes", 8)?;
+    let queries: u64 = p.num("queries", 512)?;
+    let target: u64 = p.num("target", nodes)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let mode = if p.flag("single-loop") {
+        HeadendMode::SingleLoop
+    } else {
+        HeadendMode::Sharded {
+            shards,
+            dispatch,
+            batch,
+        }
+    };
+    // Degenerate pool sizes (`--shards 0`, oversized batches, …) must be
+    // a clear argument error, never a runtime panic.
+    mode.validate().map_err(ArgError)?;
+    if nodes == 0 || queries == 0 {
+        return Err(ArgError("--nodes and --queries must be positive".into()));
+    }
+    if target == 0 || target > nodes {
+        return Err(ArgError(format!(
+            "--target must be within 1..=--nodes ({nodes}), got {target}"
+        )));
+    }
+
+    // A tiny database plus short random queries keeps each task a cheap
+    // index scan (a few µs), so the soak measures headend round trips —
+    // the thing sharding changes — rather than alignment arithmetic.
+    let image = AlignmentImage {
+        db_len: 400,
+        ..AlignmentImage::small_demo()
+    };
+    let work: Vec<std::sync::Arc<Vec<u8>>> = (0..queries)
+        .map(|i| std::sync::Arc::new(random_sequence(16, seed ^ i)))
+        .collect();
+    let tele = Telemetry::recording();
+    let live = LiveOddci::start(LiveConfig {
+        nodes,
+        seed,
+        telemetry: tele.clone(),
+        mode,
+        ..Default::default()
+    });
+    let outcome = live
+        .run_query_job(image, work, target, std::time::Duration::from_secs(300))
+        .ok_or_else(|| ArgError("soak job did not complete within 300s".into()))?;
+    let shutdown = live.shutdown();
+
+    let makespan = outcome.report.makespan.as_secs_f64();
+    let throughput = queries as f64 / makespan.max(1e-9);
+    let snapshot = tele.metrics_snapshot();
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "mode": if matches!(mode, HeadendMode::SingleLoop) { "single-loop" } else { "sharded" },
+            "shards": if matches!(mode, HeadendMode::SingleLoop) { 0 } else { shards },
+            "dispatch": if matches!(mode, HeadendMode::SingleLoop) { 0 } else { dispatch },
+            "batch": if matches!(mode, HeadendMode::SingleLoop) { 1 } else { batch },
+            "nodes": nodes,
+            "queries": queries,
+            "target": target,
+            "makespan_secs": makespan,
+            "throughput_tasks_per_sec": throughput,
+            "requeues": outcome.report.requeues,
+            "tasks_unaccounted": shutdown.tasks_unaccounted,
+            "gauges": snapshot.gauges,
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("serialize soak json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "live soak: {nodes} receiver threads, instance {target}, {queries} tasks"
+    );
+    let _ = match mode {
+        HeadendMode::SingleLoop => writeln!(out, "  headend     : single-loop baseline"),
+        HeadendMode::Sharded { .. } => writeln!(
+            out,
+            "  headend     : sharded ({shards} shards, {dispatch} dispatch, batch {batch})"
+        ),
+    };
+    let _ = writeln!(out, "  makespan    : {:.3}s", makespan);
+    let _ = writeln!(out, "  throughput  : {throughput:.1} tasks/s");
+    let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
+    let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    let lags: Vec<(&String, &f64)> = snapshot
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("controller.heartbeat_lag."))
+        .collect();
+    if !lags.is_empty() {
+        let _ = writeln!(out, "  heartbeat lag (last beat, s):");
+        for (name, lag) in lags {
+            let shard = name.rsplit('.').next().unwrap_or(name);
+            let _ = writeln!(out, "    {shard:<8} {lag:.3}");
+        }
     }
     Ok(out)
 }

@@ -16,6 +16,18 @@
 //! The argument syntax is deliberately simple (`--key value` pairs after a
 //! subcommand); parsing is hand-rolled to keep the dependency set at the
 //! approved workspace list.
+//!
+//! # Example
+//!
+//! ```
+//! // The same entry point the binary uses, minus the process:
+//! let argv: Vec<String> = ["wakeup", "--image-mb", "10", "--beta-mbps", "2"]
+//!     .iter()
+//!     .map(|s| s.to_string())
+//!     .collect();
+//! let out = oddci_cli::run(&argv).expect("valid arguments");
+//! assert!(out.contains("62.9"), "mean wakeup of 10 MB @ 2 Mbps: {out}");
+//! ```
 
 pub mod args;
 pub mod commands;
@@ -46,6 +58,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "wakeup" => commands::wakeup(&parsed).map_err(|e| e.to_string()),
         "efficiency" => commands::efficiency(&parsed).map_err(|e| e.to_string()),
         "live" => commands::live(&parsed).map_err(|e| e.to_string()),
+        "soak" => commands::soak(&parsed).map_err(|e| e.to_string()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
     }
@@ -95,6 +108,16 @@ COMMANDS:
                   --nodes N        receiver threads        [4]
                   --queries N      alignment queries       [8]
                   --target N       instance size           [3]
+    soak        stress the live headend and report task throughput
+                  --shards N       controller shards, 1..=64   [4]
+                  --dispatch N     dispatch workers, 1..=64    [min(shards,4)]
+                  --batch N        tasks per fetch, 1..=1024   [16]
+                  --nodes N        receiver threads            [8]
+                  --queries N      tasks in the soak job       [512]
+                  --target N       instance size               [nodes]
+                  --seed S         run seed                    [42]
+                  --single-loop    use the pre-sharding baseline headend
+                  --json           machine-readable output
     help        show this message
 "
     .to_string()
@@ -239,6 +262,37 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
         assert!(!v["traceEvents"].as_array().unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn soak_rejects_degenerate_pools() {
+        let err = run(&argv(&["soak", "--shards", "0"])).unwrap_err();
+        assert!(err.contains("1..=64"), "{err}");
+        let err = run(&argv(&["soak", "--batch", "9999"])).unwrap_err();
+        assert!(err.contains("1..=1024"), "{err}");
+        let err = run(&argv(&["soak", "--nodes", "2", "--target", "5"])).unwrap_err();
+        assert!(err.contains("--target"), "{err}");
+    }
+
+    #[test]
+    fn soak_small_run_reports_throughput() {
+        let out = run(&argv(&[
+            "soak",
+            "--nodes",
+            "2",
+            "--queries",
+            "8",
+            "--shards",
+            "2",
+            "--batch",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["queries"], 8);
+        assert_eq!(v["tasks_unaccounted"], 0);
+        assert!(v["throughput_tasks_per_sec"].as_f64().unwrap() > 0.0);
     }
 
     #[test]

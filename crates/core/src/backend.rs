@@ -25,12 +25,32 @@ struct JobState {
     job: Job,
     pending: VecDeque<TaskId>,
     assigned: BTreeMap<TaskId, NodeId>,
-    node_task: BTreeMap<NodeId, TaskId>,
+    node_task: BTreeMap<NodeId, BTreeSet<TaskId>>,
     completed: BTreeSet<TaskId>,
     submitted_at: SimTime,
     completed_at: Option<SimTime>,
     /// Tasks re-queued after node loss (accounting).
     requeues: u64,
+}
+
+impl JobState {
+    /// Re-queues every task `node` still holds (front of the queue — they
+    /// have waited longest). Returns how many open tasks went back.
+    fn recycle_node(&mut self, node: NodeId) -> u64 {
+        let Some(tasks) = self.node_task.remove(&node) else {
+            return 0;
+        };
+        let mut recycled = 0;
+        for task in tasks {
+            self.assigned.remove(&task);
+            if !self.completed.contains(&task) {
+                self.pending.push_front(task);
+                self.requeues += 1;
+                recycled += 1;
+            }
+        }
+        recycled
+    }
 }
 
 /// The Backend.
@@ -71,23 +91,33 @@ impl Backend {
     /// stale task is re-queued first, exactly as if the loss had been
     /// reported.
     pub fn fetch_task(&mut self, job: JobId, node: NodeId) -> Result<TaskOutcome> {
-        let state = self.jobs.get_mut(&job).ok_or(OddciError::UnknownJob(job))?;
-        if let Some(stale) = state.node_task.remove(&node) {
-            state.assigned.remove(&stale);
-            if !state.completed.contains(&stale) {
-                state.pending.push_front(stale);
-                state.requeues += 1;
-            }
-        }
-        match state.pending.pop_front() {
-            Some(task_id) => {
-                state.assigned.insert(task_id, node);
-                state.node_task.insert(node, task_id);
-                let task = state.job.tasks[task_id.index()].clone();
-                Ok(TaskOutcome::Assigned(task))
-            }
+        let mut batch = self.fetch_batch(job, node, 1)?;
+        match batch.pop() {
+            Some(task) => Ok(TaskOutcome::Assigned(task)),
             None => Ok(TaskOutcome::Drained),
         }
+    }
+
+    /// A node asks for up to `max` tasks of `job` in one round trip.
+    ///
+    /// The batched form of [`fetch_task`](Self::fetch_task), used by the
+    /// sharded live headend's dispatch pool to amortize per-task channel
+    /// round trips. The same stale-assignment rule applies: any task the
+    /// Backend still believes this node holds is re-queued before the new
+    /// batch is cut. An empty vec means the job is drained.
+    pub fn fetch_batch(&mut self, job: JobId, node: NodeId, max: usize) -> Result<Vec<Task>> {
+        let state = self.jobs.get_mut(&job).ok_or(OddciError::UnknownJob(job))?;
+        state.recycle_node(node);
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            let Some(task_id) = state.pending.pop_front() else {
+                break;
+            };
+            state.assigned.insert(task_id, node);
+            state.node_task.entry(node).or_default().insert(task_id);
+            batch.push(state.job.tasks[task_id.index()].clone());
+        }
+        Ok(batch)
     }
 
     /// A node uploads the result of `task`. Returns `true` when this was
@@ -116,7 +146,12 @@ impl Backend {
             }
         }
         state.assigned.remove(&task);
-        state.node_task.remove(&node);
+        if let Some(held) = state.node_task.get_mut(&node) {
+            held.remove(&task);
+            if held.is_empty() {
+                state.node_task.remove(&node);
+            }
+        }
         state.completed.insert(task);
         if state.completed.len() == state.job.tasks.len() {
             state.completed_at = Some(now);
@@ -131,13 +166,8 @@ impl Backend {
     pub fn node_lost(&mut self, node: NodeId) -> Vec<JobId> {
         let mut affected = Vec::new();
         for (&job_id, state) in &mut self.jobs {
-            if let Some(task) = state.node_task.remove(&node) {
-                state.assigned.remove(&task);
-                if !state.completed.contains(&task) {
-                    state.pending.push_front(task);
-                    state.requeues += 1;
-                    affected.push(job_id);
-                }
+            if state.recycle_node(node) > 0 {
+                affected.push(job_id);
             }
         }
         affected
@@ -164,6 +194,26 @@ impl Backend {
     /// Pending (unassigned) task count.
     pub fn pending_count(&self, job: JobId) -> u64 {
         self.jobs.get(&job).map_or(0, |s| s.pending.len() as u64)
+    }
+
+    /// In-flight (assigned, not yet completed) task count.
+    pub fn assigned_count(&self, job: JobId) -> u64 {
+        self.jobs.get(&job).map_or(0, |s| s.assigned.len() as u64)
+    }
+
+    /// Accounting check for shutdown barriers: how many of `job`'s tasks
+    /// are in **no** ledger — neither pending, assigned to a node, nor
+    /// completed. Any bookkeeping bug (a task orphaned by a lost node
+    /// without a re-queue, a double pop) shows up here as a non-zero
+    /// count; a healthy Backend always returns 0.
+    pub fn unaccounted_tasks(&self, job: JobId) -> u64 {
+        let Some(s) = self.jobs.get(&job) else {
+            return 0;
+        };
+        let mut accounted: BTreeSet<TaskId> = s.completed.clone();
+        accounted.extend(s.pending.iter().copied());
+        accounted.extend(s.assigned.keys().copied());
+        s.job.tasks.len() as u64 - accounted.len() as u64
     }
 
     /// Tasks re-queued after node losses.
@@ -358,6 +408,67 @@ mod tests {
         assert!(b
             .complete_task(j, second.id, NodeId::new(10), SimTime::from_secs(2))
             .unwrap());
+        assert_eq!(b.completed_count(j), 2);
+    }
+
+    #[test]
+    fn fetch_batch_assigns_up_to_max() {
+        let mut b = Backend::new();
+        b.register_job(job(5), SimTime::ZERO);
+        let j = JobId::new(1);
+        let batch = b.fetch_batch(j, NodeId::new(10), 3).unwrap();
+        assert_eq!(
+            batch.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![TaskId::new(0), TaskId::new(1), TaskId::new(2)]
+        );
+        assert_eq!(b.assigned_count(j), 3);
+        // The remainder is a short batch; a further fetch drains.
+        assert_eq!(b.fetch_batch(j, NodeId::new(11), 3).unwrap().len(), 2);
+        assert!(b.fetch_batch(j, NodeId::new(12), 3).unwrap().is_empty());
+        assert_eq!(b.unaccounted_tasks(j), 0);
+    }
+
+    #[test]
+    fn node_loss_requeues_a_whole_batch() {
+        let mut b = Backend::new();
+        b.register_job(job(4), SimTime::ZERO);
+        let j = JobId::new(1);
+        let batch = b.fetch_batch(j, NodeId::new(10), 3).unwrap();
+        // One result lands before the node dies.
+        assert!(!b
+            .complete_task(j, batch[0].id, NodeId::new(10), SimTime::from_secs(1))
+            .unwrap());
+        assert_eq!(b.node_lost(NodeId::new(10)), vec![j]);
+        // The two unfinished tasks of the batch went back, the completed
+        // one did not; nothing is orphaned.
+        assert_eq!(b.pending_count(j), 3);
+        assert_eq!(b.requeue_count(j), 2);
+        assert_eq!(b.unaccounted_tasks(j), 0);
+        // Another node finishes the job.
+        for t in b.fetch_batch(j, NodeId::new(11), 4).unwrap() {
+            b.complete_task(j, t.id, NodeId::new(11), SimTime::from_secs(9))
+                .unwrap();
+        }
+        assert!(b.is_complete(j));
+    }
+
+    #[test]
+    fn batch_refetch_recycles_stale_assignments() {
+        // A node holding a batch power-cycles and fetches afresh: its old
+        // batch is re-queued first, so nothing is lost or duplicated.
+        let mut b = Backend::new();
+        b.register_job(job(2), SimTime::ZERO);
+        let j = JobId::new(1);
+        b.fetch_batch(j, NodeId::new(10), 2).unwrap();
+        let again = b.fetch_batch(j, NodeId::new(10), 2).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(b.requeue_count(j), 2);
+        assert_eq!(b.unaccounted_tasks(j), 0);
+        for t in again {
+            b.complete_task(j, t.id, NodeId::new(10), SimTime::from_secs(2))
+                .unwrap();
+        }
+        assert!(b.is_complete(j));
         assert_eq!(b.completed_count(j), 2);
     }
 

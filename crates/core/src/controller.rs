@@ -74,6 +74,14 @@ pub struct ControllerPolicy {
     /// Idle-pool estimate used before any heartbeat has been consolidated
     /// (the expected audience of the channel).
     pub assumed_audience: u64,
+    /// Defer recomposition wakeups until at least one **live idle** node is
+    /// in the registry. Off by default (the simulated plane must recompose
+    /// to recruit churned-in receivers it has never heard from); the
+    /// sharded live headend turns it on so a shard whose owned slice is
+    /// fully busy — or empty — does not rebroadcast wakeups every tick
+    /// that nobody can accept.
+    #[serde(default)]
+    pub recompose_requires_idle: bool,
 }
 
 impl Default for ControllerPolicy {
@@ -83,6 +91,7 @@ impl Default for ControllerPolicy {
             sizing_slack: 1.0,
             recompose_threshold: 0.95,
             assumed_audience: 10_000,
+            recompose_requires_idle: false,
         }
     }
 }
@@ -124,6 +133,7 @@ pub struct Controller {
     registry: BTreeMap<NodeId, NodeRecord>,
     next_instance: u64,
     next_message: u64,
+    message_stride: u64,
     /// Heartbeats processed (experiment X2 accounting).
     pub heartbeats_received: u64,
 }
@@ -131,13 +141,32 @@ pub struct Controller {
 impl Controller {
     /// Creates a Controller signing with `key` under `policy`.
     pub fn new(key: &[u8], policy: ControllerPolicy) -> Self {
+        Controller::with_id_namespace(key, policy, 0, 1)
+    }
+
+    /// Creates a Controller whose control messages are numbered `offset,
+    /// offset + stride, offset + 2·stride, …`.
+    ///
+    /// PNAs deduplicate carousel repetitions by [`MessageId`], so when
+    /// several Controllers share one broadcast channel (the shards of a
+    /// [`ShardedController`](crate::sharded::ShardedController)) each must
+    /// sign from a disjoint id namespace — otherwise a node that consumed
+    /// shard 0's message `#7` would silently drop shard 1's.
+    pub fn with_id_namespace(
+        key: &[u8],
+        policy: ControllerPolicy,
+        offset: u64,
+        stride: u64,
+    ) -> Self {
+        assert!(stride > 0, "message-id stride must be positive");
         Controller {
             auth: MessageAuthenticator::from_key(key),
             policy,
             instances: BTreeMap::new(),
             registry: BTreeMap::new(),
             next_instance: 0,
-            next_message: 0,
+            next_message: offset,
+            message_stride: stride,
             heartbeats_received: 0,
         }
     }
@@ -149,7 +178,7 @@ impl Controller {
 
     fn next_message_id(&mut self) -> MessageId {
         let id = MessageId::new(self.next_message);
-        self.next_message += 1;
+        self.next_message += self.message_stride;
         id
     }
 
@@ -177,6 +206,21 @@ impl Controller {
     ) -> (InstanceId, Vec<ControllerOutput>) {
         let id = InstanceId::new(self.next_instance);
         self.next_instance += 1;
+        let outputs = self.admit_instance(id, req, now);
+        (id, outputs)
+    }
+
+    /// Creates an instance under an **externally allocated** id, returning
+    /// the wakeup broadcast to publish. Used when a coordinator (e.g. a
+    /// [`ShardedController`](crate::sharded::ShardedController) or the
+    /// sharded live headend) hands the same instance to several shard
+    /// Controllers and needs them all to agree on its identity.
+    pub fn admit_instance(
+        &mut self,
+        id: InstanceId,
+        req: InstanceRequest,
+        now: SimTime,
+    ) -> Vec<ControllerOutput> {
         let mut record = InstanceRecord {
             request: req,
             status: InstanceStatus::Forming,
@@ -186,7 +230,8 @@ impl Controller {
         let wakeup = self.wakeup_message(id, &req, req.target, now);
         record.wakeups_sent = 1;
         self.instances.insert(id, record);
-        (id, vec![ControllerOutput::Broadcast(wakeup)])
+        self.next_instance = self.next_instance.max(id.raw() + 1);
+        vec![ControllerOutput::Broadcast(wakeup)]
     }
 
     fn wakeup_message(
@@ -220,14 +265,14 @@ impl Controller {
             .ok_or(OddciError::UnknownInstance(id))?;
         record.status = InstanceStatus::Dismantled;
         record.members.clear();
+        let msg_id = self.next_message_id();
         let msg = SignedMessage::sign(
             ControlMessage::Reset(ResetMessage {
-                id: MessageId::new(self.next_message),
+                id: msg_id,
                 instance: id,
             }),
             &self.auth,
         );
-        self.next_message += 1;
         Ok(vec![ControllerOutput::Broadcast(msg)])
     }
 
@@ -380,7 +425,20 @@ impl Controller {
             }
         }
 
-        // Recomposition.
+        // Recomposition. Optionally gated on the registry actually holding
+        // a live idle node: a wakeup nobody can accept is pure carousel
+        // noise, and a sharded headend would otherwise emit one per tick
+        // from every shard whose slice is saturated.
+        if self.policy.recompose_requires_idle {
+            let deadline = self.policy.heartbeat.loss_deadline();
+            let live_idle = self
+                .registry
+                .values()
+                .any(|r| r.state == PnaStateKind::Idle && now.since(r.last_heartbeat) <= deadline);
+            if !live_idle {
+                return out;
+            }
+        }
         let mut rebroadcasts = Vec::new();
         for (&id, rec) in &self.instances {
             if rec.status == InstanceStatus::Dismantled {
@@ -568,6 +626,32 @@ mod tests {
         // Deficit 5 over an idle pool of 100 → p = 0.05.
         assert!((wakeups[0].probability.value() - 0.05).abs() < 1e-9);
         assert_eq!(c.instance(id).unwrap().wakeups_sent, 2);
+    }
+
+    #[test]
+    fn recompose_gate_waits_for_live_idle_nodes() {
+        let policy = ControllerPolicy {
+            recompose_requires_idle: true,
+            ..Default::default()
+        };
+        let mut c = Controller::new(KEY, policy);
+        let (id, _) = c.create_instance(request(4), SimTime::ZERO);
+        // Under target, but no idle node has ever heartbeated: deferred.
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        assert!(c.tick(SimTime::from_secs(2)).is_empty());
+        // An idle listener appears: recomposition resumes.
+        c.on_heartbeat(idle_hb(7, 3), SimTime::from_secs(3));
+        let out = c.tick(SimTime::from_secs(4));
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                ControllerOutput::Broadcast(SignedMessage {
+                    message: ControlMessage::Wakeup(_),
+                    ..
+                })
+            )),
+            "{out:?}"
+        );
     }
 
     #[test]

@@ -5,15 +5,15 @@
 //! Four components extend a standard broadcast network into an on-demand
 //! distributed computing infrastructure:
 //!
-//! * the [`Provider`](provider::Provider) creates, manages and destroys
+//! * the [`provider::Provider`] creates, manages and destroys
 //!   OddCI instances on behalf of users;
-//! * the [`Controller`](controller::Controller) formats and injects control
+//! * the [`controller::Controller`] formats and injects control
 //!   messages (wakeup / reset, carrying the application image) into the
 //!   broadcast channel, consolidates heartbeats, and keeps instances at
 //!   their target size;
-//! * the [`Backend`](backend::Backend) schedules tasks, serves inputs and
+//! * the [`backend::Backend`] schedules tasks, serves inputs and
 //!   collects results over the direct channels;
-//! * the [`Pna`](pna::Pna) (Processing Node Agent) runs on every receiver,
+//! * the [`pna::Pna`] (Processing Node Agent) runs on every receiver,
 //!   listens to the broadcast channel, probabilistically accepts wakeup
 //!   messages, hosts the DVE executing the user image, and emits
 //!   heartbeats.
@@ -56,6 +56,7 @@ pub mod messages;
 pub mod pna;
 pub mod profiles;
 pub mod provider;
+pub mod sharded;
 pub mod world;
 
 pub use backend::{Backend, TaskOutcome};
@@ -68,4 +69,5 @@ pub use messages::{
 pub use pna::{Pna, PnaAction, PnaState};
 pub use profiles::BroadcastTechnology;
 pub use provider::{JobReport, Provider, ProviderRequest};
+pub use sharded::{shard_of, split_target, ShardedController};
 pub use world::{ChurnConfig, OddciSim, World, WorldConfig, WorldEvent, WorldMetrics};

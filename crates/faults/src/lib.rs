@@ -31,6 +31,21 @@
 //! classes make necessary: [`Backoff`] (bounded retries, exponential delay,
 //! deterministic jitter) and [`FaultCounters`] (per-class accounting that
 //! the world metrics surface).
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_faults::{FaultClass, FaultInjector, FaultPlan, FaultSpec};
+//! use oddci_types::{NodeId, SimTime};
+//!
+//! let plan = FaultPlan::none().with(FaultSpec::new(FaultClass::HeartbeatDrop, 0.5));
+//! let injector = FaultInjector::new(plan, 42);
+//!
+//! // Every decision is a pure function of (seed, class, node, instant):
+//! let now = SimTime::from_secs(10);
+//! let first = injector.heartbeat_dropped(NodeId::new(3), now);
+//! assert_eq!(first, injector.heartbeat_dropped(NodeId::new(3), now));
+//! ```
 
 use oddci_types::{NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};

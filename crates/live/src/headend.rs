@@ -1,0 +1,587 @@
+//! The sharded multi-threaded live headend.
+//!
+//! The paper's Controller must "serve millions of tuned devices" over
+//! individual direct channels (§3.2); a single sequential headend loop
+//! serializes carousel publishing, heartbeat consolidation and task
+//! dispatch behind one thread. This module splits the headend into
+//! cooperating threads over bounded channels:
+//!
+//! * **carousel thread** — owns the broadcast bus and the instance→image
+//!   map; everything that reaches the §3.1 broadcast channel goes through
+//!   it (one publisher, exactly like a real carousel injector);
+//! * **N controller shards** — each owns a private
+//!   [`oddci_core::Controller`] covering a disjoint slice of
+//!   node membership ([`shard_of`](oddci_core::sharded::shard_of) of the
+//!   node id), with its own heartbeat ledger, loss detection and
+//!   recomposition. Shards sign from disjoint message-id namespaces so
+//!   PNA carousel-repeat dedup never drops a sibling shard's message;
+//! * **D dispatch workers** — a task-dispatch pool in front of the shared
+//!   Backend, behind a sharded work queue (node id → queue). Workers
+//!   serve *batches* of tasks per round trip
+//!   ([`Backend::fetch_batch`](oddci_core::Backend::fetch_batch)), which
+//!   is where the throughput over the single loop comes from: one channel
+//!   round trip amortizes across `batch` tasks.
+//!
+//! Shared job state (Backend, Provider, per-job queries/scores) lives in
+//! a `Hub` behind one mutex. The locking rule that keeps this
+//! deadlock-free: **never send on a channel while holding the hub lock**
+//! — every handler computes under the lock, drops it, then sends.
+//!
+//! Shutdown order (the barrier): the runtime publishes `Shutdown` on the
+//! bus and joins every node first, then dispatch workers, then shards,
+//! then the carousel — so every thread that might still *receive* from a
+//! channel outlives every thread that might still *send* on it.
+
+use crate::bus::BroadcastBus;
+use crate::image::{AlignmentImage, LiveBroadcast};
+use crate::runtime::{wall_now, BusMsg, LiveConfig, TaskBatchReply};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use oddci_core::backend::Backend;
+use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
+use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
+use oddci_core::provider::{JobReport, Provider, ProviderRequest};
+use oddci_core::sharded::split_target;
+use oddci_faults::FaultInjector;
+use oddci_telemetry::{Phase, Telemetry, CONTROL_TRACK};
+use oddci_types::{HeartbeatConfig, InstanceId, JobId, NodeId, SimDuration, SimTime, TaskId};
+use oddci_workload::Job;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Capacity of each shard's and dispatch worker's inbox. Senders block
+/// when a queue is full — backpressure, not unbounded memory.
+const QUEUE_CAP: usize = 1024;
+/// Capacity of the carousel thread's inbox (control traffic is sparse).
+const CAROUSEL_CAP: usize = 256;
+
+/// Traffic into the carousel thread.
+pub(crate) enum CarouselMsg {
+    /// Remember the image to attach to this instance's wakeups.
+    Register {
+        instance: InstanceId,
+        image: Arc<AlignmentImage>,
+    },
+    /// Publish a signed control message (from any shard).
+    Publish(oddci_core::messages::SignedMessage),
+    Shutdown,
+}
+
+/// Traffic into one controller shard.
+pub(crate) enum ShardMsg {
+    /// A heartbeat from a node this shard owns.
+    Heartbeat {
+        hb: Heartbeat,
+        reply: Sender<HeartbeatReply>,
+    },
+    /// Admit an instance (coordinator-allocated id, per-shard target).
+    Admit {
+        instance: InstanceId,
+        request: InstanceRequest,
+    },
+    /// Dismantle an instance; only the home shard publishes the reset.
+    Dismantle {
+        instance: InstanceId,
+        publish: bool,
+    },
+    Shutdown,
+}
+
+/// Traffic into one dispatch worker.
+pub(crate) enum DispatchMsg {
+    /// A node asks for up to `max` tasks of its instance's job.
+    Request {
+        instance: InstanceId,
+        node: NodeId,
+        max: usize,
+        reply: Sender<TaskBatchReply>,
+    },
+    /// A node uploads a batch of results.
+    Results {
+        job: JobId,
+        node: NodeId,
+        results: Vec<(TaskId, i32)>,
+    },
+    Shutdown,
+}
+
+/// Job state shared by dispatch workers, shards and the coordinator.
+struct Hub {
+    backend: Backend,
+    provider: Provider,
+    instance_job: BTreeMap<InstanceId, JobId>,
+    job_instance: BTreeMap<JobId, InstanceId>,
+    job_queries: BTreeMap<JobId, Vec<Arc<Vec<u8>>>>,
+    job_scores: BTreeMap<JobId, BTreeMap<TaskId, i32>>,
+    /// Wakeup broadcasts published per instance (sum over shards), for
+    /// the Provider's report.
+    wakeups: BTreeMap<InstanceId, u32>,
+}
+
+/// Handles to the sharded headend's threads and channels.
+pub(crate) struct ShardedHeadend {
+    hub: Arc<Mutex<Hub>>,
+    carousel_tx: Sender<CarouselMsg>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    dispatch_txs: Vec<Sender<DispatchMsg>>,
+    carousel: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    dispatch_threads: Vec<JoinHandle<()>>,
+    next_instance: AtomicU64,
+    start: Instant,
+}
+
+impl ShardedHeadend {
+    /// Spawns the carousel thread, `shards` controller shards and
+    /// `dispatch` dispatch workers.
+    pub(crate) fn start(
+        config: &LiveConfig,
+        shards: usize,
+        dispatch: usize,
+        bus: Arc<BroadcastBus<BusMsg>>,
+        start: Instant,
+        injector: Arc<FaultInjector>,
+    ) -> ShardedHeadend {
+        assert!(shards > 0 && dispatch > 0, "validated by LiveConfig");
+        let tele = config.telemetry.clone();
+        let hub = Arc::new(Mutex::new(Hub {
+            backend: Backend::new(),
+            provider: Provider::new(),
+            instance_job: BTreeMap::new(),
+            job_instance: BTreeMap::new(),
+            job_queries: BTreeMap::new(),
+            job_scores: BTreeMap::new(),
+            wakeups: BTreeMap::new(),
+        }));
+
+        let (carousel_tx, carousel_rx) = bounded(CAROUSEL_CAP);
+        let carousel = {
+            let hub = Arc::clone(&hub);
+            let tele = tele.clone();
+            std::thread::spawn(move || carousel_main(carousel_rx, bus, hub, start, tele))
+        };
+
+        // Per-shard Controller policy: same constants as the single loop,
+        // but the assumed audience is this shard's expected slice and
+        // recomposition waits for a live idle node (a saturated or empty
+        // slice must not spam the carousel every tick).
+        let policy = ControllerPolicy {
+            heartbeat: HeartbeatConfig {
+                interval: SimDuration::from_micros(config.heartbeat_interval.as_micros() as u64),
+                // Generous: live nodes block while computing batches.
+                miss_threshold: 50,
+                message_bytes: 128,
+            },
+            sizing_slack: 1.0,
+            recompose_threshold: 0.99,
+            assumed_audience: (config.nodes / shards as u64).max(1),
+            recompose_requires_idle: true,
+        };
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_threads = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = bounded(QUEUE_CAP);
+            shard_txs.push(tx);
+            let key = config.key.clone();
+            let policy = policy.clone();
+            let tick = config.controller_tick;
+            let carousel_tx = carousel_tx.clone();
+            let hub = Arc::clone(&hub);
+            let tele = tele.clone();
+            shard_threads.push(std::thread::spawn(move || {
+                shard_main(
+                    index,
+                    shards,
+                    key,
+                    policy,
+                    tick,
+                    rx,
+                    carousel_tx,
+                    hub,
+                    start,
+                    tele,
+                )
+            }));
+        }
+
+        let mut dispatch_txs = Vec::with_capacity(dispatch);
+        let mut dispatch_threads = Vec::with_capacity(dispatch);
+        for index in 0..dispatch {
+            let (tx, rx) = bounded(QUEUE_CAP);
+            dispatch_txs.push(tx);
+            let hub = Arc::clone(&hub);
+            let shard_txs = shard_txs.clone();
+            let inj = Arc::clone(&injector);
+            let tele = tele.clone();
+            dispatch_threads.push(std::thread::spawn(move || {
+                dispatch_main(index, rx, hub, shard_txs, inj, start, tele)
+            }));
+        }
+
+        ShardedHeadend {
+            hub,
+            carousel_tx,
+            shard_txs,
+            dispatch_txs,
+            carousel: Some(carousel),
+            shard_threads,
+            dispatch_threads,
+            next_instance: AtomicU64::new(0),
+            start,
+        }
+    }
+
+    /// Senders for routing node traffic (heartbeats by shard, task
+    /// requests/results by dispatch queue).
+    pub(crate) fn node_links(&self) -> (Vec<Sender<ShardMsg>>, Vec<Sender<DispatchMsg>>) {
+        (self.shard_txs.clone(), self.dispatch_txs.clone())
+    }
+
+    /// Registers a job, admits its instance on every shard (split
+    /// targets) and opens the Provider request. Runs on the caller's
+    /// thread — the coordinator is whoever submits.
+    pub(crate) fn submit(
+        &self,
+        job: Job,
+        queries: Vec<Arc<Vec<u8>>>,
+        image: Arc<AlignmentImage>,
+        target: u64,
+    ) -> ProviderRequest {
+        let now = wall_now(&self.start);
+        let job_id = job.id;
+        let instance = InstanceId::new(self.next_instance.fetch_add(1, Ordering::Relaxed));
+        let req = InstanceRequest {
+            image: job.image,
+            image_size: job.image_size,
+            target,
+            requirements: Default::default(),
+        };
+        let request = {
+            let mut hub = self.hub.lock();
+            hub.backend.register_job(job, now);
+            hub.job_queries.insert(job_id, queries);
+            hub.job_scores.insert(job_id, BTreeMap::new());
+            hub.instance_job.insert(instance, job_id);
+            hub.job_instance.insert(job_id, instance);
+            hub.provider.open_request(job_id, instance, target, now)
+        };
+        // Image first, then admissions: the carousel channel preserves
+        // causal order, so every shard's wakeup finds the image mapped.
+        let _ = self
+            .carousel_tx
+            .send(CarouselMsg::Register { instance, image });
+        let targets = split_target(target, self.shard_txs.len());
+        for (tx, shard_target) in self.shard_txs.iter().zip(targets) {
+            let _ = tx.send(ShardMsg::Admit {
+                instance,
+                request: InstanceRequest {
+                    target: shard_target,
+                    ..req
+                },
+            });
+        }
+        request
+    }
+
+    /// The Provider's report (with per-task scores), once complete.
+    pub(crate) fn report(
+        &self,
+        req: ProviderRequest,
+    ) -> Option<(JobReport, BTreeMap<TaskId, i32>)> {
+        let hub = self.hub.lock();
+        hub.provider.report(req).map(|r| {
+            let scores = hub.job_scores.get(&r.job).cloned().unwrap_or_default();
+            (r, scores)
+        })
+    }
+
+    /// Stops dispatch workers, shards and the carousel — in that order,
+    /// so receivers outlive senders — joining every thread. Returns the
+    /// number of tasks in no ledger (always 0 unless bookkeeping broke).
+    ///
+    /// The runtime must have joined every node thread first.
+    pub(crate) fn shutdown(mut self) -> u64 {
+        for tx in &self.dispatch_txs {
+            let _ = tx.send(DispatchMsg::Shutdown);
+        }
+        for h in self.dispatch_threads.drain(..) {
+            let _ = h.join();
+        }
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for h in self.shard_threads.drain(..) {
+            let _ = h.join();
+        }
+        let _ = self.carousel_tx.send(CarouselMsg::Shutdown);
+        if let Some(h) = self.carousel.take() {
+            let _ = h.join();
+        }
+        let hub = self.hub.lock();
+        hub.job_instance
+            .keys()
+            .map(|&job| hub.backend.unaccounted_tasks(job))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Carousel thread
+// ---------------------------------------------------------------------
+
+fn carousel_main(
+    rx: Receiver<CarouselMsg>,
+    bus: Arc<BroadcastBus<BusMsg>>,
+    hub: Arc<Mutex<Hub>>,
+    start: Instant,
+    tele: Telemetry,
+) {
+    let mut images: BTreeMap<InstanceId, Arc<AlignmentImage>> = BTreeMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CarouselMsg::Register { instance, image } => {
+                images.insert(instance, image);
+            }
+            CarouselMsg::Publish(signed) => {
+                let (image, instance) = match signed.message {
+                    ControlMessage::Wakeup(w) => {
+                        *hub.lock().wakeups.entry(w.instance).or_insert(0) += 1;
+                        (images.get(&w.instance).cloned(), w.instance)
+                    }
+                    ControlMessage::Reset(r) => {
+                        images.remove(&r.instance);
+                        (None, r.instance)
+                    }
+                };
+                tele.instant(
+                    wall_now(&start).as_micros(),
+                    Phase::CarouselPublish,
+                    CONTROL_TRACK,
+                    instance.raw(),
+                );
+                bus.publish(&BusMsg::Control(LiveBroadcast { signed, image }));
+            }
+            CarouselMsg::Shutdown => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Controller shards
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn shard_main(
+    index: usize,
+    shards: usize,
+    key: Vec<u8>,
+    policy: ControllerPolicy,
+    tick: std::time::Duration,
+    rx: Receiver<ShardMsg>,
+    carousel_tx: Sender<CarouselMsg>,
+    hub: Arc<Mutex<Hub>>,
+    start: Instant,
+    tele: Telemetry,
+) {
+    // Disjoint message-id namespace: ids ≡ index (mod shards).
+    let mut controller = Controller::with_id_namespace(&key, policy, index as u64, shards as u64);
+    let lag_gauge = tele
+        .registry()
+        .gauge(&format!("controller.heartbeat_lag.shard{index}"));
+    let mut last_tick = Instant::now();
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(ShardMsg::Heartbeat { hb, reply }) => {
+                let now = wall_now(&start);
+                // Heartbeat lag: emission → consolidation, i.e. this
+                // shard's backlog as seen by its nodes.
+                lag_gauge.set(now.since(hb.sent_at).as_secs_f64());
+                let outputs = controller.on_heartbeat(hb, now);
+                let mut replies = apply_outputs(outputs, &carousel_tx, &hub, &start, &tele);
+                let _ = reply.send(replies.pop().unwrap_or(HeartbeatReply::Ack));
+            }
+            Ok(ShardMsg::Admit { instance, request }) => {
+                let outputs = controller.admit_instance(instance, request, wall_now(&start));
+                apply_outputs(outputs, &carousel_tx, &hub, &start, &tele);
+            }
+            Ok(ShardMsg::Dismantle { instance, publish }) => {
+                if let Ok(outputs) = controller.dismantle(instance) {
+                    if publish {
+                        // One carousel reset reaches every shard's nodes;
+                        // the other shards just flip to Dismantled and trim
+                        // their own stragglers via heartbeat replies.
+                        apply_outputs(outputs, &carousel_tx, &hub, &start, &tele);
+                    }
+                }
+            }
+            Ok(ShardMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        if last_tick.elapsed() >= tick {
+            last_tick = Instant::now();
+            let outputs = controller.tick(wall_now(&start));
+            apply_outputs(outputs, &carousel_tx, &hub, &start, &tele);
+        }
+    }
+}
+
+/// Executes a shard Controller's side effects: broadcasts go to the
+/// carousel thread, `NodeLost` re-queues via the shared Backend, direct
+/// resets become heartbeat replies (returned to the caller).
+fn apply_outputs(
+    outputs: Vec<ControllerOutput>,
+    carousel_tx: &Sender<CarouselMsg>,
+    hub: &Arc<Mutex<Hub>>,
+    start: &Instant,
+    tele: &Telemetry,
+) -> Vec<HeartbeatReply> {
+    let mut replies = Vec::new();
+    for out in outputs {
+        match out {
+            ControllerOutput::Broadcast(signed) => {
+                let _ = carousel_tx.send(CarouselMsg::Publish(signed));
+            }
+            ControllerOutput::DirectReset { node, instance } => {
+                tele.instant(
+                    wall_now(start).as_micros(),
+                    Phase::DirectReset,
+                    node.raw(),
+                    instance.raw(),
+                );
+                replies.push(HeartbeatReply::Reset(instance));
+            }
+            ControllerOutput::NodeLost { node, .. } => {
+                tele.instant(wall_now(start).as_micros(), Phase::NodeLost, node.raw(), 0);
+                let _ = hub.lock().backend.node_lost(node);
+            }
+        }
+    }
+    replies
+}
+
+// ---------------------------------------------------------------------
+// Dispatch workers
+// ---------------------------------------------------------------------
+
+fn dispatch_main(
+    index: usize,
+    rx: Receiver<DispatchMsg>,
+    hub: Arc<Mutex<Hub>>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    injector: Arc<FaultInjector>,
+    start: Instant,
+    tele: Telemetry,
+) {
+    let depth_gauge = tele
+        .registry()
+        .gauge(&format!("dispatch.queue_depth.shard{index}"));
+    let backend_depth = tele.registry().gauge("backend.queue_depth");
+    while let Ok(msg) = rx.recv() {
+        depth_gauge.set(rx.len() as f64);
+        match msg {
+            DispatchMsg::Request {
+                instance,
+                node,
+                max,
+                reply,
+            } => {
+                // Fault hook: a stalled Backend answers nothing; the
+                // node's reply timeout fires and it retries with backoff.
+                if injector.backend_stalled(wall_now(&start)).is_some() {
+                    drop(reply);
+                    continue;
+                }
+                let response = {
+                    let mut hub = hub.lock();
+                    fetch_batch_reply(&mut hub, instance, node, max)
+                };
+                let _ = reply.send(response);
+            }
+            DispatchMsg::Results { job, node, results } => {
+                let dismantle = {
+                    let mut hub = hub.lock();
+                    let now = wall_now(&start);
+                    for &(task, score) in &results {
+                        let _ = hub.backend.complete_task(job, task, node, now);
+                        hub.job_scores.entry(job).or_default().insert(task, score);
+                    }
+                    let depth: u64 = hub
+                        .backend
+                        .open_jobs()
+                        .iter()
+                        .map(|&j| hub.backend.pending_count(j))
+                        .sum();
+                    backend_depth.set(depth as f64);
+                    if hub.backend.is_complete(job) {
+                        finish_job(&mut hub, job, now, &tele)
+                    } else {
+                        None
+                    }
+                };
+                // Locking rule: the hub guard is dropped before these sends.
+                if let Some(instance) = dismantle {
+                    for (i, tx) in shard_txs.iter().enumerate() {
+                        let _ = tx.send(ShardMsg::Dismantle {
+                            instance,
+                            publish: i == 0,
+                        });
+                    }
+                }
+            }
+            DispatchMsg::Shutdown => return,
+        }
+    }
+}
+
+/// Cuts a batch for `node` under the hub lock.
+fn fetch_batch_reply(
+    hub: &mut Hub,
+    instance: InstanceId,
+    node: NodeId,
+    max: usize,
+) -> TaskBatchReply {
+    let Some(&job) = hub.instance_job.get(&instance) else {
+        return TaskBatchReply::Drained;
+    };
+    let batch = match hub.backend.fetch_batch(job, node, max) {
+        Ok(batch) if !batch.is_empty() => batch,
+        _ => return TaskBatchReply::Drained,
+    };
+    let queries = &hub.job_queries[&job];
+    let tasks = batch
+        .into_iter()
+        .map(|task| {
+            let query = queries[task.id.index()].clone();
+            (task, query)
+        })
+        .collect();
+    TaskBatchReply::Assigned { job, tasks }
+}
+
+/// Completes the Provider request for a finished job and reports which
+/// instance to dismantle. Runs under the hub lock; the caller sends the
+/// per-shard dismantles after dropping it.
+fn finish_job(hub: &mut Hub, job: JobId, now: SimTime, tele: &Telemetry) -> Option<InstanceId> {
+    let req = hub.provider.request_for_job(job)?;
+    let instance = *hub.job_instance.get(&job)?;
+    let wakeups = hub.wakeups.get(&instance).copied().unwrap_or(0);
+    let completed = hub.backend.completed_count(job);
+    let requeues = hub.backend.requeue_count(job);
+    hub.provider
+        .complete(req, now, completed, requeues, wakeups)?;
+    if let Some(report) = hub.provider.report(req) {
+        let end = now.as_micros();
+        tele.span(
+            end.saturating_sub(report.makespan.as_micros()),
+            end,
+            Phase::JobRun,
+            CONTROL_TRACK,
+            job.raw(),
+        );
+    }
+    Some(instance)
+}

@@ -29,9 +29,10 @@
 //! ```
 
 pub mod bus;
+pub mod headend;
 pub mod image;
 pub mod runtime;
 
 pub use bus::BroadcastBus;
 pub use image::{AlignmentImage, LiveBroadcast};
-pub use runtime::{JobOutcome, LiveConfig, LiveOddci};
+pub use runtime::{HeadendMode, JobOutcome, LiveConfig, LiveOddci, ShutdownReport};

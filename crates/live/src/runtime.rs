@@ -1,12 +1,24 @@
-//! The live runtime: a headend thread (Provider + Controller + Backend)
-//! and one OS thread per receiver, all speaking the §3.2 protocol over
-//! real channels.
+//! The live runtime: a headend (Provider + Controller + Backend) and one
+//! OS thread per receiver, all speaking the §3.2 protocol over real
+//! channels.
+//!
+//! The headend comes in two shapes, selected by [`HeadendMode`]:
+//!
+//! * [`HeadendMode::SingleLoop`] — the original sequential loop: one
+//!   thread owns the Controller, the Backend and the carousel, and every
+//!   heartbeat, task fetch and result upload serializes behind it. Kept
+//!   as the measured baseline for the `soak` experiment.
+//! * [`HeadendMode::Sharded`] — the multi-threaded headend of
+//!   [`headend`](crate::headend): a carousel thread, N controller shards
+//!   (disjoint node-membership slices) and a dispatch pool serving task
+//!   *batches* in front of the shared Backend.
 //!
 //! Wall-clock time is mapped onto [`SimTime`] (microseconds since runtime
 //! start) so the *identical* Controller/Backend/Provider code from
 //! `oddci-core` runs unmodified on this plane.
 
 use crate::bus::BroadcastBus;
+use crate::headend::{DispatchMsg, ShardMsg, ShardedHeadend};
 use crate::image::{AlignmentImage, LiveBroadcast};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use oddci_core::backend::{Backend, TaskOutcome};
@@ -14,6 +26,7 @@ use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, Ins
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
 use oddci_core::pna::{HostInfo, Pna, PnaAction};
 use oddci_core::provider::{JobReport, Provider, ProviderRequest};
+use oddci_core::sharded::shard_of;
 use oddci_faults::{Backoff, FaultInjector, FaultPlan};
 use oddci_receiver::compute::UsageMode;
 use oddci_telemetry::{Phase, Telemetry, CONTROL_TRACK};
@@ -29,6 +42,77 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which headend serves the node fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadendMode {
+    /// One sequential headend thread (the pre-sharding architecture).
+    /// Retained as the comparison baseline: it serves exactly one task
+    /// per fetch round trip.
+    SingleLoop,
+    /// Sharded multi-threaded headend.
+    Sharded {
+        /// Controller shards (disjoint node-membership slices), 1..=64.
+        shards: usize,
+        /// Dispatch workers in front of the Backend, 1..=64.
+        dispatch: usize,
+        /// Tasks served per fetch round trip, 1..=1024.
+        batch: usize,
+    },
+}
+
+impl HeadendMode {
+    /// Most controller shards a live system will run.
+    pub const MAX_SHARDS: usize = 64;
+    /// Most dispatch workers a live system will run.
+    pub const MAX_DISPATCH: usize = 64;
+    /// Largest task batch a node may fetch in one round trip.
+    pub const MAX_BATCH: usize = 1024;
+
+    /// Rejects degenerate configurations (`shards == 0`, oversized
+    /// pools, …) with a human-readable explanation instead of letting
+    /// the runtime panic on a zero-length shard vector.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            HeadendMode::SingleLoop => Ok(()),
+            HeadendMode::Sharded {
+                shards,
+                dispatch,
+                batch,
+            } => {
+                if shards == 0 || shards > Self::MAX_SHARDS {
+                    return Err(format!(
+                        "shards must be within 1..={} (got {shards})",
+                        Self::MAX_SHARDS
+                    ));
+                }
+                if dispatch == 0 || dispatch > Self::MAX_DISPATCH {
+                    return Err(format!(
+                        "dispatch workers must be within 1..={} (got {dispatch})",
+                        Self::MAX_DISPATCH
+                    ));
+                }
+                if batch == 0 || batch > Self::MAX_BATCH {
+                    return Err(format!(
+                        "batch must be within 1..={} (got {batch})",
+                        Self::MAX_BATCH
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Default for HeadendMode {
+    fn default() -> Self {
+        HeadendMode::Sharded {
+            shards: 2,
+            dispatch: 2,
+            batch: 8,
+        }
+    }
+}
 
 /// Live runtime parameters.
 #[derive(Debug, Clone)]
@@ -51,6 +135,8 @@ pub struct LiveConfig {
     /// Timestamps are wall-clock microseconds since runtime start, so live
     /// traces open in the same viewers as simulated ones.
     pub telemetry: Telemetry,
+    /// Headend architecture (sharded by default).
+    pub mode: HeadendMode,
 }
 
 impl Default for LiveConfig {
@@ -63,24 +149,25 @@ impl Default for LiveConfig {
             seed: 42,
             faults: FaultPlan::none(),
             telemetry: Telemetry::disabled(),
+            mode: HeadendMode::default(),
         }
     }
 }
 
 /// What rides the bus.
 #[derive(Debug, Clone)]
-enum BusMsg {
+pub(crate) enum BusMsg {
     Control(LiveBroadcast),
     Shutdown,
 }
 
-/// Node → headend messages.
-enum ToHeadend {
+/// Node → single-loop headend messages.
+pub(crate) enum ToHeadend {
     Heartbeat(Heartbeat, Sender<HeartbeatReply>),
     TaskRequest {
         instance: InstanceId,
         node: NodeId,
-        reply: Sender<TaskReply>,
+        reply: Sender<TaskBatchReply>,
     },
     TaskResult {
         job: JobId,
@@ -102,14 +189,89 @@ enum ToHeadend {
     Shutdown,
 }
 
+/// Reply to a node's task request: a batch of (task, query) pairs. The
+/// single-loop headend always answers with a batch of one.
 #[derive(Debug, Clone)]
-enum TaskReply {
+pub(crate) enum TaskBatchReply {
     Assigned {
         job: JobId,
-        task: Task,
-        query: Arc<Vec<u8>>,
+        tasks: Vec<(Task, Arc<Vec<u8>>)>,
     },
     Drained,
+}
+
+/// How a node reaches the headend: one channel in single-loop mode, the
+/// shard/dispatch fan-in channels (routed by node-id hash) when sharded.
+#[derive(Clone)]
+enum NodeLink {
+    Single(Sender<ToHeadend>),
+    Sharded {
+        shards: Arc<Vec<Sender<ShardMsg>>>,
+        dispatch: Arc<Vec<Sender<DispatchMsg>>>,
+        batch: usize,
+    },
+}
+
+impl NodeLink {
+    fn send_heartbeat(&self, hb: Heartbeat, reply: Sender<HeartbeatReply>) -> bool {
+        match self {
+            NodeLink::Single(tx) => tx.send(ToHeadend::Heartbeat(hb, reply)).is_ok(),
+            NodeLink::Sharded { shards, .. } => {
+                let s = shard_of(hb.node, shards.len());
+                shards[s].send(ShardMsg::Heartbeat { hb, reply }).is_ok()
+            }
+        }
+    }
+
+    fn request_tasks(
+        &self,
+        instance: InstanceId,
+        node: NodeId,
+        reply: Sender<TaskBatchReply>,
+    ) -> bool {
+        match self {
+            NodeLink::Single(tx) => tx
+                .send(ToHeadend::TaskRequest {
+                    instance,
+                    node,
+                    reply,
+                })
+                .is_ok(),
+            NodeLink::Sharded {
+                dispatch, batch, ..
+            } => {
+                let d = shard_of(node, dispatch.len());
+                dispatch[d]
+                    .send(DispatchMsg::Request {
+                        instance,
+                        node,
+                        max: *batch,
+                        reply,
+                    })
+                    .is_ok()
+            }
+        }
+    }
+
+    fn send_results(&self, job: JobId, node: NodeId, results: Vec<(TaskId, i32)>) -> bool {
+        match self {
+            NodeLink::Single(tx) => results.into_iter().all(|(task, score)| {
+                tx.send(ToHeadend::TaskResult {
+                    job,
+                    task,
+                    node,
+                    score,
+                })
+                .is_ok()
+            }),
+            NodeLink::Sharded { dispatch, .. } => {
+                let d = shard_of(node, dispatch.len());
+                dispatch[d]
+                    .send(DispatchMsg::Results { job, node, results })
+                    .is_ok()
+            }
+        }
+    }
 }
 
 /// Result of a completed live job.
@@ -121,53 +283,122 @@ pub struct JobOutcome {
     pub scores: BTreeMap<TaskId, i32>,
 }
 
+/// Final accounting returned by [`LiveOddci::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Tasks in no Backend ledger (pending / assigned / completed) at
+    /// shutdown. Always 0 unless bookkeeping broke — the
+    /// `headend_shards` integration tests assert on it.
+    pub tasks_unaccounted: u64,
+}
+
+/// The running headend, by mode.
+enum Headend {
+    Single {
+        tx: Sender<ToHeadend>,
+        thread: Option<JoinHandle<u64>>,
+    },
+    Sharded(Option<ShardedHeadend>),
+}
+
 /// The live OddCI system.
 pub struct LiveOddci {
-    tx: Sender<ToHeadend>,
+    headend: Headend,
     bus: Arc<BroadcastBus<BusMsg>>,
-    headend: Option<JoinHandle<()>>,
     nodes: Vec<JoinHandle<()>>,
     next_job: AtomicU64,
     config: LiveConfig,
 }
 
 impl LiveOddci {
-    /// Spawns the headend and all receiver threads.
+    /// Spawns the headend (per [`LiveConfig::mode`]) and all receiver
+    /// threads.
+    ///
+    /// # Panics
+    /// On `nodes == 0` or a [`HeadendMode`] that fails
+    /// [`HeadendMode::validate`] (callers wanting an error instead of a
+    /// panic — e.g. CLIs — validate first).
     pub fn start(config: LiveConfig) -> Self {
         assert!(config.nodes > 0, "a live system needs at least one node");
+        if let Err(e) = config.mode.validate() {
+            panic!("invalid headend mode: {e}");
+        }
         let bus = Arc::new(BroadcastBus::new());
-        let (tx, rx) = unbounded();
         let start = Instant::now();
         let injector = Arc::new(FaultInjector::new(
             config.faults.clone(),
             config.seed ^ 0xFA17_FA17,
         ));
 
+        let (headend, link) = match config.mode {
+            HeadendMode::SingleLoop => {
+                let (tx, rx) = unbounded();
+                let thread = {
+                    let bus = Arc::clone(&bus);
+                    let cfg = config.clone();
+                    let inj = Arc::clone(&injector);
+                    std::thread::spawn(move || headend_main(cfg, bus, rx, start, inj))
+                };
+                (
+                    Headend::Single {
+                        tx: tx.clone(),
+                        thread: Some(thread),
+                    },
+                    NodeLink::Single(tx),
+                )
+            }
+            HeadendMode::Sharded {
+                shards,
+                dispatch,
+                batch,
+            } => {
+                let sh = ShardedHeadend::start(
+                    &config,
+                    shards,
+                    dispatch,
+                    Arc::clone(&bus),
+                    start,
+                    Arc::clone(&injector),
+                );
+                let (shard_txs, dispatch_txs) = sh.node_links();
+                (
+                    Headend::Sharded(Some(sh)),
+                    NodeLink::Sharded {
+                        shards: Arc::new(shard_txs),
+                        dispatch: Arc::new(dispatch_txs),
+                        batch,
+                    },
+                )
+            }
+        };
+
         let mut nodes = Vec::with_capacity(config.nodes as usize);
         for i in 0..config.nodes {
             let bus_rx = bus.subscribe();
-            let tx = tx.clone();
+            let link = link.clone();
             let key = config.key.clone();
             let hb = config.heartbeat_interval;
             let seed = config.seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15));
             let inj = Arc::clone(&injector);
             let tele = config.telemetry.clone();
             nodes.push(std::thread::spawn(move || {
-                node_main(NodeId::new(i), key, bus_rx, tx, hb, seed, start, inj, tele)
+                node_main(
+                    NodeId::new(i),
+                    key,
+                    bus_rx,
+                    link,
+                    hb,
+                    seed,
+                    start,
+                    inj,
+                    tele,
+                )
             }));
         }
 
-        let headend = {
-            let bus = Arc::clone(&bus);
-            let cfg = config.clone();
-            let inj = Arc::clone(&injector);
-            std::thread::spawn(move || headend_main(cfg, bus, rx, start, inj))
-        };
-
         LiveOddci {
-            tx,
+            headend,
             bus,
-            headend: Some(headend),
             nodes,
             next_job: AtomicU64::new(0),
             config,
@@ -199,7 +430,6 @@ impl LiveOddci {
         timeout: Duration,
     ) -> Option<JobOutcome> {
         assert!(n_queries > 0, "a job needs at least one query");
-        let job_id = JobId::new(self.next_job.fetch_add(1, Ordering::Relaxed));
         let db = random_sequence(image.db_len, image.db_seed);
         let queries: Vec<Arc<Vec<u8>>> = (0..n_queries)
             .map(|i| {
@@ -213,6 +443,26 @@ impl LiveOddci {
                 Arc::new(q)
             })
             .collect();
+        self.run_query_job(image, queries, target, timeout)
+    }
+
+    /// Submits a job of caller-supplied queries against `image`'s database
+    /// (one task per query) and waits for it like
+    /// [`run_alignment_job`](LiveOddci::run_alignment_job) — which is a
+    /// wrapper around this that plants verifiable homologs. Callers that
+    /// want throughput-shaped work (e.g. the `soak` benchmark) pass short
+    /// random queries so each task is a cheap index scan and the headend
+    /// round trip dominates.
+    pub fn run_query_job(
+        &self,
+        image: AlignmentImage,
+        queries: Vec<Arc<Vec<u8>>>,
+        target: u64,
+        timeout: Duration,
+    ) -> Option<JobOutcome> {
+        assert!(!queries.is_empty(), "a job needs at least one query");
+        let n_queries = queries.len() as u64;
+        let job_id = JobId::new(self.next_job.fetch_add(1, Ordering::Relaxed));
         let tasks = (0..n_queries)
             .map(|i| {
                 Task::new(
@@ -230,47 +480,73 @@ impl LiveOddci {
             tasks,
         );
 
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(ToHeadend::Submit {
-                job,
-                queries,
-                image: Arc::new(image),
-                target,
-                reply: reply_tx,
-            })
-            .ok()?;
-        let req = reply_rx.recv_timeout(Duration::from_secs(5)).ok()?;
+        let req = match &self.headend {
+            Headend::Single { tx, .. } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(ToHeadend::Submit {
+                    job,
+                    queries,
+                    image: Arc::new(image),
+                    target,
+                    reply: reply_tx,
+                })
+                .ok()?;
+                reply_rx.recv_timeout(Duration::from_secs(5)).ok()?
+            }
+            Headend::Sharded(sh) => sh.as_ref()?.submit(job, queries, Arc::new(image), target),
+        };
 
         let deadline = Instant::now() + timeout;
         loop {
-            let (tx, rx) = bounded(1);
-            self.tx.send(ToHeadend::Report { req, reply: tx }).ok()?;
-            if let Ok(Some((report, scores))) = rx.recv_timeout(Duration::from_secs(5)) {
+            let out = match &self.headend {
+                Headend::Single { tx, .. } => {
+                    let (rtx, rrx) = bounded(1);
+                    tx.send(ToHeadend::Report { req, reply: rtx }).ok()?;
+                    rrx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+                }
+                Headend::Sharded(sh) => sh.as_ref()?.report(req),
+            };
+            if let Some((report, scores)) = out {
                 return Some(JobOutcome { report, scores });
             }
             if Instant::now() >= deadline {
                 return None;
             }
-            std::thread::sleep(Duration::from_millis(20));
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
     /// Stops the headend and all nodes, joining every thread.
-    pub fn shutdown(mut self) {
-        let _ = self.tx.send(ToHeadend::Shutdown);
+    ///
+    /// The shutdown barrier: `Shutdown` goes out on the bus first and
+    /// every node thread is joined, so no node can still be sending;
+    /// then the headend winds down (sharded: dispatch pool, controller
+    /// shards, carousel — receivers strictly outlive senders). The
+    /// returned report carries the Backend's final task accounting.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.bus.publish(&BusMsg::Shutdown);
-        if let Some(h) = self.headend.take() {
-            let _ = h.join();
-        }
-        for n in self.nodes.drain(..) {
-            let _ = n.join();
-        }
+        let tasks_unaccounted = match &mut self.headend {
+            Headend::Single { tx, thread } => {
+                let _ = tx.send(ToHeadend::Shutdown);
+                let n = thread.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0);
+                for node in self.nodes.drain(..) {
+                    let _ = node.join();
+                }
+                n
+            }
+            Headend::Sharded(sh) => {
+                for node in self.nodes.drain(..) {
+                    let _ = node.join();
+                }
+                sh.take().map_or(0, ShardedHeadend::shutdown)
+            }
+        };
+        ShutdownReport { tasks_unaccounted }
     }
 }
 
 // ---------------------------------------------------------------------
-// Headend
+// Single-loop headend (the baseline architecture)
 // ---------------------------------------------------------------------
 
 struct HeadendState {
@@ -369,6 +645,14 @@ impl HeadendState {
             }
         }
     }
+
+    /// Final accounting: tasks in no ledger, across every job ever seen.
+    fn unaccounted(&self) -> u64 {
+        self.job_scores
+            .keys()
+            .map(|&job| self.backend.unaccounted_tasks(job))
+            .sum()
+    }
 }
 
 fn headend_main(
@@ -377,7 +661,7 @@ fn headend_main(
     rx: Receiver<ToHeadend>,
     start: Instant,
     injector: Arc<FaultInjector>,
-) {
+) -> u64 {
     let policy = ControllerPolicy {
         heartbeat: HeartbeatConfig {
             interval: SimDuration::from_micros(config.heartbeat_interval.as_micros() as u64),
@@ -388,6 +672,7 @@ fn headend_main(
         sizing_slack: 1.0,
         recompose_threshold: 0.99,
         assumed_audience: config.nodes,
+        recompose_requires_idle: false,
     };
     let tele = config.telemetry.clone();
     let queue_depth = tele.registry().gauge("backend.queue_depth");
@@ -408,7 +693,7 @@ fn headend_main(
 
     loop {
         match rx.recv_timeout(config.controller_tick) {
-            Ok(ToHeadend::Shutdown) => return,
+            Ok(ToHeadend::Shutdown) => return st.unaccounted(),
             Ok(ToHeadend::Heartbeat(hb, reply)) => {
                 let now = st.now();
                 let outputs = st.controller.on_heartbeat(hb, now);
@@ -427,16 +712,19 @@ fn headend_main(
                     continue;
                 }
                 let Some(&job) = st.instance_job.get(&instance) else {
-                    let _ = reply.send(TaskReply::Drained);
+                    let _ = reply.send(TaskBatchReply::Drained);
                     continue;
                 };
                 match st.backend.fetch_task(job, node) {
                     Ok(TaskOutcome::Assigned(task)) => {
                         let query = st.job_queries[&job][task.id.index()].clone();
-                        let _ = reply.send(TaskReply::Assigned { job, task, query });
+                        let _ = reply.send(TaskBatchReply::Assigned {
+                            job,
+                            tasks: vec![(task, query)],
+                        });
                     }
                     _ => {
-                        let _ = reply.send(TaskReply::Drained);
+                        let _ = reply.send(TaskBatchReply::Drained);
                     }
                 }
             }
@@ -491,7 +779,7 @@ fn headend_main(
                 let _ = reply.send(out);
             }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => return st.unaccounted(),
         }
         if last_tick.elapsed() >= config.controller_tick {
             last_tick = Instant::now();
@@ -518,7 +806,7 @@ fn node_main(
     id: NodeId,
     key: Vec<u8>,
     bus_rx: Receiver<BusMsg>,
-    tx: Sender<ToHeadend>,
+    link: NodeLink,
     hb_interval: Duration,
     seed: u64,
     start: Instant,
@@ -553,7 +841,7 @@ fn node_main(
                             instance,
                             &image,
                             &bus_rx,
-                            &tx,
+                            &link,
                             hb_interval,
                             seed,
                             &start,
@@ -575,7 +863,7 @@ fn node_main(
                 if maybe_crash(&mut pna, &injector, &start) {
                     continue;
                 }
-                if !heartbeat(&mut pna, &tx, seed, &start, &injector, &tele) {
+                if !heartbeat(&mut pna, &link, seed, &start, &injector, &tele) {
                     return;
                 }
             }
@@ -590,7 +878,7 @@ const HB_REPLY_TIMEOUT: Duration = Duration::from_secs(2);
 const TASK_REPLY_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Wall-clock runtime instant as [`SimTime`].
-fn wall_now(start: &Instant) -> SimTime {
+pub(crate) fn wall_now(start: &Instant) -> SimTime {
     SimTime::from_micros(start.elapsed().as_micros() as u64)
 }
 
@@ -612,7 +900,7 @@ fn maybe_crash(pna: &mut Pna, injector: &FaultInjector, start: &Instant) -> bool
 /// false only when the headend is gone.
 fn heartbeat(
     pna: &mut Pna,
-    tx: &Sender<ToHeadend>,
+    link: &NodeLink,
     seed: u64,
     start: &Instant,
     injector: &FaultInjector,
@@ -628,7 +916,7 @@ fn heartbeat(
         }
         let hb = pna.heartbeat(now);
         let (rtx, rrx) = bounded(1);
-        if tx.send(ToHeadend::Heartbeat(hb, rtx)).is_err() {
+        if !link.send_heartbeat(hb, rtx) {
             return false;
         }
         match rrx.recv_timeout(HB_REPLY_TIMEOUT) {
@@ -659,8 +947,9 @@ fn heartbeat(
     }
 }
 
-/// Runs the busy phase: materialize the image, then pull/compute/report
-/// tasks until reset. Returns false only on shutdown.
+/// Runs the busy phase: materialize the image, then pull batches of
+/// tasks, compute them, and upload results until reset. Returns false
+/// only on shutdown.
 #[allow(clippy::too_many_arguments)]
 fn run_instance(
     pna: &mut Pna,
@@ -669,7 +958,7 @@ fn run_instance(
     instance: InstanceId,
     image: &AlignmentImage,
     bus_rx: &Receiver<BusMsg>,
-    tx: &Sender<ToHeadend>,
+    link: &NodeLink,
     hb_interval: Duration,
     seed: u64,
     start: &Instant,
@@ -688,7 +977,7 @@ fn run_instance(
         pna.node().raw(),
         instance.raw(),
     );
-    if !heartbeat(pna, tx, seed, start, injector, tele) {
+    if !heartbeat(pna, link, seed, start, injector, tele) {
         return true;
     }
     let backoff = Backoff::live();
@@ -703,7 +992,7 @@ fn run_instance(
                     if let PnaAction::DveDestroyed { .. } =
                         pna.on_control_message(&b.signed, host, rng)
                     {
-                        let _ = heartbeat(pna, tx, seed, start, injector, tele);
+                        let _ = heartbeat(pna, link, seed, start, injector, tele);
                         return true;
                     }
                 }
@@ -724,20 +1013,13 @@ fn run_instance(
             None
         } else {
             let (rtx, rrx) = bounded(1);
-            if tx
-                .send(ToHeadend::TaskRequest {
-                    instance,
-                    node: pna.node(),
-                    reply: rtx,
-                })
-                .is_err()
-            {
+            if !link.request_tasks(instance, pna.node(), rtx) {
                 return true;
             }
             rrx.recv_timeout(TASK_REPLY_TIMEOUT).ok()
         };
         match reply {
-            Some(TaskReply::Assigned { job, task, query }) => {
+            Some(TaskBatchReply::Assigned { job, tasks }) => {
                 fetch_attempt = 0;
                 let track = pna.node().raw();
                 if let Some(begin) = fetch_began.take() {
@@ -746,33 +1028,63 @@ fn run_instance(
                         wall_now(start).as_micros(),
                         Phase::TaskFetch,
                         track,
-                        task.id.raw(),
+                        tasks[0].0.id.raw(),
                     );
                 }
-                let compute_begin = wall_now(start).as_micros();
-                let score = image.score(&db, &query);
-                let computed = wall_now(start).as_micros();
-                tele.span(
-                    compute_begin,
-                    computed,
-                    Phase::Compute,
-                    track,
-                    task.id.raw(),
-                );
-                tele.duration(
-                    (computed.saturating_sub(compute_begin)) as f64 / 1e6,
-                    Phase::Kernel,
-                );
-                let _ = pna.task_done();
-                send_result(pna, tx, job, task.id, score, seed, start, injector, tele);
+                let mut results: Vec<(TaskId, i32)> = Vec::with_capacity(tasks.len());
+                let mut destroyed = false;
+                for (task, query) in tasks {
+                    // Between tasks, drain control traffic: a reset
+                    // mid-batch abandons the remainder (the Backend
+                    // re-queues it via the NodeLost membership
+                    // transition at this node's next idle heartbeat).
+                    while let Ok(msg) = bus_rx.try_recv() {
+                        match msg {
+                            BusMsg::Shutdown => return false,
+                            BusMsg::Control(b) => {
+                                if let PnaAction::DveDestroyed { .. } =
+                                    pna.on_control_message(&b.signed, host, rng)
+                                {
+                                    destroyed = true;
+                                }
+                            }
+                        }
+                    }
+                    if destroyed {
+                        break;
+                    }
+                    let compute_begin = wall_now(start).as_micros();
+                    let score = image.score(&db, &query);
+                    let computed = wall_now(start).as_micros();
+                    tele.span(
+                        compute_begin,
+                        computed,
+                        Phase::Compute,
+                        track,
+                        task.id.raw(),
+                    );
+                    tele.duration(
+                        (computed.saturating_sub(compute_begin)) as f64 / 1e6,
+                        Phase::Kernel,
+                    );
+                    let _ = pna.task_done();
+                    results.push((task.id, score));
+                }
+                if !results.is_empty() {
+                    send_results(pna, link, job, results, seed, start, injector, tele);
+                }
+                if destroyed {
+                    let _ = heartbeat(pna, link, seed, start, injector, tele);
+                    return true;
+                }
             }
-            Some(TaskReply::Drained) => {
+            Some(TaskBatchReply::Drained) => {
                 fetch_attempt = 0;
                 fetch_began = None;
                 if maybe_crash(pna, injector, start) {
                     return true;
                 }
-                if !heartbeat(pna, tx, seed, start, injector, tele) {
+                if !heartbeat(pna, link, seed, start, injector, tele) {
                     return true;
                 }
                 match bus_rx.recv_timeout(hb_interval) {
@@ -781,7 +1093,7 @@ fn run_instance(
                         if let PnaAction::DveDestroyed { .. } =
                             pna.on_control_message(&b.signed, host, rng)
                         {
-                            let _ = heartbeat(pna, tx, seed, start, injector, tele);
+                            let _ = heartbeat(pna, link, seed, start, injector, tele);
                             return true;
                         }
                     }
@@ -806,7 +1118,7 @@ fn run_instance(
                     // a fresh chain. Pre-hardening this killed the worker.
                     fetch_attempt = 0;
                     fetch_began = None;
-                    if !heartbeat(pna, tx, seed, start, injector, tele) {
+                    if !heartbeat(pna, link, seed, start, injector, tele) {
                         return true;
                     }
                 }
@@ -816,16 +1128,16 @@ fn run_instance(
     true
 }
 
-/// Uploads one result, retrying through loss episodes. An exhausted chain
-/// abandons the local copy: the Backend still holds the assignment and
-/// recycles it into the queue at this node's next fetch.
+/// Uploads a batch of results, retrying through loss episodes. An
+/// exhausted chain abandons the local copies: the Backend still holds
+/// the assignments and recycles them into the queue at this node's next
+/// fetch.
 #[allow(clippy::too_many_arguments)]
-fn send_result(
+fn send_results(
     pna: &Pna,
-    tx: &Sender<ToHeadend>,
+    link: &NodeLink,
     job: JobId,
-    task: TaskId,
-    score: i32,
+    results: Vec<(TaskId, i32)>,
     seed: u64,
     start: &Instant,
     injector: &FaultInjector,
@@ -834,21 +1146,17 @@ fn send_result(
     let backoff = Backoff::live();
     let mut attempt = 0;
     let began = wall_now(start).as_micros();
+    let count = results.len() as u64;
     loop {
         let now = wall_now(start);
         if !(injector.partitioned(pna.node(), now) || injector.direct_dropped(pna.node(), now)) {
-            let _ = tx.send(ToHeadend::TaskResult {
-                job,
-                task,
-                node: pna.node(),
-                score,
-            });
+            let _ = link.send_results(job, pna.node(), results);
             tele.span(
                 began,
                 wall_now(start).as_micros(),
                 Phase::ResultUpload,
                 pna.node().raw(),
-                task.raw(),
+                count,
             );
             return;
         }

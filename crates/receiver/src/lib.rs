@@ -20,6 +20,20 @@
 //! * [`compute`] — the execution-time model calibrated with the paper's
 //!   Table II/III micro-benchmarks (STB ≈ 20.6× slower than the reference
 //!   PC; in-use ≈ 1.65× slower than standby).
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_receiver::{ComputeModel, DeviceClass, UsageMode};
+//!
+//! let model = ComputeModel::paper();
+//! // Table II: an in-use STB runs the reference workload ≈20.6× slower
+//! // than the reference PC; standby is 1.65× faster than in-use.
+//! let in_use = model.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::InUse);
+//! let standby = model.factor_vs_pc(DeviceClass::SetTopBox, UsageMode::Standby);
+//! assert!(standby < in_use);
+//! assert!((in_use / standby - 1.65).abs() < 1e-9);
+//! ```
 
 pub mod compute;
 pub mod dve;

@@ -27,6 +27,20 @@
 //! respect to the system under observation — nothing reads it back
 //! during a run — which is what keeps deterministic simulations
 //! deterministic with tracing on.
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_telemetry::{Phase, Telemetry};
+//!
+//! let tele = Telemetry::recording();
+//! tele.span(0, 1_500, Phase::DveBoot, 7, 1); // µs timestamps, track = node 7
+//! tele.instant(2_000, Phase::Heartbeat, 7, 0);
+//!
+//! assert_eq!(tele.phase_events(Phase::DveBoot), 1);
+//! let summary = tele.phase_summary(Phase::DveBoot);
+//! assert!((summary.mean - 1.5e-3).abs() < 1e-9); // 1 500 µs in seconds
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -15,6 +15,27 @@
 //! * [`alignment`] — a real Smith–Waterman / seed-and-extend kernel, so the
 //!   live runtime executes genuine sequence-alignment work instead of
 //!   sleeping.
+//!
+//! # Example
+//!
+//! ```
+//! use oddci_types::{DataSize, SimDuration};
+//! use oddci_workload::JobGenerator;
+//!
+//! // A homogeneous 100-task job: 4 MB image, 500 B inputs and results,
+//! // 60 s of reference-STB compute per task.
+//! let mut gen = JobGenerator::homogeneous(
+//!     DataSize::from_megabytes(4),
+//!     DataSize::from_bytes(500),
+//!     DataSize::from_bytes(500),
+//!     SimDuration::from_secs(60),
+//!     42,
+//! );
+//! let job = gen.generate(100);
+//! let profile = job.profile();
+//! assert_eq!(profile.task_count, 100);
+//! assert_eq!(profile.mean_cost, SimDuration::from_secs(60));
+//! ```
 
 pub mod alignment;
 pub mod blast;

@@ -17,6 +17,10 @@ run cargo test -q ${CARGO_FLAGS}
 run cargo fmt --check
 run cargo clippy --workspace ${CARGO_FLAGS} -- -D warnings
 
+# Documentation gate: every intra-doc link must resolve and every public
+# item stay documented; warnings are promoted to errors.
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ${CARGO_FLAGS}
+
 # Telemetry gates: the Chrome-trace integration test must stay green and
 # every checked-in results/*.metrics.json must match the schema.
 run cargo test -q ${CARGO_FLAGS} --test telemetry_trace

@@ -15,5 +15,6 @@ pub fn fast_policy() -> ControllerPolicy {
         sizing_slack: 1.0,
         recompose_threshold: 0.95,
         assumed_audience: 0, // overwritten by WorldConfig
+        recompose_requires_idle: false,
     }
 }
