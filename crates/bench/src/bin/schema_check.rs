@@ -1,5 +1,9 @@
 //! Validates every `results/*.metrics.json` artifact against the
-//! checked-in schema `scripts/metrics.schema.json`.
+//! checked-in schema `scripts/metrics.schema.json`, plus any streamed
+//! trace artifacts the sink layer produced: `*.trace.jsonl` files must
+//! start with a well-formed stream header followed by parseable event
+//! lines (a bounded sample), and `*.stream.json` files must be valid
+//! Chrome `trace_event` documents stamped with `otherData.oddci_stream`.
 //!
 //! The validator implements the JSON Schema subset the schema actually
 //! uses — `type`, `properties`, `required`, `additionalProperties`
@@ -12,6 +16,11 @@
 
 use serde_json::Value;
 use std::path::{Path, PathBuf};
+
+/// How many event lines of a `.trace.jsonl` file are parsed per file.
+/// Streamed sweeps reach ~1 M lines; checking a prefix keeps the gate
+/// fast while still catching truncated writes and format drift.
+const JSONL_SAMPLE_LINES: usize = 4096;
 
 fn type_name(v: &Value) -> &'static str {
     match v {
@@ -92,6 +101,74 @@ fn check_file(path: &Path, schema: &Value) -> Vec<String> {
     errors
 }
 
+/// Validates a streamed JSONL trace: header line with `oddci_stream`
+/// version stamp, `format`/`clock` strings, then event lines that
+/// deserialize as telemetry events (first [`JSONL_SAMPLE_LINES`] only).
+fn validate_jsonl_stream(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut lines = text.lines();
+    let Some(first) = lines.next() else {
+        return vec!["empty stream file".into()];
+    };
+    match serde_json::from_str::<Value>(first) {
+        Ok(header) => {
+            if header.get("oddci_stream").and_then(Value::as_u64).is_none() {
+                errors.push("header: missing integer `oddci_stream` stamp".into());
+            }
+            for key in ["format", "clock"] {
+                if header.get(key).and_then(Value::as_str).is_none() {
+                    errors.push(format!("header: missing string `{key}`"));
+                }
+            }
+        }
+        Err(e) => errors.push(format!("header: invalid JSON: {e:?}")),
+    }
+    for (i, line) in lines.take(JSONL_SAMPLE_LINES).enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = serde_json::from_str::<oddci_telemetry::Event>(line) {
+            errors.push(format!("line {}: not a telemetry event: {e:?}", i + 2));
+            break;
+        }
+    }
+    errors
+}
+
+/// Validates a streamed Chrome trace: a JSON document with a
+/// `traceEvents` array and the `otherData.oddci_stream` stamp.
+fn validate_chrome_stream(text: &str) -> Vec<String> {
+    let doc: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("invalid JSON: {e:?}")],
+    };
+    let mut errors = Vec::new();
+    if doc.get("traceEvents").and_then(Value::as_array).is_none() {
+        errors.push("missing `traceEvents` array".into());
+    }
+    if doc
+        .get("otherData")
+        .and_then(|d| d.get("oddci_stream"))
+        .is_none()
+    {
+        errors.push("missing `otherData.oddci_stream` stamp".into());
+    }
+    errors
+}
+
+fn check_stream_file(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("unreadable: {e}")],
+    };
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.ends_with(".trace.jsonl") {
+        validate_jsonl_stream(&text)
+    } else {
+        validate_chrome_stream(&text)
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let schema_path = argv
@@ -128,6 +205,19 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Streamed-trace artifacts are optional (the soak bench deletes the
+    // large ones after validating them); check whichever are present.
+    let mut streams: Vec<PathBuf> = std::fs::read_dir(&results_dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", results_dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".trace.jsonl") || n.ends_with(".stream.json"))
+        })
+        .collect();
+    streams.sort();
+
     let mut failed = false;
     for file in &files {
         let errors = check_file(file, &schema);
@@ -141,10 +231,26 @@ fn main() {
             }
         }
     }
+    for file in &streams {
+        let errors = check_stream_file(file);
+        if errors.is_empty() {
+            println!("ok    {}", file.display());
+        } else {
+            failed = true;
+            println!("FAIL  {}", file.display());
+            for e in errors {
+                println!("      {e}");
+            }
+        }
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("schema_check: {} artifact(s) valid", files.len());
+    println!(
+        "schema_check: {} artifact(s) valid ({} streamed)",
+        files.len() + streams.len(),
+        streams.len()
+    );
 }
 
 #[cfg(test)]
@@ -199,5 +305,38 @@ mod tests {
         let mut errors = Vec::new();
         validate(&doc, &schema(), "", &mut errors);
         assert!(errors.iter().any(|e| e.contains("`extra`")), "{errors:?}");
+    }
+
+    #[test]
+    fn well_formed_jsonl_stream_passes() {
+        let text = "{\"oddci_stream\":1,\"format\":\"jsonl\",\"clock\":\"us\",\"meta\":{}}\n\
+            {\"ts_us\":10,\"phase\":\"DveBoot\",\"kind\":\"Begin\",\"track\":3,\"scope\":0}\n\
+            {\"ts_us\":20,\"phase\":\"DveBoot\",\"kind\":\"End\",\"track\":3,\"scope\":0}\n";
+        assert!(validate_jsonl_stream(text).is_empty());
+    }
+
+    #[test]
+    fn jsonl_stream_without_stamp_or_with_bad_event_fails() {
+        let no_stamp = "{\"format\":\"jsonl\",\"clock\":\"us\"}\n";
+        assert!(validate_jsonl_stream(no_stamp)
+            .iter()
+            .any(|e| e.contains("oddci_stream")));
+        let bad_event = "{\"oddci_stream\":1,\"format\":\"jsonl\",\"clock\":\"us\"}\n\
+            {\"ts_us\":\"soon\"}\n";
+        assert!(validate_jsonl_stream(bad_event)
+            .iter()
+            .any(|e| e.contains("line 2")));
+        assert!(validate_jsonl_stream("")
+            .iter()
+            .any(|e| e.contains("empty")));
+    }
+
+    #[test]
+    fn chrome_stream_requires_events_and_stamp() {
+        let good = r#"{"displayTimeUnit":"ms","otherData":{"oddci_stream":1},"traceEvents":[]}"#;
+        assert!(validate_chrome_stream(good).is_empty());
+        let errors = validate_chrome_stream(r#"{"traceEvents":{}}"#);
+        assert!(errors.iter().any(|e| e.contains("traceEvents")));
+        assert!(errors.iter().any(|e| e.contains("oddci_stream")));
     }
 }

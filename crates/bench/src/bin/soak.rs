@@ -16,14 +16,35 @@
 //! cargo run -p oddci-bench --release --bin soak
 //! ```
 //!
-//! Artifacts: `results/soak.json` (all rows) and
-//! `results/soak.metrics.json` (schema-checked envelope; soak rows ride in
-//! `metrics.soak`).
+//! After the shard sweep, two streamed-trace runs exercise the
+//! telemetry sink layer end to end:
+//!
+//! * the X8 scenario once more with a streaming JSONL sink attached
+//!   (per-headend-thread lanes) — with default settings it must drop
+//!   **zero** events, and the wakeup summary in the metrics artifact is
+//!   recomputed from the *streamed* trace rather than the in-memory
+//!   ring (which only ever holds a bounded window);
+//! * experiment X9 — a million-node discrete-event sweep streaming
+//!   JSONL + Chrome traces whose event count far exceeds any ring, with
+//!   the `W = 1.5·I/β` agreement check evaluated from the on-disk
+//!   artifact. `ODDCI_SWEEP_NODES` scales the audience down for quick
+//!   local iteration; `ODDCI_KEEP_TRACES=1` keeps the (large) trace
+//!   files instead of deleting them after validation.
+//!
+//! Artifacts: `results/soak.json` (all rows), `results/soak_stream.json`
+//! (streamed-run summaries) and `results/soak.metrics.json`
+//! (schema-checked envelope; soak rows ride in `metrics.soak`, the X9
+//! summary in `metrics.stream_sweep`).
 
-use oddci_bench::{header, write_artifact, write_metrics, RunInfo};
+use oddci_analytics::wakeup_envelope;
+use oddci_bench::{header, results_dir, write_artifact, write_metrics, RunInfo};
+use oddci_core::{World, WorldConfig};
 use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
-use oddci_telemetry::{EventKind, Phase, Telemetry, CONTROL_TRACK};
+use oddci_telemetry::sink::{read_jsonl_events, span_durations_us};
+use oddci_telemetry::{Event, EventKind, Phase, StreamingSink, Telemetry, CONTROL_TRACK};
+use oddci_types::{DataSize, SimDuration, SimTime};
 use oddci_workload::alignment::random_sequence;
+use oddci_workload::JobGenerator;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,6 +56,14 @@ const BATCH: usize = 64;
 const SEED: u64 = 2024;
 /// Runs per configuration; the best is kept (see module docs).
 const REPS: usize = 3;
+
+/// X9 defaults: a million-receiver audience, enough short tasks that the
+/// event stream (~13.5 M events) dwarfs the default 262 144-event ring.
+const SWEEP_NODES: u64 = 1_000_000;
+const SWEEP_TARGET: u64 = 4_000;
+const SWEEP_TASKS: u64 = 120_000;
+const SWEEP_COST_SECS: f64 = 5.0;
+const SWEEP_IMAGE_MB: u64 = 2;
 
 #[derive(Debug, Clone, Serialize)]
 struct Row {
@@ -50,7 +79,7 @@ struct Row {
     tasks_unaccounted: u64,
 }
 
-fn soak_once(mode: HeadendMode) -> (Row, Telemetry) {
+fn soak_once(mode: HeadendMode, sink: Option<Arc<StreamingSink>>) -> (Row, Telemetry) {
     let image = AlignmentImage {
         db_len: 400,
         ..AlignmentImage::small_demo()
@@ -58,7 +87,10 @@ fn soak_once(mode: HeadendMode) -> (Row, Telemetry) {
     let queries: Vec<Arc<Vec<u8>>> = (0..TASKS)
         .map(|i| Arc::new(random_sequence(16, SEED ^ i)))
         .collect();
-    let tele = Telemetry::recording();
+    let mut tele = Telemetry::recording();
+    if let Some(sink) = sink {
+        tele = tele.with_sink(sink);
+    }
     let live = LiveOddci::start(LiveConfig {
         nodes: NODES,
         seed: SEED,
@@ -102,7 +134,7 @@ fn soak_once(mode: HeadendMode) -> (Row, Telemetry) {
 
 fn soak_best(mode: HeadendMode) -> (Row, Telemetry) {
     (0..REPS)
-        .map(|_| soak_once(mode))
+        .map(|_| soak_once(mode, None))
         .max_by(|(a, _), (b, _)| {
             a.throughput_tasks_per_sec
                 .total_cmp(&b.throughput_tasks_per_sec)
@@ -111,9 +143,11 @@ fn soak_best(mode: HeadendMode) -> (Row, Telemetry) {
 }
 
 /// Wakeup latency (first carousel publish → each node's acceptance), from
-/// the run's event stream: count/mean/std_dev/min/max in seconds.
-fn wakeup_summary(tele: &Telemetry) -> serde_json::Value {
-    let events = tele.events();
+/// an event slice: count/mean/std_dev/min/max in seconds. The slice may be
+/// a ring snapshot or — preferably, since the ring wraps near 40 000 tasks
+/// — the read-back of a streamed trace, which is complete by construction
+/// whenever the sink reports zero drops.
+fn wakeup_summary(events: &[Event]) -> serde_json::Value {
     let first_publish = events
         .iter()
         .find(|e| e.phase == Phase::CarouselPublish && e.track == CONTROL_TRACK)
@@ -141,6 +175,251 @@ fn wakeup_summary(tele: &Telemetry) -> serde_json::Value {
         "std_dev": var.sqrt(),
         "min": lats.iter().cloned().fold(f64::INFINITY, f64::min),
         "max": lats.iter().cloned().fold(0.0_f64, f64::max),
+    })
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn keep_traces() -> bool {
+    std::env::var("ODDCI_KEEP_TRACES").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn mean_secs(durs: &[u64]) -> f64 {
+    if durs.is_empty() {
+        0.0
+    } else {
+        durs.iter().sum::<u64>() as f64 / durs.len() as f64 / 1e6
+    }
+}
+
+/// X8 once more with a streaming sink attached: one lane per headend
+/// thread (carousel + 8 shards + 4 dispatchers), node traffic spread
+/// across them. With default lane capacity nothing may be dropped, so
+/// the on-disk trace is the *complete* event record of the run — unlike
+/// the ring, which holds at most its capacity — and the wakeup summary
+/// in the metrics artifact is computed from it.
+fn streamed_soak() -> (Row, serde_json::Value, Vec<Event>) {
+    let path = results_dir().join("soak.trace.jsonl");
+    let sink = StreamingSink::builder()
+        .jsonl(&path)
+        .lanes(1 + 8 + DISPATCH)
+        .meta("scenario", "soak")
+        .meta("seed", SEED.to_string())
+        .meta("plane", "live")
+        .start()
+        .expect("open soak trace stream");
+    let (row, tele) = soak_once(
+        HeadendMode::Sharded {
+            shards: 8,
+            dispatch: DISPATCH,
+            batch: BATCH,
+        },
+        Some(sink.clone()),
+    );
+    let summary = sink.finish().expect("soak trace stream closes");
+    let stats = summary.stats;
+    assert_eq!(
+        stats.emitted,
+        stats.persisted + stats.dropped,
+        "sink accounting identity violated"
+    );
+    assert_eq!(
+        stats.dropped, 0,
+        "X8 with default lane capacity must not drop events"
+    );
+    assert_eq!(tele.events_dropped(), 0, "telemetry drop counter disagrees");
+    assert_eq!(row.tasks_unaccounted, 0, "streamed rep leaked tasks");
+
+    let text = std::fs::read_to_string(&path).expect("read soak trace back");
+    let (header, events) = read_jsonl_events(&text).expect("soak trace parses");
+    assert_eq!(header.clock, "us", "unexpected stream clock");
+    assert_eq!(
+        events.len() as u64,
+        stats.persisted,
+        "streamed file holds exactly the persisted events"
+    );
+    let ring_len = tele.events().len();
+    println!(
+        "\n  streamed X8 rep: {} emitted, {} persisted, 0 dropped, {} flushes ({} bytes; ring holds {ring_len})",
+        stats.emitted,
+        stats.persisted,
+        stats.flushes,
+        summary.outputs.iter().map(|o| o.bytes).sum::<u64>(),
+    );
+    if !keep_traces() {
+        let _ = std::fs::remove_file(&path);
+    }
+    let info = serde_json::json!({
+        "scenario": "x8-streamed",
+        "emitted": stats.emitted,
+        "persisted": stats.persisted,
+        "dropped": stats.dropped,
+        "flushes": stats.flushes,
+        "ring_events": ring_len,
+    });
+    (row, info, events)
+}
+
+/// X9 — million-node streamed sweep on the discrete-event plane. The
+/// event stream (~13.5 M events at the default task count) overflows the
+/// default ring ~50× over; the streaming sink keeps the complete early
+/// wakeup record on disk (shedding only part of the later task torrent,
+/// with exact loss accounting), and the `W = 1.5·I/β` agreement check is
+/// evaluated from the read-back artifact instead of the (wrapped) ring.
+fn streamed_sweep() -> serde_json::Value {
+    let nodes = env_u64("ODDCI_SWEEP_NODES", SWEEP_NODES);
+    let tasks = env_u64("ODDCI_SWEEP_TASKS", SWEEP_TASKS);
+    let target = SWEEP_TARGET.min(nodes);
+    header("X9 — million-node streamed-trace sweep");
+    println!(
+        "{nodes} receivers, instance {target}, {tasks} tasks x {SWEEP_COST_SECS}s, {SWEEP_IMAGE_MB} MB image\n"
+    );
+
+    let jsonl_path = results_dir().join("x9.trace.jsonl");
+    let chrome_path = results_dir().join("x9.trace.stream.json");
+    let sink = StreamingSink::builder()
+        .jsonl(&jsonl_path)
+        .chrome(&chrome_path)
+        .lanes(4)
+        // The single-threaded sim emits ~13.5 M events in under a minute
+        // of wall clock — a sustained rate beyond what one writer can serialize
+        // into two formats, so the later task torrent is shed (counted,
+        // never blocking). Deep lanes (4 × 2^18 events ≈ 32 MB bounded)
+        // matter for a different reason: they absorb the initial 4 000-node
+        // join wave, so the wakeup record — the part the ring loses first —
+        // reaches disk complete.
+        .lane_capacity(1 << 18)
+        .meta("scenario", "x9-streamed-sweep")
+        .meta("seed", SEED.to_string())
+        .meta("plane", "sim")
+        .start()
+        .expect("open x9 stream");
+    // Default ring capacity on purpose: X9 demonstrates that the ring
+    // wraps at this scale while the streamed artifact stays complete.
+    let tele = Telemetry::recording().with_sink(sink.clone());
+    let cfg = WorldConfig {
+        nodes,
+        telemetry: tele.clone(),
+        ..Default::default()
+    };
+    let beta = cfg.dtv.beta;
+    let image = DataSize::from_megabytes(SWEEP_IMAGE_MB);
+    let job = JobGenerator::homogeneous(
+        image,
+        DataSize::from_bytes(500),
+        DataSize::from_bytes(500),
+        SimDuration::from_secs_f64(SWEEP_COST_SECS),
+        SEED,
+    )
+    .generate(tasks);
+
+    let wall = std::time::Instant::now();
+    let mut sim = World::simulation(cfg, SEED);
+    let request = sim.submit_job(job, target);
+    let report = sim
+        .run_request(request, SimTime::from_secs(365 * 24 * 3600))
+        .expect("sweep completes within a simulated year");
+    let wall = wall.elapsed();
+    let summary = sink.finish().expect("x9 stream closes");
+    let stats = summary.stats;
+    let bytes: u64 = summary.outputs.iter().map(|o| o.bytes).sum();
+
+    assert_eq!(report.tasks_completed, tasks, "sweep lost tasks");
+    assert_eq!(
+        stats.emitted,
+        stats.persisted + stats.dropped,
+        "sink accounting identity violated"
+    );
+    let ring_len = tele.events().len();
+
+    // Read the artifact back and recompute the §5.1 wakeup agreement
+    // from it: mean wait-for-carousel plus mean DVE boot must land
+    // inside the [I/β, 2I/β] envelope around W = 1.5·I/β.
+    let text = std::fs::read_to_string(&jsonl_path).expect("read x9 trace back");
+    let (stream_header, events) = read_jsonl_events(&text).expect("x9 trace parses");
+    assert_eq!(stream_header.format, "jsonl");
+    assert_eq!(
+        events.len() as u64,
+        stats.persisted,
+        "streamed file holds exactly the persisted events"
+    );
+    if nodes >= SWEEP_NODES && tasks >= SWEEP_TASKS {
+        assert!(
+            (ring_len as u64) < stats.persisted,
+            "expected the ring ({ring_len} events) to wrap below the streamed {} at full scale",
+            stats.persisted
+        );
+    }
+
+    // The point of X9: the streamed artifact must hold the *complete*
+    // wakeup record — the early events the wrapping ring loses first —
+    // even if the later task torrent was shed. From those spans the §5.1
+    // agreement check runs against the on-disk file: mean wait-for-config
+    // plus mean DVE boot lands inside the [I/β, 2I/β] envelope around
+    // W = 1.5·I/β.
+    let wait_durs = span_durations_us(&events, Phase::WakeupWait);
+    let boot_durs = span_durations_us(&events, Phase::DveBoot);
+    assert!(
+        wait_durs.len() as u64 >= target / 2 && boot_durs.len() as u64 >= target / 2,
+        "join-wave spans must survive streaming (got {} wait / {} boot pairs for target {target})",
+        wait_durs.len(),
+        boot_durs.len()
+    );
+    let wait_mean = mean_secs(&wait_durs);
+    let boot_mean = mean_secs(&boot_durs);
+    let measured = wait_mean + boot_mean;
+    let (w_best, w_mean, w_worst) = wakeup_envelope(image, beta);
+    assert!(
+        measured >= 0.9 * w_best.as_secs_f64() && measured <= 1.1 * w_worst.as_secs_f64(),
+        "streamed-trace wakeup {measured:.1}s outside the [{:.1}s, {:.1}s] envelope",
+        w_best.as_secs_f64(),
+        w_worst.as_secs_f64()
+    );
+
+    println!("  makespan        : {}", report.makespan);
+    println!("  wall clock      : {:.1}s", wall.as_secs_f64());
+    println!(
+        "  streamed        : {} emitted, {} persisted, {} dropped, {} flushes ({bytes} bytes)",
+        stats.emitted, stats.persisted, stats.dropped, stats.flushes
+    );
+    println!("  ring snapshot   : {ring_len} events (capacity-bounded)");
+    println!(
+        "  wakeup (streamed trace): measured {measured:.1}s (wait {wait_mean:.1}s + boot {boot_mean:.1}s over {} joins) vs W = 1.5·I/β = {:.1}s",
+        boot_durs.len(),
+        w_mean.as_secs_f64()
+    );
+    if keep_traces() {
+        println!(
+            "  traces kept     : {} + {}",
+            jsonl_path.display(),
+            chrome_path.display()
+        );
+    } else {
+        let _ = std::fs::remove_file(&jsonl_path);
+        let _ = std::fs::remove_file(&chrome_path);
+    }
+
+    serde_json::json!({
+        "scenario": "x9-streamed-sweep",
+        "nodes": nodes,
+        "target": target,
+        "tasks": tasks,
+        "makespan_secs": report.makespan.as_secs_f64(),
+        "wall_secs": wall.as_secs_f64(),
+        "emitted": stats.emitted,
+        "persisted": stats.persisted,
+        "dropped": stats.dropped,
+        "flushes": stats.flushes,
+        "stream_bytes": bytes,
+        "ring_events": ring_len,
+        "wakeup_pairs": boot_durs.len(),
+        "wakeup_measured_secs": measured,
+        "wakeup_model_secs": w_mean.as_secs_f64(),
     })
 }
 
@@ -209,10 +488,22 @@ fn main() {
         baseline.throughput_tasks_per_sec
     );
 
+    // One more 8-shard run, this time streaming the full event record to
+    // disk; the wakeup summary below comes from that artifact, not the
+    // (capacity-bounded) ring.
+    let (stream_row, stream_info, streamed_events) = streamed_soak();
+    assert_eq!(stream_row.tasks, TASKS);
+
+    let sweep = streamed_sweep();
+
     write_artifact("soak", &rows);
+    write_artifact(
+        "soak_stream",
+        &serde_json::json!({ "x8": stream_info, "x9": sweep }),
+    );
     let run = RunInfo::new("soak", SEED);
     let metrics = serde_json::json!({
-        "wakeup_latency": wakeup_summary(&tele8),
+        "wakeup_latency": wakeup_summary(&streamed_events),
         "joins": tele8.phase_events(Phase::PnaAccept),
         "tasks_completed": best8.tasks,
         "control_deliveries": tele8.phase_events(Phase::CarouselPublish),
@@ -224,6 +515,8 @@ fn main() {
         "fetch_aborts": 0,
         "faults": {},
         "soak": rows,
+        "stream": stream_info,
+        "stream_sweep": sweep,
     });
     write_metrics("soak", &run, &metrics, &phases);
 }

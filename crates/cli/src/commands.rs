@@ -181,14 +181,69 @@ pub fn chaos(p: &Parsed) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Companion Chrome artifact path for a streamed JSONL path:
+/// `x.trace.jsonl` → `x.trace.stream.json`.
+fn chrome_stream_path(jsonl_path: &str) -> String {
+    let stem = jsonl_path.strip_suffix(".jsonl").unwrap_or(jsonl_path);
+    format!("{stem}.stream.json")
+}
+
+/// Build a streaming sink writing JSONL at `jsonl_path` plus the derived
+/// Chrome artifact, stamped with scenario/seed metadata.
+fn open_stream_sink(
+    jsonl_path: &str,
+    lanes: usize,
+    scenario: &str,
+    seed: u64,
+    plane: &str,
+) -> Result<std::sync::Arc<oddci_telemetry::StreamingSink>, ArgError> {
+    let path = std::path::Path::new(jsonl_path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ArgError(format!("cannot create `{}`: {e}", parent.display())))?;
+        }
+    }
+    oddci_telemetry::StreamingSink::builder()
+        .jsonl(jsonl_path)
+        .chrome(chrome_stream_path(jsonl_path))
+        .lanes(lanes)
+        .meta("scenario", scenario)
+        .meta("seed", seed.to_string())
+        .meta("plane", plane)
+        .start()
+        .map_err(|e| ArgError(format!("cannot open stream `{jsonl_path}`: {e}")))
+}
+
+/// Render the one-line summary of a finished sink.
+fn stream_summary_line(summary: &oddci_telemetry::SinkSummary) -> String {
+    let files = summary
+        .outputs
+        .iter()
+        .map(|o| format!("{} ({} B)", o.path.display(), o.bytes))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{} emitted, {} persisted, {} dropped, {} flushes -> {files}",
+        summary.stats.emitted,
+        summary.stats.persisted,
+        summary.stats.dropped,
+        summary.stats.flushes
+    )
+}
+
 /// `oddci trace`: run one scenario with event recording enabled, export a
 /// Chrome `trace_event` file and print the per-phase latency breakdown.
+/// With `--stream <path>` the run *also* streams every event to disk as
+/// it happens (JSONL + Chrome), and the `W = 1.5·I/β` agreement check is
+/// recomputed from the streamed artifact instead of the in-memory ring.
 pub fn trace(p: &Parsed) -> Result<String, ArgError> {
     use oddci_faults::FaultPlan;
     use oddci_telemetry::{export, Phase, Telemetry};
 
     let scenario = p.get("scenario").unwrap_or("small");
     let out_path = p.get("out").unwrap_or("results/trace.json");
+    let stream_path = p.get("stream");
     let seed: u64 = p.num("seed", 42)?;
 
     // Scenario presets sized so even `chaos` finishes in seconds.
@@ -203,7 +258,14 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
         }
     };
 
-    let tele = Telemetry::recording();
+    let sink = match stream_path {
+        Some(path) => Some(open_stream_sink(path, 4, scenario, seed, "sim")?),
+        None => None,
+    };
+    let mut tele = Telemetry::recording();
+    if let Some(sink) = &sink {
+        tele = tele.with_sink(sink.clone());
+    }
     let cfg = WorldConfig {
         nodes,
         faults,
@@ -245,6 +307,20 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
     let _ = writeln!(out, "  job        : {tasks} tasks x {cost_secs}s");
     let _ = writeln!(out, "  makespan   : {}", report.makespan);
     let _ = writeln!(out, "  trace      : {} events -> {out_path}", events.len());
+    let streamed_events = match (&sink, stream_path) {
+        (Some(sink), Some(path)) => {
+            let summary = sink
+                .finish()
+                .map_err(|e| ArgError(format!("stream writer failed: {e}")))?;
+            let _ = writeln!(out, "  streamed   : {}", stream_summary_line(&summary));
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read back `{path}`: {e}")))?;
+            let (_, evs) = oddci_telemetry::sink::read_jsonl_events(&text)
+                .map_err(|e| ArgError(format!("invalid stream `{path}`: {e}")))?;
+            Some(evs)
+        }
+        _ => None,
+    };
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -262,17 +338,37 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
     // Wakeup agreement: the measured wakeup is wait-for-config plus image
     // read; the §5.1 mean W = 1.5·I/β covers the image-only carousel, so
     // the measured mean should land inside the [best, worst] envelope
-    // widened by the small PNA/config files sharing the cycle.
-    let wait = tele.phase_summary(Phase::WakeupWait);
-    let boot = tele.phase_summary(Phase::DveBoot);
-    let measured = wait.mean + boot.mean;
+    // widened by the small PNA/config files sharing the cycle. When
+    // streaming, the components are recomputed from the on-disk artifact
+    // — the check the ring cannot support once it wraps.
+    let mean_us = |durs: &[u64]| -> f64 {
+        if durs.is_empty() {
+            0.0
+        } else {
+            durs.iter().sum::<u64>() as f64 / durs.len() as f64 / 1e6
+        }
+    };
+    let (source, wait_mean, boot_mean) = match &streamed_events {
+        Some(evs) => {
+            use oddci_telemetry::sink::span_durations_us;
+            (
+                "streamed trace",
+                mean_us(&span_durations_us(evs, Phase::WakeupWait)),
+                mean_us(&span_durations_us(evs, Phase::DveBoot)),
+            )
+        }
+        None => (
+            "ring",
+            tele.phase_summary(Phase::WakeupWait).mean,
+            tele.phase_summary(Phase::DveBoot).mean,
+        ),
+    };
+    let measured = wait_mean + boot_mean;
     let (_, w_mean, _) = wakeup_envelope(DataSize::from_megabytes(image_mb), beta);
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "  wakeup: measured {measured:.1}s (wait {:.1}s + boot {:.1}s) vs W = 1.5·I/β = {:.1}s ({:+.0}%)",
-        wait.mean,
-        boot.mean,
+        "  wakeup ({source}): measured {measured:.1}s (wait {wait_mean:.1}s + boot {boot_mean:.1}s) vs W = 1.5·I/β = {:.1}s ({:+.0}%)",
         w_mean.as_secs_f64(),
         100.0 * (measured - w_mean.as_secs_f64()) / w_mean.as_secs_f64()
     );
@@ -431,7 +527,22 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
     let work: Vec<std::sync::Arc<Vec<u8>>> = (0..queries)
         .map(|i| std::sync::Arc::new(random_sequence(16, seed ^ i)))
         .collect();
-    let tele = Telemetry::recording();
+    // One sink lane per headend thread (carousel + shards + dispatch)
+    // so their trace offers never contend; see ShardedHeadend::start.
+    let sink = match p.get("trace-out") {
+        Some(path) => {
+            let lanes = match mode {
+                HeadendMode::SingleLoop => 2,
+                HeadendMode::Sharded { .. } => 1 + shards + dispatch,
+            };
+            Some(open_stream_sink(path, lanes, "soak", seed, "live")?)
+        }
+        None => None,
+    };
+    let mut tele = Telemetry::recording();
+    if let Some(sink) = &sink {
+        tele = tele.with_sink(sink.clone());
+    }
     let live = LiveOddci::start(LiveConfig {
         nodes,
         seed,
@@ -442,14 +553,22 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
     let outcome = live
         .run_query_job(image, work, target, std::time::Duration::from_secs(300))
         .ok_or_else(|| ArgError("soak job did not complete within 300s".into()))?;
+    // shutdown() joins every thread and flushes the sink before reporting.
     let shutdown = live.shutdown();
+    let stream_summary = match &sink {
+        Some(sink) => Some(
+            sink.finish()
+                .map_err(|e| ArgError(format!("stream writer failed: {e}")))?,
+        ),
+        None => None,
+    };
 
     let makespan = outcome.report.makespan.as_secs_f64();
     let throughput = queries as f64 / makespan.max(1e-9);
     let snapshot = tele.metrics_snapshot();
 
     if p.flag("json") {
-        let v = serde_json::json!({
+        let mut v = serde_json::json!({
             "mode": if matches!(mode, HeadendMode::SingleLoop) { "single-loop" } else { "sharded" },
             "shards": if matches!(mode, HeadendMode::SingleLoop) { 0 } else { shards },
             "dispatch": if matches!(mode, HeadendMode::SingleLoop) { 0 } else { dispatch },
@@ -463,6 +582,17 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
             "tasks_unaccounted": shutdown.tasks_unaccounted,
             "gauges": snapshot.gauges,
         });
+        if let (serde_json::Value::Object(entries), Some(s)) = (&mut v, &stream_summary) {
+            entries.push((
+                "stream".to_string(),
+                serde_json::json!({
+                    "emitted": s.stats.emitted,
+                    "persisted": s.stats.persisted,
+                    "dropped": s.stats.dropped,
+                    "flushes": s.stats.flushes,
+                }),
+            ));
+        }
         return Ok(serde_json::to_string_pretty(&v).expect("serialize soak json"));
     }
 
@@ -482,6 +612,9 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
     let _ = writeln!(out, "  throughput  : {throughput:.1} tasks/s");
     let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
     let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    if let Some(summary) = &stream_summary {
+        let _ = writeln!(out, "  streamed    : {}", stream_summary_line(summary));
+    }
     let lags: Vec<(&String, &f64)> = snapshot
         .gauges
         .iter()

@@ -97,6 +97,10 @@ COMMANDS:
                   [scenario]       small | standard | chaos [small]
                   --out PATH       trace file              [results/trace.json]
                   --seed S         simulation seed         [42]
+                  --stream PATH    also stream events to PATH (JSONL) and a
+                                   derived .stream.json Chrome trace during
+                                   the run; the wakeup check then uses the
+                                   streamed artifact instead of the ring
     wakeup      evaluate the wakeup envelope W = 1.5·I/β
                   --image-mb M     image size MB           [8]
                   --beta-mbps B    spare capacity Mbps     [1]
@@ -117,6 +121,9 @@ COMMANDS:
                   --target N       instance size               [nodes]
                   --seed S         run seed                    [42]
                   --single-loop    use the pre-sharding baseline headend
+                  --trace-out PATH stream a JSONL + Chrome trace of the run
+                                   (per-shard sink lanes; drops are counted,
+                                   never blocking the headend)
                   --json           machine-readable output
     help        show this message
 "
@@ -256,11 +263,75 @@ mod tests {
         let dir = std::env::temp_dir().join("oddci-cli-trace-test");
         let path = dir.join("trace.json");
         let out = run(&argv(&["trace", "small", "--out", path.to_str().unwrap()])).unwrap();
-        assert!(out.contains("wakeup: measured"), "{out}");
+        assert!(out.contains("wakeup (ring): measured"), "{out}");
         assert!(out.contains("dve.boot"), "{out}");
         let text = std::fs::read_to_string(&path).unwrap();
         let v: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
         assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_stream_writes_artifacts_and_recomputes_wakeup() {
+        let dir = std::env::temp_dir().join("oddci-cli-stream-test");
+        let out_path = dir.join("trace.json");
+        let stream_path = dir.join("run.trace.jsonl");
+        let out = run(&argv(&[
+            "trace",
+            "small",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--stream",
+            stream_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wakeup (streamed trace): measured"), "{out}");
+        assert!(out.contains("streamed   :"), "{out}");
+        assert!(out.contains("0 dropped"), "{out}");
+        // JSONL artifact: valid header + parseable events.
+        let text = std::fs::read_to_string(&stream_path).unwrap();
+        let (header, events) =
+            oddci_telemetry::sink::read_jsonl_events(&text).expect("valid stream");
+        assert_eq!(header.clock, "us");
+        assert!(!events.is_empty());
+        // Companion Chrome artifact parses as a trace document.
+        let chrome = std::fs::read_to_string(dir.join("run.trace.stream.json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&chrome).expect("valid stream doc");
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        assert!(v["otherData"]["oddci_stream"].as_str().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn soak_trace_out_streams_run() {
+        let dir = std::env::temp_dir().join("oddci-cli-soak-stream-test");
+        let stream_path = dir.join("soak.trace.jsonl");
+        let out = run(&argv(&[
+            "soak",
+            "--nodes",
+            "2",
+            "--queries",
+            "8",
+            "--shards",
+            "2",
+            "--batch",
+            "4",
+            "--trace-out",
+            stream_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["tasks_unaccounted"], 0);
+        let stream = &v["stream"];
+        assert!(stream["emitted"].as_u64().unwrap() > 0, "{out}");
+        assert_eq!(
+            stream["emitted"].as_u64().unwrap(),
+            stream["persisted"].as_u64().unwrap() + stream["dropped"].as_u64().unwrap()
+        );
+        let text = std::fs::read_to_string(&stream_path).unwrap();
+        let (_, events) = oddci_telemetry::sink::read_jsonl_events(&text).expect("valid stream");
+        assert_eq!(events.len() as u64, stream["persisted"].as_u64().unwrap());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1484,18 +1484,26 @@ impl OddciSim {
     }
 
     /// Runs until `req` completes or `horizon` passes. Returns the report
-    /// if the job finished.
+    /// if the job finished. When a streaming [`TraceSink`] is attached to
+    /// the world's telemetry, its buffers are flushed before returning,
+    /// so the on-disk trace covers the whole request either way.
+    ///
+    /// [`TraceSink`]: oddci_telemetry::TraceSink
     pub fn run_request(&mut self, req: ProviderRequest, horizon: SimTime) -> Option<JobReport> {
         // Chunked advance: check completion between slices.
         let slice = SimDuration::from_secs(60);
-        while self.sim.now() < horizon {
+        let report = loop {
+            if self.sim.now() >= horizon {
+                break self.sim.model().provider.report(req);
+            }
             if let Some(r) = self.sim.model().provider.report(req) {
-                return Some(r);
+                break Some(r);
             }
             let next = (self.sim.now() + slice).min(horizon);
             self.sim.run_until(next);
-        }
-        self.sim.model().provider.report(req)
+        };
+        self.sim.model().telemetry().flush_sink();
+        report
     }
 
     /// Current simulation time.

@@ -158,9 +158,16 @@ impl ShardedHeadend {
         }));
 
         let (carousel_tx, carousel_rx) = bounded(CAROUSEL_CAP);
+        // Streaming-sink lane layout: carousel on lane 0, controller
+        // shard `i` on lane `1 + i`, dispatch worker `j` on lane
+        // `1 + shards + j`. Every headend thread gets a lane-pinned
+        // telemetry handle, so their trace offers enqueue into disjoint
+        // queues and never contend on a sink mutex (no-op without a
+        // sink). Node threads keep the unpinned handle and spread by
+        // track id.
         let carousel = {
             let hub = Arc::clone(&hub);
-            let tele = tele.clone();
+            let tele = tele.with_sink_lane(0);
             std::thread::spawn(move || carousel_main(carousel_rx, bus, hub, start, tele))
         };
 
@@ -191,7 +198,7 @@ impl ShardedHeadend {
             let tick = config.controller_tick;
             let carousel_tx = carousel_tx.clone();
             let hub = Arc::clone(&hub);
-            let tele = tele.clone();
+            let tele = tele.with_sink_lane(1 + index);
             shard_threads.push(std::thread::spawn(move || {
                 shard_main(
                     index,
@@ -216,7 +223,7 @@ impl ShardedHeadend {
             let hub = Arc::clone(&hub);
             let shard_txs = shard_txs.clone();
             let inj = Arc::clone(&injector);
-            let tele = tele.clone();
+            let tele = tele.with_sink_lane(1 + shards + index);
             dispatch_threads.push(std::thread::spawn(move || {
                 dispatch_main(index, rx, hub, shard_txs, inj, start, tele)
             }));

@@ -523,6 +523,12 @@ impl LiveOddci {
     /// then the headend winds down (sharded: dispatch pool, controller
     /// shards, carousel — receivers strictly outlive senders). The
     /// returned report carries the Backend's final task accounting.
+    ///
+    /// When a streaming trace sink is attached, every thread has exited
+    /// — and therefore emitted its last event — before the sink is
+    /// flushed, and the flush completes before `tasks_unaccounted` is
+    /// computed: the streamed artifact always covers the full run the
+    /// report describes.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.bus.publish(&BusMsg::Shutdown);
         let tasks_unaccounted = match &mut self.headend {
@@ -541,6 +547,7 @@ impl LiveOddci {
                 sh.take().map_or(0, ShardedHeadend::shutdown)
             }
         };
+        self.config.telemetry.flush_sink();
         ShutdownReport { tasks_unaccounted }
     }
 }

@@ -36,6 +36,46 @@ fn s(text: &str) -> Value {
     Value::String(text.to_string())
 }
 
+/// The `M` metadata row naming a track's lane in the trace viewer.
+/// Shared by the batch exporter and the streaming sink so both artifact
+/// flavors render byte-identical rows.
+pub(crate) fn thread_meta_row(track: u64) -> Value {
+    let name = if track == CONTROL_TRACK {
+        "control-plane".to_string()
+    } else {
+        format!("node-{track}")
+    };
+    obj(vec![
+        ("name", s("thread_name")),
+        ("ph", s("M")),
+        ("pid", num(1)),
+        ("tid", num(track_tid(track))),
+        ("args", obj(vec![("name", s(&name))])),
+    ])
+}
+
+/// One Chrome `trace_event` row for an event (`B`/`E`/`i`).
+pub(crate) fn event_row(ev: &Event) -> Value {
+    let ph = match ev.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Instant => "i",
+    };
+    let mut entries = vec![
+        ("name", s(ev.phase.label())),
+        ("cat", s("oddci")),
+        ("ph", s(ph)),
+        ("ts", num(ev.ts_us)),
+        ("pid", num(1)),
+        ("tid", num(track_tid(ev.track))),
+    ];
+    if ev.kind == EventKind::Instant {
+        entries.push(("s", s("t")));
+    }
+    entries.push(("args", obj(vec![("scope", num(ev.scope))])));
+    obj(entries)
+}
+
 /// Render events as Chrome `trace_event` JSON (the `about://tracing` /
 /// Perfetto "JSON Object Format"): `{"traceEvents": [...]}` with `B`/`E`
 /// duration events, `i` instants, and `M` metadata rows naming each
@@ -51,39 +91,10 @@ pub fn chrome_trace(events: &[Event]) -> String {
 
     let mut rows: Vec<Value> = Vec::with_capacity(sorted.len() + tracks.len());
     for track in &tracks {
-        let name = if *track == CONTROL_TRACK {
-            "control-plane".to_string()
-        } else {
-            format!("node-{track}")
-        };
-        rows.push(obj(vec![
-            ("name", s("thread_name")),
-            ("ph", s("M")),
-            ("pid", num(1)),
-            ("tid", num(track_tid(*track))),
-            ("args", obj(vec![("name", s(&name))])),
-        ]));
+        rows.push(thread_meta_row(*track));
     }
-
     for ev in &sorted {
-        let ph = match ev.kind {
-            EventKind::Begin => "B",
-            EventKind::End => "E",
-            EventKind::Instant => "i",
-        };
-        let mut entries = vec![
-            ("name", s(ev.phase.label())),
-            ("cat", s("oddci")),
-            ("ph", s(ph)),
-            ("ts", num(ev.ts_us)),
-            ("pid", num(1)),
-            ("tid", num(track_tid(ev.track))),
-        ];
-        if ev.kind == EventKind::Instant {
-            entries.push(("s", s("t")));
-        }
-        entries.push(("args", obj(vec![("scope", num(ev.scope))])));
-        rows.push(obj(entries));
+        rows.push(event_row(ev));
     }
 
     let doc = obj(vec![

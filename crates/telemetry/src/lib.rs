@@ -15,6 +15,10 @@
 //!   [`Event`]s, overwritten oldest-first, cheap enough to leave enabled
 //!   in benches. Exporters ([`export::chrome_trace`], [`export::jsonl`],
 //!   [`export::prometheus`]) turn recordings into viewer-ready text.
+//!   For runs whose event count dwarfs any ring (million-node sweeps), a
+//!   streaming [`TraceSink`] ([`Telemetry::with_sink`]) tees every event
+//!   to disk *during* the run with non-blocking, drop-with-counter
+//!   semantics — see the [`sink`] module.
 //!
 //! The [`Telemetry`] bundle ties both together and pre-caches a
 //! per-[`Phase`] histogram and counter, so the hot path is one branch +
@@ -48,24 +52,37 @@ pub mod event;
 pub mod export;
 pub mod recorder;
 pub mod registry;
+pub mod sink;
 
 pub use event::{Event, EventKind, Phase, CONTROL_TRACK};
 pub use recorder::Recorder;
 pub use registry::{
     Counter, Gauge, HistogramSummary, LatencyHistogram, Registry, RegistrySnapshot,
 };
+pub use sink::{SinkStats, SinkSummary, StreamingSink, TraceSink};
 
 use std::sync::Arc;
 
 /// The bundle call sites hold: a shared registry, an optional event
-/// recorder, and pre-resolved per-phase handles. Cloning is cheap and all
-/// clones observe the same underlying state.
+/// recorder, an optional streaming [`TraceSink`], and pre-resolved
+/// per-phase handles. Cloning is cheap and all clones observe the same
+/// underlying state.
 #[derive(Debug, Clone)]
 pub struct Telemetry {
     recorder: Recorder,
     registry: Arc<Registry>,
     phase_hist: Arc<[LatencyHistogram; Phase::COUNT]>,
     phase_count: Arc<[Counter; Phase::COUNT]>,
+    /// Streaming tee: every recorded event is also offered here. `None`
+    /// (the default) keeps the ring as the only consumer.
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Lane this handle pins its offers to (see
+    /// [`Telemetry::with_sink_lane`]); `None` spreads by track.
+    sink_lane: Option<usize>,
+    /// Total events the sink rejected (`telemetry.events_dropped`).
+    sink_dropped: Counter,
+    /// Per-phase sink drops (`telemetry.events_dropped.<phase>`).
+    sink_dropped_phase: Arc<[Counter; Phase::COUNT]>,
 }
 
 impl Default for Telemetry {
@@ -86,11 +103,18 @@ impl Telemetry {
     fn with_recorder(recorder: Recorder) -> Self {
         let registry = Arc::new(Registry::new());
         let (hist, count) = phase_handles(&registry);
+        let sink_dropped = registry.counter("telemetry.events_dropped");
+        let sink_dropped_phase = Phase::ALL
+            .map(|p| registry.counter(&format!("telemetry.events_dropped.{}", p.label())));
         Telemetry {
             recorder,
             registry,
             phase_hist: Arc::new(hist),
             phase_count: Arc::new(count),
+            sink: None,
+            sink_lane: None,
+            sink_dropped,
+            sink_dropped_phase: Arc::new(sink_dropped_phase),
         }
     }
 
@@ -104,9 +128,69 @@ impl Telemetry {
         Telemetry::with_recorder(Recorder::enabled())
     }
 
-    /// Metrics on, tracing on with an explicit ring capacity.
+    /// Metrics on, tracing on with an explicit ring capacity. A capacity
+    /// of zero is metrics-only mode (no ring), not a degenerate one-slot
+    /// ring — attach a [`TraceSink`] if you still want the event stream.
     pub fn recording_with_capacity(capacity: usize) -> Self {
         Telemetry::with_recorder(Recorder::with_capacity(capacity))
+    }
+
+    /// Attach a streaming sink: every event recorded from now on is also
+    /// offered to `sink`. Builder-style — call before handing clones out
+    /// so all of them share the sink:
+    ///
+    /// ```no_run
+    /// use oddci_telemetry::{sink::StreamingSink, Telemetry};
+    /// let sink = StreamingSink::builder().jsonl("run.trace.jsonl").start().unwrap();
+    /// let tele = Telemetry::recording().with_sink(sink);
+    /// ```
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// A clone of this handle whose offers are pinned to sink lane
+    /// `lane`. Hand one to each headend shard / dispatch worker so their
+    /// hot paths enqueue into disjoint lanes and never contend on a
+    /// queue mutex. No-op when no sink is attached.
+    pub fn with_sink_lane(&self, lane: usize) -> Telemetry {
+        let mut clone = self.clone();
+        clone.sink_lane = Some(lane);
+        clone
+    }
+
+    /// The attached streaming sink, if any.
+    pub fn sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Block until every event offered so far is handed to the OS. No-op
+    /// without a sink. Call after joining worker threads and *before*
+    /// reading accounting derived from the stream.
+    pub fn flush_sink(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+
+    /// Traffic counters of the attached sink, if any.
+    pub fn sink_stats(&self) -> Option<SinkStats> {
+        self.sink.as_ref().map(|s| s.stats())
+    }
+
+    /// Total events the sink rejected (the `telemetry.events_dropped`
+    /// counter). Zero without a sink.
+    pub fn events_dropped(&self) -> u64 {
+        self.sink_dropped.get()
+    }
+
+    fn offer_to_sink(&self, ev: Event) {
+        if let Some(sink) = &self.sink {
+            if !sink.offer(ev, self.sink_lane) {
+                self.sink_dropped.inc();
+                self.sink_dropped_phase[ev.phase.index()].inc();
+            }
+        }
     }
 
     /// True when span/instant events are being kept.
@@ -126,19 +210,46 @@ impl Telemetry {
     }
 
     /// Record a completed span: feeds the phase's latency histogram and,
-    /// when recording, emits a Begin/End pair.
+    /// when recording, emits a Begin/End pair (tee'd to the streaming
+    /// sink when one is attached).
     pub fn span(&self, begin_us: u64, end_us: u64, phase: Phase, track: u64, scope: u64) {
         let end_us = end_us.max(begin_us);
         self.phase_hist[phase.index()].record_us(end_us - begin_us);
         self.phase_count[phase.index()].inc();
         self.recorder.span(begin_us, end_us, phase, track, scope);
+        if self.sink.is_some() {
+            self.offer_to_sink(Event {
+                ts_us: begin_us,
+                phase,
+                kind: EventKind::Begin,
+                track,
+                scope,
+            });
+            self.offer_to_sink(Event {
+                ts_us: end_us,
+                phase,
+                kind: EventKind::End,
+                track,
+                scope,
+            });
+        }
     }
 
     /// Record a point-in-time mark: bumps the phase counter and, when
-    /// recording, emits an instant event.
+    /// recording, emits an instant event (tee'd to the streaming sink
+    /// when one is attached).
     pub fn instant(&self, ts_us: u64, phase: Phase, track: u64, scope: u64) {
         self.phase_count[phase.index()].inc();
         self.recorder.instant(ts_us, phase, track, scope);
+        if self.sink.is_some() {
+            self.offer_to_sink(Event {
+                ts_us,
+                phase,
+                kind: EventKind::Instant,
+                track,
+                scope,
+            });
+        }
     }
 
     /// Record a bare duration into a phase's histogram without emitting
@@ -255,6 +366,67 @@ mod tests {
             balance.values().all(|v| *v == 0),
             "unmatched spans: {balance:?}"
         );
+    }
+
+    #[test]
+    fn zero_capacity_recording_is_metrics_only() {
+        let tele = Telemetry::recording_with_capacity(0);
+        assert!(!tele.is_recording(), "capacity 0 must mean metrics-only");
+        tele.span(0, 1_000, Phase::DveBoot, 3, 1);
+        tele.instant(2, Phase::Heartbeat, 3, 1);
+        assert!(tele.events().is_empty());
+        // Metrics still flow exactly as with any other capacity.
+        assert_eq!(tele.phase_summary(Phase::DveBoot).count, 1);
+        assert_eq!(tele.phase_events(Phase::Heartbeat), 1);
+        assert_eq!(tele.events_dropped(), 0);
+    }
+
+    #[test]
+    fn sink_tee_sees_every_event_even_without_ring() {
+        let path =
+            std::env::temp_dir().join(format!("oddci-tele-tee-{}.trace.jsonl", std::process::id()));
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(1)
+            .start()
+            .unwrap();
+        let tele = Telemetry::recording_with_capacity(0).with_sink(sink.clone());
+        tele.span(10, 25, Phase::Compute, 4, 2);
+        tele.instant(30, Phase::Heartbeat, 4, 2);
+        tele.flush_sink();
+        let stats = tele.sink_stats().unwrap();
+        assert_eq!(stats.emitted, 3, "B + E + instant");
+        assert_eq!(stats.persisted, 3);
+        assert_eq!(tele.events_dropped(), 0);
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (_, events) = sink::read_jsonl_events(&text).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(tele.events().is_empty(), "ring stays off at capacity 0");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lane_pinned_clones_share_sink_and_counters() {
+        let path = std::env::temp_dir().join(format!(
+            "oddci-tele-lane-{}.trace.jsonl",
+            std::process::id()
+        ));
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(3)
+            .start()
+            .unwrap();
+        let tele = Telemetry::recording().with_sink(sink.clone());
+        let shard0 = tele.with_sink_lane(0);
+        let shard1 = tele.with_sink_lane(1);
+        shard0.instant(1, Phase::Heartbeat, 7, 0);
+        shard1.instant(2, Phase::Heartbeat, 8, 0);
+        tele.flush_sink();
+        assert_eq!(tele.sink_stats().unwrap().persisted, 2);
+        assert_eq!(shard0.events_dropped(), 0);
+        sink.finish().unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -55,8 +55,15 @@ impl Recorder {
     }
 
     /// A live recorder keeping at most `capacity` most-recent events.
+    ///
+    /// A `capacity` of zero is an alias for [`Recorder::disabled`]
+    /// (metrics-only mode): a zero-event ring could never hold anything,
+    /// and the old behavior of silently rounding up to one event was a
+    /// degenerate recorder that dropped all but the newest event.
     pub fn with_capacity(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
+        if capacity == 0 {
+            return Recorder::disabled();
+        }
         Recorder {
             shared: Some(Arc::new(Shared {
                 ring: Mutex::new(Ring {
@@ -176,6 +183,16 @@ mod tests {
         assert_eq!(evs[1].ts_us, 10, "end clamps to begin");
         assert_eq!(evs[0].track, 3);
         assert_eq!(evs[0].scope, 42);
+    }
+
+    #[test]
+    fn zero_capacity_is_metrics_only() {
+        let r = Recorder::with_capacity(0);
+        assert!(!r.is_enabled(), "zero capacity must disable tracing");
+        r.instant(1, Phase::Heartbeat, 0, 0);
+        r.span(1, 2, Phase::Compute, 0, 0);
+        assert!(r.events().is_empty());
+        assert_eq!(r.dropped(), 0);
     }
 
     #[test]

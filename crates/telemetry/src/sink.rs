@@ -1,0 +1,852 @@
+//! Streaming trace sinks: events flow to disk *while the run executes*.
+//!
+//! The ring [`crate::Recorder`] keeps only the newest window of events,
+//! which is exactly wrong for million-node sweeps: the early wakeup/boot
+//! phases the `W = 1.5·I/β` model check needs are the first to be
+//! overwritten. A [`TraceSink`] receives every event at emission time and
+//! persists it out-of-band, with three hard rules:
+//!
+//! 1. **Hot paths never block.** [`TraceSink::offer`] is a bounded,
+//!    non-blocking enqueue: when the sink's lane is full the event is
+//!    *dropped and counted*, never waited on. Backpressure is expressed
+//!    as loss accounting, not latency.
+//! 2. **Loss is exact.** After a flush (or [`StreamingSink::finish`]),
+//!    `emitted == persisted + dropped` holds as an identity, and drops
+//!    are broken down per [`Phase`].
+//! 3. **Writers don't contend.** Events are spread over independent
+//!    lanes (per-shard handles pin a lane via
+//!    [`crate::Telemetry::with_sink_lane`]), so two headend shards never
+//!    touch the same queue mutex; a single dedicated writer thread
+//!    drains all lanes and owns the files.
+//!
+//! [`StreamingSink`] is the concrete implementation: it streams events as
+//! JSONL (one event object per line, after a header line) and/or Chrome
+//! `trace_event` JSON (rows appended inside `traceEvents` as they drain,
+//! closed into a valid document at finish).
+
+use crate::event::{Event, EventKind, Phase};
+use crate::export;
+use serde_json::{json, Value};
+use std::collections::{HashSet, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Stream format version stamped into every artifact header.
+pub const STREAM_VERSION: u64 = 1;
+
+/// Default per-lane queue capacity (events, not bytes).
+pub const DEFAULT_LANE_CAPACITY: usize = 1 << 16;
+
+/// Monotone counters describing a sink's traffic so far. The invariant
+/// `emitted == persisted + dropped` holds exactly once the sink is idle
+/// (after [`TraceSink::flush`] or [`StreamingSink::finish`]); mid-run,
+/// `emitted - persisted - dropped` is the number of events still queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkStats {
+    /// Events handed to [`TraceSink::offer`].
+    pub emitted: u64,
+    /// Events rejected because a lane was full (or the sink was closed).
+    pub dropped: u64,
+    /// Events written through every output.
+    pub persisted: u64,
+    /// Completed flush cycles (file buffers pushed to the OS).
+    pub flushes: u64,
+}
+
+impl SinkStats {
+    /// Events currently buffered in lanes (0 once the sink is idle).
+    pub fn in_flight(&self) -> u64 {
+        self.emitted - self.persisted - self.dropped
+    }
+}
+
+/// A destination for live trace events. Implementations must be cheap and
+/// non-blocking on [`offer`](TraceSink::offer) — the caller may be a
+/// simulation inner loop or a headend shard thread.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Enqueue one event. `lane_hint` pins the event to a lane (shard
+    /// handles use this so writers don't contend); `None` spreads by
+    /// track. Returns `false` — and counts a drop — instead of blocking
+    /// when the lane is full.
+    fn offer(&self, ev: Event, lane_hint: Option<usize>) -> bool;
+
+    /// Block until everything offered *before this call* is durably
+    /// handed to the OS (written + file-flushed). Safe to call from any
+    /// thread; returns immediately once the writer has exited.
+    fn flush(&self);
+
+    /// Current traffic counters.
+    fn stats(&self) -> SinkStats;
+
+    /// Per-phase drop breakdown `(label, count)`, non-zero entries only.
+    fn dropped_by_phase(&self) -> Vec<(&'static str, u64)>;
+}
+
+/// On-disk format of one [`StreamingSink`] output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// Header line + one compact JSON event object per line.
+    Jsonl,
+    /// Chrome `trace_event` "JSON Object Format" document, rows appended
+    /// as they drain and closed into `{"traceEvents":[...]}` at finish.
+    Chrome,
+}
+
+impl StreamFormat {
+    /// Stable name used in headers and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamFormat::Jsonl => "jsonl",
+            StreamFormat::Chrome => "chrome",
+        }
+    }
+}
+
+/// What one output file ended up holding, reported by
+/// [`StreamingSink::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSummary {
+    /// Where the artifact was written.
+    pub path: PathBuf,
+    /// Its format.
+    pub format: StreamFormat,
+    /// Bytes written (header + rows + footer).
+    pub bytes: u64,
+}
+
+/// Final report of a finished sink: closing traffic counters plus one
+/// [`OutputSummary`] per output file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkSummary {
+    /// Counters at close; `emitted == persisted + dropped` holds exactly.
+    pub stats: SinkStats,
+    /// Per-file byte counts.
+    pub outputs: Vec<OutputSummary>,
+}
+
+// ---------------------------------------------------------------- lanes
+
+#[derive(Debug)]
+struct LaneState {
+    queue: VecDeque<Event>,
+    /// Set by the writer's final drain pass, under the lane lock: any
+    /// offer that locks the lane afterwards sees it and counts a drop,
+    /// so `emitted == persisted + dropped` stays exact across shutdown.
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Lane {
+    state: parking_lot::Mutex<LaneState>,
+}
+
+#[derive(Debug, Default)]
+struct Ctl {
+    flush_requested: u64,
+    flush_completed: u64,
+    writer_done: bool,
+}
+
+#[derive(Debug)]
+struct SinkShared {
+    lanes: Vec<Lane>,
+    lane_capacity: usize,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
+    persisted: AtomicU64,
+    flushes: AtomicU64,
+    dropped_by_phase: [AtomicU64; Phase::COUNT],
+    /// Writer wake-up / flush rendezvous. `std::sync` because the
+    /// vendored `parking_lot` stand-in has no `Condvar`.
+    ctl: Mutex<Ctl>,
+    cv: Condvar,
+    /// Tells the writer to run its final drain and exit.
+    close_requested: AtomicU64,
+}
+
+impl SinkShared {
+    fn note_drop(&self, phase: Phase) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped_by_phase[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> SinkStats {
+        SinkStats {
+            emitted: self.emitted.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- outputs
+
+#[derive(Debug)]
+struct Output {
+    path: PathBuf,
+    format: StreamFormat,
+    file: BufWriter<File>,
+    bytes: u64,
+    /// Chrome only: rows written so far (controls comma placement).
+    rows: u64,
+    /// Chrome only: tracks that already got their `M` thread_name row.
+    seen_tracks: HashSet<u64>,
+}
+
+impl Output {
+    fn create(path: &Path, format: StreamFormat, meta: &[(String, String)]) -> io::Result<Output> {
+        let file = BufWriter::new(File::create(path)?);
+        let mut out = Output {
+            path: path.to_path_buf(),
+            format,
+            file,
+            bytes: 0,
+            rows: 0,
+            seen_tracks: HashSet::new(),
+        };
+        out.write_header(meta)?;
+        Ok(out)
+    }
+
+    fn write_str(&mut self, text: &str) -> io::Result<()> {
+        self.file.write_all(text.as_bytes())?;
+        self.bytes += text.len() as u64;
+        Ok(())
+    }
+
+    fn write_header(&mut self, meta: &[(String, String)]) -> io::Result<()> {
+        match self.format {
+            StreamFormat::Jsonl => {
+                let mut meta_obj: Vec<(String, Value)> = Vec::new();
+                for (k, v) in meta {
+                    meta_obj.push((k.clone(), Value::String(v.clone())));
+                }
+                let header = json!({
+                    "oddci_stream": STREAM_VERSION,
+                    "format": "jsonl",
+                    "clock": "us",
+                    "meta": Value::Object(meta_obj),
+                });
+                let line = serde_json::to_string(&header).expect("header serializes");
+                self.write_str(&line)?;
+                self.write_str("\n")
+            }
+            StreamFormat::Chrome => {
+                let mut other: Vec<(String, Value)> = vec![
+                    (
+                        "oddci_stream".to_string(),
+                        Value::String(STREAM_VERSION.to_string()),
+                    ),
+                    ("clock".to_string(), Value::String("us".to_string())),
+                ];
+                for (k, v) in meta {
+                    other.push((k.clone(), Value::String(v.clone())));
+                }
+                let other =
+                    serde_json::to_string(&Value::Object(other)).expect("otherData serializes");
+                self.write_str(&format!(
+                    "{{\"displayTimeUnit\":\"ms\",\"otherData\":{other},\"traceEvents\":["
+                ))
+            }
+        }
+    }
+
+    fn write_row(&mut self, row: &Value) -> io::Result<()> {
+        if self.rows > 0 {
+            self.write_str(",\n")?;
+        } else {
+            self.write_str("\n")?;
+        }
+        self.rows += 1;
+        let text = serde_json::to_string(row).expect("trace row serializes");
+        self.write_str(&text)
+    }
+
+    fn write_event(&mut self, ev: &Event) -> io::Result<()> {
+        match self.format {
+            StreamFormat::Jsonl => {
+                let line = serde_json::to_string(ev).expect("event serializes");
+                self.write_str(&line)?;
+                self.write_str("\n")
+            }
+            StreamFormat::Chrome => {
+                if self.seen_tracks.insert(ev.track) {
+                    self.write_row(&export::thread_meta_row(ev.track))?;
+                }
+                self.write_row(&export::event_row(ev))
+            }
+        }
+    }
+
+    fn write_footer(&mut self) -> io::Result<()> {
+        match self.format {
+            StreamFormat::Jsonl => Ok(()),
+            StreamFormat::Chrome => self.write_str("\n]}\n"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- sink
+
+/// Builder for a [`StreamingSink`]; see [`StreamingSink::builder`].
+#[derive(Debug, Default)]
+pub struct StreamBuilder {
+    outputs: Vec<(PathBuf, StreamFormat)>,
+    lanes: usize,
+    lane_capacity: usize,
+    meta: Vec<(String, String)>,
+}
+
+impl StreamBuilder {
+    /// Add a JSONL output file.
+    pub fn jsonl(mut self, path: impl Into<PathBuf>) -> Self {
+        self.outputs.push((path.into(), StreamFormat::Jsonl));
+        self
+    }
+
+    /// Add a streamed Chrome `trace_event` output file.
+    pub fn chrome(mut self, path: impl Into<PathBuf>) -> Self {
+        self.outputs.push((path.into(), StreamFormat::Chrome));
+        self
+    }
+
+    /// Number of independent lanes (default 4). Per-shard handles pin a
+    /// lane with [`crate::Telemetry::with_sink_lane`]; unpinned emitters
+    /// spread by track id.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Per-lane queue capacity in events (default
+    /// [`DEFAULT_LANE_CAPACITY`]). A full lane drops — it never blocks.
+    pub fn lane_capacity(mut self, capacity: usize) -> Self {
+        self.lane_capacity = capacity.max(1);
+        self
+    }
+
+    /// Stamp a key/value pair into every output's header.
+    pub fn meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Open the output files, write headers, and start the writer
+    /// thread. Fails fast on I/O errors (unwritable path, etc.).
+    pub fn start(self) -> io::Result<Arc<StreamingSink>> {
+        let lanes = if self.lanes == 0 { 4 } else { self.lanes };
+        let lane_capacity = if self.lane_capacity == 0 {
+            DEFAULT_LANE_CAPACITY
+        } else {
+            self.lane_capacity
+        };
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for (path, format) in &self.outputs {
+            outputs.push(Output::create(path, *format, &self.meta)?);
+        }
+        let shared = Arc::new(SinkShared {
+            lanes: (0..lanes)
+                .map(|_| Lane {
+                    state: parking_lot::Mutex::new(LaneState {
+                        queue: VecDeque::new(),
+                        closed: false,
+                    }),
+                })
+                .collect(),
+            lane_capacity,
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            dropped_by_phase: std::array::from_fn(|_| AtomicU64::new(0)),
+            ctl: Mutex::new(Ctl::default()),
+            cv: Condvar::new(),
+            close_requested: AtomicU64::new(0),
+        });
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("oddci-trace-writer".to_string())
+            .spawn(move || writer_main(&writer_shared, outputs))?;
+        Ok(Arc::new(StreamingSink {
+            shared,
+            writer: Mutex::new(Some(writer)),
+            finished: Mutex::new(None),
+        }))
+    }
+}
+
+/// The bounded-lane, dedicated-writer-thread [`TraceSink`].
+///
+/// Construct with [`StreamingSink::builder`], attach to a
+/// [`crate::Telemetry`] via [`crate::Telemetry::with_sink`], and call
+/// [`finish`](StreamingSink::finish) when the run is over to close the
+/// artifacts and collect the [`SinkSummary`].
+#[derive(Debug)]
+pub struct StreamingSink {
+    shared: Arc<SinkShared>,
+    writer: Mutex<Option<JoinHandle<io::Result<Vec<OutputSummary>>>>>,
+    finished: Mutex<Option<SinkSummary>>,
+}
+
+impl StreamingSink {
+    /// Start describing a new sink.
+    pub fn builder() -> StreamBuilder {
+        StreamBuilder::default()
+    }
+
+    /// Close the sink: drain every lane, write footers, flush files, and
+    /// join the writer thread. Events offered after this point are
+    /// counted as dropped. Idempotent — later calls return the first
+    /// summary.
+    pub fn finish(&self) -> io::Result<SinkSummary> {
+        if let Some(summary) = self.finished.lock().expect("finished lock").clone() {
+            return Ok(summary);
+        }
+        let handle = self.writer.lock().expect("writer lock").take();
+        let Some(handle) = handle else {
+            // A concurrent finish is joining; wait for its summary.
+            loop {
+                if let Some(summary) = self.finished.lock().expect("finished lock").clone() {
+                    return Ok(summary);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+        self.shared.close_requested.store(1, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        let outputs = handle
+            .join()
+            .map_err(|_| io::Error::other("trace writer panicked"))??;
+        let summary = SinkSummary {
+            stats: self.shared.stats(),
+            outputs,
+        };
+        *self.finished.lock().expect("finished lock") = Some(summary.clone());
+        Ok(summary)
+    }
+}
+
+impl TraceSink for StreamingSink {
+    fn offer(&self, ev: Event, lane_hint: Option<usize>) -> bool {
+        let shared = &self.shared;
+        shared.emitted.fetch_add(1, Ordering::Relaxed);
+        let lane = match lane_hint {
+            Some(lane) => lane % shared.lanes.len(),
+            None => (ev.track as usize) % shared.lanes.len(),
+        };
+        let mut state = shared.lanes[lane].state.lock();
+        if state.closed || state.queue.len() >= shared.lane_capacity {
+            drop(state);
+            shared.note_drop(ev.phase);
+            return false;
+        }
+        state.queue.push_back(ev);
+        true
+    }
+
+    fn flush(&self) {
+        let shared = &self.shared;
+        let mut ctl = shared.ctl.lock().expect("ctl lock");
+        ctl.flush_requested += 1;
+        let target = ctl.flush_requested;
+        shared.cv.notify_all();
+        while ctl.flush_completed < target && !ctl.writer_done {
+            let (guard, _) = shared
+                .cv
+                .wait_timeout(ctl, Duration::from_millis(50))
+                .expect("ctl lock");
+            ctl = guard;
+        }
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.shared.stats()
+    }
+
+    fn dropped_by_phase(&self) -> Vec<(&'static str, u64)> {
+        Phase::ALL
+            .iter()
+            .map(|p| {
+                (
+                    p.label(),
+                    self.shared.dropped_by_phase[p.index()].load(Ordering::Relaxed),
+                )
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+}
+
+impl Drop for StreamingSink {
+    fn drop(&mut self) {
+        // Best-effort close so an un-finished sink still leaves valid
+        // artifacts behind; errors are unobservable here.
+        let _ = self.finish();
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+fn drain_lanes(shared: &SinkShared, batch: &mut Vec<Event>, close: bool) {
+    for lane in &shared.lanes {
+        let mut state = lane.state.lock();
+        if close {
+            state.closed = true;
+        }
+        batch.extend(state.queue.drain(..));
+    }
+}
+
+fn write_batch(batch: &[Event], outputs: &mut [Output]) -> io::Result<()> {
+    for ev in batch {
+        for out in outputs.iter_mut() {
+            out.write_event(ev)?;
+        }
+    }
+    Ok(())
+}
+
+fn writer_main(shared: &SinkShared, mut outputs: Vec<Output>) -> io::Result<Vec<OutputSummary>> {
+    let result = writer_loop(shared, &mut outputs);
+    // Wake every flusher whatever happened — a dead writer must not hang
+    // `flush()` callers.
+    {
+        let mut ctl = shared.ctl.lock().expect("ctl lock");
+        ctl.writer_done = true;
+        ctl.flush_completed = ctl.flush_requested;
+        shared.cv.notify_all();
+    }
+    result?;
+    Ok(outputs
+        .into_iter()
+        .map(|o| OutputSummary {
+            path: o.path,
+            format: o.format,
+            bytes: o.bytes,
+        })
+        .collect())
+}
+
+fn writer_loop(shared: &SinkShared, outputs: &mut [Output]) -> io::Result<()> {
+    let mut batch: Vec<Event> = Vec::with_capacity(4096);
+    loop {
+        batch.clear();
+        drain_lanes(shared, &mut batch, false);
+        if !batch.is_empty() {
+            write_batch(&batch, outputs)?;
+            shared
+                .persisted
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            continue;
+        }
+
+        if shared.close_requested.load(Ordering::SeqCst) != 0 {
+            // Final pass: mark lanes closed under their locks, drain what
+            // raced in, then seal and flush the files.
+            batch.clear();
+            drain_lanes(shared, &mut batch, true);
+            if !batch.is_empty() {
+                write_batch(&batch, outputs)?;
+                shared
+                    .persisted
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+            for out in outputs.iter_mut() {
+                out.write_footer()?;
+                out.file.flush()?;
+            }
+            shared.flushes.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        let ctl = shared.ctl.lock().expect("ctl lock");
+        if ctl.flush_completed < ctl.flush_requested {
+            let target = ctl.flush_requested;
+            drop(ctl);
+            // Events offered before flush() bumped the request are already
+            // in their lanes; one more drain pass picks up any racers.
+            batch.clear();
+            drain_lanes(shared, &mut batch, false);
+            if !batch.is_empty() {
+                write_batch(&batch, outputs)?;
+                shared
+                    .persisted
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                continue;
+            }
+            for out in outputs.iter_mut() {
+                out.file.flush()?;
+            }
+            shared.flushes.fetch_add(1, Ordering::Relaxed);
+            let mut ctl = shared.ctl.lock().expect("ctl lock");
+            ctl.flush_completed = ctl.flush_completed.max(target);
+            shared.cv.notify_all();
+            continue;
+        }
+        let (_guard, _) = shared
+            .cv
+            .wait_timeout(ctl, Duration::from_millis(1))
+            .expect("ctl lock");
+    }
+}
+
+// ---------------------------------------------------------------- reading
+
+/// Parsed first line of a streamed JSONL artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// [`STREAM_VERSION`] at write time.
+    pub version: u64,
+    /// `"jsonl"` for line-oriented streams.
+    pub format: String,
+    /// Timestamp unit (`"us"`).
+    pub clock: String,
+    /// Run metadata stamped by the producer (scenario, seed, ...).
+    pub meta: Vec<(String, String)>,
+}
+
+/// Parse the header line of a streamed JSONL artifact.
+pub fn parse_jsonl_header(line: &str) -> Result<StreamHeader, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("header is not JSON: {e}"))?;
+    let version = v
+        .get("oddci_stream")
+        .and_then(Value::as_u64)
+        .ok_or("header missing integer `oddci_stream`")?;
+    let format = v
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or("header missing string `format`")?
+        .to_string();
+    let clock = v
+        .get("clock")
+        .and_then(Value::as_str)
+        .ok_or("header missing string `clock`")?
+        .to_string();
+    let mut meta = Vec::new();
+    if let Some(Value::Object(entries)) = v.get("meta") {
+        for (k, val) in entries {
+            if let Some(s) = val.as_str() {
+                meta.push((k.clone(), s.to_string()));
+            }
+        }
+    }
+    Ok(StreamHeader {
+        version,
+        format,
+        clock,
+        meta,
+    })
+}
+
+/// Read a whole streamed JSONL artifact back: header plus every event,
+/// in file order. The inverse of the sink's JSONL output; used by the
+/// CLI and benches to recompute model checks from the *streamed* trace
+/// instead of the lossy in-memory ring.
+pub fn read_jsonl_events(text: &str) -> Result<(StreamHeader, Vec<Event>), String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty stream")?;
+    let header = parse_jsonl_header(header_line)?;
+    if header.format != "jsonl" {
+        return Err(format!("expected jsonl stream, got `{}`", header.format));
+    }
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: Event = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        events.push(ev);
+    }
+    Ok((header, events))
+}
+
+/// Reconstruct the durations (µs) of every completed span of `phase`
+/// from a streamed event sequence, matching Begin/End per
+/// `(track, scope)` in file order. Lanes preserve per-track FIFO order,
+/// so pairs always match even though the global order is not sorted.
+pub fn span_durations_us(events: &[Event], phase: Phase) -> Vec<u64> {
+    use std::collections::HashMap;
+    let mut open: HashMap<(u64, u64), Vec<u64>> = HashMap::new();
+    let mut durations = Vec::new();
+    for ev in events {
+        if ev.phase != phase {
+            continue;
+        }
+        match ev.kind {
+            EventKind::Begin => open.entry((ev.track, ev.scope)).or_default().push(ev.ts_us),
+            EventKind::End => {
+                if let Some(begin) = open.get_mut(&(ev.track, ev.scope)).and_then(Vec::pop) {
+                    durations.push(ev.ts_us.saturating_sub(begin));
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+    durations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    static NEXT: TestCounter = TestCounter::new(0);
+
+    fn temp(name: &str) -> PathBuf {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("oddci-sink-{}-{n}-{name}", std::process::id()))
+    }
+
+    fn ev(ts: u64, phase: Phase, kind: EventKind, track: u64) -> Event {
+        Event {
+            ts_us: ts,
+            phase,
+            kind,
+            track,
+            scope: 7,
+        }
+    }
+
+    #[test]
+    fn streams_jsonl_round_trip() {
+        let path = temp("round.jsonl");
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(1)
+            .meta("scenario", "unit")
+            .start()
+            .unwrap();
+        for i in 0..100u64 {
+            assert!(sink.offer(ev(i, Phase::Heartbeat, EventKind::Instant, i % 3), None));
+        }
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.stats.emitted, 100);
+        assert_eq!(summary.stats.persisted, 100);
+        assert_eq!(summary.stats.dropped, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (header, events) = read_jsonl_events(&text).unwrap();
+        assert_eq!(header.version, STREAM_VERSION);
+        assert_eq!(header.meta, vec![("scenario".into(), "unit".into())]);
+        assert_eq!(events.len(), 100);
+        assert_eq!(events[0], ev(0, Phase::Heartbeat, EventKind::Instant, 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chrome_stream_is_valid_document() {
+        let path = temp("doc.stream.json");
+        let sink = StreamingSink::builder()
+            .chrome(&path)
+            .lanes(1)
+            .start()
+            .unwrap();
+        sink.offer(ev(5, Phase::DveBoot, EventKind::Begin, 2), None);
+        sink.offer(ev(9, Phase::DveBoot, EventKind::End, 2), None);
+        sink.offer(ev(9, Phase::Heartbeat, EventKind::Instant, 2), None);
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let rows = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(rows.len(), 4, "1 thread_name meta row + 3 events");
+        assert_eq!(rows[0]["ph"].as_str(), Some("M"));
+        assert_eq!(rows[1]["name"].as_str(), Some("dve.boot"));
+        assert!(doc["otherData"]["oddci_stream"].as_str().is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn full_lane_drops_with_exact_accounting() {
+        let path = temp("drops.jsonl");
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(1)
+            .lane_capacity(8)
+            .start()
+            .unwrap();
+        // Stall the writer by flooding faster than it can possibly keep
+        // up is nondeterministic; instead hold the lane full by offering
+        // from under the writer's feet in one burst and checking the
+        // identity, which must hold regardless of how many made it.
+        for i in 0..10_000u64 {
+            sink.offer(ev(i, Phase::Compute, EventKind::Instant, 0), Some(0));
+        }
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.stats.emitted, 10_000);
+        assert_eq!(
+            summary.stats.persisted + summary.stats.dropped,
+            summary.stats.emitted
+        );
+        if summary.stats.dropped > 0 {
+            let by_phase = sink.dropped_by_phase();
+            assert_eq!(by_phase.len(), 1);
+            assert_eq!(by_phase[0].0, "task.compute");
+            assert_eq!(by_phase[0].1, summary.stats.dropped);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn offers_after_finish_count_as_dropped() {
+        let path = temp("late.jsonl");
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(2)
+            .start()
+            .unwrap();
+        sink.offer(ev(1, Phase::Heartbeat, EventKind::Instant, 0), None);
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.stats.persisted, 1);
+        assert!(!sink.offer(ev(2, Phase::Heartbeat, EventKind::Instant, 0), None));
+        let stats = sink.stats();
+        assert_eq!(stats.emitted, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.persisted + stats.dropped, stats.emitted);
+        // The late event must not be in the file.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (_, events) = read_jsonl_events(&text).unwrap();
+        assert_eq!(events.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_makes_events_durable_mid_run() {
+        let path = temp("flush.jsonl");
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(4)
+            .start()
+            .unwrap();
+        for i in 0..500u64 {
+            sink.offer(ev(i, Phase::TaskFetch, EventKind::Instant, i), None);
+        }
+        sink.flush();
+        let stats = sink.stats();
+        assert_eq!(stats.persisted, 500, "flush persists everything offered");
+        assert!(stats.flushes >= 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (_, events) = read_jsonl_events(&text).unwrap();
+        assert_eq!(events.len(), 500);
+        sink.finish().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn span_durations_match_pairs_per_track() {
+        let events = vec![
+            ev(10, Phase::DveBoot, EventKind::Begin, 1),
+            ev(12, Phase::DveBoot, EventKind::Begin, 2),
+            ev(30, Phase::DveBoot, EventKind::End, 1),
+            ev(50, Phase::DveBoot, EventKind::End, 2),
+            ev(60, Phase::Heartbeat, EventKind::Instant, 1),
+        ];
+        let mut durs = span_durations_us(&events, Phase::DveBoot);
+        durs.sort_unstable();
+        assert_eq!(durs, vec![20, 38]);
+    }
+}

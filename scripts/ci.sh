@@ -24,6 +24,15 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ${CARGO_FLAGS
 # Telemetry gates: the Chrome-trace integration test must stay green and
 # every checked-in results/*.metrics.json must match the schema.
 run cargo test -q ${CARGO_FLAGS} --test telemetry_trace
+
+# Streamed-trace smoke: run one small scenario with the streaming sink
+# attached, then let schema_check validate the streamed JSONL + Chrome
+# artifacts alongside the metrics envelopes. The smoke files are
+# gitignored and removed after validation.
+run cargo run -q --release ${CARGO_FLAGS} -p oddci-cli --bin oddci -- trace \
+    --scenario small --seed 7 \
+    --out results/ci-smoke.json --stream results/ci-smoke.trace.jsonl
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-bench --bin schema_check
+rm -f results/ci-smoke.json results/ci-smoke.trace.jsonl results/ci-smoke.trace.stream.json
 
 echo "==> CI green"

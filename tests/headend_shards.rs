@@ -7,6 +7,7 @@ use oddci::core::{
     shard_of, ControllerPolicy, Heartbeat, InstanceRequest, PnaStateKind, ShardedController,
 };
 use oddci::live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+use oddci::telemetry::{sink::read_jsonl_events, EventKind, StreamingSink, Telemetry, TraceSink};
 use oddci::types::{DataSize, ImageId, NodeId, SimTime};
 use std::time::Duration;
 
@@ -141,4 +142,74 @@ fn idle_sharded_shutdown_is_clean() {
     let live = LiveOddci::start(sharded_config(2, 2));
     let report = live.shutdown();
     assert_eq!(report.tasks_unaccounted, 0);
+}
+
+/// Shutdown under an *active* streaming sink: the runtime flushes the
+/// sink after joining every thread but before reporting
+/// `tasks_unaccounted`, so by the time `shutdown()` returns the on-disk
+/// trace is complete — the accounting identity holds, every span is
+/// balanced, and `finish()` writes nothing further.
+#[test]
+fn shutdown_flushes_active_sink_before_reporting() {
+    let path = std::env::temp_dir().join(format!(
+        "oddci-shards-shutdown-{}.trace.jsonl",
+        std::process::id()
+    ));
+    let shards = 4usize;
+    let dispatch = 2usize;
+    let sink = StreamingSink::builder()
+        .jsonl(&path)
+        .lanes(1 + shards + dispatch)
+        .start()
+        .expect("open shutdown stream");
+    let mut cfg = sharded_config(3, shards);
+    cfg.telemetry = Telemetry::recording().with_sink(sink.clone());
+    let live = LiveOddci::start(cfg);
+    live.run_alignment_job(tiny_image(), 8, 2, Duration::from_secs(60))
+        .expect("job completes");
+
+    let report = live.shutdown();
+    assert_eq!(report.tasks_unaccounted, 0);
+
+    // shutdown() already flushed: everything emitted is either durable or
+    // counted as dropped, with nothing still in flight.
+    let stats = sink.stats();
+    assert_eq!(
+        stats.emitted,
+        stats.persisted + stats.dropped,
+        "flush barrier must settle the accounting before shutdown returns"
+    );
+    assert_eq!(stats.dropped, 0, "this tiny run must not shed events");
+    assert!(stats.emitted > 0, "the run produced events");
+
+    // The file already holds every persisted event *before* finish(): the
+    // final flush writes nothing new.
+    let text = std::fs::read_to_string(&path).expect("trace readable after shutdown");
+    let (_, events) = read_jsonl_events(&text).expect("trace parses after shutdown");
+    assert_eq!(events.len() as u64, stats.persisted);
+
+    let summary = sink.finish().expect("stream closes");
+    assert_eq!(
+        summary.stats.persisted, stats.persisted,
+        "no events may be written after the shutdown flush"
+    );
+    let text_after = std::fs::read_to_string(&path).expect("trace readable after finish");
+    let (_, events_after) = read_jsonl_events(&text_after).expect("trace parses after finish");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(events_after.len(), events.len());
+
+    // Spans survive the multi-threaded run balanced per (track, phase).
+    let mut opens: std::collections::HashMap<(u64, oddci::telemetry::Phase), i64> =
+        std::collections::HashMap::new();
+    for ev in &events_after {
+        match ev.kind {
+            EventKind::Begin => *opens.entry((ev.track, ev.phase)).or_insert(0) += 1,
+            EventKind::End => *opens.entry((ev.track, ev.phase)).or_insert(0) -= 1,
+            EventKind::Instant => {}
+        }
+    }
+    assert!(
+        opens.values().all(|&n| n == 0),
+        "unbalanced spans in post-shutdown trace: {opens:?}"
+    );
 }

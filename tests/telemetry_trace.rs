@@ -3,9 +3,11 @@
 //! reported metric.
 
 use oddci::core::{World, WorldConfig};
-use oddci::telemetry::{export, Telemetry};
+use oddci::telemetry::sink::read_jsonl_events;
+use oddci::telemetry::{export, Event, EventKind, Phase, StreamingSink, Telemetry, TraceSink};
 use oddci::types::{DataSize, SimDuration, SimTime};
 use oddci::workload::JobGenerator;
+use proptest::prelude::*;
 use serde_json::Value;
 use std::collections::HashMap;
 
@@ -125,6 +127,273 @@ fn run_bench_scale(tele: Telemetry) {
     let request = sim.submit_job(job, 100);
     sim.run_request(request, SimTime::from_secs(60 * 24 * 3600))
         .expect("bench-scale world completes");
+}
+
+/// Fixed event sequence covering every row shape the Chrome exporters
+/// produce: a control-track instant, node spans (nested scopes), plain
+/// instants and multiple tracks, in timestamp order.
+fn golden_events() -> Vec<Event> {
+    let ev = |ts_us, phase, kind, track, scope| Event {
+        ts_us,
+        phase,
+        kind,
+        track,
+        scope,
+    };
+    use oddci::telemetry::CONTROL_TRACK;
+    use EventKind::{Begin, End, Instant};
+    vec![
+        ev(0, Phase::CarouselPublish, Instant, CONTROL_TRACK, 1),
+        ev(100, Phase::WakeupWait, Begin, 3, 1),
+        ev(2_100, Phase::WakeupWait, End, 3, 1),
+        ev(2_100, Phase::PnaAccept, Instant, 3, 1),
+        ev(2_200, Phase::DveBoot, Begin, 3, 1),
+        ev(5_200, Phase::DveBoot, End, 3, 1),
+        ev(5_300, Phase::TaskFetch, Begin, 7, 2),
+        ev(5_400, Phase::TaskFetch, End, 7, 2),
+        ev(5_400, Phase::Compute, Begin, 7, 2),
+        ev(9_400, Phase::Compute, End, 7, 2),
+        ev(9_450, Phase::Heartbeat, Instant, 7, 0),
+        ev(9_500, Phase::ResultUpload, Begin, 7, 2),
+        ev(9_900, Phase::ResultUpload, End, 7, 2),
+        ev(10_000, Phase::JobRun, End, CONTROL_TRACK, 1),
+    ]
+}
+
+/// Strips run-stamp fields from a streamed Chrome doc's `otherData`
+/// (scenario/seed/... vary per run) but keeps the format stamp.
+fn normalize_stream_doc(doc: Value) -> Value {
+    match doc {
+        Value::Object(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "otherData" {
+                        let kept = match v {
+                            Value::Object(inner) => Value::Object(
+                                inner
+                                    .into_iter()
+                                    .filter(|(ik, _)| ik == "oddci_stream")
+                                    .collect(),
+                            ),
+                            other => other,
+                        };
+                        (k, kept)
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Compares `actual` (already normalized) against the checked-in golden
+/// file; `ODDCI_BLESS=1` rewrites the golden instead.
+fn assert_matches_golden(name: &str, actual: &Value) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    let rendered = serde_json::to_string(actual).expect("golden doc serializes");
+    if std::env::var("ODDCI_BLESS").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, format!("{rendered}\n")).expect("write golden");
+        return;
+    }
+    let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); run with ODDCI_BLESS=1 to generate")
+    });
+    let golden: Value = serde_json::from_str(&golden_text).expect("golden parses");
+    assert_eq!(
+        actual, &golden,
+        "{name} drifted from the checked-in golden; \
+         if the change is intentional re-bless with ODDCI_BLESS=1"
+    );
+}
+
+/// The batch Chrome exporter's output is locked to a golden file: any
+/// change to row fields, metadata rows or document framing must be
+/// deliberate (re-blessed), not accidental.
+#[test]
+fn chrome_batch_exporter_matches_golden() {
+    let trace = export::chrome_trace(&golden_events());
+    let doc: Value = serde_json::from_str(&trace).expect("batch trace parses");
+    assert_matches_golden("chrome_batch.json", &doc);
+}
+
+/// Same for the streamed Chrome writer: one lane keeps the drain order
+/// deterministic, and run-stamp meta is stripped before comparing.
+#[test]
+fn chrome_stream_writer_matches_golden() {
+    let path = temp_trace_path();
+    let chrome_path = path.with_extension("stream.json");
+    let sink = StreamingSink::builder()
+        .chrome(&chrome_path)
+        .lanes(1)
+        .meta("scenario", "golden")
+        .meta("seed", "42")
+        .start()
+        .expect("open golden stream");
+    for ev in golden_events() {
+        assert!(sink.offer(ev, Some(0)), "golden events never dropped");
+    }
+    sink.finish().expect("golden stream closes");
+    let text = std::fs::read_to_string(&chrome_path).expect("read golden stream");
+    let _ = std::fs::remove_file(&chrome_path);
+    let doc: Value = serde_json::from_str(&text).expect("streamed trace parses");
+    // The stamp must be present before normalization strips its peers.
+    assert!(
+        doc["otherData"]["oddci_stream"].as_u64().is_some()
+            || doc["otherData"]["oddci_stream"].as_str().is_some()
+    );
+    assert_matches_golden("chrome_stream.json", &normalize_stream_doc(doc));
+}
+
+/// Fresh temp-file path per proptest case (cases run concurrently).
+fn temp_trace_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "oddci-prop-{}-{}.trace.jsonl",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One generated emission: phase index, track, scope, span-vs-instant,
+/// start timestamp and (for spans) duration.
+type Op = (usize, u64, u64, bool, u64, u64);
+
+fn emit_ops(tele: &Telemetry, ops: &[Op]) -> u64 {
+    let mut emitted = 0u64;
+    for &(p, track, scope, is_span, t0, dur) in ops {
+        let phase = Phase::ALL[p];
+        if is_span {
+            tele.span(t0, t0 + dur, phase, track, scope);
+            emitted += 2;
+        } else {
+            tele.instant(t0, phase, track, scope);
+            emitted += 1;
+        }
+    }
+    emitted
+}
+
+fn event_key(ev: &Event) -> (u64, Phase, EventKind, u64, u64) {
+    (ev.ts_us, ev.phase, ev.kind, ev.track, ev.scope)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0..Phase::COUNT,
+        0u64..6,
+        0u64..4,
+        any::<bool>(),
+        0u64..1_000_000,
+        1u64..5_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariants for arbitrary event sequences and ring
+    /// capacities: the streamed artifact is a superset of whatever the
+    /// ring still holds, every Begin has its End per (track, phase), and
+    /// `emitted == persisted + dropped` holds exactly (zero drops at the
+    /// default lane capacity).
+    #[test]
+    fn streamed_trace_is_superset_with_exact_accounting(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        cap_pow in 1u32..10,
+    ) {
+        // Ring capacity 2..=512, frequently smaller than the emitted
+        // count, so the ring routinely wraps while the stream must not.
+        let capacity = 1usize << cap_pow;
+        let path = temp_trace_path();
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(3)
+            .start()
+            .expect("open stream");
+        let tele = Telemetry::recording_with_capacity(capacity).with_sink(sink.clone());
+        let emitted = emit_ops(&tele, &ops);
+        let ring = tele.events();
+        let summary = sink.finish().expect("stream closes");
+        let text = std::fs::read_to_string(&path).expect("read stream back");
+        let _ = std::fs::remove_file(&path);
+
+        let stats = summary.stats;
+        prop_assert_eq!(stats.emitted, emitted);
+        prop_assert_eq!(stats.emitted, stats.persisted + stats.dropped);
+        prop_assert_eq!(stats.dropped, 0, "default lane capacity never drops here");
+        prop_assert_eq!(tele.events_dropped(), stats.dropped);
+
+        let (header, streamed) = read_jsonl_events(&text)
+            .map_err(|e| format!("bad stream: {e}"))?;
+        prop_assert_eq!(header.clock, "us");
+        prop_assert_eq!(streamed.len() as u64, stats.persisted);
+
+        // Multiset superset: every event the ring retained is on disk at
+        // least as many times.
+        let mut stream_counts: HashMap<_, i64> = HashMap::new();
+        for ev in &streamed {
+            *stream_counts.entry(event_key(ev)).or_insert(0) += 1;
+        }
+        for ev in &ring {
+            let n = stream_counts.entry(event_key(ev)).or_insert(0);
+            prop_assert!(*n > 0, "ring event {ev:?} missing from streamed trace");
+            *n -= 1;
+        }
+
+        // Begin/End balance per (track, phase) — spans tee both halves.
+        let mut opens: HashMap<(u64, Phase), i64> = HashMap::new();
+        for ev in &streamed {
+            match ev.kind {
+                EventKind::Begin => *opens.entry((ev.track, ev.phase)).or_insert(0) += 1,
+                EventKind::End => *opens.entry((ev.track, ev.phase)).or_insert(0) -= 1,
+                EventKind::Instant => {}
+            }
+        }
+        prop_assert!(
+            opens.values().all(|&n| n == 0),
+            "unbalanced Begin/End in streamed trace: {opens:?}"
+        );
+    }
+
+    /// With deliberately tiny lanes the sink may shed load, but the
+    /// accounting identity stays exact: the file holds precisely the
+    /// persisted events and `telemetry.events_dropped` equals the sink's
+    /// drop counter equals `emitted - persisted`.
+    #[test]
+    fn tiny_lanes_account_for_every_dropped_event(
+        ops in proptest::collection::vec(op_strategy(), 50..250),
+    ) {
+        let path = temp_trace_path();
+        let sink = StreamingSink::builder()
+            .jsonl(&path)
+            .lanes(1)
+            .lane_capacity(2)
+            .start()
+            .expect("open stream");
+        let tele = Telemetry::recording_with_capacity(16).with_sink(sink.clone());
+        let emitted = emit_ops(&tele, &ops);
+        let summary = sink.finish().expect("stream closes");
+        let text = std::fs::read_to_string(&path).expect("read stream back");
+        let _ = std::fs::remove_file(&path);
+
+        let stats = summary.stats;
+        prop_assert_eq!(stats.emitted, emitted);
+        prop_assert_eq!(stats.persisted + stats.dropped, emitted);
+        prop_assert_eq!(tele.events_dropped(), stats.dropped);
+        let (_, streamed) = read_jsonl_events(&text)
+            .map_err(|e| format!("bad stream: {e}"))?;
+        prop_assert_eq!(streamed.len() as u64, stats.persisted);
+        // The per-phase drop breakdown sums to the total.
+        let by_phase: u64 = sink.dropped_by_phase().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(by_phase, stats.dropped);
+    }
 }
 
 /// Wall-clock cost of the event recorder, measured at bench scale.
