@@ -88,9 +88,9 @@ mod tests {
             if m.name() == "OddCI" {
                 continue;
             }
-            match m.instantiation_time(n, image) {
-                Some(t) => assert!(t > oddci, "{} should be slower at 1M nodes", m.name()),
-                None => {} // cannot reach 1M at all — also "slower"
+            // None = cannot reach 1M at all, which also counts as "slower".
+            if let Some(t) = m.instantiation_time(n, image) {
+                assert!(t > oddci, "{} should be slower at 1M nodes", m.name());
             }
         }
     }

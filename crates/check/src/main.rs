@@ -1,0 +1,184 @@
+//! `oddci-check` — CLI front-end for the workspace lint, the schedule
+//! explorer, and schedule replay. Also reachable as `oddci check …`.
+
+use oddci_check::explore::Explorer;
+use oddci_check::{lint, scenarios};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+oddci-check: concurrency correctness tooling for the OddCI workspace
+
+USAGE:
+    oddci-check lint [ROOT]                  run the workspace lint (exit 1 on findings)
+    oddci-check model [OPTS] [SCENARIO]      explore scenario interleavings (all by default)
+    oddci-check replay SCENARIO SCHEDULE     re-execute one pinned interleaving
+    oddci-check list                         list model scenarios
+    oddci-check help                         this text
+
+MODEL OPTS:
+    --seed N          scheduler seed (default 11)
+    --schedules N     bound on interleavings per scenario (default 400)
+
+Schedules print as `s<seed>:t0.t1.…` — pass one to `replay` verbatim.
+Scenarios marked `expect-fail` are detector sensitivity checks: the
+explorer MUST find their seeded bug; `model` fails if it stops doing so.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(args.get(1).map(String::as_str)),
+        Some("model") => cmd_model(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("list") => {
+            for s in scenarios::ALL {
+                println!(
+                    "{:36} {}",
+                    s.name,
+                    if s.expect_clean {
+                        "expect-clean"
+                    } else {
+                        "expect-fail"
+                    }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(root_arg: Option<&str>) -> ExitCode {
+    let start = Path::new(root_arg.unwrap_or("."));
+    let Some(root) = lint::find_root(start) else {
+        eprintln!(
+            "oddci-check lint: no workspace root at or above {} (crates/telemetry/src/event.rs not found)",
+            start.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    match lint::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("oddci-check lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("oddci-check lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("oddci-check lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_model(args: &[String]) -> ExitCode {
+    let mut seed = 11u64;
+    let mut schedules = 400usize;
+    let mut which: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return arg_err("--seed expects an integer"),
+            },
+            "--schedules" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => schedules = v,
+                None => return arg_err("--schedules expects an integer"),
+            },
+            name if !name.starts_with('-') => which = Some(name.to_string()),
+            other => return arg_err(&format!("unknown option `{other}`")),
+        }
+    }
+    let selected: Vec<&scenarios::Scenario> = match &which {
+        Some(name) => match scenarios::by_name(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario `{name}` — `oddci-check list` shows them");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => scenarios::ALL.iter().collect(),
+    };
+
+    let mut failed = false;
+    for s in selected {
+        let result = Explorer::new(seed)
+            .max_schedules(schedules)
+            .explore(s.setup);
+        match (&result.failure, s.expect_clean) {
+            (None, true) => println!(
+                "ok   {:36} clean over {} schedule(s){} — last {}",
+                s.name,
+                result.schedules,
+                if result.exhausted { " (exhausted)" } else { "" },
+                result.last_schedule
+            ),
+            (Some(f), false) => println!(
+                "ok   {:36} detector caught after {} schedule(s): {} — replay {}",
+                s.name,
+                result.schedules,
+                f.message.lines().next().unwrap_or(""),
+                f.schedule
+            ),
+            (Some(f), true) => {
+                failed = true;
+                println!(
+                    "FAIL {:36} failure in supposedly-correct protocol: {} — replay {}",
+                    s.name, f.message, f.schedule
+                );
+            }
+            (None, false) => {
+                failed = true;
+                println!(
+                    "FAIL {:36} detector missed the seeded bug within {} schedule(s) (sensitivity regression)",
+                    s.name, result.schedules
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let (Some(name), Some(schedule)) = (args.first(), args.get(1)) else {
+        return arg_err("replay expects SCENARIO and SCHEDULE");
+    };
+    let Some(s) = scenarios::by_name(name) else {
+        eprintln!("unknown scenario `{name}` — `oddci-check list` shows them");
+        return ExitCode::FAILURE;
+    };
+    let outcome = Explorer::new(0).replay(schedule, s.setup);
+    println!("schedule {} ({} step(s))", outcome.schedule, outcome.steps);
+    match outcome.failure {
+        Some(msg) => {
+            println!("failure reproduced:\n{msg}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("no failure under this interleaving");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn arg_err(msg: &str) -> ExitCode {
+    eprintln!("oddci-check: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,472 @@
+//! Scaled-down models of the sharded-headend and streaming-sink
+//! protocols, runnable under the schedule explorer.
+//!
+//! Each scenario exists in two flavours:
+//!
+//! * the **correct** protocol, mirroring the discipline the live crate
+//!   actually implements — the explorer must find *no* failing
+//!   interleaving within its bound;
+//! * a **known-buggy** variant encoding a tempting-but-wrong
+//!   simplification (ignore closed-channel sends, check-then-act outside
+//!   the hub lock, treat a transient-empty queue as drained, tear an
+//!   atomic stats snapshot) — the explorer must *find* the failure, and
+//!   the discovered schedule string replays deterministically.
+//!
+//! The buggy variants are not dead weight: `oddci check model` runs them
+//! as sensitivity checks (a detector that stops catching them has
+//! regressed), and `tests/check_schedules.rs` pins their discovered
+//! schedules. The torn-snapshot variant is the very bug this PR fixed in
+//! `SinkStats::in_flight` (`crates/telemetry/src/sink.rs`): three relaxed
+//! counter loads are not an atomic snapshot, so `emitted - persisted -
+//! dropped` can underflow mid-run.
+
+use crate::explore::{ModelAtomic, ModelChannel, ModelMutex, Spawner};
+use std::sync::Arc;
+
+/// How many events/tasks the small models push through.
+const EVENTS: u64 = 3;
+
+// ----------------------------------------------- shutdown under active sink
+
+/// Shared pieces of the sink-shutdown model.
+struct SinkModel {
+    ctl: Arc<ModelAtomic>,
+    lane: Arc<ModelChannel<u64>>,
+    emitted: Arc<ModelAtomic>,
+    persisted: Arc<ModelAtomic>,
+    dropped: Arc<ModelAtomic>,
+    prod_done: Arc<ModelChannel<()>>,
+    writer_done: Arc<ModelChannel<()>>,
+}
+
+impl SinkModel {
+    fn new() -> Self {
+        SinkModel {
+            ctl: Arc::new(ModelAtomic::new("sink.close_requested", 0)),
+            lane: Arc::new(ModelChannel::new("sink.lane", 2)),
+            emitted: Arc::new(ModelAtomic::new("sink.emitted", 0)),
+            persisted: Arc::new(ModelAtomic::new("sink.persisted", 0)),
+            dropped: Arc::new(ModelAtomic::new("sink.dropped", 0)),
+            prod_done: Arc::new(ModelChannel::new("sink.prod_done", 0)),
+            writer_done: Arc::new(ModelChannel::new("sink.writer_done", 0)),
+        }
+    }
+}
+
+fn sink_shutdown_model(sp: &mut Spawner, count_closed_send_as_drop: bool) {
+    let m = Arc::new(SinkModel::new());
+
+    let p = Arc::clone(&m);
+    sp.spawn("producer", move |ctx| {
+        for ev in 0..EVENTS {
+            p.emitted.fetch_add(&ctx, 1);
+            if p.ctl.load(&ctx) == 1 {
+                p.dropped.fetch_add(&ctx, 1);
+                continue;
+            }
+            if p.lane.len(&ctx) >= 2 {
+                p.dropped.fetch_add(&ctx, 1);
+                continue;
+            }
+            if p.lane.send(&ctx, ev).is_err() {
+                // The lane closed between the ctl check and the send —
+                // the event is still accounted for, as a drop.
+                if count_closed_send_as_drop {
+                    p.dropped.fetch_add(&ctx, 1);
+                }
+                // Buggy variant: swallow the error; the event vanishes.
+            }
+        }
+        p.prod_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    let w = Arc::clone(&m);
+    sp.spawn("writer", move |ctx| {
+        while w.lane.recv(&ctx).is_ok() {
+            w.persisted.fetch_add(&ctx, 1);
+        }
+        w.writer_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    let s = Arc::clone(&m);
+    sp.spawn("shutdown", move |ctx| {
+        s.ctl.store(&ctx, 1);
+        s.lane.close(&ctx);
+    });
+
+    let v = Arc::clone(&m);
+    sp.spawn("verifier", move |ctx| {
+        v.prod_done.recv(&ctx).expect("producer finishes");
+        v.writer_done.recv(&ctx).expect("writer finishes");
+        let e = v.emitted.load(&ctx);
+        let p = v.persisted.load(&ctx);
+        let d = v.dropped.load(&ctx);
+        assert_eq!(
+            e,
+            p + d,
+            "sink lost events: emitted {e} != persisted {p} + dropped {d}"
+        );
+    });
+}
+
+/// Correct protocol: closing the lane mid-emit turns the failed send into
+/// an accounted drop. `emitted == persisted + dropped` in every
+/// interleaving.
+pub fn shutdown_under_active_sink(sp: &mut Spawner) {
+    sink_shutdown_model(sp, true);
+}
+
+/// Buggy variant: a send that fails because shutdown closed the lane is
+/// silently swallowed, so the conservation invariant breaks in schedules
+/// where close lands between the producer's ctl check and its send.
+pub fn shutdown_under_active_sink_lossy(sp: &mut Spawner) {
+    sink_shutdown_model(sp, false);
+}
+
+// ------------------------------------------------- heartbeat vs recompose
+
+#[derive(Debug)]
+struct HubModel {
+    active: Vec<u64>,
+    ledger: Vec<u64>,
+}
+
+struct RecomposeModel {
+    hub: Arc<ModelMutex<HubModel>>,
+    hb_done: Arc<ModelChannel<()>>,
+    rc_done: Arc<ModelChannel<()>>,
+}
+
+impl RecomposeModel {
+    fn new() -> Self {
+        RecomposeModel {
+            hub: Arc::new(ModelMutex::new(
+                "live.hub",
+                HubModel {
+                    active: vec![1, 2],
+                    ledger: Vec::new(),
+                },
+            )),
+            hb_done: Arc::new(ModelChannel::new("hb_done", 0)),
+            rc_done: Arc::new(ModelChannel::new("rc_done", 0)),
+        }
+    }
+}
+
+fn heartbeat_recompose_model(sp: &mut Spawner, check_and_insert_atomically: bool) {
+    let m = Arc::new(RecomposeModel::new());
+
+    let h = Arc::clone(&m);
+    sp.spawn("heartbeat", move |ctx| {
+        for node in [1u64, 2, 3] {
+            if check_and_insert_atomically {
+                // Membership check and ledger insert under one hub lock —
+                // the rule the real shard handler follows.
+                h.hub.lock(&ctx).with(|hub| {
+                    if hub.active.contains(&node) {
+                        hub.ledger.push(node);
+                    }
+                });
+            } else {
+                // Buggy TOCTOU variant: check, release, re-acquire, insert.
+                let present = h.hub.lock(&ctx).with(|hub| hub.active.contains(&node));
+                if present {
+                    h.hub.lock(&ctx).with(|hub| hub.ledger.push(node));
+                }
+            }
+        }
+        h.hb_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    let r = Arc::clone(&m);
+    sp.spawn("recompose", move |ctx| {
+        r.hub.lock(&ctx).with(|hub| {
+            hub.active = vec![2, 3];
+            // Recompose evicts ledger entries for removed nodes.
+            let active = hub.active.clone();
+            hub.ledger.retain(|n| active.contains(n));
+        });
+        r.rc_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    let v = Arc::clone(&m);
+    sp.spawn("verifier", move |ctx| {
+        v.hb_done.recv(&ctx).expect("heartbeat finishes");
+        v.rc_done.recv(&ctx).expect("recompose finishes");
+        v.hub.lock(&ctx).with(|hub| {
+            for n in &hub.ledger {
+                assert!(
+                    hub.active.contains(n),
+                    "ledger holds node {n} which recompose removed (ledger {:?}, active {:?})",
+                    hub.ledger,
+                    hub.active
+                );
+            }
+        });
+    });
+}
+
+/// Correct protocol: heartbeat checks membership and inserts under one
+/// hub-lock critical section; recompose prunes the ledger. The ledger is
+/// a subset of the active set in every interleaving.
+pub fn heartbeat_vs_recompose(sp: &mut Spawner) {
+    heartbeat_recompose_model(sp, true);
+}
+
+/// Buggy TOCTOU variant: membership check and insert in *separate*
+/// critical sections, so a recompose landing between them resurrects a
+/// removed node in the ledger.
+pub fn heartbeat_vs_recompose_toctou(sp: &mut Spawner) {
+    heartbeat_recompose_model(sp, false);
+}
+
+// --------------------------------------------------------- dispatcher drain
+
+struct DrainModel {
+    dispatch: Arc<ModelChannel<u64>>,
+    completed: Arc<ModelAtomic>,
+    submit_done: Arc<ModelChannel<()>>,
+    worker_done: Arc<ModelChannel<()>>,
+}
+
+impl DrainModel {
+    fn new() -> Self {
+        DrainModel {
+            dispatch: Arc::new(ModelChannel::new("dispatch", 0)),
+            completed: Arc::new(ModelAtomic::new("completed", 0)),
+            submit_done: Arc::new(ModelChannel::new("submit_done", 0)),
+            worker_done: Arc::new(ModelChannel::new("worker_done", 0)),
+        }
+    }
+}
+
+fn dispatcher_drain_model(sp: &mut Spawner, block_until_closed: bool) {
+    let m = Arc::new(DrainModel::new());
+
+    let s = Arc::clone(&m);
+    sp.spawn("submitter", move |ctx| {
+        for task in 0..EVENTS {
+            s.dispatch.send(&ctx, task).expect("open while submitting");
+        }
+        s.submit_done.send(&ctx, ()).expect("shutdown is waiting");
+    });
+
+    for wid in 0..2 {
+        let w = Arc::clone(&m);
+        sp.spawn(&format!("worker-{wid}"), move |ctx| {
+            if block_until_closed {
+                // Correct drain: block for work until the channel is both
+                // closed and empty.
+                while w.dispatch.recv(&ctx).is_ok() {
+                    w.completed.fetch_add(&ctx, 1);
+                }
+            } else {
+                // Buggy variant: a transient-empty queue is mistaken for
+                // a drained one and the worker exits early.
+                while let Ok(Some(_)) = w.dispatch.try_recv(&ctx) {
+                    w.completed.fetch_add(&ctx, 1);
+                }
+            }
+            w.worker_done.send(&ctx, ()).expect("verifier is waiting");
+        });
+    }
+
+    let sh = Arc::clone(&m);
+    sp.spawn("shutdown", move |ctx| {
+        sh.submit_done.recv(&ctx).expect("submitter finishes");
+        sh.dispatch.close(&ctx);
+    });
+
+    let v = Arc::clone(&m);
+    sp.spawn("verifier", move |ctx| {
+        v.worker_done.recv(&ctx).expect("worker 0 finishes");
+        v.worker_done.recv(&ctx).expect("worker 1 finishes");
+        let done = v.completed.load(&ctx);
+        assert_eq!(
+            done, EVENTS,
+            "drain lost tasks: completed {done} of {EVENTS}"
+        );
+    });
+}
+
+/// Correct drain: workers block on the dispatch channel until it is
+/// closed *and* empty, so every submitted task is completed.
+pub fn dispatcher_drain(sp: &mut Spawner) {
+    dispatcher_drain_model(sp, true);
+}
+
+/// Buggy variant: workers poll and treat a momentarily-empty queue as
+/// drained, so schedules that run workers before the submitter strand
+/// tasks.
+pub fn dispatcher_drain_hasty(sp: &mut Spawner) {
+    dispatcher_drain_model(sp, false);
+}
+
+// ---------------------------------------------------- sink stats snapshot
+
+fn sink_stats_model(sp: &mut Spawner, saturate: bool) {
+    let emitted = Arc::new(ModelAtomic::new("stats.emitted", 0));
+    let persisted = Arc::new(ModelAtomic::new("stats.persisted", 0));
+    let dropped = Arc::new(ModelAtomic::new("stats.dropped", 0));
+    let lane = Arc::new(ModelChannel::new("stats.lane", 0));
+
+    let (e, l) = (Arc::clone(&emitted), Arc::clone(&lane));
+    sp.spawn("producer", move |ctx| {
+        for ev in 0..EVENTS {
+            e.fetch_add(&ctx, 1);
+            l.send(&ctx, ev).expect("writer drains");
+        }
+        l.close(&ctx);
+    });
+
+    let (p, l) = (Arc::clone(&persisted), Arc::clone(&lane));
+    sp.spawn("writer", move |ctx| {
+        while l.recv(&ctx).is_ok() {
+            p.fetch_add(&ctx, 1);
+        }
+    });
+
+    let (e, p, d) = (
+        Arc::clone(&emitted),
+        Arc::clone(&persisted),
+        Arc::clone(&dropped),
+    );
+    sp.spawn("stats-reader", move |ctx| {
+        // Three separate relaxed loads — NOT an atomic snapshot. The
+        // writer can persist events the reader's `emitted` load predates.
+        let e = e.load(&ctx);
+        let p = p.load(&ctx);
+        let d = d.load(&ctx);
+        if saturate {
+            // The fixed computation (SinkStats::in_flight): torn
+            // snapshots clamp to zero instead of wrapping to ~u64::MAX.
+            let in_flight = e.saturating_sub(p).saturating_sub(d);
+            assert!(in_flight <= e, "saturating in_flight bounded by emitted");
+        } else {
+            // The pre-fix computation: plain subtraction underflows on a
+            // torn snapshot.
+            match e.checked_sub(p + d) {
+                Some(_) => {}
+                None => ctx.fail(format!(
+                    "in_flight underflow: emitted {e} < persisted {p} + dropped {d} (torn snapshot)"
+                )),
+            }
+        }
+    });
+}
+
+/// The fixed `SinkStats::in_flight` computation (saturating): clean under
+/// every interleaving even though the three loads still tear.
+pub fn sink_stats_snapshot(sp: &mut Spawner) {
+    sink_stats_model(sp, true);
+}
+
+/// The pre-fix computation (plain subtraction): the explorer finds a
+/// schedule where the writer persists events between the reader's loads
+/// and the subtraction underflows — the bug fixed in
+/// `crates/telemetry/src/sink.rs` this PR.
+pub fn sink_stats_snapshot_torn(sp: &mut Spawner) {
+    sink_stats_model(sp, false);
+}
+
+// ----------------------------------------------------------------- registry
+
+/// A named scenario plus its expected verdict under exploration.
+pub struct Scenario {
+    /// CLI / report name.
+    pub name: &'static str,
+    /// Setup function registering the virtual threads.
+    pub setup: fn(&mut Spawner),
+    /// True when the explorer must find no failure within the bound;
+    /// false when it must find one (detector sensitivity check).
+    pub expect_clean: bool,
+}
+
+/// Every scenario `oddci check model` runs.
+pub static ALL: &[Scenario] = &[
+    Scenario {
+        name: "shutdown-under-active-sink",
+        setup: shutdown_under_active_sink,
+        expect_clean: true,
+    },
+    Scenario {
+        name: "shutdown-under-active-sink-lossy",
+        setup: shutdown_under_active_sink_lossy,
+        expect_clean: false,
+    },
+    Scenario {
+        name: "heartbeat-vs-recompose",
+        setup: heartbeat_vs_recompose,
+        expect_clean: true,
+    },
+    Scenario {
+        name: "heartbeat-vs-recompose-toctou",
+        setup: heartbeat_vs_recompose_toctou,
+        expect_clean: false,
+    },
+    Scenario {
+        name: "dispatcher-drain",
+        setup: dispatcher_drain,
+        expect_clean: true,
+    },
+    Scenario {
+        name: "dispatcher-drain-hasty",
+        setup: dispatcher_drain_hasty,
+        expect_clean: false,
+    },
+    Scenario {
+        name: "sink-stats-snapshot",
+        setup: sink_stats_snapshot,
+        expect_clean: true,
+    },
+    Scenario {
+        name: "sink-stats-snapshot-torn",
+        setup: sink_stats_snapshot_torn,
+        expect_clean: false,
+    },
+];
+
+/// Look a scenario up by its CLI name.
+pub fn by_name(name: &str) -> Option<&'static Scenario> {
+    ALL.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for s in ALL {
+            assert!(std::ptr::eq(by_name(s.name).expect("resolvable"), s));
+        }
+        let mut names: Vec<_> = ALL.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn correct_sink_shutdown_survives_exploration() {
+        let r = Explorer::new(11)
+            .max_schedules(120)
+            .explore(shutdown_under_active_sink);
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+        assert!(r.last_schedule.starts_with("s11:"));
+    }
+
+    #[test]
+    fn torn_snapshot_is_found_and_replayable() {
+        let r = Explorer::new(11)
+            .max_schedules(400)
+            .explore(sink_stats_snapshot_torn);
+        let f = r
+            .failure
+            .expect("explorer must find the torn-snapshot underflow");
+        assert!(f.message.contains("underflow"), "{}", f.message);
+        let replay = Explorer::new(11).replay(&f.schedule, sink_stats_snapshot_torn);
+        let msg = replay.failure.expect("pinned schedule reproduces");
+        assert!(msg.contains("underflow"), "{msg}");
+    }
+}

@@ -1,0 +1,476 @@
+//! The instrumented sync shim the workspace uses instead of raw locks.
+//!
+//! Three families of primitives, all registered with the [`crate::order`]
+//! lock-order detector:
+//!
+//! * [`Mutex`] / [`RwLock`] — parking_lot-backed, non-poisoning;
+//! * [`Monitor`] — a mutex *with a condvar* (`std::sync`-backed, because
+//!   the workspace's parking_lot has no condvar), poison-transparent;
+//! * [`bounded`] / [`unbounded`] channels — crossbeam-backed; every
+//!   [`Sender::send`] runs the send-while-locked check.
+//!
+//! With checking disabled every operation adds one relaxed atomic load to
+//! the underlying primitive — cheap enough that the live hot paths use
+//! these types unconditionally. With checking enabled
+//! ([`crate::enable`] / `ODDCI_CHECK=1`) each acquisition feeds the
+//! acquisition-order graph and each send is checked against held
+//! send-sensitive locks. The workspace lint (`oddci-check lint`) enforces
+//! that no code outside this crate reaches for the raw types.
+
+use crate::order;
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+// ---------------------------------------------------------------- Mutex
+
+/// A non-poisoning mutex wired into the lock-order detector.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: parking_lot::Mutex<T>,
+}
+
+/// Guard for [`Mutex::lock`]; releases its order-graph entry on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// An anonymous mutex (shows as `lock#N` in reports).
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: order::register(None, false),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// A named mutex — names make lock-order reports readable.
+    pub fn named(value: T, name: &'static str) -> Self {
+        Mutex {
+            id: order::register(Some(name), false),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// A named mutex under the *no channel send while held* rule: any
+    /// [`Sender::send`] on the holding thread is flagged as a violation.
+    pub fn named_send_sensitive(value: T, name: &'static str) -> Self {
+        Mutex {
+            id: order::register(Some(name), true),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock (recording the acquisition when checking).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        order::on_acquire(self.id);
+        MutexGuard {
+            id: self.id,
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Non-blocking acquisition attempt.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = self.inner.try_lock()?;
+        order::on_acquire(self.id);
+        Some(MutexGuard { id: self.id, inner })
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+// ---------------------------------------------------------------- RwLock
+
+/// A non-poisoning reader-writer lock wired into the lock-order detector
+/// (read and write acquisitions feed the same graph node).
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    id: u64,
+    inner: parking_lot::RwLock<T>,
+}
+
+/// Guard for [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+}
+
+/// Guard for [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    id: u64,
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// An anonymous lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: order::register(None, false),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// A named lock.
+    pub fn named(value: T, name: &'static str) -> Self {
+        RwLock {
+            id: order::register(Some(name), false),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        order::on_acquire(self.id);
+        RwLockReadGuard {
+            id: self.id,
+            inner: self.inner.read(),
+        }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        order::on_acquire(self.id);
+        RwLockWriteGuard {
+            id: self.id,
+            inner: self.inner.write(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.id);
+    }
+}
+
+// ---------------------------------------------------------------- Monitor
+
+/// A mutex paired with a condition variable — the shim for the
+/// `std::sync::{Mutex, Condvar}` rendezvous pattern (the streaming sink's
+/// writer wake-up). Poison-transparent: a panic while holding the lock
+/// does not poison it for everyone else, matching the rest of the shim.
+#[derive(Debug, Default)]
+pub struct Monitor<T> {
+    id: u64,
+    cv: std::sync::Condvar,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Monitor::lock`]. The inner option is `Some` for the
+/// guard's whole life; it exists only so [`Monitor::wait_timeout`] can
+/// move the raw guard out without double-releasing the order entry.
+#[derive(Debug)]
+pub struct MonitorGuard<'a, T> {
+    id: u64,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Monitor<T> {
+    /// An anonymous monitor.
+    pub fn new(value: T) -> Self {
+        Monitor {
+            id: order::register(None, false),
+            cv: std::sync::Condvar::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// A named monitor.
+    pub fn named(value: T, name: &'static str) -> Self {
+        Monitor {
+            id: order::register(Some(name), false),
+            cv: std::sync::Condvar::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> MonitorGuard<'_, T> {
+        order::on_acquire(self.id);
+        MonitorGuard {
+            id: self.id,
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
+        }
+    }
+
+    /// Releases `guard`, waits up to `timeout` for a notification, and
+    /// reacquires. Returns the reacquired guard and whether the wait
+    /// timed out.
+    pub fn wait_timeout<'a>(
+        &'a self,
+        mut guard: MonitorGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MonitorGuard<'a, T>, bool) {
+        let raw = guard.inner.take().expect("guard always holds its lock");
+        order::on_release(self.id);
+        let (raw, result) = self
+            .cv
+            .wait_timeout(raw, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        order::on_acquire(self.id);
+        (
+            MonitorGuard {
+                id: self.id,
+                inner: Some(raw),
+            },
+            result.timed_out(),
+        )
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+impl<T> Deref for MonitorGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard always holds its lock")
+    }
+}
+
+impl<T> DerefMut for MonitorGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard always holds its lock")
+    }
+}
+
+impl<T> Drop for MonitorGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            order::on_release(self.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- channels
+
+pub use crossbeam::channel::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// The sending half of a shim channel; [`send`](Sender::send) runs the
+/// send-while-locked check before delegating.
+pub struct Sender<T> {
+    inner: crossbeam::channel::Sender<T>,
+}
+
+/// The receiving half of a shim channel.
+pub struct Receiver<T> {
+    inner: crossbeam::channel::Receiver<T>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, failing once every receiver is gone. When
+    /// checking is enabled, first verifies no send-sensitive lock is
+    /// held on this thread.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        order::check_channel_send();
+        self.inner.send(value)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Blocks up to `timeout` for a value.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> crossbeam::channel::TryIter<'_, T> {
+        self.inner.try_iter()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// A bounded MPMC channel (capacity semantics come from the underlying
+/// crossbeam implementation).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = crossbeam::channel::bounded(capacity);
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// An unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_rwlock_round_trip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn monitor_wait_times_out_and_wakes() {
+        let mon = std::sync::Arc::new(Monitor::named(0u32, "test.monitor"));
+        let g = mon.lock();
+        let (g, timed_out) = mon.wait_timeout(g, Duration::from_millis(1));
+        assert!(timed_out);
+        drop(g);
+        let mon2 = std::sync::Arc::clone(&mon);
+        let waiter = std::thread::spawn(move || {
+            let mut g = mon2.lock();
+            while *g == 0 {
+                let (next, _) = mon2.wait_timeout(g, Duration::from_millis(50));
+                g = next;
+            }
+            *g
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        *mon.lock() = 7;
+        mon.notify_all();
+        assert_eq!(waiter.join().expect("waiter exits"), 7);
+    }
+
+    #[test]
+    fn channels_round_trip() {
+        let (tx, rx) = bounded(4);
+        tx.send(1u8).expect("receiver alive");
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.is_empty());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(2).is_err());
+    }
+}

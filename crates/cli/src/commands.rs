@@ -580,6 +580,7 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
             "throughput_tasks_per_sec": throughput,
             "requeues": outcome.report.requeues,
             "tasks_unaccounted": shutdown.tasks_unaccounted,
+            "threads_failed": shutdown.threads_failed,
             "gauges": snapshot.gauges,
         });
         if let (serde_json::Value::Object(entries), Some(s)) = (&mut v, &stream_summary) {
@@ -612,6 +613,9 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
     let _ = writeln!(out, "  throughput  : {throughput:.1} tasks/s");
     let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
     let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    if shutdown.threads_failed > 0 {
+        let _ = writeln!(out, "  PANICKED    : {} thread(s)", shutdown.threads_failed);
+    }
     if let Some(summary) = &stream_summary {
         let _ = writeln!(out, "  streamed    : {}", stream_summary_line(summary));
     }
@@ -628,6 +632,140 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
         }
     }
     Ok(out)
+}
+
+/// `oddci check`: the concurrency gate — workspace lint plus bounded
+/// model checking of the scaled-down headend scenarios. With `--replay`
+/// it re-executes one pinned interleaving instead (for reproducing a
+/// schedule printed by an earlier run or by CI).
+///
+/// Any lint violation, any failure in an `expect-clean` scenario, and
+/// any `expect-fail` scenario the detector stops catching (a sensitivity
+/// regression) all surface as errors, so `oddci check` exits nonzero.
+pub fn check(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_check::explore::Explorer;
+    use oddci_check::{lint, scenarios};
+
+    let seed: u64 = p.num("seed", 11)?;
+    let schedules: usize = p.num("schedules", 400)?;
+    if schedules == 0 {
+        return Err(ArgError("--schedules must be positive".into()));
+    }
+
+    if p.flag("list") {
+        let mut out = String::new();
+        for s in scenarios::ALL {
+            let _ = writeln!(
+                out,
+                "{:36} {}",
+                s.name,
+                if s.expect_clean {
+                    "expect-clean"
+                } else {
+                    "expect-fail"
+                }
+            );
+        }
+        return Ok(out);
+    }
+
+    let selected: Vec<&scenarios::Scenario> = match p.get("scenario") {
+        Some(name) => {
+            let s = scenarios::by_name(name).ok_or_else(|| {
+                ArgError(format!(
+                    "unknown scenario `{name}` — `oddci check --list` shows them"
+                ))
+            })?;
+            vec![s]
+        }
+        None => scenarios::ALL.iter().collect(),
+    };
+
+    if let Some(schedule) = p.get("replay") {
+        let [s] = selected[..] else {
+            return Err(ArgError("--replay requires --scenario NAME".into()));
+        };
+        let outcome = Explorer::new(seed).replay(schedule, s.setup);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay {} under {} ({} step(s))",
+            s.name, outcome.schedule, outcome.steps
+        );
+        match outcome.failure {
+            Some(msg) => {
+                let _ = writeln!(out, "failure reproduced:\n{msg}");
+            }
+            None => {
+                let _ = writeln!(out, "no failure under this interleaving");
+            }
+        }
+        return Ok(out);
+    }
+
+    let mut out = String::new();
+    if !p.flag("skip-lint") {
+        let root = lint::find_root(std::path::Path::new(".")).ok_or_else(|| {
+            ArgError(
+                "no workspace root at or above the current directory — \
+                 run from inside the repository or pass --skip-lint"
+                    .into(),
+            )
+        })?;
+        let violations = lint::run(&root).map_err(|e| ArgError(format!("lint failed: {e}")))?;
+        if !violations.is_empty() {
+            let mut msg = format!("lint: {} violation(s)\n", violations.len());
+            for v in &violations {
+                let _ = writeln!(msg, "  {v}");
+            }
+            return Err(ArgError(msg));
+        }
+        let _ = writeln!(out, "lint : clean");
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    for s in selected {
+        let result = Explorer::new(seed)
+            .max_schedules(schedules)
+            .explore(s.setup);
+        match (&result.failure, s.expect_clean) {
+            (None, true) => {
+                let _ = writeln!(
+                    out,
+                    "ok   {:36} clean over {} schedule(s){}",
+                    s.name,
+                    result.schedules,
+                    if result.exhausted { " (exhausted)" } else { "" },
+                );
+            }
+            (Some(f), false) => {
+                let _ = writeln!(
+                    out,
+                    "ok   {:36} detector caught after {} schedule(s) — replay {}",
+                    s.name, result.schedules, f.schedule
+                );
+            }
+            (Some(f), true) => {
+                failures.push(format!(
+                    "{}: failure in supposedly-correct protocol: {} — replay with \
+                     `oddci check --scenario {} --seed {seed} --replay {}`",
+                    s.name, f.message, s.name, f.schedule
+                ));
+            }
+            (None, false) => {
+                failures.push(format!(
+                    "{}: detector missed the seeded bug within {} schedule(s) \
+                     (sensitivity regression)",
+                    s.name, result.schedules
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(ArgError(failures.join("\n")))
+    }
 }
 
 #[cfg(test)]
@@ -679,5 +817,51 @@ mod tests {
     fn simulate_rejects_oversized_target() {
         let err = simulate(&parsed(&["simulate", "--nodes", "10", "--target", "20"])).unwrap_err();
         assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn check_lists_scenarios() {
+        let out = check(&parsed(&["check", "--list"])).unwrap();
+        assert!(out.contains("shutdown-under-active-sink"), "{out}");
+        assert!(out.contains("expect-clean"), "{out}");
+        assert!(out.contains("expect-fail"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_unknown_scenario_and_bare_replay() {
+        let err = check(&parsed(&["check", "--scenario", "no-such-thing"])).unwrap_err();
+        assert!(err.to_string().contains("unknown scenario"));
+        let err = check(&parsed(&["check", "--replay", "s11:0.1"])).unwrap_err();
+        assert!(err.to_string().contains("requires --scenario"));
+    }
+
+    #[test]
+    fn check_models_one_buggy_scenario_and_replays_it() {
+        // The torn-snapshot scenario must be caught (it is the detector
+        // sensitivity canary) and its printed schedule must replay.
+        let out = check(&parsed(&[
+            "check",
+            "--skip-lint",
+            "--scenario",
+            "sink-stats-snapshot-torn",
+            "--schedules",
+            "400",
+        ]))
+        .unwrap();
+        assert!(out.contains("detector caught"), "{out}");
+        let schedule = out
+            .split("replay ")
+            .nth(1)
+            .expect("replay schedule in output")
+            .trim();
+        let replayed = check(&parsed(&[
+            "check",
+            "--scenario",
+            "sink-stats-snapshot-torn",
+            "--replay",
+            schedule,
+        ]))
+        .unwrap();
+        assert!(replayed.contains("failure reproduced"), "{replayed}");
     }
 }

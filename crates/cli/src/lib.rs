@@ -12,6 +12,8 @@
 //! * `wakeup` — evaluate the §5.1 wakeup envelope for an image/β pair.
 //! * `efficiency` — evaluate equations (1)/(2) for a scenario.
 //! * `live` — run the thread-based live demo with real alignment work.
+//! * `check` — the concurrency gate: workspace lint plus the bounded
+//!   schedule explorer over the scaled-down headend scenarios.
 //!
 //! The argument syntax is deliberately simple (`--key value` pairs after a
 //! subcommand); parsing is hand-rolled to keep the dependency set at the
@@ -59,6 +61,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "efficiency" => commands::efficiency(&parsed).map_err(|e| e.to_string()),
         "live" => commands::live(&parsed).map_err(|e| e.to_string()),
         "soak" => commands::soak(&parsed).map_err(|e| e.to_string()),
+        "check" => commands::check(&parsed).map_err(|e| e.to_string()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
     }
@@ -125,6 +128,17 @@ COMMANDS:
                                    (per-shard sink lanes; drops are counted,
                                    never blocking the headend)
                   --json           machine-readable output
+    check       concurrency gate: workspace lint + bounded model checking
+                of the headend protocol scenarios (exit nonzero on any
+                lint finding, clean-scenario failure, or missed seeded bug)
+                  --seed S         scheduler seed              [11]
+                  --schedules N    interleavings per scenario  [400]
+                  --scenario NAME  model just this scenario
+                  --replay SCHED   re-run one pinned interleaving
+                                   (requires --scenario; schedules print
+                                   as s<seed>:t0.t1.…)
+                  --skip-lint      model checking only
+                  --list           list the model scenarios
     help        show this message
 "
     .to_string()

@@ -2,8 +2,7 @@
 //! subscriber sees every message — the live-plane stand-in for the DTV
 //! carousel's one-to-many transmission.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use oddci_check::sync::{unbounded, Mutex, Receiver, Sender};
 
 /// A clone-fan-out broadcast channel.
 pub struct BroadcastBus<T: Clone> {
@@ -20,7 +19,7 @@ impl<T: Clone> BroadcastBus<T> {
     /// Creates a bus with no subscribers.
     pub fn new() -> Self {
         BroadcastBus {
-            subscribers: Mutex::new(Vec::new()),
+            subscribers: Mutex::named(Vec::new(), "live.bus.subscribers"),
         }
     }
 

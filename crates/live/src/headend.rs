@@ -35,7 +35,7 @@
 use crate::bus::BroadcastBus;
 use crate::image::{AlignmentImage, LiveBroadcast};
 use crate::runtime::{wall_now, BusMsg, LiveConfig, TaskBatchReply};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use oddci_check::sync::{bounded, Mutex, Receiver, RecvTimeoutError, Sender};
 use oddci_core::backend::Backend;
 use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
@@ -45,7 +45,6 @@ use oddci_faults::FaultInjector;
 use oddci_telemetry::{Phase, Telemetry, CONTROL_TRACK};
 use oddci_types::{HeartbeatConfig, InstanceId, JobId, NodeId, SimDuration, SimTime, TaskId};
 use oddci_workload::Job;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -147,15 +146,22 @@ impl ShardedHeadend {
     ) -> ShardedHeadend {
         assert!(shards > 0 && dispatch > 0, "validated by LiveConfig");
         let tele = config.telemetry.clone();
-        let hub = Arc::new(Mutex::new(Hub {
-            backend: Backend::new(),
-            provider: Provider::new(),
-            instance_job: BTreeMap::new(),
-            job_instance: BTreeMap::new(),
-            job_queries: BTreeMap::new(),
-            job_scores: BTreeMap::new(),
-            wakeups: BTreeMap::new(),
-        }));
+        // Send-sensitive: the module-level locking rule ("never send on a
+        // channel while holding the hub lock") is enforced at runtime —
+        // under ODDCI_CHECK=1 any `Sender::send` on a thread holding this
+        // lock is reported as a violation.
+        let hub = Arc::new(Mutex::named_send_sensitive(
+            Hub {
+                backend: Backend::new(),
+                provider: Provider::new(),
+                instance_job: BTreeMap::new(),
+                job_instance: BTreeMap::new(),
+                job_queries: BTreeMap::new(),
+                job_scores: BTreeMap::new(),
+                wakeups: BTreeMap::new(),
+            },
+            "live.hub",
+        ));
 
         let (carousel_tx, carousel_rx) = bounded(CAROUSEL_CAP);
         // Streaming-sink lane layout: carousel on lane 0, controller
@@ -308,31 +314,37 @@ impl ShardedHeadend {
 
     /// Stops dispatch workers, shards and the carousel — in that order,
     /// so receivers outlive senders — joining every thread. Returns the
-    /// number of tasks in no ledger (always 0 unless bookkeeping broke).
+    /// number of tasks in no ledger (always 0 unless bookkeeping broke)
+    /// and how many headend threads exited by panic instead of a clean
+    /// return (a panicked thread's ledger contribution is unknown, so
+    /// the first number may undercount when the second is nonzero).
     ///
     /// The runtime must have joined every node thread first.
-    pub(crate) fn shutdown(mut self) -> u64 {
+    pub(crate) fn shutdown(mut self) -> (u64, u64) {
+        let mut failed = 0u64;
         for tx in &self.dispatch_txs {
             let _ = tx.send(DispatchMsg::Shutdown);
         }
         for h in self.dispatch_threads.drain(..) {
-            let _ = h.join();
+            failed += u64::from(h.join().is_err());
         }
         for tx in &self.shard_txs {
             let _ = tx.send(ShardMsg::Shutdown);
         }
         for h in self.shard_threads.drain(..) {
-            let _ = h.join();
+            failed += u64::from(h.join().is_err());
         }
         let _ = self.carousel_tx.send(CarouselMsg::Shutdown);
         if let Some(h) = self.carousel.take() {
-            let _ = h.join();
+            failed += u64::from(h.join().is_err());
         }
         let hub = self.hub.lock();
-        hub.job_instance
+        let unaccounted = hub
+            .job_instance
             .keys()
             .map(|&job| hub.backend.unaccounted_tasks(job))
-            .sum()
+            .sum();
+        (unaccounted, failed)
     }
 }
 

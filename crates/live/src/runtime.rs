@@ -20,7 +20,7 @@
 use crate::bus::BroadcastBus;
 use crate::headend::{DispatchMsg, ShardMsg, ShardedHeadend};
 use crate::image::{AlignmentImage, LiveBroadcast};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use oddci_check::sync::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use oddci_core::backend::{Backend, TaskOutcome};
 use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
@@ -290,6 +290,12 @@ pub struct ShutdownReport {
     /// shutdown. Always 0 unless bookkeeping broke — the
     /// `headend_shards` integration tests assert on it.
     pub tasks_unaccounted: u64,
+    /// Threads (headend or node) that exited by panic instead of a clean
+    /// return. When this is nonzero, `tasks_unaccounted` may undercount:
+    /// a panicked thread's ledger contribution is unknown. Always 0 in a
+    /// healthy run — joins used to be silently swallowed here, which hid
+    /// exactly this failure mode.
+    pub threads_failed: u64,
 }
 
 /// The running headend, by mode.
@@ -531,24 +537,42 @@ impl LiveOddci {
     /// report describes.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.bus.publish(&BusMsg::Shutdown);
+        let mut threads_failed = 0u64;
         let tasks_unaccounted = match &mut self.headend {
             Headend::Single { tx, thread } => {
                 let _ = tx.send(ToHeadend::Shutdown);
-                let n = thread.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0);
+                let n = match thread.take().map(JoinHandle::join) {
+                    Some(Ok(n)) => n,
+                    Some(Err(_)) => {
+                        threads_failed += 1;
+                        0
+                    }
+                    None => 0,
+                };
                 for node in self.nodes.drain(..) {
-                    let _ = node.join();
+                    threads_failed += u64::from(node.join().is_err());
                 }
                 n
             }
             Headend::Sharded(sh) => {
                 for node in self.nodes.drain(..) {
-                    let _ = node.join();
+                    threads_failed += u64::from(node.join().is_err());
                 }
-                sh.take().map_or(0, ShardedHeadend::shutdown)
+                match sh.take() {
+                    Some(sh) => {
+                        let (unaccounted, failed) = sh.shutdown();
+                        threads_failed += failed;
+                        unaccounted
+                    }
+                    None => 0,
+                }
             }
         };
         self.config.telemetry.flush_sink();
-        ShutdownReport { tasks_unaccounted }
+        ShutdownReport {
+            tasks_unaccounted,
+            threads_failed,
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 //! deterministic run.
 
 use crate::event::{Event, EventKind, Phase};
-use parking_lot::Mutex;
+use oddci_check::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -66,14 +66,17 @@ impl Recorder {
         }
         Recorder {
             shared: Some(Arc::new(Shared {
-                ring: Mutex::new(Ring {
-                    // Start small and let the deque grow toward `capacity`:
-                    // pre-touching the full ring (10 MB at the default
-                    // capacity) would dwarf short runs.
-                    buf: VecDeque::with_capacity(capacity.min(1 << 12)),
-                    capacity,
-                    dropped: 0,
-                }),
+                ring: Mutex::named(
+                    Ring {
+                        // Start small and let the deque grow toward
+                        // `capacity`: pre-touching the full ring (10 MB at
+                        // the default capacity) would dwarf short runs.
+                        buf: VecDeque::with_capacity(capacity.min(1 << 12)),
+                        capacity,
+                        dropped: 0,
+                    },
+                    "telemetry.ring",
+                ),
             })),
         }
     }

@@ -10,7 +10,7 @@
 //! public `MetricsSnapshot`, so enabling or disabling tracing must not
 //! change any metric value.
 
-use parking_lot::Mutex;
+use oddci_check::sync::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -26,13 +26,14 @@
 
 use crate::event::{Event, EventKind, Phase};
 use crate::export;
+use oddci_check::sync::{Monitor, Mutex};
 use serde_json::{json, Value};
 use std::collections::{HashSet, VecDeque};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -60,8 +61,16 @@ pub struct SinkStats {
 
 impl SinkStats {
     /// Events currently buffered in lanes (0 once the sink is idle).
+    ///
+    /// Saturating: the three counters are loaded independently (relaxed),
+    /// so a mid-run snapshot can observe `persisted` bumps whose matching
+    /// `emitted` bump it predates. Plain subtraction underflows on such a
+    /// torn snapshot — the `sink-stats-snapshot-torn` scenario in
+    /// `oddci-check` reproduces it deterministically.
     pub fn in_flight(&self) -> u64 {
-        self.emitted - self.persisted - self.dropped
+        self.emitted
+            .saturating_sub(self.persisted)
+            .saturating_sub(self.dropped)
     }
 }
 
@@ -142,7 +151,7 @@ struct LaneState {
 
 #[derive(Debug)]
 struct Lane {
-    state: parking_lot::Mutex<LaneState>,
+    state: Mutex<LaneState>,
 }
 
 #[derive(Debug, Default)]
@@ -156,16 +165,33 @@ struct Ctl {
 struct SinkShared {
     lanes: Vec<Lane>,
     lane_capacity: usize,
+    /// Relaxed everywhere: an independent monotone counter, bumped by the
+    /// emitter *before* it touches the lane. The exactness identity
+    /// `emitted == persisted + dropped` needs no inter-counter ordering —
+    /// each event is classified exactly once under its lane lock, and
+    /// `finish()` reads the totals only after joining the writer.
     emitted: AtomicU64,
+    /// Relaxed: same regime as `emitted`; bumped by whichever thread
+    /// classified the event as a drop (emitter under the lane lock).
     dropped: AtomicU64,
+    /// Relaxed: bumped only by the single writer thread after a batch is
+    /// written; readers that need it exact synchronize via the flush
+    /// rendezvous or the writer join, not via this atomic.
     persisted: AtomicU64,
+    /// Relaxed: writer-only monotone counter; `flush()` callers observe
+    /// completion through the `ctl` monitor, not this count.
     flushes: AtomicU64,
+    /// Relaxed: per-phase shards of `dropped`, same single-classification
+    /// regime.
     dropped_by_phase: [AtomicU64; Phase::COUNT],
-    /// Writer wake-up / flush rendezvous. `std::sync` because the
-    /// vendored `parking_lot` stand-in has no `Condvar`.
-    ctl: Mutex<Ctl>,
-    cv: Condvar,
-    /// Tells the writer to run its final drain and exit.
+    /// Writer wake-up / flush rendezvous (mutex + condvar behind one
+    /// shim type).
+    ctl: Monitor<Ctl>,
+    /// Tells the writer to run its final drain and exit. Release store in
+    /// `finish()` / Acquire load in the writer: the writer's final drain
+    /// must observe everything the finishing thread did first. (The lane
+    /// locks already order the queues themselves; the pairing covers the
+    /// flag-to-drain edge without relying on that.)
     close_requested: AtomicU64,
 }
 
@@ -233,7 +259,7 @@ impl Output {
                     "clock": "us",
                     "meta": Value::Object(meta_obj),
                 });
-                let line = serde_json::to_string(&header).expect("header serializes");
+                let line = serde_json::to_string(&header).map_err(io::Error::other)?;
                 self.write_str(&line)?;
                 self.write_str("\n")
             }
@@ -249,7 +275,7 @@ impl Output {
                     other.push((k.clone(), Value::String(v.clone())));
                 }
                 let other =
-                    serde_json::to_string(&Value::Object(other)).expect("otherData serializes");
+                    serde_json::to_string(&Value::Object(other)).map_err(io::Error::other)?;
                 self.write_str(&format!(
                     "{{\"displayTimeUnit\":\"ms\",\"otherData\":{other},\"traceEvents\":["
                 ))
@@ -264,14 +290,14 @@ impl Output {
             self.write_str("\n")?;
         }
         self.rows += 1;
-        let text = serde_json::to_string(row).expect("trace row serializes");
+        let text = serde_json::to_string(row).map_err(io::Error::other)?;
         self.write_str(&text)
     }
 
     fn write_event(&mut self, ev: &Event) -> io::Result<()> {
         match self.format {
             StreamFormat::Jsonl => {
-                let line = serde_json::to_string(ev).expect("event serializes");
+                let line = serde_json::to_string(ev).map_err(io::Error::other)?;
                 self.write_str(&line)?;
                 self.write_str("\n")
             }
@@ -353,10 +379,13 @@ impl StreamBuilder {
         let shared = Arc::new(SinkShared {
             lanes: (0..lanes)
                 .map(|_| Lane {
-                    state: parking_lot::Mutex::new(LaneState {
-                        queue: VecDeque::new(),
-                        closed: false,
-                    }),
+                    state: Mutex::named(
+                        LaneState {
+                            queue: VecDeque::new(),
+                            closed: false,
+                        },
+                        "sink.lane",
+                    ),
                 })
                 .collect(),
             lane_capacity,
@@ -365,8 +394,7 @@ impl StreamBuilder {
             persisted: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             dropped_by_phase: std::array::from_fn(|_| AtomicU64::new(0)),
-            ctl: Mutex::new(Ctl::default()),
-            cv: Condvar::new(),
+            ctl: Monitor::named(Ctl::default(), "sink.ctl"),
             close_requested: AtomicU64::new(0),
         });
         let writer_shared = Arc::clone(&shared);
@@ -375,8 +403,8 @@ impl StreamBuilder {
             .spawn(move || writer_main(&writer_shared, outputs))?;
         Ok(Arc::new(StreamingSink {
             shared,
-            writer: Mutex::new(Some(writer)),
-            finished: Mutex::new(None),
+            writer: Mutex::named(Some(writer), "sink.writer_handle"),
+            finished: Mutex::named(None, "sink.finished"),
         }))
     }
 }
@@ -405,21 +433,21 @@ impl StreamingSink {
     /// counted as dropped. Idempotent — later calls return the first
     /// summary.
     pub fn finish(&self) -> io::Result<SinkSummary> {
-        if let Some(summary) = self.finished.lock().expect("finished lock").clone() {
+        if let Some(summary) = self.finished.lock().clone() {
             return Ok(summary);
         }
-        let handle = self.writer.lock().expect("writer lock").take();
+        let handle = self.writer.lock().take();
         let Some(handle) = handle else {
             // A concurrent finish is joining; wait for its summary.
             loop {
-                if let Some(summary) = self.finished.lock().expect("finished lock").clone() {
+                if let Some(summary) = self.finished.lock().clone() {
                     return Ok(summary);
                 }
                 std::thread::sleep(Duration::from_millis(1));
             }
         };
-        self.shared.close_requested.store(1, Ordering::SeqCst);
-        self.shared.cv.notify_all();
+        self.shared.close_requested.store(1, Ordering::Release);
+        self.shared.ctl.notify_all();
         let outputs = handle
             .join()
             .map_err(|_| io::Error::other("trace writer panicked"))??;
@@ -427,7 +455,7 @@ impl StreamingSink {
             stats: self.shared.stats(),
             outputs,
         };
-        *self.finished.lock().expect("finished lock") = Some(summary.clone());
+        *self.finished.lock() = Some(summary.clone());
         Ok(summary)
     }
 }
@@ -452,15 +480,12 @@ impl TraceSink for StreamingSink {
 
     fn flush(&self) {
         let shared = &self.shared;
-        let mut ctl = shared.ctl.lock().expect("ctl lock");
+        let mut ctl = shared.ctl.lock();
         ctl.flush_requested += 1;
         let target = ctl.flush_requested;
-        shared.cv.notify_all();
+        shared.ctl.notify_all();
         while ctl.flush_completed < target && !ctl.writer_done {
-            let (guard, _) = shared
-                .cv
-                .wait_timeout(ctl, Duration::from_millis(50))
-                .expect("ctl lock");
+            let (guard, _) = shared.ctl.wait_timeout(ctl, Duration::from_millis(50));
             ctl = guard;
         }
     }
@@ -517,10 +542,10 @@ fn writer_main(shared: &SinkShared, mut outputs: Vec<Output>) -> io::Result<Vec<
     // Wake every flusher whatever happened — a dead writer must not hang
     // `flush()` callers.
     {
-        let mut ctl = shared.ctl.lock().expect("ctl lock");
+        let mut ctl = shared.ctl.lock();
         ctl.writer_done = true;
         ctl.flush_completed = ctl.flush_requested;
-        shared.cv.notify_all();
+        shared.ctl.notify_all();
     }
     result?;
     Ok(outputs
@@ -546,7 +571,7 @@ fn writer_loop(shared: &SinkShared, outputs: &mut [Output]) -> io::Result<()> {
             continue;
         }
 
-        if shared.close_requested.load(Ordering::SeqCst) != 0 {
+        if shared.close_requested.load(Ordering::Acquire) != 0 {
             // Final pass: mark lanes closed under their locks, drain what
             // raced in, then seal and flush the files.
             batch.clear();
@@ -565,7 +590,7 @@ fn writer_loop(shared: &SinkShared, outputs: &mut [Output]) -> io::Result<()> {
             return Ok(());
         }
 
-        let ctl = shared.ctl.lock().expect("ctl lock");
+        let ctl = shared.ctl.lock();
         if ctl.flush_completed < ctl.flush_requested {
             let target = ctl.flush_requested;
             drop(ctl);
@@ -584,15 +609,12 @@ fn writer_loop(shared: &SinkShared, outputs: &mut [Output]) -> io::Result<()> {
                 out.file.flush()?;
             }
             shared.flushes.fetch_add(1, Ordering::Relaxed);
-            let mut ctl = shared.ctl.lock().expect("ctl lock");
+            let mut ctl = shared.ctl.lock();
             ctl.flush_completed = ctl.flush_completed.max(target);
-            shared.cv.notify_all();
+            shared.ctl.notify_all();
             continue;
         }
-        let (_guard, _) = shared
-            .cv
-            .wait_timeout(ctl, Duration::from_millis(1))
-            .expect("ctl lock");
+        let (_guard, _) = shared.ctl.wait_timeout(ctl, Duration::from_millis(1));
     }
 }
 

@@ -39,7 +39,7 @@ fn main() {
     println!("makespan     : {}", outcome.report.makespan);
     println!("wakeups sent : {}", outcome.report.wakeup_broadcasts);
     println!();
-    println!("{:<8} {:>8}  {}", "task", "score", "kind");
+    println!("{:<8} {:>8}  kind", "task", "score");
     let mut planted_min = i32::MAX;
     let mut noise_max = i32::MIN;
     for (task, score) in &outcome.scores {

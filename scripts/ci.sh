@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:-}
 
+# Smoke artifacts are gitignored; remove them even when a gate between
+# their creation and the explicit cleanup fails.
+cleanup() {
+    rm -f results/ci-smoke.json results/ci-smoke.trace.jsonl \
+        results/ci-smoke.trace.stream.json
+}
+trap cleanup EXIT
+
 run() {
     echo "==> $*"
     "$@"
@@ -15,24 +23,27 @@ run() {
 run cargo build --release ${CARGO_FLAGS}
 run cargo test -q ${CARGO_FLAGS}
 run cargo fmt --check
-run cargo clippy --workspace ${CARGO_FLAGS} -- -D warnings
+run cargo clippy --workspace --all-targets ${CARGO_FLAGS} -- -D warnings
 
 # Documentation gate: every intra-doc link must resolve and every public
 # item stay documented; warnings are promoted to errors.
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ${CARGO_FLAGS}
 
-# Telemetry gates: the Chrome-trace integration test must stay green and
-# every checked-in results/*.metrics.json must match the schema.
-run cargo test -q ${CARGO_FLAGS} --test telemetry_trace
+# Concurrency gates: the workspace lint (raw-lock ban, telemetry phase
+# vocabulary, no unwrap in live hot paths) must be clean, and a bounded
+# model-check over the scaled-down headend scenarios must find every
+# seeded bug and none in the fixed protocols. Fixed seed, bounded
+# schedules: deterministic and well under 30 s.
+run cargo run -q --release ${CARGO_FLAGS} -p oddci-check --bin oddci-check -- lint
+run cargo run -q --release ${CARGO_FLAGS} -p oddci-check --bin oddci-check -- \
+    model --seed 11 --schedules 400
 
 # Streamed-trace smoke: run one small scenario with the streaming sink
 # attached, then let schema_check validate the streamed JSONL + Chrome
-# artifacts alongside the metrics envelopes. The smoke files are
-# gitignored and removed after validation.
+# artifacts alongside the metrics envelopes.
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-cli --bin oddci -- trace \
     --scenario small --seed 7 \
     --out results/ci-smoke.json --stream results/ci-smoke.trace.jsonl
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-bench --bin schema_check
-rm -f results/ci-smoke.json results/ci-smoke.trace.jsonl results/ci-smoke.trace.stream.json
 
 echo "==> CI green"

@@ -63,6 +63,7 @@
 pub use oddci_analytics as analytics;
 pub use oddci_baselines as baselines;
 pub use oddci_broadcast as broadcast;
+pub use oddci_check as check;
 pub use oddci_core as core;
 pub use oddci_crypto as crypto;
 pub use oddci_faults as faults;

@@ -29,11 +29,9 @@ fn homogeneous_job(tasks: u64, cost_secs: u64, seed: u64) -> oddci::workload::Jo
 #[test]
 fn three_sequential_jobs_reuse_the_pool() {
     let mut sim = World::simulation(base_config(300), 31);
-    let mut next_job_id = 0u64;
     for round in 0..3u64 {
         let mut job = homogeneous_job(150, 20, 100 + round);
-        job.id = oddci::types::JobId::new(next_job_id);
-        next_job_id += 1;
+        job.id = oddci::types::JobId::new(round);
         let request = sim.submit_job(job, 60);
         let report = sim
             .run_request(request, sim.now() + SimDuration::from_secs(24 * 3600))

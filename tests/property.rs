@@ -179,7 +179,7 @@ proptest! {
                 DataSize::from_bytes(300),
                 DataSize::from_bytes(300),
                 SimDuration::from_secs(15),
-                seed ^ 0x0DDC_1,
+                seed ^ 0xDDC1,
             ).generate(60);
             let mut sim = World::simulation(cfg, seed);
             let request = sim.submit_job(job, 40);
