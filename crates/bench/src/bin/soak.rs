@@ -116,6 +116,9 @@ fn soak_once(mode: HeadendMode, sink: Option<Arc<StreamingSink>>) -> (Row, Telem
             dispatch,
             batch,
         } => ("sharded".to_string(), shards, dispatch, batch),
+        // The X8 soak drives in-process headends only; the socket-backed
+        // plane has its own experiment (X10, `bin/wire.rs`).
+        HeadendMode::Socket { .. } => unreachable!("soak never runs the socket headend"),
     };
     let row = Row {
         mode: mode_name,

@@ -19,8 +19,8 @@
 //!   has a construction/handler site; a variant nobody matches is a
 //!   protocol hole.
 //! * **no-unwrap** — `.unwrap()` / `.expect(` are banned in the live hot
-//!   paths: `crates/live/src/**` and `crates/telemetry/src/sink.rs`
-//!   (non-test code). Panicking across the headend poisons nothing (the
+//!   paths: `crates/live/src/**`, `crates/wire/src/**` and
+//!   `crates/telemetry/src/sink.rs` (non-test code). Panicking across the headend poisons nothing (the
 //!   shim is non-poisoning) but silently kills a thread the shutdown
 //!   accounting then has to explain.
 //!
@@ -507,7 +507,9 @@ fn check_message_enums(sources: &[Source], out: &mut Vec<LintViolation>) {
 // ------------------------------------------------------------ no-unwrap
 
 fn hot_path(rel: &str) -> bool {
-    rel.starts_with("crates/live/src/") || rel == "crates/telemetry/src/sink.rs"
+    rel.starts_with("crates/live/src/")
+        || rel.starts_with("crates/wire/src/")
+        || rel == "crates/telemetry/src/sink.rs"
 }
 
 fn check_no_unwrap(src: &Source, out: &mut Vec<LintViolation>) {

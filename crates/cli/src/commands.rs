@@ -533,7 +533,7 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
         Some(path) => {
             let lanes = match mode {
                 HeadendMode::SingleLoop => 2,
-                HeadendMode::Sharded { .. } => 1 + shards + dispatch,
+                HeadendMode::Sharded { .. } | HeadendMode::Socket { .. } => 1 + shards + dispatch,
             };
             Some(open_stream_sink(path, lanes, "soak", seed, "live")?)
         }
@@ -604,7 +604,7 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
     );
     let _ = match mode {
         HeadendMode::SingleLoop => writeln!(out, "  headend     : single-loop baseline"),
-        HeadendMode::Sharded { .. } => writeln!(
+        HeadendMode::Sharded { .. } | HeadendMode::Socket { .. } => writeln!(
             out,
             "  headend     : sharded ({shards} shards, {dispatch} dispatch, batch {batch})"
         ),
@@ -768,6 +768,194 @@ pub fn check(p: &Parsed) -> Result<String, ArgError> {
     }
 }
 
+/// Parses a required `--name HOST:PORT` socket address option.
+fn socket_addr(p: &Parsed, name: &str) -> Result<std::net::SocketAddr, ArgError> {
+    let raw = p.get(name).ok_or_else(|| {
+        ArgError(format!(
+            "`--{name} HOST:PORT` is required (e.g. --{name} 127.0.0.1:7800)"
+        ))
+    })?;
+    raw.parse()
+        .map_err(|_| ArgError(format!("`--{name}` expects HOST:PORT, got `{raw}`")))
+}
+
+/// `oddci headend`: the socket-backed live plane's server half. Binds a
+/// TCP listener, waits for `oddci pna --connect` processes to join, runs
+/// one alignment job over the wire (wakeup image streamed in checksummed
+/// chunks, heartbeats on the direct channels) and reports the outcome
+/// plus transport counters.
+pub fn headend(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+
+    let listen = socket_addr(p, "listen")?;
+    let pnas: u64 = p.num("pnas", 3)?;
+    let queries: u64 = p.num("queries", 8)?;
+    let target: u64 = p.num("target", pnas.min(3))?;
+    let shards: usize = p.num("shards", 2)?;
+    let dispatch: usize = p.num("dispatch", 2)?;
+    let batch: usize = p.num("batch", 8)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let timeout_secs: u64 = p.num("timeout", 120)?;
+    let db_len: usize = p.num("db-len", 20_000)?;
+    if pnas == 0 || queries == 0 || db_len == 0 || timeout_secs == 0 {
+        return Err(ArgError(
+            "--pnas, --queries, --db-len and --timeout must be positive".into(),
+        ));
+    }
+    if target == 0 || target > pnas {
+        return Err(ArgError(format!(
+            "--target must be within 1..=--pnas ({pnas}), got {target}"
+        )));
+    }
+    let mode = HeadendMode::Socket {
+        listen,
+        shards,
+        dispatch,
+        batch,
+    };
+    mode.validate().map_err(ArgError)?;
+
+    let live = LiveOddci::start(LiveConfig {
+        nodes: pnas,
+        seed,
+        mode,
+        ..Default::default()
+    });
+    let addr = live.wire_addr().expect("socket mode exposes its address");
+    let image = AlignmentImage {
+        db_len,
+        ..AlignmentImage::small_demo()
+    };
+    let outcome = match live.run_alignment_job(
+        image,
+        queries,
+        target,
+        std::time::Duration::from_secs(timeout_secs),
+    ) {
+        Some(outcome) => outcome,
+        None => {
+            live.shutdown();
+            return Err(ArgError(format!(
+                "job did not complete within {timeout_secs}s — are {target}+ \
+                 `oddci pna --connect {addr}` processes running?"
+            )));
+        }
+    };
+    let stats = live.wire_stats().expect("socket mode exposes wire stats");
+    let shutdown = live.shutdown();
+    let makespan = outcome.report.makespan.as_secs_f64();
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "listen": addr.to_string(),
+            "pnas": pnas,
+            "target": target,
+            "queries": queries,
+            "tasks_completed": outcome.report.tasks_completed,
+            "makespan_secs": makespan,
+            "requeues": outcome.report.requeues,
+            "tasks_unaccounted": shutdown.tasks_unaccounted,
+            "threads_failed": shutdown.threads_failed,
+            "wire": {
+                "accepted": stats.accepted,
+                "tx_frames": stats.tx_frames,
+                "rx_frames": stats.rx_frames,
+                "tx_messages": stats.tx_messages,
+                "rx_messages": stats.rx_messages,
+                "multi_chunk_tx": stats.multi_chunk_tx,
+                "checksum_rejects": stats.checksum_rejects,
+                "resyncs": stats.resyncs,
+                "duplicates": stats.duplicates,
+            },
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("serialize headend json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "socket headend on {addr}: instance {target} of {pnas} PNA(s), {queries} tasks"
+    );
+    let _ = writeln!(out, "  completed   : {}", outcome.report.tasks_completed);
+    let _ = writeln!(out, "  makespan    : {makespan:.3}s");
+    let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
+    let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    if shutdown.threads_failed > 0 {
+        let _ = writeln!(out, "  PANICKED    : {} thread(s)", shutdown.threads_failed);
+    }
+    let _ = writeln!(
+        out,
+        "  wire        : {} conn(s), {} tx / {} rx frames, {} multi-chunk tx",
+        stats.accepted, stats.tx_frames, stats.rx_frames, stats.multi_chunk_tx
+    );
+    let _ = writeln!(
+        out,
+        "  integrity   : {} checksum reject(s), {} resync(s), {} duplicate(s)",
+        stats.checksum_rejects, stats.resyncs, stats.duplicates
+    );
+    Ok(out)
+}
+
+/// `oddci pna`: one Processing Node Agent process. Connects to a
+/// `oddci headend --listen` address, handshakes, and runs the full §3.2
+/// receiver loop — wakeup, boot from the streamed image, task fetch,
+/// result upload, heartbeats — until the headend broadcasts shutdown.
+pub fn pna(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_live::wire::WirePnaConfig;
+
+    let connect = socket_addr(p, "connect")?;
+    let seed: u64 = p.num("seed", 7)?;
+    let heartbeat_ms: u64 = p.num("heartbeat-ms", 150)?;
+    let connect_secs: u64 = p.num("connect-timeout", 10)?;
+    if heartbeat_ms == 0 || connect_secs == 0 {
+        return Err(ArgError(
+            "--heartbeat-ms and --connect-timeout must be positive".into(),
+        ));
+    }
+    let mut cfg = WirePnaConfig::new(connect);
+    cfg.seed = seed;
+    cfg.heartbeat_interval = std::time::Duration::from_millis(heartbeat_ms);
+    cfg.connect_timeout = std::time::Duration::from_secs(connect_secs);
+    let report =
+        oddci_live::run_wire_pna(cfg).map_err(|e| ArgError(format!("pna on {connect}: {e}")))?;
+    let stats = &report.stats;
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "node": report.node.raw(),
+            "wire": {
+                "tx_frames": stats.tx_frames,
+                "rx_frames": stats.rx_frames,
+                "tx_messages": stats.tx_messages,
+                "rx_messages": stats.rx_messages,
+                "multi_chunk_rx": stats.multi_chunk_rx,
+                "checksum_rejects": stats.checksum_rejects,
+                "resyncs": stats.resyncs,
+                "duplicates": stats.duplicates,
+            },
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("serialize pna json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pna node {} ran to shutdown against {connect}",
+        report.node.raw()
+    );
+    let _ = writeln!(
+        out,
+        "  wire      : {} tx / {} rx frames, {} tx / {} rx messages",
+        stats.tx_frames, stats.rx_frames, stats.tx_messages, stats.rx_messages
+    );
+    let _ = writeln!(
+        out,
+        "  integrity : {} multi-chunk rx, {} checksum reject(s), {} resync(s)",
+        stats.multi_chunk_rx, stats.checksum_rejects, stats.resyncs
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,6 +1005,97 @@ mod tests {
     fn simulate_rejects_oversized_target() {
         let err = simulate(&parsed(&["simulate", "--nodes", "10", "--target", "20"])).unwrap_err();
         assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn headend_and_pna_require_their_addresses() {
+        let err = headend(&parsed(&["headend"])).unwrap_err();
+        assert!(err.to_string().contains("--listen"), "{err}");
+        let err = pna(&parsed(&["pna"])).unwrap_err();
+        assert!(err.to_string().contains("--connect"), "{err}");
+        let err = headend(&parsed(&["headend", "--listen", "not-an-addr"])).unwrap_err();
+        assert!(err.to_string().contains("HOST:PORT"), "{err}");
+    }
+
+    #[test]
+    fn headend_rejects_oversized_target() {
+        let err = headend(&parsed(&[
+            "headend",
+            "--listen",
+            "127.0.0.1:0",
+            "--pnas",
+            "2",
+            "--target",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--target"), "{err}");
+    }
+
+    #[test]
+    fn headend_and_pna_complete_a_job_over_loopback() {
+        // Reserve a free loopback port, release it, and race the headend
+        // onto it — the same multi-process flow scripts/ci.sh runs, here
+        // in-process so the test stays hermetic.
+        let port = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr = format!("127.0.0.1:{port}");
+        let server = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                headend(&parsed(&[
+                    "headend",
+                    "--listen",
+                    &addr,
+                    "--pnas",
+                    "2",
+                    "--target",
+                    "2",
+                    "--queries",
+                    "4",
+                    "--json",
+                ]))
+            })
+        };
+        // The listener binds inside LiveOddci::start; give it a moment
+        // before the clients dial in.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let clients: Vec<_> = (0..2)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let seed = (100 + i).to_string();
+                    pna(&parsed(&[
+                        "pna",
+                        "--connect",
+                        &addr,
+                        "--seed",
+                        &seed,
+                        "--heartbeat-ms",
+                        "60",
+                        "--json",
+                    ]))
+                })
+            })
+            .collect();
+
+        let out = server.join().unwrap().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["tasks_completed"], 4, "{out}");
+        assert_eq!(v["tasks_unaccounted"], 0, "{out}");
+        assert_eq!(v["threads_failed"], 0, "{out}");
+        assert!(v["wire"]["multi_chunk_tx"].as_u64().unwrap() >= 1, "{out}");
+        assert_eq!(v["wire"]["checksum_rejects"], 0, "{out}");
+
+        for client in clients {
+            let out = client.join().unwrap().unwrap();
+            let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+            assert!(v["wire"]["rx_messages"].as_u64().unwrap() > 0, "{out}");
+            assert!(v["wire"]["multi_chunk_rx"].as_u64().unwrap() >= 1, "{out}");
+        }
     }
 
     #[test]

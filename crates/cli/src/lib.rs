@@ -12,6 +12,9 @@
 //! * `wakeup` — evaluate the §5.1 wakeup envelope for an image/β pair.
 //! * `efficiency` — evaluate equations (1)/(2) for a scenario.
 //! * `live` — run the thread-based live demo with real alignment work.
+//! * `headend` — serve the live plane over real TCP sockets for PNA
+//!   processes to join.
+//! * `pna` — one Processing Node Agent process connecting to a headend.
 //! * `check` — the concurrency gate: workspace lint plus the bounded
 //!   schedule explorer over the scaled-down headend scenarios.
 //!
@@ -61,6 +64,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "efficiency" => commands::efficiency(&parsed).map_err(|e| e.to_string()),
         "live" => commands::live(&parsed).map_err(|e| e.to_string()),
         "soak" => commands::soak(&parsed).map_err(|e| e.to_string()),
+        "headend" => commands::headend(&parsed).map_err(|e| e.to_string()),
+        "pna" => commands::pna(&parsed).map_err(|e| e.to_string()),
         "check" => commands::check(&parsed).map_err(|e| e.to_string()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -127,6 +132,27 @@ COMMANDS:
                   --trace-out PATH stream a JSONL + Chrome trace of the run
                                    (per-shard sink lanes; drops are counted,
                                    never blocking the headend)
+                  --json           machine-readable output
+    headend     serve the live plane over TCP for `oddci pna` processes
+                (runs one alignment job once the instance fills, then
+                broadcasts shutdown to every connected PNA)
+                  --listen ADDR    bind address (HOST:PORT)    [required]
+                  --pnas N         expected PNA processes      [3]
+                  --queries N      alignment queries           [8]
+                  --target N       instance size               [min(pnas,3)]
+                  --shards N       controller shards           [2]
+                  --dispatch N     dispatch workers            [2]
+                  --batch N        tasks per fetch             [8]
+                  --db-len N       database bytes in the image [20000]
+                  --seed S         run seed                    [42]
+                  --timeout S      job deadline, seconds       [120]
+                  --json           machine-readable output
+    pna         one Processing Node Agent: connect to a headend, boot from
+                the streamed wakeup image, work until shutdown
+                  --connect ADDR   headend address (HOST:PORT) [required]
+                  --seed S         node seed                   [7]
+                  --heartbeat-ms M heartbeat interval          [150]
+                  --connect-timeout S  dial deadline, seconds  [10]
                   --json           machine-readable output
     check       concurrency gate: workspace lint + bounded model checking
                 of the headend protocol scenarios (exit nonzero on any

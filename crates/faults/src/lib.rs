@@ -81,11 +81,20 @@ pub enum FaultClass {
     /// The Backend stops answering task fetches for episodes of
     /// `magnitude` seconds; nodes must retry with backoff.
     BackendStall,
+    /// A wire frame is corrupted in flight (one bit flipped); the
+    /// receiving envelope layer must reject it on its checksum.
+    FrameCorrupt,
+    /// A wire frame is cut short on the wire; the receiving decoder must
+    /// resynchronize on the next frame boundary.
+    FrameTruncate,
+    /// Wire frames of one send are duplicated / reordered; the
+    /// reassembler must still deliver each message exactly once.
+    FrameReorder,
 }
 
 impl FaultClass {
     /// All classes, in declaration order.
-    pub const ALL: [FaultClass; 9] = [
+    pub const ALL: [FaultClass; 12] = [
         FaultClass::CarouselCorruption,
         FaultClass::CarouselTruncation,
         FaultClass::DirectLoss,
@@ -95,6 +104,9 @@ impl FaultClass {
         FaultClass::ControlDelay,
         FaultClass::PnaCrash,
         FaultClass::BackendStall,
+        FaultClass::FrameCorrupt,
+        FaultClass::FrameTruncate,
+        FaultClass::FrameReorder,
     ];
 
     /// Stable kebab-case name (CLI syntax and seed derivation).
@@ -109,6 +121,9 @@ impl FaultClass {
             FaultClass::ControlDelay => "control-delay",
             FaultClass::PnaCrash => "pna-crash",
             FaultClass::BackendStall => "backend-stall",
+            FaultClass::FrameCorrupt => "frame-corrupt",
+            FaultClass::FrameTruncate => "frame-truncate",
+            FaultClass::FrameReorder => "frame-reorder",
         }
     }
 
@@ -129,6 +144,7 @@ impl FaultClass {
             FaultClass::ControlDelay => 30.0,
             FaultClass::PnaCrash => 60.0,
             FaultClass::BackendStall => 45.0,
+            FaultClass::FrameCorrupt | FaultClass::FrameTruncate | FaultClass::FrameReorder => 0.0,
         }
     }
 
@@ -378,7 +394,7 @@ const GLOBAL: u64 = u64::MAX;
 pub struct FaultInjector {
     plan: FaultPlan,
     /// Per-class derived seeds, parallel to [`FaultClass::ALL`].
-    class_seeds: [u64; 9],
+    class_seeds: [u64; 12],
 }
 
 impl FaultInjector {
@@ -387,7 +403,7 @@ impl FaultInjector {
     /// streams).
     pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
         plan.validate().expect("valid fault plan");
-        let mut class_seeds = [0u64; 9];
+        let mut class_seeds = [0u64; 12];
         for (i, class) in FaultClass::ALL.iter().enumerate() {
             class_seeds[i] = mix(fnv1a(seed, class.label()));
         }
@@ -518,6 +534,27 @@ impl FaultInjector {
         self.episode(FaultClass::BackendStall, GLOBAL, now)
             .map(|s| SimDuration::from_secs_f64(s.magnitude))
     }
+
+    /// Is the wire frame `node` puts on the socket at `now` corrupted in
+    /// flight (a flipped bit the receiver's checksum must catch)?
+    pub fn frame_corrupted(&self, node: NodeId, now: SimTime) -> bool {
+        self.roll(FaultClass::FrameCorrupt, node.raw(), now)
+            .is_some()
+    }
+
+    /// Is the wire frame `node` puts on the socket at `now` cut short
+    /// (the receiver's decoder must resynchronize)?
+    pub fn frame_truncated(&self, node: NodeId, now: SimTime) -> bool {
+        self.roll(FaultClass::FrameTruncate, node.raw(), now)
+            .is_some()
+    }
+
+    /// Are the frames of the send `node` performs at `now` duplicated /
+    /// reordered on the wire?
+    pub fn frame_reordered(&self, node: NodeId, now: SimTime) -> bool {
+        self.roll(FaultClass::FrameReorder, node.raw(), now)
+            .is_some()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -624,6 +661,12 @@ pub struct FaultCounters {
     pub pna_crashes: u64,
     /// Task fetches bounced off a stalled Backend.
     pub backend_stalls: u64,
+    /// Wire frames corrupted in flight.
+    pub frame_corruptions: u64,
+    /// Wire frames truncated in flight.
+    pub frame_truncations: u64,
+    /// Wire sends duplicated / reordered in flight.
+    pub frame_reorders: u64,
 }
 
 impl FaultCounters {
@@ -639,6 +682,9 @@ impl FaultCounters {
             FaultClass::ControlDelay => self.control_delays += 1,
             FaultClass::PnaCrash => self.pna_crashes += 1,
             FaultClass::BackendStall => self.backend_stalls += 1,
+            FaultClass::FrameCorrupt => self.frame_corruptions += 1,
+            FaultClass::FrameTruncate => self.frame_truncations += 1,
+            FaultClass::FrameReorder => self.frame_reorders += 1,
         }
     }
 
@@ -654,6 +700,9 @@ impl FaultCounters {
             FaultClass::ControlDelay => self.control_delays,
             FaultClass::PnaCrash => self.pna_crashes,
             FaultClass::BackendStall => self.backend_stalls,
+            FaultClass::FrameCorrupt => self.frame_corruptions,
+            FaultClass::FrameTruncate => self.frame_truncations,
+            FaultClass::FrameReorder => self.frame_reorders,
         }
     }
 

@@ -25,6 +25,12 @@ pub struct AlignmentImage {
     pub window: usize,
     /// Minimum reported score.
     pub min_score: i32,
+    /// Database bytes that arrived with the image instead of being
+    /// regenerated — the socket transport ships the materialized database
+    /// inside the wakeup broadcast, so a remote PNA boots from the
+    /// streamed bytes rather than from `db_seed`. `None` (the in-process
+    /// default) regenerates deterministically.
+    pub prefetched: Option<Arc<Vec<u8>>>,
 }
 
 impl AlignmentImage {
@@ -37,14 +43,19 @@ impl AlignmentImage {
             scoring: Scoring::default(),
             window: 64,
             min_score: 14,
+            prefetched: None,
         }
     }
 
-    /// Materializes the executable form: generates the database and builds
-    /// the k-mer index (the live equivalent of "loading the image into the
-    /// DVE" — it costs real CPU time).
+    /// Materializes the executable form: generates the database (or
+    /// adopts the prefetched copy that streamed in with the wakeup) and
+    /// builds the k-mer index (the live equivalent of "loading the image
+    /// into the DVE" — it costs real CPU time).
     pub fn materialize(&self) -> BlastSearch {
-        let db = random_sequence(self.db_len, self.db_seed);
+        let db = match &self.prefetched {
+            Some(bytes) => bytes.as_ref().clone(),
+            None => random_sequence(self.db_len, self.db_seed),
+        };
         BlastSearch::index(db, self.k, self.scoring)
     }
 
@@ -92,6 +103,18 @@ mod tests {
         assert!(
             hit_score > noise_score + 50,
             "planted={hit_score} noise={noise_score}"
+        );
+    }
+
+    #[test]
+    fn prefetched_database_bytes_are_adopted() {
+        let mut img = AlignmentImage::small_demo();
+        let shipped = random_sequence(1000, 77);
+        img.prefetched = Some(Arc::new(shipped.clone()));
+        assert_eq!(
+            img.materialize().db().to_vec(),
+            shipped,
+            "a shipped database wins over regeneration"
         );
     }
 

@@ -32,7 +32,9 @@ pub mod bus;
 pub mod headend;
 pub mod image;
 pub mod runtime;
+pub mod wire;
 
 pub use bus::BroadcastBus;
 pub use image::{AlignmentImage, LiveBroadcast};
 pub use runtime::{HeadendMode, JobOutcome, LiveConfig, LiveOddci, ShutdownReport};
+pub use wire::{run_wire_pna, WirePnaConfig, WirePnaReport};

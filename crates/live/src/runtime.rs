@@ -59,6 +59,22 @@ pub enum HeadendMode {
         /// Tasks served per fetch round trip, 1..=1024.
         batch: usize,
     },
+    /// A sharded headend behind a real TCP socket: nodes are *separate
+    /// PNA processes* (or threads) dialing in over `oddci-wire` instead
+    /// of in-process receiver threads. [`LiveConfig::nodes`] becomes the
+    /// expected audience size (controller sizing), not a thread count —
+    /// no local receivers are spawned.
+    Socket {
+        /// Address to listen on (port 0 picks an ephemeral port;
+        /// [`LiveOddci::wire_addr`] reports the bound address).
+        listen: std::net::SocketAddr,
+        /// Controller shards, 1..=64.
+        shards: usize,
+        /// Dispatch workers, 1..=64.
+        dispatch: usize,
+        /// Tasks served per fetch round trip, 1..=1024.
+        batch: usize,
+    },
 }
 
 impl HeadendMode {
@@ -79,6 +95,12 @@ impl HeadendMode {
                 shards,
                 dispatch,
                 batch,
+            }
+            | HeadendMode::Socket {
+                shards,
+                dispatch,
+                batch,
+                ..
             } => {
                 if shards == 0 || shards > Self::MAX_SHARDS {
                     return Err(format!(
@@ -201,29 +223,32 @@ pub(crate) enum TaskBatchReply {
 }
 
 /// How a node reaches the headend: one channel in single-loop mode, the
-/// shard/dispatch fan-in channels (routed by node-id hash) when sharded.
+/// shard/dispatch fan-in channels (routed by node-id hash) when sharded,
+/// or a framed TCP connection when the node is a separate PNA process.
 #[derive(Clone)]
-enum NodeLink {
+pub(crate) enum NodeLink {
     Single(Sender<ToHeadend>),
     Sharded {
         shards: Arc<Vec<Sender<ShardMsg>>>,
         dispatch: Arc<Vec<Sender<DispatchMsg>>>,
         batch: usize,
     },
+    Remote(Arc<crate::wire::RemoteLink>),
 }
 
 impl NodeLink {
-    fn send_heartbeat(&self, hb: Heartbeat, reply: Sender<HeartbeatReply>) -> bool {
+    pub(crate) fn send_heartbeat(&self, hb: Heartbeat, reply: Sender<HeartbeatReply>) -> bool {
         match self {
             NodeLink::Single(tx) => tx.send(ToHeadend::Heartbeat(hb, reply)).is_ok(),
             NodeLink::Sharded { shards, .. } => {
                 let s = shard_of(hb.node, shards.len());
                 shards[s].send(ShardMsg::Heartbeat { hb, reply }).is_ok()
             }
+            NodeLink::Remote(link) => link.send_heartbeat(hb, reply),
         }
     }
 
-    fn request_tasks(
+    pub(crate) fn request_tasks(
         &self,
         instance: InstanceId,
         node: NodeId,
@@ -250,10 +275,16 @@ impl NodeLink {
                     })
                     .is_ok()
             }
+            NodeLink::Remote(link) => link.request_tasks(instance, node, reply),
         }
     }
 
-    fn send_results(&self, job: JobId, node: NodeId, results: Vec<(TaskId, i32)>) -> bool {
+    pub(crate) fn send_results(
+        &self,
+        job: JobId,
+        node: NodeId,
+        results: Vec<(TaskId, i32)>,
+    ) -> bool {
         match self {
             NodeLink::Single(tx) => results.into_iter().all(|(task, score)| {
                 tx.send(ToHeadend::TaskResult {
@@ -270,6 +301,7 @@ impl NodeLink {
                     .send(DispatchMsg::Results { job, node, results })
                     .is_ok()
             }
+            NodeLink::Remote(link) => link.send_results(job, node, results),
         }
     }
 }
@@ -305,6 +337,10 @@ enum Headend {
         thread: Option<JoinHandle<u64>>,
     },
     Sharded(Option<ShardedHeadend>),
+    Socket {
+        sh: Option<ShardedHeadend>,
+        server: Option<oddci_wire::WireServer>,
+    },
 }
 
 /// The live OddCI system.
@@ -321,9 +357,10 @@ impl LiveOddci {
     /// threads.
     ///
     /// # Panics
-    /// On `nodes == 0` or a [`HeadendMode`] that fails
+    /// On `nodes == 0`, a [`HeadendMode`] that fails
     /// [`HeadendMode::validate`] (callers wanting an error instead of a
-    /// panic — e.g. CLIs — validate first).
+    /// panic — e.g. CLIs — validate first), or a
+    /// [`HeadendMode::Socket`] listen address that cannot be bound.
     pub fn start(config: LiveConfig) -> Self {
         assert!(config.nodes > 0, "a live system needs at least one node");
         if let Err(e) = config.mode.validate() {
@@ -376,10 +413,61 @@ impl LiveOddci {
                     },
                 )
             }
+            HeadendMode::Socket {
+                listen,
+                shards,
+                dispatch,
+                batch,
+            } => {
+                let sh = ShardedHeadend::start(
+                    &config,
+                    shards,
+                    dispatch,
+                    Arc::clone(&bus),
+                    start,
+                    Arc::clone(&injector),
+                );
+                let (shard_txs, dispatch_txs) = sh.node_links();
+                let shard_txs = Arc::new(shard_txs);
+                let dispatch_txs = Arc::new(dispatch_txs);
+                let service = crate::wire::LiveWireService::new(
+                    Arc::clone(&shard_txs),
+                    Arc::clone(&dispatch_txs),
+                    batch,
+                    bus.subscribe(),
+                    config.telemetry.clone(),
+                );
+                let mut scfg =
+                    oddci_wire::ServerConfig::new(oddci_wire::Integrity::hmac(&config.key));
+                scfg.injector =
+                    FaultInjector::new(config.faults.clone(), config.seed ^ 0xFA17_FA17);
+                scfg.telemetry = config.telemetry.clone();
+                let server = match oddci_wire::WireServer::bind(listen, scfg, service) {
+                    Ok(s) => s,
+                    Err(e) => panic!("socket headend cannot bind {listen}: {e}"),
+                };
+                (
+                    Headend::Socket {
+                        sh: Some(sh),
+                        server: Some(server),
+                    },
+                    NodeLink::Sharded {
+                        shards: shard_txs,
+                        dispatch: dispatch_txs,
+                        batch,
+                    },
+                )
+            }
         };
 
-        let mut nodes = Vec::with_capacity(config.nodes as usize);
-        for i in 0..config.nodes {
+        // In socket mode the fleet lives in other processes: `nodes` is
+        // the expected audience, not a local thread count.
+        let local_nodes = match config.mode {
+            HeadendMode::Socket { .. } => 0,
+            _ => config.nodes,
+        };
+        let mut nodes = Vec::with_capacity(local_nodes as usize);
+        for i in 0..local_nodes {
             let bus_rx = bus.subscribe();
             let link = link.clone();
             let key = config.key.clone();
@@ -419,6 +507,29 @@ impl LiveOddci {
     /// The runtime's telemetry bundle (all threads report into it).
     pub fn telemetry(&self) -> &Telemetry {
         &self.config.telemetry
+    }
+
+    /// The socket the headend listens on, in [`HeadendMode::Socket`] only
+    /// (reports the ephemeral port when the config asked for port 0).
+    pub fn wire_addr(&self) -> Option<std::net::SocketAddr> {
+        match &self.headend {
+            Headend::Socket {
+                server: Some(server),
+                ..
+            } => Some(server.local_addr()),
+            _ => None,
+        }
+    }
+
+    /// Wire transport counters, in [`HeadendMode::Socket`] only.
+    pub fn wire_stats(&self) -> Option<oddci_wire::WireStatsSnapshot> {
+        match &self.headend {
+            Headend::Socket {
+                server: Some(server),
+                ..
+            } => Some(server.stats().snapshot()),
+            _ => None,
+        }
     }
 
     /// Submits an alignment job with `n_queries` queries against `image`'s
@@ -499,7 +610,9 @@ impl LiveOddci {
                 .ok()?;
                 reply_rx.recv_timeout(Duration::from_secs(5)).ok()?
             }
-            Headend::Sharded(sh) => sh.as_ref()?.submit(job, queries, Arc::new(image), target),
+            Headend::Sharded(sh) | Headend::Socket { sh, .. } => {
+                sh.as_ref()?.submit(job, queries, Arc::new(image), target)
+            }
         };
 
         let deadline = Instant::now() + timeout;
@@ -510,7 +623,7 @@ impl LiveOddci {
                     tx.send(ToHeadend::Report { req, reply: rtx }).ok()?;
                     rrx.recv_timeout(Duration::from_secs(5)).ok().flatten()
                 }
-                Headend::Sharded(sh) => sh.as_ref()?.report(req),
+                Headend::Sharded(sh) | Headend::Socket { sh, .. } => sh.as_ref()?.report(req),
             };
             if let Some((report, scores)) = out {
                 return Some(JobOutcome { report, scores });
@@ -555,6 +668,27 @@ impl LiveOddci {
                 n
             }
             Headend::Sharded(sh) => {
+                for node in self.nodes.drain(..) {
+                    threads_failed += u64::from(node.join().is_err());
+                }
+                match sh.take() {
+                    Some(sh) => {
+                        let (unaccounted, failed) = sh.shutdown();
+                        threads_failed += failed;
+                        unaccounted
+                    }
+                    None => 0,
+                }
+            }
+            Headend::Socket { sh, server } => {
+                // The Shutdown bus message reaches the wire service, which
+                // broadcasts it to every PNA and asks the serving loop to
+                // drain and stop; joining the server here guarantees the
+                // service (a shard/dispatch sender) is gone before the
+                // sharded headend tears its receivers down.
+                if let Some(mut server) = server.take() {
+                    threads_failed += u64::from(!server.stop());
+                }
                 for node in self.nodes.drain(..) {
                     threads_failed += u64::from(node.join().is_err());
                 }
@@ -833,7 +967,7 @@ fn headend_main(
 // ---------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-fn node_main(
+pub(crate) fn node_main(
     id: NodeId,
     key: Vec<u8>,
     bus_rx: Receiver<BusMsg>,

@@ -1,0 +1,681 @@
+//! Socket transport glue: the live plane over real TCP.
+//!
+//! Two halves live here, one per side of the wire:
+//!
+//! * `LiveWireService` — the headend side. It plugs into
+//!   [`oddci_wire::WireServer`]'s serving loop and translates wire
+//!   messages into the sharded headend's channel vocabulary
+//!   (`ShardMsg` / `DispatchMsg`), forwards carousel broadcasts to
+//!   every connection (streaming the materialized database inside the
+//!   wakeup), and relays replies back once the shards answer.
+//! * [`run_wire_pna`] — the PNA side. It dials the headend, performs the
+//!   hello handshake to learn its node identity, and then runs the
+//!   *identical* `node_main` loop every in-process node runs — the
+//!   only difference is that its `NodeLink` is a `RemoteLink`
+//!   writing framed messages to a socket instead of a channel.
+//!
+//! Request/reply pairs (heartbeats, task fetches) ride a correlation id:
+//! the caller parks a one-shot channel under the id, the peer echoes the
+//! id, and a demultiplexer completes the matching channel. Replies that
+//! never come are dropped by the same timeouts that already govern the
+//! channel-backed planes (`node_main`'s reply timeouts on the PNA side,
+//! a pending-reply ceiling on the headend side).
+
+use crate::headend::{DispatchMsg, ShardMsg};
+use crate::image::{AlignmentImage, LiveBroadcast};
+use crate::runtime::{node_main, BusMsg, NodeLink, TaskBatchReply};
+use oddci_check::sync::{bounded, unbounded, Mutex, Receiver, Sender, TryRecvError};
+use oddci_core::messages::{Heartbeat, HeartbeatReply};
+use oddci_core::sharded::shard_of;
+use oddci_faults::{FaultInjector, FaultPlan};
+use oddci_telemetry::{Phase, Telemetry};
+use oddci_types::NodeId;
+use oddci_wire::codec::{Reader, Writer};
+use oddci_wire::{
+    ClientConfig, ConnId, Integrity, Outbox, WireBatch, WireClient, WireError, WireMsg,
+    WireService, WireStatsSnapshot, PROTO_VERSION,
+};
+use oddci_workload::alignment::{random_sequence, Scoring};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the headend keeps a pending shard/dispatch reply before
+/// assuming the shard dropped it (mirrors the node-side reply timeouts).
+const PENDING_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long a PNA waits for its `HelloAck` after connecting.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Correlation entries a `RemoteLink` keeps before evicting the oldest
+/// (a reply that outlives this many successors is long since timed out).
+const MAX_PENDING_CORR: usize = 64;
+/// Databases the headend keeps encoded for re-broadcast (the carousel
+/// repeats wakeups, so the common case is one hot entry).
+const MAX_DB_CACHE: usize = 8;
+
+// ---------------------------------------------------------------------
+// Image wire form
+// ---------------------------------------------------------------------
+
+/// Encodes an image recipe plus its materialized database bytes for the
+/// wakeup broadcast. The database rides along so a remote PNA boots from
+/// the streamed copy instead of regenerating from the seed — this is the
+/// payload that exercises multi-chunk framing.
+pub(crate) fn encode_image(image: &AlignmentImage, db: &[u8]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + db.len());
+    w.u64(image.db_seed);
+    w.u64(image.db_len as u64);
+    w.u64(image.k as u64);
+    w.i32(image.scoring.matched);
+    w.i32(image.scoring.mismatch);
+    w.i32(image.scoring.gap);
+    w.u64(image.window as u64);
+    w.i32(image.min_score);
+    w.bytes(db);
+    w.into_bytes()
+}
+
+/// Decodes the wire form back into a recipe whose `prefetched` field
+/// carries the streamed database.
+pub(crate) fn decode_image(bytes: &[u8]) -> Result<AlignmentImage, WireError> {
+    let mut r = Reader::new(bytes);
+    let db_seed = r.u64()?;
+    let db_len = r.u64()? as usize;
+    let k = r.u64()? as usize;
+    let scoring = Scoring {
+        matched: r.i32()?,
+        mismatch: r.i32()?,
+        gap: r.i32()?,
+    };
+    let window = r.u64()? as usize;
+    let min_score = r.i32()?;
+    let db = r.bytes()?.to_vec();
+    r.finish()?;
+    Ok(AlignmentImage {
+        db_seed,
+        db_len,
+        k,
+        scoring,
+        window,
+        min_score,
+        prefetched: Some(Arc::new(db)),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Headend side: the wire service
+// ---------------------------------------------------------------------
+
+/// A reply the headend still owes a connection: the shard/dispatch
+/// worker answers on `rx`, and the serving loop's `poll` relays it out.
+struct PendingReply<T> {
+    conn: ConnId,
+    corr: u64,
+    rx: Receiver<T>,
+    since: Instant,
+}
+
+/// The headend's [`WireService`]: translates wire traffic into the
+/// sharded headend's channels and carousel broadcasts into wire frames.
+///
+/// It runs single-threaded inside the serving loop, so it holds plain
+/// collections — the only synchronization is the channels themselves.
+pub(crate) struct LiveWireService {
+    shards: Arc<Vec<Sender<ShardMsg>>>,
+    dispatch: Arc<Vec<Sender<DispatchMsg>>>,
+    batch: usize,
+    bus_rx: Receiver<BusMsg>,
+    tele: Telemetry,
+    start: Instant,
+    conn_nodes: BTreeMap<ConnId, NodeId>,
+    next_node: u64,
+    pending_hb: Vec<PendingReply<HeartbeatReply>>,
+    pending_tasks: Vec<PendingReply<TaskBatchReply>>,
+    db_cache: BTreeMap<(u64, u64), Arc<Vec<u8>>>,
+}
+
+impl LiveWireService {
+    /// Builds the service in front of an already-running sharded headend.
+    pub(crate) fn new(
+        shards: Arc<Vec<Sender<ShardMsg>>>,
+        dispatch: Arc<Vec<Sender<DispatchMsg>>>,
+        batch: usize,
+        bus_rx: Receiver<BusMsg>,
+        tele: Telemetry,
+    ) -> LiveWireService {
+        LiveWireService {
+            shards,
+            dispatch,
+            batch,
+            bus_rx,
+            tele,
+            start: Instant::now(),
+            conn_nodes: BTreeMap::new(),
+            next_node: 0,
+            pending_hb: Vec::new(),
+            pending_tasks: Vec::new(),
+            db_cache: BTreeMap::new(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// The encoded wakeup payload for `image`, with the materialized
+    /// database cached across the carousel's re-broadcasts.
+    fn encoded_image(&mut self, image: &AlignmentImage) -> Vec<u8> {
+        let key = (image.db_seed, image.db_len as u64);
+        let db = match self.db_cache.get(&key) {
+            Some(db) => Arc::clone(db),
+            None => {
+                let db = match &image.prefetched {
+                    Some(bytes) => Arc::clone(bytes),
+                    None => Arc::new(random_sequence(image.db_len, image.db_seed)),
+                };
+                while self.db_cache.len() >= MAX_DB_CACHE {
+                    self.db_cache.pop_first();
+                }
+                self.db_cache.insert(key, Arc::clone(&db));
+                db
+            }
+        };
+        encode_image(image, &db)
+    }
+
+    /// Relays every pending reply whose shard has answered, and drops
+    /// entries whose shard is gone or slow (the node retries anyway).
+    fn drain_pending(&mut self, out: &mut Outbox) {
+        let mut i = 0;
+        while i < self.pending_hb.len() {
+            match self.pending_hb[i].rx.try_recv() {
+                Ok(reply) => {
+                    let p = self.pending_hb.swap_remove(i);
+                    out.send(
+                        p.conn,
+                        WireMsg::HeartbeatReply {
+                            corr: p.corr,
+                            reply,
+                        },
+                    );
+                }
+                Err(TryRecvError::Empty) => {
+                    if self.pending_hb[i].since.elapsed() > PENDING_TIMEOUT {
+                        self.pending_hb.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    self.pending_hb.swap_remove(i);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_tasks.len() {
+            match self.pending_tasks[i].rx.try_recv() {
+                Ok(reply) => {
+                    let p = self.pending_tasks.swap_remove(i);
+                    out.send(
+                        p.conn,
+                        WireMsg::TaskBatch {
+                            corr: p.corr,
+                            batch: to_wire_batch(reply),
+                        },
+                    );
+                }
+                Err(TryRecvError::Empty) => {
+                    if self.pending_tasks[i].since.elapsed() > PENDING_TIMEOUT {
+                        self.pending_tasks.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    self.pending_tasks.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+impl WireService for LiveWireService {
+    fn on_message(&mut self, conn: ConnId, msg: WireMsg, out: &mut Outbox) {
+        match msg {
+            WireMsg::Hello { proto } => {
+                // A version we don't speak gets no ack — the client's
+                // handshake timeout turns that into a clean error.
+                if proto != PROTO_VERSION {
+                    return;
+                }
+                let node = match self.conn_nodes.get(&conn) {
+                    Some(node) => *node,
+                    None => {
+                        let node = NodeId::new(self.next_node);
+                        self.next_node += 1;
+                        self.conn_nodes.insert(conn, node);
+                        self.tele.instant(
+                            self.now_us(),
+                            Phase::WireConnect,
+                            node.raw(),
+                            conn.raw(),
+                        );
+                        node
+                    }
+                };
+                out.send(conn, WireMsg::HelloAck { node });
+            }
+            WireMsg::Heartbeat { corr, hb } => {
+                let (rtx, rrx) = bounded(1);
+                let s = shard_of(hb.node, self.shards.len());
+                if self.shards[s]
+                    .send(ShardMsg::Heartbeat { hb, reply: rtx })
+                    .is_ok()
+                {
+                    self.pending_hb.push(PendingReply {
+                        conn,
+                        corr,
+                        rx: rrx,
+                        since: Instant::now(),
+                    });
+                }
+            }
+            WireMsg::TaskRequest {
+                corr,
+                instance,
+                node,
+            } => {
+                let (rtx, rrx) = bounded(1);
+                let d = shard_of(node, self.dispatch.len());
+                let req = DispatchMsg::Request {
+                    instance,
+                    node,
+                    max: self.batch,
+                    reply: rtx,
+                };
+                if self.dispatch[d].send(req).is_ok() {
+                    self.pending_tasks.push(PendingReply {
+                        conn,
+                        corr,
+                        rx: rrx,
+                        since: Instant::now(),
+                    });
+                }
+            }
+            WireMsg::Results { job, node, results } => {
+                let d = shard_of(node, self.dispatch.len());
+                let _ = self.dispatch[d].send(DispatchMsg::Results { job, node, results });
+            }
+            // Server-to-client vocabulary arriving at the server: noise.
+            WireMsg::HelloAck { .. }
+            | WireMsg::HeartbeatReply { .. }
+            | WireMsg::TaskBatch { .. }
+            | WireMsg::Broadcast { .. }
+            | WireMsg::Shutdown => {}
+        }
+    }
+
+    fn on_disconnect(&mut self, conn: ConnId, _out: &mut Outbox) {
+        self.conn_nodes.remove(&conn);
+        self.pending_hb.retain(|p| p.conn != conn);
+        self.pending_tasks.retain(|p| p.conn != conn);
+    }
+
+    fn poll(&mut self, out: &mut Outbox) {
+        while let Ok(msg) = self.bus_rx.try_recv() {
+            match msg {
+                BusMsg::Control(b) => {
+                    let image = b.image.as_deref().map(|img| self.encoded_image(img));
+                    out.broadcast(WireMsg::Broadcast {
+                        signed: b.signed,
+                        image,
+                    });
+                }
+                BusMsg::Shutdown => {
+                    out.broadcast(WireMsg::Shutdown);
+                    out.request_stop();
+                }
+            }
+        }
+        self.drain_pending(out);
+    }
+}
+
+fn to_wire_batch(reply: TaskBatchReply) -> WireBatch {
+    match reply {
+        TaskBatchReply::Drained => WireBatch::Drained,
+        TaskBatchReply::Assigned { job, tasks } => WireBatch::Assigned {
+            job,
+            tasks: tasks
+                .into_iter()
+                .map(|(task, query)| (task, query.as_ref().clone()))
+                .collect(),
+        },
+    }
+}
+
+fn from_wire_batch(batch: WireBatch) -> TaskBatchReply {
+    match batch {
+        WireBatch::Drained => TaskBatchReply::Drained,
+        WireBatch::Assigned { job, tasks } => TaskBatchReply::Assigned {
+            job,
+            tasks: tasks
+                .into_iter()
+                .map(|(task, query)| (task, Arc::new(query)))
+                .collect(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// PNA side: the remote link and the process entry point
+// ---------------------------------------------------------------------
+
+/// A `NodeLink` backed by one TCP connection: requests go out with a
+/// correlation id, the demultiplexer thread completes the parked reply
+/// channel when the echo comes back.
+pub(crate) struct RemoteLink {
+    client: WireClient,
+    pending_hb: Mutex<BTreeMap<u64, Sender<HeartbeatReply>>>,
+    pending_tasks: Mutex<BTreeMap<u64, Sender<TaskBatchReply>>>,
+    next_corr: AtomicU64,
+}
+
+impl RemoteLink {
+    fn new(client: WireClient) -> RemoteLink {
+        RemoteLink {
+            client,
+            // `named_send_sensitive`: no channel send may happen while
+            // either map's lock is held — callers park the reply sender,
+            // release, then write to the socket.
+            pending_hb: Mutex::named_send_sensitive(BTreeMap::new(), "live.wire.pending_hb"),
+            pending_tasks: Mutex::named_send_sensitive(BTreeMap::new(), "live.wire.pending_tasks"),
+            next_corr: AtomicU64::new(0),
+        }
+    }
+
+    fn corr(&self) -> u64 {
+        self.next_corr.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn send_heartbeat(&self, hb: Heartbeat, reply: Sender<HeartbeatReply>) -> bool {
+        let corr = self.corr();
+        {
+            let mut map = self.pending_hb.lock();
+            map.insert(corr, reply);
+            while map.len() > MAX_PENDING_CORR {
+                map.pop_first();
+            }
+        }
+        self.client.send(&WireMsg::Heartbeat { corr, hb })
+    }
+
+    pub(crate) fn request_tasks(
+        &self,
+        instance: oddci_types::InstanceId,
+        node: NodeId,
+        reply: Sender<TaskBatchReply>,
+    ) -> bool {
+        let corr = self.corr();
+        {
+            let mut map = self.pending_tasks.lock();
+            map.insert(corr, reply);
+            while map.len() > MAX_PENDING_CORR {
+                map.pop_first();
+            }
+        }
+        self.client.send(&WireMsg::TaskRequest {
+            corr,
+            instance,
+            node,
+        })
+    }
+
+    pub(crate) fn send_results(
+        &self,
+        job: oddci_types::JobId,
+        node: NodeId,
+        results: Vec<(oddci_types::TaskId, i32)>,
+    ) -> bool {
+        self.client.send(&WireMsg::Results { job, node, results })
+    }
+}
+
+/// Routes one inbound message: replies complete their parked channel,
+/// broadcasts and shutdowns go onto the node's bus.
+fn demux(link: &RemoteLink, bus_tx: &Sender<BusMsg>, msg: WireMsg) {
+    match msg {
+        WireMsg::HeartbeatReply { corr, reply } => {
+            let parked = link.pending_hb.lock().remove(&corr);
+            if let Some(tx) = parked {
+                let _ = tx.send(reply);
+            }
+        }
+        WireMsg::TaskBatch { corr, batch } => {
+            let parked = link.pending_tasks.lock().remove(&corr);
+            if let Some(tx) = parked {
+                let _ = tx.send(from_wire_batch(batch));
+            }
+        }
+        WireMsg::Broadcast { signed, image } => {
+            // An image that fails to decode is treated like a wakeup
+            // without one: the node declines the instance and the next
+            // carousel pass retries.
+            let image = image
+                .and_then(|bytes| decode_image(&bytes).ok())
+                .map(Arc::new);
+            let _ = bus_tx.send(BusMsg::Control(LiveBroadcast { signed, image }));
+        }
+        WireMsg::Shutdown => {
+            let _ = bus_tx.send(BusMsg::Shutdown);
+        }
+        // Client-to-server vocabulary arriving at a client: noise.
+        WireMsg::Hello { .. }
+        | WireMsg::HelloAck { .. }
+        | WireMsg::Heartbeat { .. }
+        | WireMsg::TaskRequest { .. }
+        | WireMsg::Results { .. } => {}
+    }
+}
+
+/// Parameters for one PNA process (or thread) joining a socket headend.
+#[derive(Debug, Clone)]
+pub struct WirePnaConfig {
+    /// The headend's listen address.
+    pub addr: SocketAddr,
+    /// Controller↔PNA shared key (must match the headend's).
+    pub key: Vec<u8>,
+    /// Heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Seed for this PNA's randomness (vary it per process).
+    pub seed: u64,
+    /// Faults to inject, protocol- and wire-level.
+    pub faults: FaultPlan,
+    /// Observability sink for this process.
+    pub telemetry: Telemetry,
+    /// How long to keep redialing the headend before giving up.
+    pub connect_timeout: Duration,
+}
+
+impl WirePnaConfig {
+    /// Defaults matching [`LiveConfig::default`](crate::LiveConfig).
+    pub fn new(addr: SocketAddr) -> WirePnaConfig {
+        WirePnaConfig {
+            addr,
+            key: b"live-oddci-key".to_vec(),
+            heartbeat_interval: Duration::from_millis(150),
+            seed: 42,
+            faults: FaultPlan::none(),
+            telemetry: Telemetry::disabled(),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a finished PNA reports back to its process wrapper.
+#[derive(Debug, Clone)]
+pub struct WirePnaReport {
+    /// The node identity the headend assigned.
+    pub node: NodeId,
+    /// Final wire-transport counters for the connection.
+    pub stats: WireStatsSnapshot,
+}
+
+/// Runs one PNA against a socket headend until the plane shuts down:
+/// dial, handshake, then the standard `node_main` loop over a
+/// `RemoteLink`. Blocks until the headend broadcasts `Shutdown` or the
+/// connection dies.
+pub fn run_wire_pna(config: WirePnaConfig) -> Result<WirePnaReport, WireError> {
+    let start = Instant::now();
+    let injector = Arc::new(FaultInjector::new(
+        config.faults.clone(),
+        config.seed ^ 0xFA17_FA17,
+    ));
+    let mut ccfg = ClientConfig::new(Integrity::hmac(&config.key));
+    ccfg.connect_timeout = config.connect_timeout;
+    ccfg.telemetry = config.telemetry.clone();
+    // Wire-level faults roll under a seed distinct from the protocol
+    // injector's so the two fault streams don't correlate.
+    ccfg.injector = FaultInjector::new(config.faults.clone(), config.seed ^ 0x3D1E_C7A1);
+    let client = WireClient::connect(config.addr, ccfg)?;
+
+    if !client.send(&WireMsg::Hello {
+        proto: PROTO_VERSION,
+    }) {
+        return Err(WireError::Protocol("connection closed during hello".into()));
+    }
+    // The carousel broadcasts to every connection, so wakeups can land
+    // before our ack — stash them and replay once we know who we are.
+    // The hello itself is re-sent on a short timer: a single mangled
+    // frame (fault injection, hostile networks) must not strand the
+    // handshake, and a duplicate hello just gets the same ack again.
+    let mut stashed = Vec::new();
+    let deadline = Instant::now() + HELLO_TIMEOUT;
+    let node = loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(WireError::Timeout("no HelloAck from headend"));
+        }
+        match client
+            .receiver()
+            .recv_timeout(left.min(Duration::from_millis(100)))
+        {
+            Ok(WireMsg::HelloAck { node }) => break node,
+            Ok(other) => stashed.push(other),
+            Err(_) => {
+                if client.is_closed() {
+                    return Err(WireError::Protocol("connection closed during hello".into()));
+                }
+                let _ = client.send(&WireMsg::Hello {
+                    proto: PROTO_VERSION,
+                });
+            }
+        }
+    };
+
+    let link = Arc::new(RemoteLink::new(client));
+    let (bus_tx, bus_rx) = unbounded();
+    for msg in stashed {
+        demux(&link, &bus_tx, msg);
+    }
+    let demux_thread = std::thread::Builder::new()
+        .name("wire-pna-demux".into())
+        .spawn({
+            let link = Arc::clone(&link);
+            let bus_tx = bus_tx.clone();
+            move || loop {
+                match link.client.receiver().recv() {
+                    Ok(msg) => demux(&link, &bus_tx, msg),
+                    Err(_) => {
+                        // Connection gone: the node sees Shutdown and
+                        // winds down like any other plane teardown.
+                        let _ = bus_tx.send(BusMsg::Shutdown);
+                        break;
+                    }
+                }
+            }
+        })
+        .map_err(WireError::Io)?;
+
+    node_main(
+        node,
+        config.key.clone(),
+        bus_rx,
+        NodeLink::Remote(Arc::clone(&link)),
+        config.heartbeat_interval,
+        config.seed,
+        start,
+        injector,
+        config.telemetry.clone(),
+    );
+
+    // Unblock the demultiplexer (its recv fails once the reader stops),
+    // then let the link's last owner join the reader thread on drop.
+    link.client.request_close();
+    let _ = demux_thread.join();
+    let stats = link.client.stats().snapshot();
+    Ok(WirePnaReport { node, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_round_trips_with_database_attached() {
+        let img = AlignmentImage::small_demo();
+        let db = random_sequence(img.db_len, img.db_seed);
+        let bytes = encode_image(&img, &db);
+        let back = decode_image(&bytes).expect("decodes");
+        assert_eq!(back.db_seed, img.db_seed);
+        assert_eq!(back.k, img.k);
+        assert_eq!(back.scoring, img.scoring);
+        assert_eq!(back.min_score, img.min_score);
+        assert_eq!(
+            back.prefetched.as_deref().map(|b| b.as_slice()),
+            Some(db.as_slice()),
+            "the streamed database rides in `prefetched`"
+        );
+        // The decoded recipe materializes from the streamed bytes, so a
+        // remote node and a local one index the identical database.
+        assert_eq!(back.materialize().db(), img.materialize().db());
+    }
+
+    #[test]
+    fn truncated_image_bytes_error_out() {
+        let img = AlignmentImage::small_demo();
+        let db = random_sequence(1000, 7);
+        let mut bytes = encode_image(&img, &db);
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_image(&bytes).is_err());
+    }
+
+    #[test]
+    fn wire_batch_conversion_round_trips() {
+        use oddci_types::{DataSize, JobId, SimDuration, TaskId};
+        use oddci_workload::Task;
+        let task = Task::new(
+            TaskId::new(3),
+            DataSize::from_bytes(100),
+            SimDuration::from_millis(5),
+            DataSize::from_bytes(8),
+        );
+        let reply = TaskBatchReply::Assigned {
+            job: JobId::new(9),
+            tasks: vec![(task, Arc::new(vec![1, 2, 3]))],
+        };
+        match from_wire_batch(to_wire_batch(reply)) {
+            TaskBatchReply::Assigned { job, tasks } => {
+                assert_eq!(job, JobId::new(9));
+                assert_eq!(tasks.len(), 1);
+                assert_eq!(*tasks[0].1, vec![1, 2, 3]);
+            }
+            TaskBatchReply::Drained => panic!("batch survived the round trip"),
+        }
+        assert!(matches!(
+            from_wire_batch(to_wire_batch(TaskBatchReply::Drained)),
+            TaskBatchReply::Drained
+        ));
+    }
+}

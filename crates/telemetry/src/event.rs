@@ -53,11 +53,17 @@ pub enum Phase {
     Kernel,
     /// Job submit → Provider report complete.
     JobRun,
+    /// A socket transport accepted or established one connection.
+    WireConnect,
+    /// One wire frame left a socket transport.
+    WireTx,
+    /// One wire frame arrived and passed its checksum.
+    WireRx,
 }
 
 impl Phase {
     /// Every phase, in declaration order (dense indexing).
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 17] = [
         Phase::CarouselPublish,
         Phase::WakeupWait,
         Phase::PnaAccept,
@@ -72,6 +78,9 @@ impl Phase {
         Phase::DirectTransfer,
         Phase::Kernel,
         Phase::JobRun,
+        Phase::WireConnect,
+        Phase::WireTx,
+        Phase::WireRx,
     ];
 
     /// Number of phases (size of dense per-phase arrays).
@@ -99,6 +108,9 @@ impl Phase {
             Phase::DirectTransfer => "net.transfer",
             Phase::Kernel => "receiver.kernel",
             Phase::JobRun => "job.run",
+            Phase::WireConnect => "wire.connect",
+            Phase::WireTx => "wire.tx",
+            Phase::WireRx => "wire.rx",
         }
     }
 

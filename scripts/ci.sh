@@ -8,10 +8,15 @@ cd "$(dirname "$0")/.."
 CARGO_FLAGS=${CARGO_FLAGS:-}
 
 # Smoke artifacts are gitignored; remove them even when a gate between
-# their creation and the explicit cleanup fails.
+# their creation and the explicit cleanup fails. PNA processes from the
+# wire smoke are reaped too, so a failed headend never leaks children.
+PNA_PIDS=""
 cleanup() {
+    for pid in ${PNA_PIDS}; do
+        kill "${pid}" 2>/dev/null || true
+    done
     rm -f results/ci-smoke.json results/ci-smoke.trace.jsonl \
-        results/ci-smoke.trace.stream.json
+        results/ci-smoke.trace.stream.json results/ci-wire-smoke.json
 }
 trap cleanup EXIT
 
@@ -45,5 +50,38 @@ run cargo run -q --release ${CARGO_FLAGS} -p oddci-cli --bin oddci -- trace \
     --scenario small --seed 7 \
     --out results/ci-smoke.json --stream results/ci-smoke.trace.jsonl
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-bench --bin schema_check
+
+# Wire smoke: one real multi-process run of the socket-backed live plane —
+# a headend process plus three PNA processes complete an alignment job
+# over loopback TCP, and the headend's accounting must balance exactly.
+ODDCI_BIN=target/release/oddci
+WIRE_PORT=${WIRE_PORT:-7841}
+echo "==> wire smoke: headend + 3 pna processes on 127.0.0.1:${WIRE_PORT}"
+"${ODDCI_BIN}" headend --listen "127.0.0.1:${WIRE_PORT}" \
+    --pnas 3 --target 3 --queries 9 --timeout 60 --json \
+    > results/ci-wire-smoke.json &
+HEADEND_PID=$!
+sleep 1
+for seed in 101 102 103; do
+    "${ODDCI_BIN}" pna --connect "127.0.0.1:${WIRE_PORT}" --seed "${seed}" \
+        > /dev/null &
+    PNA_PIDS="${PNA_PIDS} $!"
+done
+wait "${HEADEND_PID}"
+for pid in ${PNA_PIDS}; do
+    wait "${pid}"
+done
+PNA_PIDS=""
+python3 - <<'EOF'
+import json
+with open("results/ci-wire-smoke.json") as f:
+    report = json.load(f)
+assert report["tasks_completed"] == 9, report
+assert report["tasks_unaccounted"] == 0, report
+assert report["threads_failed"] == 0, report
+assert report["wire"]["multi_chunk_tx"] >= 1, report
+assert report["wire"]["checksum_rejects"] == 0, report
+print("    wire smoke: 9 tasks over loopback, accounting balanced")
+EOF
 
 echo "==> CI green"

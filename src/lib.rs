@@ -29,6 +29,7 @@
 //! | [`analytics`] | `oddci-analytics` | closed forms: `W = 1.5·I/β`, makespan eq. (1), efficiency eq. (2) |
 //! | [`baselines`] | `oddci-baselines` | desktop grid / voluntary / IaaS deployment models |
 //! | [`live`] | `oddci-live` | thread-per-receiver runtime doing real alignment work |
+//! | [`wire`] | `oddci-wire` | framed, checksummed TCP transport for the live plane |
 //!
 //! ## Quickstart
 //!
@@ -73,6 +74,7 @@ pub use oddci_receiver as receiver;
 pub use oddci_sim as sim;
 pub use oddci_telemetry as telemetry;
 pub use oddci_types as types;
+pub use oddci_wire as wire;
 pub use oddci_workload as workload;
 
 /// Version of the reproduction (mirrors the workspace version).
