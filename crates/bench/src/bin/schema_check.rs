@@ -2,8 +2,10 @@
 //! checked-in schema `scripts/metrics.schema.json`, plus any streamed
 //! trace artifacts the sink layer produced: `*.trace.jsonl` files must
 //! start with a well-formed stream header followed by parseable event
-//! lines (a bounded sample), and `*.stream.json` files must be valid
-//! Chrome `trace_event` documents stamped with `otherData.oddci_stream`.
+//! lines (a bounded sample), `*.stream.json` files must be valid
+//! Chrome `trace_event` documents stamped with `otherData.oddci_stream`,
+//! and `*.trace.bin` files must carry the binary trace magic, a
+//! supported format version, and a complete phase label table.
 //!
 //! The validator implements the JSON Schema subset the schema actually
 //! uses — `type`, `properties`, `required`, `additionalProperties`
@@ -156,12 +158,47 @@ fn validate_chrome_stream(text: &str) -> Vec<String> {
     errors
 }
 
+/// Validates a binary trace file header: `ODCB` magic, a format version
+/// this build understands, and a phase table covering every phase a
+/// record tag could reference. The body is not replayed here — the
+/// convert round-trip in CI exercises that path end to end.
+fn validate_binary_trace(bytes: &[u8]) -> Vec<String> {
+    let (header, body_start) = match oddci_telemetry::binary::decode_header(bytes) {
+        Ok(h) => h,
+        Err(e) => return vec![format!("bad binary header: {e}")],
+    };
+    let mut errors = Vec::new();
+    if header.version != oddci_telemetry::binary::BINARY_VERSION {
+        errors.push(format!(
+            "unsupported binary version {} (expected {})",
+            header.version,
+            oddci_telemetry::binary::BINARY_VERSION
+        ));
+    }
+    if header.labels.is_empty() {
+        errors.push("empty phase label table".into());
+    }
+    if header.lanes == 0 {
+        errors.push("header claims zero writer lanes".into());
+    }
+    if body_start > bytes.len() {
+        errors.push("header extends past end of file".into());
+    }
+    errors
+}
+
 fn check_stream_file(path: &Path) -> Vec<String> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.ends_with(".trace.bin") {
+        return match std::fs::read(path) {
+            Ok(bytes) => validate_binary_trace(&bytes),
+            Err(e) => vec![format!("unreadable: {e}")],
+        };
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return vec![format!("unreadable: {e}")],
     };
-    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     if name.ends_with(".trace.jsonl") {
         validate_jsonl_stream(&text)
     } else {
@@ -211,9 +248,11 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot list {}: {e}", results_dir.display()))
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.ends_with(".trace.jsonl") || n.ends_with(".stream.json"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.ends_with(".trace.jsonl")
+                    || n.ends_with(".stream.json")
+                    || n.ends_with(".trace.bin")
+            })
         })
         .collect();
     streams.sort();
@@ -329,6 +368,29 @@ mod tests {
         assert!(validate_jsonl_stream("")
             .iter()
             .any(|e| e.contains("empty")));
+    }
+
+    #[test]
+    fn binary_trace_header_passes_and_corruption_fails() {
+        let bytes = oddci_telemetry::binary::encode_header(&[("scenario".into(), "t".into())], 2);
+        assert!(validate_binary_trace(&bytes).is_empty());
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(validate_binary_trace(&wrong_magic)
+            .iter()
+            .any(|e| e.contains("bad binary header")));
+
+        // Bump the version field (little-endian u16 right after the magic).
+        let mut wrong_version = bytes;
+        wrong_version[4] = wrong_version[4].wrapping_add(1);
+        let errors = validate_binary_trace(&wrong_version);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("version") || e.contains("bad binary header")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -29,17 +29,25 @@
 //!   the `W = 1.5·I/β` agreement check evaluated from the on-disk
 //!   artifact. `ODDCI_SWEEP_NODES` scales the audience down for quick
 //!   local iteration; `ODDCI_KEEP_TRACES=1` keeps the (large) trace
-//!   files instead of deleting them after validation.
+//!   files instead of deleting them after validation;
+//! * experiment X11 — the same sweep once more through the *binary*
+//!   sink, which must drop **zero** events where X9's two-format text
+//!   writer sheds half the torrent. The binary artifact is converted
+//!   back to JSONL offline and the wakeup agreement check is evaluated
+//!   from the *converted* trace, proving the round trip lossless at
+//!   full scale.
 //!
 //! Artifacts: `results/soak.json` (all rows), `results/soak_stream.json`
 //! (streamed-run summaries) and `results/soak.metrics.json`
 //! (schema-checked envelope; soak rows ride in `metrics.soak`, the X9
-//! summary in `metrics.stream_sweep`).
+//! summary in `metrics.stream_sweep`, X11 in
+//! `metrics.stream_sweep_binary`).
 
 use oddci_analytics::wakeup_envelope;
 use oddci_bench::{header, results_dir, write_artifact, write_metrics, RunInfo};
 use oddci_core::{World, WorldConfig};
 use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+use oddci_telemetry::binary;
 use oddci_telemetry::sink::{read_jsonl_events, span_durations_us};
 use oddci_telemetry::{Event, EventKind, Phase, StreamingSink, Telemetry, CONTROL_TRACK};
 use oddci_types::{DataSize, SimDuration, SimTime};
@@ -268,40 +276,60 @@ fn streamed_soak() -> (Row, serde_json::Value, Vec<Event>) {
     (row, info, events)
 }
 
-/// X9 — million-node streamed sweep on the discrete-event plane. The
-/// event stream (~13.5 M events at the default task count) overflows the
-/// default ring ~50× over; the streaming sink keeps the complete early
-/// wakeup record on disk (shedding only part of the later task torrent,
-/// with exact loss accounting), and the `W = 1.5·I/β` agreement check is
-/// evaluated from the read-back artifact instead of the (wrapped) ring.
-fn streamed_sweep() -> serde_json::Value {
+/// X9 / X11 — million-node streamed sweep on the discrete-event plane.
+/// The event stream (~13.5 M events at the default task count) overflows
+/// the default ring ~50× over. X9 (`binary = false`) streams JSONL +
+/// Chrome text, shedding part of the later task torrent with exact loss
+/// accounting; X11 (`binary = true`) streams the compact binary format,
+/// which must keep up with the full torrent — **zero** drops — and the
+/// `W = 1.5·I/β` agreement check is then evaluated from the trace
+/// *converted back to JSONL*, proving the offline round trip lossless.
+fn streamed_sweep(binary_sink: bool) -> serde_json::Value {
     let nodes = env_u64("ODDCI_SWEEP_NODES", SWEEP_NODES);
     let tasks = env_u64("ODDCI_SWEEP_TASKS", SWEEP_TASKS);
     let target = SWEEP_TARGET.min(nodes);
-    header("X9 — million-node streamed-trace sweep");
+    let (stem, scenario) = if binary_sink {
+        ("x11", "x11-binary-sweep")
+    } else {
+        ("x9", "x9-streamed-sweep")
+    };
+    header(if binary_sink {
+        "X11 — million-node sweep through the zero-drop binary sink"
+    } else {
+        "X9 — million-node streamed-trace sweep"
+    });
     println!(
         "{nodes} receivers, instance {target}, {tasks} tasks x {SWEEP_COST_SECS}s, {SWEEP_IMAGE_MB} MB image\n"
     );
 
-    let jsonl_path = results_dir().join("x9.trace.jsonl");
-    let chrome_path = results_dir().join("x9.trace.stream.json");
-    let sink = StreamingSink::builder()
-        .jsonl(&jsonl_path)
-        .chrome(&chrome_path)
+    let jsonl_path = results_dir().join(format!("{stem}.trace.jsonl"));
+    let chrome_path = results_dir().join(format!("{stem}.trace.stream.json"));
+    let bin_path = results_dir().join(format!("{stem}.trace.bin"));
+    let builder = if binary_sink {
+        // X11: one compact output. Varint records cost a fraction of the
+        // two JSON serializations, so the writers keep pace with the sim
+        // and nothing is shed.
+        StreamingSink::builder().binary(&bin_path)
+    } else {
+        StreamingSink::builder()
+            .jsonl(&jsonl_path)
+            .chrome(&chrome_path)
+    };
+    let sink = builder
         .lanes(4)
         // The single-threaded sim emits ~13.5 M events in under a minute
         // of wall clock — a sustained rate beyond what one writer can serialize
-        // into two formats, so the later task torrent is shed (counted,
-        // never blocking). Deep lanes (4 × 2^18 events ≈ 32 MB bounded)
-        // matter for a different reason: they absorb the initial 4 000-node
-        // join wave, so the wakeup record — the part the ring loses first —
-        // reaches disk complete.
+        // into two text formats, so X9's later task torrent is shed
+        // (counted, never blocking). Deep lanes (4 × 2^18 events ≈ 32 MB
+        // bounded) matter for a different reason: they absorb the initial
+        // 4 000-node join wave, so the wakeup record — the part the ring
+        // loses first — reaches disk complete.
         .lane_capacity(1 << 18)
-        .meta("scenario", "x9-streamed-sweep")
+        .meta("scenario", scenario)
         .meta("seed", SEED.to_string())
         .meta("plane", "sim")
         .start()
-        .expect("open x9 stream");
+        .expect("open sweep stream");
     // Default ring capacity on purpose: X9 demonstrates that the ring
     // wraps at this scale while the streamed artifact stays complete.
     let tele = Telemetry::recording().with_sink(sink.clone());
@@ -328,7 +356,7 @@ fn streamed_sweep() -> serde_json::Value {
         .run_request(request, SimTime::from_secs(365 * 24 * 3600))
         .expect("sweep completes within a simulated year");
     let wall = wall.elapsed();
-    let summary = sink.finish().expect("x9 stream closes");
+    let summary = sink.finish().expect("sweep stream closes");
     let stats = summary.stats;
     let bytes: u64 = summary.outputs.iter().map(|o| o.bytes).sum();
 
@@ -342,10 +370,40 @@ fn streamed_sweep() -> serde_json::Value {
 
     // Read the artifact back and recompute the §5.1 wakeup agreement
     // from it: mean wait-for-carousel plus mean DVE boot must land
-    // inside the [I/β, 2I/β] envelope around W = 1.5·I/β.
-    let text = std::fs::read_to_string(&jsonl_path).expect("read x9 trace back");
-    let (stream_header, events) = read_jsonl_events(&text).expect("x9 trace parses");
+    // inside the [I/β, 2I/β] envelope around W = 1.5·I/β. For X11 the
+    // artifact read is itself the offline `trace convert` path: binary
+    // file → decoded events → re-emitted JSONL, checked end to end.
+    if binary_sink {
+        assert_eq!(
+            stats.dropped, 0,
+            "X11's binary sink must persist every emitted event"
+        );
+        let trace = binary::read_file(&bin_path).expect("read binary sweep trace back");
+        assert!(
+            trace.truncated.is_none(),
+            "binary trace reports truncation: {:?}",
+            trace.truncated
+        );
+        assert_eq!(
+            trace.events.len() as u64,
+            stats.persisted,
+            "binary file holds exactly the persisted events"
+        );
+        binary::convert(&trace, Some(&jsonl_path), Some(&chrome_path))
+            .expect("convert binary sweep trace");
+    }
+    let text = std::fs::read_to_string(&jsonl_path).expect("read sweep trace back");
+    let (stream_header, events) = read_jsonl_events(&text).expect("sweep trace parses");
     assert_eq!(stream_header.format, "jsonl");
+    if binary_sink {
+        assert!(
+            stream_header
+                .meta
+                .iter()
+                .any(|(k, v)| k == "converted_from" && v == "binary"),
+            "converted trace must carry its provenance stamp"
+        );
+    }
     assert_eq!(
         events.len() as u64,
         stats.persisted,
@@ -386,8 +444,13 @@ fn streamed_sweep() -> serde_json::Value {
 
     println!("  makespan        : {}", report.makespan);
     println!("  wall clock      : {:.1}s", wall.as_secs_f64());
+    let dropped_pct = if stats.emitted == 0 {
+        0.0
+    } else {
+        100.0 * stats.dropped as f64 / stats.emitted as f64
+    };
     println!(
-        "  streamed        : {} emitted, {} persisted, {} dropped, {} flushes ({bytes} bytes)",
+        "  streamed        : {} emitted, {} persisted, {} dropped ({dropped_pct:.1}%), {} flushes ({bytes} bytes)",
         stats.emitted, stats.persisted, stats.dropped, stats.flushes
     );
     println!("  ring snapshot   : {ring_len} events (capacity-bounded)");
@@ -396,6 +459,13 @@ fn streamed_sweep() -> serde_json::Value {
         boot_durs.len(),
         w_mean.as_secs_f64()
     );
+    if binary_sink {
+        println!(
+            "  convert         : {} B binary -> {} events re-emitted as JSONL + Chrome",
+            bytes,
+            events.len()
+        );
+    }
     if keep_traces() {
         println!(
             "  traces kept     : {} + {}",
@@ -405,10 +475,11 @@ fn streamed_sweep() -> serde_json::Value {
     } else {
         let _ = std::fs::remove_file(&jsonl_path);
         let _ = std::fs::remove_file(&chrome_path);
+        let _ = std::fs::remove_file(&bin_path);
     }
 
     serde_json::json!({
-        "scenario": "x9-streamed-sweep",
+        "scenario": scenario,
         "nodes": nodes,
         "target": target,
         "tasks": tasks,
@@ -417,6 +488,7 @@ fn streamed_sweep() -> serde_json::Value {
         "emitted": stats.emitted,
         "persisted": stats.persisted,
         "dropped": stats.dropped,
+        "dropped_pct": dropped_pct,
         "flushes": stats.flushes,
         "stream_bytes": bytes,
         "ring_events": ring_len,
@@ -497,12 +569,18 @@ fn main() {
     let (stream_row, stream_info, streamed_events) = streamed_soak();
     assert_eq!(stream_row.tasks, TASKS);
 
-    let sweep = streamed_sweep();
+    let sweep = streamed_sweep(false);
+    let sweep_binary = streamed_sweep(true);
+    assert_eq!(
+        sweep_binary["dropped"].as_u64(),
+        Some(0),
+        "X11 summary must record zero drops"
+    );
 
     write_artifact("soak", &rows);
     write_artifact(
         "soak_stream",
-        &serde_json::json!({ "x8": stream_info, "x9": sweep }),
+        &serde_json::json!({ "x8": stream_info, "x9": sweep, "x11": sweep_binary }),
     );
     let run = RunInfo::new("soak", SEED);
     let metrics = serde_json::json!({
@@ -520,6 +598,7 @@ fn main() {
         "soak": rows,
         "stream": stream_info,
         "stream_sweep": sweep,
+        "stream_sweep_binary": sweep_binary,
     });
     write_metrics("soak", &run, &metrics, &phases);
 }

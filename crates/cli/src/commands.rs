@@ -188,34 +188,66 @@ fn chrome_stream_path(jsonl_path: &str) -> String {
     format!("{stem}.stream.json")
 }
 
-/// Build a streaming sink writing JSONL at `jsonl_path` plus the derived
-/// Chrome artifact, stamped with scenario/seed metadata.
+/// Build a streaming sink at `stream_path`, stamped with scenario/seed
+/// metadata: JSONL plus the derived Chrome artifact, or — with `binary`
+/// — the compact binary format (one exclusive output, per-lane writers;
+/// `oddci trace convert` re-emits the text forms offline).
 fn open_stream_sink(
-    jsonl_path: &str,
+    stream_path: &str,
     lanes: usize,
+    lane_capacity: Option<usize>,
+    binary: bool,
     scenario: &str,
     seed: u64,
     plane: &str,
 ) -> Result<std::sync::Arc<oddci_telemetry::StreamingSink>, ArgError> {
-    let path = std::path::Path::new(jsonl_path);
+    let path = std::path::Path::new(stream_path);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
                 .map_err(|e| ArgError(format!("cannot create `{}`: {e}", parent.display())))?;
         }
     }
-    oddci_telemetry::StreamingSink::builder()
-        .jsonl(jsonl_path)
-        .chrome(chrome_stream_path(jsonl_path))
+    let mut builder = oddci_telemetry::StreamingSink::builder();
+    builder = if binary {
+        builder.binary(stream_path)
+    } else {
+        builder
+            .jsonl(stream_path)
+            .chrome(chrome_stream_path(stream_path))
+    };
+    if let Some(capacity) = lane_capacity {
+        builder = builder.lane_capacity(capacity);
+    }
+    builder
         .lanes(lanes)
         .meta("scenario", scenario)
         .meta("seed", seed.to_string())
         .meta("plane", plane)
         .start()
-        .map_err(|e| ArgError(format!("cannot open stream `{jsonl_path}`: {e}")))
+        .map_err(|e| ArgError(format!("cannot open stream `{stream_path}`: {e}")))
 }
 
-/// Render the one-line summary of a finished sink.
+/// Parses the optional `--lane-capacity` override (events buffered per
+/// sink lane before offers drop).
+fn lane_capacity_arg(p: &Parsed) -> Result<Option<usize>, ArgError> {
+    match p.get("lane-capacity") {
+        None => Ok(None),
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| {
+                ArgError(format!("`--lane-capacity` expects a number, got `{raw}`"))
+            })?;
+            if n == 0 {
+                return Err(ArgError("--lane-capacity must be positive".into()));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+/// Render the one-line summary of a finished sink. Drops carry their
+/// share of the emitted total: an absolute count reads as noise at
+/// million-event scale when the real story is "53 % lost".
 fn stream_summary_line(summary: &oddci_telemetry::SinkSummary) -> String {
     let files = summary
         .outputs
@@ -223,8 +255,13 @@ fn stream_summary_line(summary: &oddci_telemetry::SinkSummary) -> String {
         .map(|o| format!("{} ({} B)", o.path.display(), o.bytes))
         .collect::<Vec<_>>()
         .join(", ");
+    let pct = if summary.stats.emitted == 0 {
+        0.0
+    } else {
+        100.0 * summary.stats.dropped as f64 / summary.stats.emitted as f64
+    };
     format!(
-        "{} emitted, {} persisted, {} dropped, {} flushes -> {files}",
+        "{} emitted, {} persisted, {} dropped ({pct:.1}%), {} flushes -> {files}",
         summary.stats.emitted,
         summary.stats.persisted,
         summary.stats.dropped,
@@ -245,6 +282,11 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
     let out_path = p.get("out").unwrap_or("results/trace.json");
     let stream_path = p.get("stream");
     let seed: u64 = p.num("seed", 42)?;
+    let lane_capacity = lane_capacity_arg(p)?;
+    let binary = p.flag("binary");
+    if binary && stream_path.is_none() {
+        return Err(ArgError("--binary requires --stream PATH".into()));
+    }
 
     // Scenario presets sized so even `chaos` finishes in seconds.
     let (nodes, target, tasks, cost_secs, image_mb, faults) = match scenario {
@@ -259,7 +301,15 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
     };
 
     let sink = match stream_path {
-        Some(path) => Some(open_stream_sink(path, 4, scenario, seed, "sim")?),
+        Some(path) => Some(open_stream_sink(
+            path,
+            4,
+            lane_capacity,
+            binary,
+            scenario,
+            seed,
+            "sim",
+        )?),
         None => None,
     };
     let mut tele = Telemetry::recording();
@@ -313,10 +363,20 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
                 .finish()
                 .map_err(|e| ArgError(format!("stream writer failed: {e}")))?;
             let _ = writeln!(out, "  streamed   : {}", stream_summary_line(&summary));
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| ArgError(format!("cannot read back `{path}`: {e}")))?;
-            let (_, evs) = oddci_telemetry::sink::read_jsonl_events(&text)
-                .map_err(|e| ArgError(format!("invalid stream `{path}`: {e}")))?;
+            let evs = if binary {
+                let trace = oddci_telemetry::binary::read_file(std::path::Path::new(path))
+                    .map_err(|e| ArgError(format!("cannot read back `{path}`: {e}")))?;
+                if let Some(report) = &trace.truncated {
+                    let _ = writeln!(out, "  truncated  : {report}");
+                }
+                trace.events
+            } else {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ArgError(format!("cannot read back `{path}`: {e}")))?;
+                let (_, evs) = oddci_telemetry::sink::read_jsonl_events(&text)
+                    .map_err(|e| ArgError(format!("invalid stream `{path}`: {e}")))?;
+                evs
+            };
             Some(evs)
         }
         _ => None,
@@ -373,6 +433,227 @@ pub fn trace(p: &Parsed) -> Result<String, ArgError> {
         100.0 * (measured - w_mean.as_secs_f64()) / w_mean.as_secs_f64()
     );
     Ok(out)
+}
+
+/// `oddci trace convert`: losslessly re-emit the JSONL and Chrome text
+/// artifacts from a binary trace recorded with `--stream PATH --binary`.
+/// The converted files are byte-compatible with directly streamed ones
+/// (same header, same writers), so every downstream consumer — the
+/// wakeup check, `schema_check`, Perfetto — works unchanged.
+pub fn trace_convert(p: &Parsed) -> Result<String, ArgError> {
+    let input = p.get("in").ok_or_else(|| {
+        ArgError(
+            "usage: oddci trace convert <file.trace.bin> [--jsonl PATH] [--chrome PATH]".into(),
+        )
+    })?;
+    let stem = input.strip_suffix(".bin").unwrap_or(input);
+    let jsonl = p
+        .get("jsonl")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{stem}.jsonl"));
+    let chrome = p
+        .get("chrome")
+        .map(str::to_string)
+        .unwrap_or_else(|| chrome_stream_path(&jsonl));
+
+    let trace = oddci_telemetry::binary::read_file(std::path::Path::new(input))
+        .map_err(|e| ArgError(format!("cannot read `{input}`: {e}")))?;
+    let outputs = oddci_telemetry::binary::convert(
+        &trace,
+        Some(std::path::Path::new(&jsonl)),
+        Some(std::path::Path::new(&chrome)),
+    )
+    .map_err(|e| ArgError(format!("cannot convert `{input}`: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "converted {input}: {} event(s), {} lane(s)",
+        trace.events.len(),
+        trace.header.lanes
+    );
+    if let Some(report) = &trace.truncated {
+        let _ = writeln!(out, "  truncated : {report}");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  -> {} ({} B)", o.path.display(), o.bytes);
+    }
+    Ok(out)
+}
+
+/// Renders one `oddci top` refresh: the registry with deltas/rates
+/// against the previous poll, then the per-connection rows.
+fn render_top(
+    reply_registry: &oddci_telemetry::RegistrySnapshot,
+    connections: &[oddci_wire::ConnTraffic],
+    prev: Option<&oddci_telemetry::RegistrySnapshot>,
+    elapsed_secs: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>12} {:>10} {:>10}",
+        "counter", "value", "delta", "per sec"
+    );
+    for (name, value) in &reply_registry.counters {
+        let before = prev
+            .and_then(|s| s.counters.get(name))
+            .copied()
+            .unwrap_or(0);
+        let delta = value.saturating_sub(before);
+        let rate = if prev.is_some() && elapsed_secs > 0.0 {
+            format!("{:.1}", delta as f64 / elapsed_secs)
+        } else {
+            "-".to_string()
+        };
+        let shown_delta = if prev.is_some() {
+            format!("+{delta}")
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(out, "  {name:<34} {value:>12} {shown_delta:>10} {rate:>10}");
+    }
+    for (name, value) in &reply_registry.gauges {
+        let _ = writeln!(out, "  {name:<34} {value:>12.3}");
+    }
+    if !reply_registry.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "count", "mean", "p50", "p99", "max"
+        );
+        for (name, h) in &reply_registry.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s",
+                name, h.count, h.mean, h.p50, h.p99, h.max
+            );
+        }
+    }
+    if !connections.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:<6} {:>9} {:>12} {:>9} {:>12} {:>8} {:>8}",
+            "conn", "state", "tx fr", "tx B", "rx fr", "rx B", "rejects", "resyncs"
+        );
+        for c in connections {
+            let _ = writeln!(
+                out,
+                "  #{:<5} {:<6} {:>9} {:>12} {:>9} {:>12} {:>8} {:>8}",
+                c.conn,
+                if c.open { "open" } else { "closed" },
+                c.tx_frames,
+                c.tx_bytes,
+                c.rx_frames,
+                c.rx_bytes,
+                c.checksum_rejects,
+                c.resyncs
+            );
+        }
+    }
+    out
+}
+
+/// `oddci top`: poll a running socket headend's live metrics plane.
+/// Sends [`StatsQuery`](oddci_wire::WireMsg::StatsQuery) on an interval
+/// and renders the registry (with deltas/rates between polls) plus the
+/// per-connection wire counters. A monitoring connection never performs
+/// the hello handshake, so it does not consume a node identity.
+pub fn top(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_wire::{ClientConfig, Integrity, WireClient, WireMsg};
+    use std::time::Duration;
+
+    let addr = socket_addr(p, "connect")?;
+    let count: u64 = p.num("count", 0)?; // 0 = poll until the headend goes away
+    let interval_ms: u64 = p.num("interval-ms", 1000)?;
+    if interval_ms == 0 {
+        return Err(ArgError("--interval-ms must be positive".into()));
+    }
+    let mut ccfg = ClientConfig::new(Integrity::hmac(b"live-oddci-key"));
+    ccfg.connect_timeout = Duration::from_secs(p.num("connect-timeout", 10)?);
+    let client =
+        WireClient::connect(addr, ccfg).map_err(|e| ArgError(format!("top on {addr}: {e}")))?;
+
+    let mut prev: Option<oddci_telemetry::RegistrySnapshot> = None;
+    let mut last_poll = std::time::Instant::now();
+    let mut polls: u64 = 0;
+    let mut final_out = String::new();
+    loop {
+        let corr = polls;
+        if !client.send(&WireMsg::StatsQuery { corr }) {
+            if polls == 0 {
+                return Err(ArgError(format!("top on {addr}: connection closed")));
+            }
+            break;
+        }
+        // The headend broadcasts wakeups/shutdown to every connection;
+        // skip that traffic until our correlated reply shows up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let reply = loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(ArgError(format!("top on {addr}: no StatsReply within 5s")));
+            }
+            match client.receiver().recv_timeout(left) {
+                Ok(WireMsg::StatsReply {
+                    corr: got,
+                    registry,
+                    connections,
+                }) if got == corr => break Some((registry, connections)),
+                Ok(WireMsg::Shutdown) => break None,
+                Ok(_) => continue,
+                Err(_) if client.is_closed() => break None,
+                Err(_) => continue,
+            }
+        };
+        let Some((registry, connections)) = reply else {
+            if polls == 0 {
+                return Err(ArgError(format!("top on {addr}: headend shut down")));
+            }
+            break;
+        };
+        let elapsed = last_poll.elapsed().as_secs_f64();
+        last_poll = std::time::Instant::now();
+        polls += 1;
+        if p.flag("json") {
+            let conns: Vec<serde_json::Value> = connections
+                .iter()
+                .map(|c| {
+                    serde_json::json!({
+                        "conn": c.conn,
+                        "open": c.open,
+                        "tx_frames": c.tx_frames,
+                        "rx_frames": c.rx_frames,
+                        "tx_bytes": c.tx_bytes,
+                        "rx_bytes": c.rx_bytes,
+                        "checksum_rejects": c.checksum_rejects,
+                        "resyncs": c.resyncs,
+                    })
+                })
+                .collect();
+            let v = serde_json::json!({
+                "addr": addr.to_string(),
+                "poll": polls,
+                "registry": serde_json::to_value(&registry).expect("registry json"),
+                "connections": conns,
+            });
+            final_out = serde_json::to_string_pretty(&v).expect("serialize top json");
+        } else {
+            let mut text = format!("oddci top — {addr}, poll {polls}\n");
+            text.push_str(&render_top(&registry, &connections, prev.as_ref(), elapsed));
+            final_out = text;
+        }
+        prev = Some(registry);
+        if count > 0 && polls >= count {
+            break;
+        }
+        // Streaming mode: show each refresh as it lands; the final one is
+        // also the return value.
+        println!("{final_out}");
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    client.request_close();
+    Ok(final_out)
 }
 
 /// `oddci wakeup`: the §5.1 envelope.
@@ -529,13 +810,26 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
         .collect();
     // One sink lane per headend thread (carousel + shards + dispatch)
     // so their trace offers never contend; see ShardedHeadend::start.
+    let lane_capacity = lane_capacity_arg(p)?;
+    let binary = p.flag("binary");
+    if binary && p.get("trace-out").is_none() {
+        return Err(ArgError("--binary requires --trace-out PATH".into()));
+    }
     let sink = match p.get("trace-out") {
         Some(path) => {
             let lanes = match mode {
                 HeadendMode::SingleLoop => 2,
                 HeadendMode::Sharded { .. } | HeadendMode::Socket { .. } => 1 + shards + dispatch,
             };
-            Some(open_stream_sink(path, lanes, "soak", seed, "live")?)
+            Some(open_stream_sink(
+                path,
+                lanes,
+                lane_capacity,
+                binary,
+                "soak",
+                seed,
+                "live",
+            )?)
         }
         None => None,
     };
@@ -584,12 +878,18 @@ pub fn soak(p: &Parsed) -> Result<String, ArgError> {
             "gauges": snapshot.gauges,
         });
         if let (serde_json::Value::Object(entries), Some(s)) = (&mut v, &stream_summary) {
+            let pct = if s.stats.emitted == 0 {
+                0.0
+            } else {
+                100.0 * s.stats.dropped as f64 / s.stats.emitted as f64
+            };
             entries.push((
                 "stream".to_string(),
                 serde_json::json!({
                     "emitted": s.stats.emitted,
                     "persisted": s.stats.persisted,
                     "dropped": s.stats.dropped,
+                    "dropped_pct": pct,
                     "flushes": s.stats.flushes,
                 }),
             ));
@@ -815,6 +1115,12 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
     };
     mode.validate().map_err(ArgError)?;
 
+    let metrics_out = p.get("metrics-out").map(str::to_string);
+    let metrics_interval_ms: u64 = p.num("metrics-interval-ms", 1000)?;
+    if metrics_interval_ms == 0 {
+        return Err(ArgError("--metrics-interval-ms must be positive".into()));
+    }
+
     let live = LiveOddci::start(LiveConfig {
         nodes: pnas,
         seed,
@@ -822,6 +1128,43 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
         ..Default::default()
     });
     let addr = live.wire_addr().expect("socket mode exposes its address");
+
+    // `--metrics-out`: a scraper-friendly Prometheus text snapshot of the
+    // registry, rewritten on an interval for as long as the plane runs.
+    let metrics_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let metrics_thread = match &metrics_out {
+        Some(path) => {
+            let path = path.clone();
+            let stop = std::sync::Arc::clone(&metrics_stop);
+            let tele = live.telemetry().clone();
+            let interval = std::time::Duration::from_millis(metrics_interval_ms);
+            Some(
+                std::thread::Builder::new()
+                    .name("oddci-metrics-out".into())
+                    .spawn(move || {
+                        while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                            let text =
+                                oddci_telemetry::export::prometheus(&tele.metrics_snapshot());
+                            let _ = std::fs::write(&path, text);
+                            std::thread::sleep(interval);
+                        }
+                        // One last snapshot so the file reflects the
+                        // finished run.
+                        let text = oddci_telemetry::export::prometheus(&tele.metrics_snapshot());
+                        let _ = std::fs::write(&path, text);
+                    })
+                    .map_err(|e| ArgError(format!("cannot start metrics writer: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    let stop_metrics = |thread: Option<std::thread::JoinHandle<()>>| {
+        metrics_stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(t) = thread {
+            let _ = t.join();
+        }
+    };
+
     let image = AlignmentImage {
         db_len,
         ..AlignmentImage::small_demo()
@@ -835,6 +1178,7 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
         Some(outcome) => outcome,
         None => {
             live.shutdown();
+            stop_metrics(metrics_thread);
             return Err(ArgError(format!(
                 "job did not complete within {timeout_secs}s — are {target}+ \
                  `oddci pna --connect {addr}` processes running?"
@@ -842,7 +1186,9 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
         }
     };
     let stats = live.wire_stats().expect("socket mode exposes wire stats");
+    let connections = live.wire_conn_stats().unwrap_or_default();
     let shutdown = live.shutdown();
+    stop_metrics(metrics_thread);
     let makespan = outcome.report.makespan.as_secs_f64();
 
     if p.flag("json") {
@@ -867,6 +1213,16 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
                 "resyncs": stats.resyncs,
                 "duplicates": stats.duplicates,
             },
+            "connections": connections.iter().map(|c| serde_json::json!({
+                "conn": c.conn,
+                "open": c.open,
+                "tx_frames": c.tx_frames,
+                "rx_frames": c.rx_frames,
+                "tx_bytes": c.tx_bytes,
+                "rx_bytes": c.rx_bytes,
+                "checksum_rejects": c.checksum_rejects,
+                "resyncs": c.resyncs,
+            })).collect::<Vec<_>>(),
         });
         return Ok(serde_json::to_string_pretty(&v).expect("serialize headend json"));
     }
@@ -893,6 +1249,20 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
         "  integrity   : {} checksum reject(s), {} resync(s), {} duplicate(s)",
         stats.checksum_rejects, stats.resyncs, stats.duplicates
     );
+    for c in &connections {
+        let _ = writeln!(
+            out,
+            "    conn #{:<4} {:<6} tx {} fr / {} B, rx {} fr / {} B, {} reject(s), {} resync(s)",
+            c.conn,
+            if c.open { "open" } else { "closed" },
+            c.tx_frames,
+            c.tx_bytes,
+            c.rx_frames,
+            c.rx_bytes,
+            c.checksum_rejects,
+            c.resyncs
+        );
+    }
     Ok(out)
 }
 
@@ -1063,6 +1433,22 @@ mod tests {
         // The listener binds inside LiveOddci::start; give it a moment
         // before the clients dial in.
         std::thread::sleep(std::time::Duration::from_millis(200));
+        // A monitoring client polls the live metrics plane while the
+        // fleet joins — it never performs the hello handshake, so it
+        // must not consume one of the two node identities.
+        let monitor = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                top(&parsed(&[
+                    "top",
+                    "--connect",
+                    &addr,
+                    "--count",
+                    "1",
+                    "--json",
+                ]))
+            })
+        };
         let clients: Vec<_> = (0..2)
             .map(|i| {
                 let addr = addr.clone();
@@ -1082,6 +1468,13 @@ mod tests {
             })
             .collect();
 
+        let stats = monitor.join().unwrap().unwrap();
+        let sv: serde_json::Value = serde_json::from_str(&stats).unwrap();
+        match &sv["registry"]["counters"] {
+            serde_json::Value::Object(entries) => assert!(!entries.is_empty(), "{stats}"),
+            other => panic!("counters should be an object, got {other:?}"),
+        }
+
         let out = server.join().unwrap().unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["tasks_completed"], 4, "{out}");
@@ -1089,6 +1482,8 @@ mod tests {
         assert_eq!(v["threads_failed"], 0, "{out}");
         assert!(v["wire"]["multi_chunk_tx"].as_u64().unwrap() >= 1, "{out}");
         assert_eq!(v["wire"]["checksum_rejects"], 0, "{out}");
+        // Per-connection rows: at least the two PNAs plus the monitor.
+        assert!(v["connections"].as_array().unwrap().len() >= 3, "{out}");
 
         for client in clients {
             let out = client.join().unwrap().unwrap();

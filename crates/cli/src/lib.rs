@@ -42,10 +42,25 @@ pub use args::{ArgError, Parsed};
 /// Entry point shared by `main` and the tests: parses `argv[1..]`, runs the
 /// subcommand, returns the rendered output or a usage error.
 pub fn run(argv: &[String]) -> Result<String, String> {
-    // `trace` accepts its scenario as a bare positional (`oddci trace small
-    // --out t.json`); rewrite it to `--scenario small` for the option parser.
+    // `trace` accepts positionals: `oddci trace convert <file>` is the
+    // offline binary-to-text converter, and `oddci trace small --out
+    // t.json` names a scenario; rewrite both into `--key value` form for
+    // the option parser.
     let rewritten: Vec<String>;
     let argv = if argv.first().map(String::as_str) == Some("trace")
+        && argv.get(1).map(String::as_str) == Some("convert")
+    {
+        let mut v = vec!["trace-convert".to_string()];
+        match argv.get(2) {
+            Some(file) if !file.starts_with("--") => {
+                v.extend(["--in".to_string(), file.clone()]);
+                v.extend(argv[3..].iter().cloned());
+            }
+            _ => v.extend(argv[2..].iter().cloned()),
+        }
+        rewritten = v;
+        &rewritten[..]
+    } else if argv.first().map(String::as_str) == Some("trace")
         && argv.get(1).is_some_and(|a| !a.starts_with("--"))
     {
         let mut v = vec![argv[0].clone(), "--scenario".to_string(), argv[1].clone()];
@@ -60,6 +75,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "simulate" => commands::simulate(&parsed).map_err(|e| e.to_string()),
         "chaos" => commands::chaos(&parsed).map_err(|e| e.to_string()),
         "trace" => commands::trace(&parsed).map_err(|e| e.to_string()),
+        "trace-convert" => commands::trace_convert(&parsed).map_err(|e| e.to_string()),
+        "top" => commands::top(&parsed).map_err(|e| e.to_string()),
         "wakeup" => commands::wakeup(&parsed).map_err(|e| e.to_string()),
         "efficiency" => commands::efficiency(&parsed).map_err(|e| e.to_string()),
         "live" => commands::live(&parsed).map_err(|e| e.to_string()),
@@ -109,6 +126,14 @@ COMMANDS:
                                    derived .stream.json Chrome trace during
                                    the run; the wakeup check then uses the
                                    streamed artifact instead of the ring
+                  --binary         stream the compact binary format instead
+                                   (one .trace.bin file, per-lane writers;
+                                   convert offline with `trace convert`)
+                  --lane-capacity N  events buffered per sink lane [65536]
+    trace convert  re-emit JSONL + Chrome text from a binary trace
+                  [file]           input .trace.bin          [required]
+                  --jsonl PATH     JSONL output      [input with .jsonl]
+                  --chrome PATH    Chrome output  [jsonl with .stream.json]
     wakeup      evaluate the wakeup envelope W = 1.5·I/β
                   --image-mb M     image size MB           [8]
                   --beta-mbps B    spare capacity Mbps     [1]
@@ -132,6 +157,8 @@ COMMANDS:
                   --trace-out PATH stream a JSONL + Chrome trace of the run
                                    (per-shard sink lanes; drops are counted,
                                    never blocking the headend)
+                  --binary         stream --trace-out in the binary format
+                  --lane-capacity N  events buffered per sink lane [65536]
                   --json           machine-readable output
     headend     serve the live plane over TCP for `oddci pna` processes
                 (runs one alignment job once the instance fills, then
@@ -146,6 +173,9 @@ COMMANDS:
                   --db-len N       database bytes in the image [20000]
                   --seed S         run seed                    [42]
                   --timeout S      job deadline, seconds       [120]
+                  --metrics-out PATH  rewrite a Prometheus text snapshot
+                                      of the metrics registry on an interval
+                  --metrics-interval-ms M  snapshot period     [1000]
                   --json           machine-readable output
     pna         one Processing Node Agent: connect to a headend, boot from
                 the streamed wakeup image, work until shutdown
@@ -154,6 +184,14 @@ COMMANDS:
                   --heartbeat-ms M heartbeat interval          [150]
                   --connect-timeout S  dial deadline, seconds  [10]
                   --json           machine-readable output
+    top         poll a running socket headend's live metrics plane
+                (counters/gauges/histograms with deltas and rates, plus
+                per-connection wire counters; no node identity consumed)
+                  --connect ADDR   headend address (HOST:PORT) [required]
+                  --interval-ms M  poll period                 [1000]
+                  --count N        polls before exiting        [0 = forever]
+                  --connect-timeout S  dial deadline, seconds  [10]
+                  --json           machine-readable output (last poll)
     check       concurrency gate: workspace lint + bounded model checking
                 of the headend protocol scenarios (exit nonzero on any
                 lint finding, clean-scenario failure, or missed seeded bug)
@@ -340,6 +378,62 @@ mod tests {
         assert!(!v["traceEvents"].as_array().unwrap().is_empty());
         assert!(v["otherData"]["oddci_stream"].as_str().is_some());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_binary_stream_converts_losslessly() {
+        let dir = std::env::temp_dir().join("oddci-cli-binary-stream-test");
+        let out_path = dir.join("trace.json");
+        let bin_path = dir.join("run.trace.bin");
+        let out = run(&argv(&[
+            "trace",
+            "small",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--stream",
+            bin_path.to_str().unwrap(),
+            "--binary",
+            "--lane-capacity",
+            "131072",
+        ]))
+        .unwrap();
+        // The wakeup check recomputes from the binary artifact directly.
+        assert!(out.contains("wakeup (streamed trace): measured"), "{out}");
+        assert!(out.contains("0 dropped (0.0%)"), "{out}");
+        // Offline conversion re-emits both text artifacts with default
+        // derived paths.
+        let converted = run(&argv(&["trace", "convert", bin_path.to_str().unwrap()])).unwrap();
+        assert!(converted.contains("converted"), "{converted}");
+        let text = std::fs::read_to_string(dir.join("run.trace.jsonl")).unwrap();
+        let (header, events) =
+            oddci_telemetry::sink::read_jsonl_events(&text).expect("valid converted stream");
+        assert_eq!(header.clock, "us");
+        assert!(!events.is_empty());
+        assert!(
+            header
+                .meta
+                .iter()
+                .any(|(k, v)| k == "converted_from" && v == "binary"),
+            "{header:?}"
+        );
+        let chrome = std::fs::read_to_string(dir.join("run.trace.stream.json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&chrome).expect("valid chrome doc");
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_convert_requires_an_input() {
+        let err = run(&argv(&["trace", "convert"])).unwrap_err();
+        assert!(err.contains("trace convert"), "{err}");
+    }
+
+    #[test]
+    fn binary_stream_requires_a_path() {
+        let err = run(&argv(&["trace", "small", "--binary"])).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
+        let err = run(&argv(&["soak", "--binary"])).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
     }
 
     #[test]

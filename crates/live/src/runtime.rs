@@ -340,6 +340,7 @@ enum Headend {
     Socket {
         sh: Option<ShardedHeadend>,
         server: Option<oddci_wire::WireServer>,
+        conn_stats: Arc<oddci_wire::ConnStatsHub>,
     },
 }
 
@@ -430,18 +431,21 @@ impl LiveOddci {
                 let (shard_txs, dispatch_txs) = sh.node_links();
                 let shard_txs = Arc::new(shard_txs);
                 let dispatch_txs = Arc::new(dispatch_txs);
+                let conn_stats = Arc::new(oddci_wire::ConnStatsHub::new());
                 let service = crate::wire::LiveWireService::new(
                     Arc::clone(&shard_txs),
                     Arc::clone(&dispatch_txs),
                     batch,
                     bus.subscribe(),
                     config.telemetry.clone(),
+                    Arc::clone(&conn_stats),
                 );
                 let mut scfg =
                     oddci_wire::ServerConfig::new(oddci_wire::Integrity::hmac(&config.key));
                 scfg.injector =
                     FaultInjector::new(config.faults.clone(), config.seed ^ 0xFA17_FA17);
                 scfg.telemetry = config.telemetry.clone();
+                scfg.conn_stats = Some(Arc::clone(&conn_stats));
                 let server = match oddci_wire::WireServer::bind(listen, scfg, service) {
                     Ok(s) => s,
                     Err(e) => panic!("socket headend cannot bind {listen}: {e}"),
@@ -450,6 +454,7 @@ impl LiveOddci {
                     Headend::Socket {
                         sh: Some(sh),
                         server: Some(server),
+                        conn_stats,
                     },
                     NodeLink::Sharded {
                         shards: shard_txs,
@@ -528,6 +533,15 @@ impl LiveOddci {
                 server: Some(server),
                 ..
             } => Some(server.stats().snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Per-connection wire counters, in [`HeadendMode::Socket`] only.
+    /// Disconnected peers stay listed with their final counters.
+    pub fn wire_conn_stats(&self) -> Option<Vec<oddci_wire::ConnTraffic>> {
+        match &self.headend {
+            Headend::Socket { conn_stats, .. } => Some(conn_stats.snapshot()),
             _ => None,
         }
     }
@@ -680,7 +694,7 @@ impl LiveOddci {
                     None => 0,
                 }
             }
-            Headend::Socket { sh, server } => {
+            Headend::Socket { sh, server, .. } => {
                 // The Shutdown bus message reaches the wire service, which
                 // broadcasts it to every PNA and asks the serving loop to
                 // drain and stop; joining the server here guarantees the

@@ -32,8 +32,8 @@ use oddci_telemetry::{Phase, Telemetry};
 use oddci_types::NodeId;
 use oddci_wire::codec::{Reader, Writer};
 use oddci_wire::{
-    ClientConfig, ConnId, Integrity, Outbox, WireBatch, WireClient, WireError, WireMsg,
-    WireService, WireStatsSnapshot, PROTO_VERSION,
+    ClientConfig, ConnId, ConnStatsHub, Integrity, Outbox, WireBatch, WireClient, WireError,
+    WireMsg, WireService, WireStatsSnapshot, PROTO_VERSION,
 };
 use oddci_workload::alignment::{random_sequence, Scoring};
 use std::collections::BTreeMap;
@@ -127,6 +127,7 @@ pub(crate) struct LiveWireService {
     batch: usize,
     bus_rx: Receiver<BusMsg>,
     tele: Telemetry,
+    conn_stats: Arc<ConnStatsHub>,
     start: Instant,
     conn_nodes: BTreeMap<ConnId, NodeId>,
     next_node: u64,
@@ -143,6 +144,7 @@ impl LiveWireService {
         batch: usize,
         bus_rx: Receiver<BusMsg>,
         tele: Telemetry,
+        conn_stats: Arc<ConnStatsHub>,
     ) -> LiveWireService {
         LiveWireService {
             shards,
@@ -150,6 +152,7 @@ impl LiveWireService {
             batch,
             bus_rx,
             tele,
+            conn_stats,
             start: Instant::now(),
             conn_nodes: BTreeMap::new(),
             next_node: 0,
@@ -307,11 +310,24 @@ impl WireService for LiveWireService {
                 let d = shard_of(node, self.dispatch.len());
                 let _ = self.dispatch[d].send(DispatchMsg::Results { job, node, results });
             }
+            // Answered without a handshake: a monitoring client (`oddci
+            // top`) must not consume a node identity just to look.
+            WireMsg::StatsQuery { corr } => {
+                out.send(
+                    conn,
+                    WireMsg::StatsReply {
+                        corr,
+                        registry: self.tele.metrics_snapshot(),
+                        connections: self.conn_stats.snapshot(),
+                    },
+                );
+            }
             // Server-to-client vocabulary arriving at the server: noise.
             WireMsg::HelloAck { .. }
             | WireMsg::HeartbeatReply { .. }
             | WireMsg::TaskBatch { .. }
             | WireMsg::Broadcast { .. }
+            | WireMsg::StatsReply { .. }
             | WireMsg::Shutdown => {}
         }
     }
@@ -470,12 +486,16 @@ fn demux(link: &RemoteLink, bus_tx: &Sender<BusMsg>, msg: WireMsg) {
         WireMsg::Shutdown => {
             let _ = bus_tx.send(BusMsg::Shutdown);
         }
-        // Client-to-server vocabulary arriving at a client: noise.
+        // Client-to-server vocabulary arriving at a client: noise. Stats
+        // replies only matter to a polling monitor, which reads the
+        // receiver directly instead of running a node loop.
         WireMsg::Hello { .. }
         | WireMsg::HelloAck { .. }
         | WireMsg::Heartbeat { .. }
         | WireMsg::TaskRequest { .. }
-        | WireMsg::Results { .. } => {}
+        | WireMsg::Results { .. }
+        | WireMsg::StatsQuery { .. }
+        | WireMsg::StatsReply { .. } => {}
     }
 }
 

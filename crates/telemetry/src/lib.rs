@@ -48,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod binary;
 pub mod event;
 pub mod export;
 pub mod recorder;

@@ -16,14 +16,19 @@
 //! 3. **Writers don't contend.** Events are spread over independent
 //!    lanes (per-shard handles pin a lane via
 //!    [`crate::Telemetry::with_sink_lane`]), so two headend shards never
-//!    touch the same queue mutex; a single dedicated writer thread
-//!    drains all lanes and owns the files.
+//!    touch the same queue mutex. Text outputs are drained by a single
+//!    dedicated writer thread; the binary format gets one writer thread
+//!    *per lane*, each encoding its own blocks privately and contending
+//!    only on the brief file append.
 //!
 //! [`StreamingSink`] is the concrete implementation: it streams events as
 //! JSONL (one event object per line, after a header line) and/or Chrome
 //! `trace_event` JSON (rows appended inside `traceEvents` as they drain,
-//! closed into a valid document at finish).
+//! closed into a valid document at finish) — or, exclusively, as the
+//! compact [`crate::binary`] format built for million-node sweeps
+//! ([`StreamBuilder::binary`]).
 
+use crate::binary;
 use crate::event::{Event, EventKind, Phase};
 use crate::export;
 use oddci_check::sync::{Monitor, Mutex};
@@ -104,6 +109,10 @@ pub enum StreamFormat {
     /// Chrome `trace_event` "JSON Object Format" document, rows appended
     /// as they drain and closed into `{"traceEvents":[...]}` at finish.
     Chrome,
+    /// Compact self-describing binary format ([`crate::binary`]), drained
+    /// by one writer thread per lane. Exclusive: a binary sink has no
+    /// other outputs (convert offline with `oddci trace convert`).
+    Binary,
 }
 
 impl StreamFormat {
@@ -112,6 +121,7 @@ impl StreamFormat {
         match self {
             StreamFormat::Jsonl => "jsonl",
             StreamFormat::Chrome => "chrome",
+            StreamFormat::Binary => "binary",
         }
     }
 }
@@ -161,6 +171,37 @@ struct Ctl {
     writer_done: bool,
 }
 
+/// The shared binary output file. Lane writers encode blocks privately
+/// and hold this lock only for the append itself.
+#[derive(Debug)]
+struct BinFile {
+    file: BufWriter<File>,
+    bytes: u64,
+}
+
+/// Flush/close rendezvous for the per-lane binary writers. `flush()`
+/// bumps `epoch`; every live writer drains, file-flushes and records the
+/// epoch in its `acked` slot. A writer that already exited (`exited`)
+/// has drained its closed lane completely, so it satisfies any epoch.
+#[derive(Debug)]
+struct BinCtl {
+    epoch: u64,
+    /// Highest epoch whose completion already bumped the `flushes`
+    /// counter (guards against two writers double-counting one cycle).
+    flushed_epoch: u64,
+    acked: Vec<u64>,
+    exited: Vec<bool>,
+}
+
+/// Binary-mode half of [`SinkShared`]; `Some` iff the sink streams the
+/// [`crate::binary`] format.
+#[derive(Debug)]
+struct BinShared {
+    path: PathBuf,
+    file: Mutex<BinFile>,
+    ctl: Monitor<BinCtl>,
+}
+
 #[derive(Debug)]
 struct SinkShared {
     lanes: Vec<Lane>,
@@ -185,8 +226,11 @@ struct SinkShared {
     /// regime.
     dropped_by_phase: [AtomicU64; Phase::COUNT],
     /// Writer wake-up / flush rendezvous (mutex + condvar behind one
-    /// shim type).
+    /// shim type). Text mode only; binary mode synchronizes through
+    /// [`BinShared::ctl`].
     ctl: Monitor<Ctl>,
+    /// Binary-mode state (shared file + per-lane-writer rendezvous).
+    bin: Option<BinShared>,
     /// Tells the writer to run its final drain and exit. Release store in
     /// `finish()` / Acquire load in the writer: the writer's final drain
     /// must observe everything the finishing thread did first. (The lane
@@ -213,8 +257,11 @@ impl SinkShared {
 
 // ---------------------------------------------------------------- outputs
 
+/// One open text-format output file. Shared with [`crate::binary`]'s
+/// offline converter so converted artifacts go through the exact writer
+/// the live sink uses.
 #[derive(Debug)]
-struct Output {
+pub(crate) struct Output {
     path: PathBuf,
     format: StreamFormat,
     file: BufWriter<File>,
@@ -226,7 +273,16 @@ struct Output {
 }
 
 impl Output {
-    fn create(path: &Path, format: StreamFormat, meta: &[(String, String)]) -> io::Result<Output> {
+    pub(crate) fn create(
+        path: &Path,
+        format: StreamFormat,
+        meta: &[(String, String)],
+    ) -> io::Result<Output> {
+        if format == StreamFormat::Binary {
+            return Err(io::Error::other(
+                "binary outputs bypass the row writer (see StreamBuilder::binary)",
+            ));
+        }
         let file = BufWriter::new(File::create(path)?);
         let mut out = Output {
             path: path.to_path_buf(),
@@ -280,6 +336,7 @@ impl Output {
                     "{{\"displayTimeUnit\":\"ms\",\"otherData\":{other},\"traceEvents\":["
                 ))
             }
+            StreamFormat::Binary => Err(io::Error::other("binary outputs have no text header")),
         }
     }
 
@@ -294,7 +351,7 @@ impl Output {
         self.write_str(&text)
     }
 
-    fn write_event(&mut self, ev: &Event) -> io::Result<()> {
+    pub(crate) fn write_event(&mut self, ev: &Event) -> io::Result<()> {
         match self.format {
             StreamFormat::Jsonl => {
                 let line = serde_json::to_string(ev).map_err(io::Error::other)?;
@@ -307,6 +364,7 @@ impl Output {
                 }
                 self.write_row(&export::event_row(ev))
             }
+            StreamFormat::Binary => Err(io::Error::other("binary outputs have no text rows")),
         }
     }
 
@@ -314,7 +372,20 @@ impl Output {
         match self.format {
             StreamFormat::Jsonl => Ok(()),
             StreamFormat::Chrome => self.write_str("\n]}\n"),
+            StreamFormat::Binary => Err(io::Error::other("binary outputs have no text footer")),
         }
+    }
+
+    /// Write the footer, flush, and report the finished artifact. Used by
+    /// the offline converter; the writer thread seals in its close path.
+    pub(crate) fn seal(mut self) -> io::Result<OutputSummary> {
+        self.write_footer()?;
+        self.file.flush()?;
+        Ok(OutputSummary {
+            path: self.path,
+            format: self.format,
+            bytes: self.bytes,
+        })
     }
 }
 
@@ -342,6 +413,16 @@ impl StreamBuilder {
         self
     }
 
+    /// Stream the compact [`crate::binary`] format instead of text.
+    /// Exclusive — [`start`](StreamBuilder::start) rejects a builder
+    /// mixing binary with jsonl/chrome outputs, because the text writer
+    /// thread would reintroduce exactly the serialization bottleneck the
+    /// binary path removes. Convert offline with `oddci trace convert`.
+    pub fn binary(mut self, path: impl Into<PathBuf>) -> Self {
+        self.outputs.push((path.into(), StreamFormat::Binary));
+        self
+    }
+
     /// Number of independent lanes (default 4). Per-shard handles pin a
     /// lane with [`crate::Telemetry::with_sink_lane`]; unpinned emitters
     /// spread by track id.
@@ -364,7 +445,9 @@ impl StreamBuilder {
     }
 
     /// Open the output files, write headers, and start the writer
-    /// thread. Fails fast on I/O errors (unwritable path, etc.).
+    /// thread(s): one for all text outputs, or one per lane for a binary
+    /// output. Fails fast on I/O errors (unwritable path, etc.) and on a
+    /// builder mixing binary with text outputs.
     pub fn start(self) -> io::Result<Arc<StreamingSink>> {
         let lanes = if self.lanes == 0 { 4 } else { self.lanes };
         let lane_capacity = if self.lane_capacity == 0 {
@@ -372,10 +455,54 @@ impl StreamBuilder {
         } else {
             self.lane_capacity
         };
-        let mut outputs = Vec::with_capacity(self.outputs.len());
-        for (path, format) in &self.outputs {
-            outputs.push(Output::create(path, *format, &self.meta)?);
+        let binary_out = self
+            .outputs
+            .iter()
+            .find(|(_, f)| *f == StreamFormat::Binary)
+            .map(|(p, _)| p.clone());
+        if binary_out.is_some() && self.outputs.len() > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a binary stream is exclusive: drop the jsonl/chrome outputs and convert \
+                 offline with `oddci trace convert`",
+            ));
         }
+
+        let bin = match &binary_out {
+            Some(path) => {
+                let mut file = BufWriter::new(File::create(path)?);
+                let header = binary::encode_header(&self.meta, lanes);
+                file.write_all(&header)?;
+                Some(BinShared {
+                    path: path.clone(),
+                    file: Mutex::named(
+                        BinFile {
+                            file,
+                            bytes: header.len() as u64,
+                        },
+                        "sink.bin_file",
+                    ),
+                    ctl: Monitor::named(
+                        BinCtl {
+                            epoch: 0,
+                            flushed_epoch: 0,
+                            acked: vec![0; lanes],
+                            exited: vec![false; lanes],
+                        },
+                        "sink.bin_ctl",
+                    ),
+                })
+            }
+            None => None,
+        };
+
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        if binary_out.is_none() {
+            for (path, format) in &self.outputs {
+                outputs.push(Output::create(path, *format, &self.meta)?);
+            }
+        }
+
         let shared = Arc::new(SinkShared {
             lanes: (0..lanes)
                 .map(|_| Lane {
@@ -395,15 +522,31 @@ impl StreamBuilder {
             flushes: AtomicU64::new(0),
             dropped_by_phase: std::array::from_fn(|_| AtomicU64::new(0)),
             ctl: Monitor::named(Ctl::default(), "sink.ctl"),
+            bin,
             close_requested: AtomicU64::new(0),
         });
-        let writer_shared = Arc::clone(&shared);
-        let writer = std::thread::Builder::new()
-            .name("oddci-trace-writer".to_string())
-            .spawn(move || writer_main(&writer_shared, outputs))?;
+
+        let mut writers = Vec::new();
+        if binary_out.is_some() {
+            for lane in 0..lanes {
+                let writer_shared = Arc::clone(&shared);
+                writers.push(
+                    std::thread::Builder::new()
+                        .name(format!("oddci-trace-bin-{lane}"))
+                        .spawn(move || bin_writer_main(&writer_shared, lane))?,
+                );
+            }
+        } else {
+            let writer_shared = Arc::clone(&shared);
+            writers.push(
+                std::thread::Builder::new()
+                    .name("oddci-trace-writer".to_string())
+                    .spawn(move || writer_main(&writer_shared, outputs))?,
+            );
+        }
         Ok(Arc::new(StreamingSink {
             shared,
-            writer: Mutex::named(Some(writer), "sink.writer_handle"),
+            writers: Mutex::named(writers, "sink.writer_handles"),
             finished: Mutex::named(None, "sink.finished"),
         }))
     }
@@ -418,7 +561,10 @@ impl StreamBuilder {
 #[derive(Debug)]
 pub struct StreamingSink {
     shared: Arc<SinkShared>,
-    writer: Mutex<Option<JoinHandle<io::Result<Vec<OutputSummary>>>>>,
+    /// One handle in text mode; one per lane in binary mode. Emptied by
+    /// the finishing thread — an empty vec means a concurrent `finish()`
+    /// owns the join.
+    writers: Mutex<Vec<JoinHandle<io::Result<Vec<OutputSummary>>>>>,
     finished: Mutex<Option<SinkSummary>>,
 }
 
@@ -429,15 +575,15 @@ impl StreamingSink {
     }
 
     /// Close the sink: drain every lane, write footers, flush files, and
-    /// join the writer thread. Events offered after this point are
+    /// join the writer thread(s). Events offered after this point are
     /// counted as dropped. Idempotent — later calls return the first
     /// summary.
     pub fn finish(&self) -> io::Result<SinkSummary> {
         if let Some(summary) = self.finished.lock().clone() {
             return Ok(summary);
         }
-        let handle = self.writer.lock().take();
-        let Some(handle) = handle else {
+        let handles: Vec<_> = self.writers.lock().drain(..).collect();
+        if handles.is_empty() {
             // A concurrent finish is joining; wait for its summary.
             loop {
                 if let Some(summary) = self.finished.lock().clone() {
@@ -445,12 +591,37 @@ impl StreamingSink {
                 }
                 std::thread::sleep(Duration::from_millis(1));
             }
-        };
+        }
         self.shared.close_requested.store(1, Ordering::Release);
         self.shared.ctl.notify_all();
-        let outputs = handle
-            .join()
-            .map_err(|_| io::Error::other("trace writer panicked"))??;
+        if let Some(bin) = &self.shared.bin {
+            bin.ctl.notify_all();
+        }
+        // Join everything before surfacing any error, so no writer leaks.
+        let mut outputs = Vec::new();
+        let mut first_err: Option<io::Error> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(summaries)) => outputs.extend(summaries),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err =
+                        first_err.or_else(|| Some(io::Error::other("trace writer panicked")))
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Some(bin) = &self.shared.bin {
+            let mut f = bin.file.lock();
+            f.file.flush()?;
+            outputs.push(OutputSummary {
+                path: bin.path.clone(),
+                format: StreamFormat::Binary,
+                bytes: f.bytes,
+            });
+        }
         let summary = SinkSummary {
             stats: self.shared.stats(),
             outputs,
@@ -480,6 +651,26 @@ impl TraceSink for StreamingSink {
 
     fn flush(&self) {
         let shared = &self.shared;
+        if let Some(bin) = &shared.bin {
+            // Binary mode: bump the epoch and wait until every live lane
+            // writer has drained + file-flushed it. Exited writers have
+            // already drained their closed lane, so they satisfy any
+            // epoch — a flush can never hang on a finished sink.
+            let mut ctl = bin.ctl.lock();
+            ctl.epoch += 1;
+            let target = ctl.epoch;
+            bin.ctl.notify_all();
+            while ctl
+                .acked
+                .iter()
+                .zip(&ctl.exited)
+                .any(|(acked, exited)| !exited && *acked < target)
+            {
+                let (guard, _) = bin.ctl.wait_timeout(ctl, Duration::from_millis(50));
+                ctl = guard;
+            }
+            return;
+        }
         let mut ctl = shared.ctl.lock();
         ctl.flush_requested += 1;
         let target = ctl.flush_requested;
@@ -615,6 +806,114 @@ fn writer_loop(shared: &SinkShared, outputs: &mut [Output]) -> io::Result<()> {
             continue;
         }
         let (_guard, _) = shared.ctl.wait_timeout(ctl, Duration::from_millis(1));
+    }
+}
+
+// ------------------------------------------------------- binary writers
+
+fn drain_one_lane(shared: &SinkShared, lane: usize, batch: &mut Vec<Event>, close: bool) {
+    let mut state = shared.lanes[lane].state.lock();
+    if close {
+        state.closed = true;
+    }
+    batch.extend(state.queue.drain(..));
+}
+
+/// Encode `batch` as one lane block (privately, off-lock) and append it
+/// to the shared binary file under the brief file lock.
+fn append_bin_block(bin: &BinShared, lane: usize, batch: &[Event]) -> io::Result<()> {
+    let block = binary::encode_block(lane as u64, batch);
+    let mut f = bin.file.lock();
+    f.file.write_all(&block)?;
+    f.bytes += block.len() as u64;
+    Ok(())
+}
+
+/// Entry point of the per-lane binary writer threads. Wraps the loop so
+/// the writer *always* marks itself exited (waking `flush()` callers and
+/// the close rendezvous) even when it dies on an I/O error.
+fn bin_writer_main(shared: &SinkShared, lane: usize) -> io::Result<Vec<OutputSummary>> {
+    let Some(bin) = &shared.bin else {
+        return Err(io::Error::other(
+            "binary writer started without binary state",
+        ));
+    };
+    let result = bin_writer_loop(shared, bin, lane);
+    {
+        let mut ctl = bin.ctl.lock();
+        ctl.exited[lane] = true;
+        if ctl.exited.iter().all(|e| *e) {
+            // Last writer out: the whole close cycle counts as one flush.
+            shared.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        bin.ctl.notify_all();
+    }
+    // The binary OutputSummary is assembled once by `finish()` from the
+    // shared file — per-lane writers have nothing of their own to report.
+    result.map(|()| Vec::new())
+}
+
+fn bin_writer_loop(shared: &SinkShared, bin: &BinShared, lane: usize) -> io::Result<()> {
+    let mut batch: Vec<Event> = Vec::with_capacity(4096);
+    let mut acked: u64 = 0;
+    loop {
+        batch.clear();
+        drain_one_lane(shared, lane, &mut batch, false);
+        if !batch.is_empty() {
+            append_bin_block(bin, lane, &batch)?;
+            shared
+                .persisted
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            continue;
+        }
+
+        if shared.close_requested.load(Ordering::Acquire) != 0 {
+            // Final pass: close the lane under its lock, drain racers,
+            // then flush the shared file so finish() reads it complete.
+            batch.clear();
+            drain_one_lane(shared, lane, &mut batch, true);
+            if !batch.is_empty() {
+                append_bin_block(bin, lane, &batch)?;
+                shared
+                    .persisted
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+            bin.file.lock().file.flush()?;
+            return Ok(());
+        }
+
+        let ctl = bin.ctl.lock();
+        if ctl.epoch > acked {
+            let target = ctl.epoch;
+            drop(ctl);
+            // Events offered before flush() bumped the epoch are already
+            // in the lane; one more drain pass picks up any racers.
+            batch.clear();
+            drain_one_lane(shared, lane, &mut batch, false);
+            if !batch.is_empty() {
+                append_bin_block(bin, lane, &batch)?;
+                shared
+                    .persisted
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                continue;
+            }
+            bin.file.lock().file.flush()?;
+            acked = target;
+            let mut ctl = bin.ctl.lock();
+            ctl.acked[lane] = ctl.acked[lane].max(target);
+            let cycle_done = ctl
+                .acked
+                .iter()
+                .zip(&ctl.exited)
+                .all(|(a, e)| *e || *a >= target);
+            if cycle_done && ctl.flushed_epoch < target {
+                ctl.flushed_epoch = target;
+                shared.flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            bin.ctl.notify_all();
+            continue;
+        }
+        let (_guard, _) = bin.ctl.wait_timeout(ctl, Duration::from_millis(1));
     }
 }
 
@@ -856,6 +1155,143 @@ mod tests {
         assert_eq!(events.len(), 500);
         sink.finish().unwrap();
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_stream_round_trips_with_per_lane_writers() {
+        let path = temp("round.trace.bin");
+        let sink = StreamingSink::builder()
+            .binary(&path)
+            .lanes(3)
+            .meta("scenario", "unit")
+            .start()
+            .unwrap();
+        let mut offered = Vec::new();
+        for i in 0..300u64 {
+            let e = ev(i, Phase::Heartbeat, EventKind::Instant, i % 5);
+            assert!(sink.offer(e, Some((i % 3) as usize)));
+            offered.push(e);
+        }
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.stats.emitted, 300);
+        assert_eq!(summary.stats.persisted, 300);
+        assert_eq!(summary.stats.dropped, 0);
+        assert_eq!(summary.outputs.len(), 1);
+        assert_eq!(summary.outputs[0].format, StreamFormat::Binary);
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(summary.outputs[0].bytes, on_disk);
+
+        let trace = crate::binary::read_file(&path).unwrap();
+        assert!(trace.truncated.is_none());
+        assert_eq!(trace.header.lanes, 3);
+        assert_eq!(trace.header.meta, vec![("scenario".into(), "unit".into())]);
+        // Lane blocks interleave, so compare as multisets.
+        let mut got = trace.events;
+        let mut want = offered;
+        let key = |e: &Event| (e.ts_us, e.phase.index(), e.track, e.scope);
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(got, want);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_flush_makes_events_durable_mid_run() {
+        let path = temp("flush.trace.bin");
+        let sink = StreamingSink::builder()
+            .binary(&path)
+            .lanes(4)
+            .start()
+            .unwrap();
+        for i in 0..500u64 {
+            sink.offer(ev(i, Phase::TaskFetch, EventKind::Instant, i), None);
+        }
+        sink.flush();
+        let stats = sink.stats();
+        assert_eq!(stats.persisted, 500, "flush persists everything offered");
+        assert!(stats.flushes >= 1);
+        let trace = crate::binary::read_file(&path).unwrap();
+        assert_eq!(trace.events.len(), 500);
+        sink.finish().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_keeps_exact_accounting_under_pressure_and_after_finish() {
+        let path = temp("drops.trace.bin");
+        let sink = StreamingSink::builder()
+            .binary(&path)
+            .lanes(1)
+            .lane_capacity(8)
+            .start()
+            .unwrap();
+        for i in 0..10_000u64 {
+            sink.offer(ev(i, Phase::Compute, EventKind::Instant, 0), Some(0));
+        }
+        let summary = sink.finish().unwrap();
+        assert_eq!(summary.stats.emitted, 10_000);
+        assert_eq!(
+            summary.stats.persisted + summary.stats.dropped,
+            summary.stats.emitted
+        );
+        assert!(!sink.offer(ev(0, Phase::Compute, EventKind::Instant, 0), None));
+        let stats = sink.stats();
+        assert_eq!(stats.persisted + stats.dropped, stats.emitted);
+        let trace = crate::binary::read_file(&path).unwrap();
+        assert_eq!(trace.events.len() as u64, summary.stats.persisted);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_refuses_to_mix_with_text_outputs() {
+        let err = StreamingSink::builder()
+            .jsonl(temp("mix.trace.jsonl"))
+            .binary(temp("mix.trace.bin"))
+            .start()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("exclusive"), "{err}");
+    }
+
+    #[test]
+    fn binary_converts_to_the_text_formats() {
+        let bin_path = temp("conv.trace.bin");
+        let sink = StreamingSink::builder()
+            .binary(&bin_path)
+            .lanes(2)
+            .meta("scenario", "unit")
+            .start()
+            .unwrap();
+        sink.offer(ev(5, Phase::DveBoot, EventKind::Begin, 2), Some(0));
+        sink.offer(ev(9, Phase::DveBoot, EventKind::End, 2), Some(0));
+        sink.offer(ev(9, Phase::Heartbeat, EventKind::Instant, 3), Some(1));
+        sink.finish().unwrap();
+
+        let jsonl_path = temp("conv.trace.jsonl");
+        let chrome_path = temp("conv.trace.stream.json");
+        let trace = crate::binary::read_file(&bin_path).unwrap();
+        let outputs =
+            crate::binary::convert(&trace, Some(&jsonl_path), Some(&chrome_path)).unwrap();
+        assert_eq!(outputs.len(), 2);
+
+        let text = std::fs::read_to_string(&jsonl_path).unwrap();
+        let (header, events) = read_jsonl_events(&text).unwrap();
+        assert_eq!(header.version, STREAM_VERSION);
+        assert!(header
+            .meta
+            .contains(&("scenario".to_string(), "unit".to_string())));
+        assert!(header
+            .meta
+            .contains(&("converted_from".to_string(), "binary".to_string())));
+        assert_eq!(events.len(), 3);
+
+        let chrome_text = std::fs::read_to_string(&chrome_path).unwrap();
+        let doc: Value = serde_json::from_str(&chrome_text).unwrap();
+        assert!(doc["traceEvents"].as_array().is_some());
+        assert!(doc["otherData"]["oddci_stream"].as_str().is_some());
+        for p in [&bin_path, &jsonl_path, &chrome_path] {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

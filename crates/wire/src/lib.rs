@@ -59,8 +59,8 @@ pub use frame::{
 };
 pub use message::{WireBatch, WireMsg, PROTO_VERSION};
 pub use tcp::{
-    ClientConfig, ConnId, Outbox, ServerConfig, WireClient, WireServer, WireService, WireStats,
-    WireStatsSnapshot,
+    ClientConfig, ConnId, ConnStatsHub, ConnTraffic, Outbox, ServerConfig, WireClient, WireServer,
+    WireService, WireStats, WireStatsSnapshot,
 };
 
 use std::fmt;

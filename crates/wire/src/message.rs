@@ -9,12 +9,14 @@
 //! with no correlation: it is the socket mirror of the carousel bus.
 
 use crate::codec::{Reader, Writer};
+use crate::tcp::ConnTraffic;
 use crate::WireError;
 use oddci_core::messages::{
     ControlMessage, Heartbeat, HeartbeatReply, NodeRequirements, PnaStateKind, ResetMessage,
     SignedMessage, WakeupMessage,
 };
 use oddci_crypto::{Tag, TAG_LEN};
+use oddci_telemetry::{HistogramSummary, RegistrySnapshot};
 use oddci_types::{
     DataSize, ImageId, InstanceId, JobId, MessageId, NodeId, Probability, SimDuration, SimTime,
     TaskId,
@@ -102,6 +104,23 @@ pub enum WireMsg {
     },
     /// Server → client: the plane is shutting down.
     Shutdown,
+    /// Client → server: ask for the headend's live metrics. Answered
+    /// without a `Hello` handshake so a monitoring client never consumes
+    /// a node identity.
+    StatsQuery {
+        /// Correlation id echoed by the reply.
+        corr: u64,
+    },
+    /// Server → client: the headend's metrics registry plus the
+    /// per-connection wire counters, answering one [`WireMsg::StatsQuery`].
+    StatsReply {
+        /// Correlation id of the query answered.
+        corr: u64,
+        /// Counters, gauges, and latency histogram summaries.
+        registry: RegistrySnapshot,
+        /// One row per connection the headend has seen.
+        connections: Vec<ConnTraffic>,
+    },
 }
 
 impl WireMsg {
@@ -117,6 +136,8 @@ impl WireMsg {
             WireMsg::Results { .. } => 7,
             WireMsg::Broadcast { .. } => 8,
             WireMsg::Shutdown => 9,
+            WireMsg::StatsQuery { .. } => 10,
+            WireMsg::StatsReply { .. } => 11,
         }
     }
 
@@ -184,6 +205,45 @@ impl WireMsg {
                 }
             }
             WireMsg::Shutdown => {}
+            WireMsg::StatsQuery { corr } => w.u64(*corr),
+            WireMsg::StatsReply {
+                corr,
+                registry,
+                connections,
+            } => {
+                w.u64(*corr);
+                w.u32(registry.counters.len() as u32);
+                for (name, value) in &registry.counters {
+                    w.bytes(name.as_bytes());
+                    w.u64(*value);
+                }
+                w.u32(registry.gauges.len() as u32);
+                for (name, value) in &registry.gauges {
+                    w.bytes(name.as_bytes());
+                    w.f64(*value);
+                }
+                w.u32(registry.histograms.len() as u32);
+                for (name, h) in &registry.histograms {
+                    w.bytes(name.as_bytes());
+                    w.u64(h.count);
+                    w.f64(h.mean);
+                    w.f64(h.p50);
+                    w.f64(h.p90);
+                    w.f64(h.p99);
+                    w.f64(h.max);
+                }
+                w.u32(connections.len() as u32);
+                for c in connections {
+                    w.u64(c.conn);
+                    w.bool(c.open);
+                    w.u64(c.tx_frames);
+                    w.u64(c.rx_frames);
+                    w.u64(c.tx_bytes);
+                    w.u64(c.rx_bytes);
+                    w.u64(c.checksum_rejects);
+                    w.u64(c.resyncs);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -255,11 +315,60 @@ impl WireMsg {
                 WireMsg::Broadcast { signed, image }
             }
             9 => WireMsg::Shutdown,
+            10 => WireMsg::StatsQuery { corr: r.u64()? },
+            11 => {
+                let corr = r.u64()?;
+                let mut registry = RegistrySnapshot::default();
+                for _ in 0..r.u32()? {
+                    let name = read_metric_name(&mut r)?;
+                    registry.counters.insert(name, r.u64()?);
+                }
+                for _ in 0..r.u32()? {
+                    let name = read_metric_name(&mut r)?;
+                    registry.gauges.insert(name, r.f64()?);
+                }
+                for _ in 0..r.u32()? {
+                    let name = read_metric_name(&mut r)?;
+                    let h = HistogramSummary {
+                        count: r.u64()?,
+                        mean: r.f64()?,
+                        p50: r.f64()?,
+                        p90: r.f64()?,
+                        p99: r.f64()?,
+                        max: r.f64()?,
+                    };
+                    registry.histograms.insert(name, h);
+                }
+                let n = r.u32()? as usize;
+                let mut connections = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    connections.push(ConnTraffic {
+                        conn: r.u64()?,
+                        open: r.bool()?,
+                        tx_frames: r.u64()?,
+                        rx_frames: r.u64()?,
+                        tx_bytes: r.u64()?,
+                        rx_bytes: r.u64()?,
+                        checksum_rejects: r.u64()?,
+                        resyncs: r.u64()?,
+                    });
+                }
+                WireMsg::StatsReply {
+                    corr,
+                    registry,
+                    connections,
+                }
+            }
             _ => return Err(WireError::Malformed("unknown message kind")),
         };
         r.finish()?;
         Ok(msg)
     }
+}
+
+fn read_metric_name(r: &mut Reader<'_>) -> Result<String, WireError> {
+    String::from_utf8(r.bytes()?.to_vec())
+        .map_err(|_| WireError::Malformed("metric name is not utf-8"))
 }
 
 fn encode_heartbeat(w: &mut Writer, hb: &Heartbeat) {
@@ -470,6 +579,55 @@ mod tests {
                 image: None,
             },
             WireMsg::Shutdown,
+            WireMsg::StatsQuery { corr: 41 },
+            WireMsg::StatsReply {
+                corr: 41,
+                registry: {
+                    let mut reg = RegistrySnapshot::default();
+                    reg.counters.insert("wire.tx_frames".into(), 1234);
+                    reg.counters.insert("sink.persisted".into(), 0);
+                    reg.gauges.insert("wire.connections".into(), 3.5);
+                    reg.histograms.insert(
+                        "heartbeat.lag".into(),
+                        HistogramSummary {
+                            count: 9,
+                            mean: 0.004,
+                            p50: 0.003,
+                            p90: 0.008,
+                            p99: 0.009,
+                            max: 0.011,
+                        },
+                    );
+                    reg
+                },
+                connections: vec![
+                    ConnTraffic {
+                        conn: 1,
+                        open: true,
+                        tx_frames: 10,
+                        rx_frames: 12,
+                        tx_bytes: 4096,
+                        rx_bytes: 512,
+                        checksum_rejects: 0,
+                        resyncs: 0,
+                    },
+                    ConnTraffic {
+                        conn: 2,
+                        open: false,
+                        tx_frames: 1,
+                        rx_frames: 1,
+                        tx_bytes: 64,
+                        rx_bytes: 64,
+                        checksum_rejects: 2,
+                        resyncs: 1,
+                    },
+                ],
+            },
+            WireMsg::StatsReply {
+                corr: 0,
+                registry: RegistrySnapshot::default(),
+                connections: vec![],
+            },
         ];
         for msg in msgs {
             assert_eq!(round_trip(msg.clone()), msg);
@@ -501,8 +659,15 @@ mod tests {
             }
             .kind(),
             WireMsg::Shutdown.kind(),
+            WireMsg::StatsQuery { corr: 0 }.kind(),
+            WireMsg::StatsReply {
+                corr: 0,
+                registry: RegistrySnapshot::default(),
+                connections: vec![],
+            }
+            .kind(),
         ];
-        assert_eq!(kinds, [1, 2, 9]);
+        assert_eq!(kinds, [1, 2, 9, 10, 11]);
     }
 
     #[test]

@@ -65,6 +65,72 @@ impl std::fmt::Display for ConnId {
     }
 }
 
+/// Per-connection traffic counters, maintained by the serving loop in a
+/// [`ConnStatsHub`]. The aggregate [`WireStats`] answers "how busy is
+/// the plane"; this answers "which peer is misbehaving" — a PNA behind a
+/// corrupting link shows up as one row with climbing `checksum_rejects`
+/// while the fleet's totals stay healthy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnTraffic {
+    /// The connection's id ([`ConnId::raw`]).
+    pub conn: u64,
+    /// Still connected? Closed rows keep their final counters.
+    pub open: bool,
+    /// Frames queued to this peer.
+    pub tx_frames: u64,
+    /// Frames read and checksum-verified from this peer.
+    pub rx_frames: u64,
+    /// Bytes written to this peer's socket.
+    pub tx_bytes: u64,
+    /// Bytes read from this peer's socket.
+    pub rx_bytes: u64,
+    /// This peer's frames rejected on a failed check.
+    pub checksum_rejects: u64,
+    /// Times this peer's decoder scanned forward for the next magic.
+    pub resyncs: u64,
+}
+
+/// Shared ledger of [`ConnTraffic`] rows, keyed by connection id. Hand
+/// one `Arc` to [`ServerConfig::conn_stats`] (the serving loop updates
+/// it) and keep a clone wherever the numbers are served from — the live
+/// wire service answers `StatsQuery` out of it, and the headend CLI
+/// prints it in the shutdown summary. Disconnected peers stay listed
+/// with their final counters and `open: false`.
+#[derive(Debug)]
+pub struct ConnStatsHub {
+    inner: Mutex<BTreeMap<u64, ConnTraffic>>,
+}
+
+impl Default for ConnStatsHub {
+    fn default() -> Self {
+        ConnStatsHub {
+            inner: Mutex::named(BTreeMap::new(), "wire.conn_stats"),
+        }
+    }
+}
+
+impl ConnStatsHub {
+    /// An empty ledger.
+    pub fn new() -> ConnStatsHub {
+        ConnStatsHub::default()
+    }
+
+    fn update(&self, conn: u64, f: impl FnOnce(&mut ConnTraffic)) {
+        let mut rows = self.inner.lock();
+        let row = rows.entry(conn).or_insert_with(|| ConnTraffic {
+            conn,
+            open: true,
+            ..ConnTraffic::default()
+        });
+        f(row);
+    }
+
+    /// All rows, ordered by connection id.
+    pub fn snapshot(&self) -> Vec<ConnTraffic> {
+        self.inner.lock().values().copied().collect()
+    }
+}
+
 #[derive(Debug, Default)]
 struct StatsInner {
     accepted: AtomicU64,
@@ -306,11 +372,14 @@ pub struct ServerConfig {
     pub injector: FaultInjector,
     /// Telemetry handle for counters and `wire.*` instants.
     pub telemetry: Telemetry,
+    /// Per-connection counter ledger (off by default). The serving loop
+    /// writes it; keep a clone of the `Arc` to read it elsewhere.
+    pub conn_stats: Option<Arc<ConnStatsHub>>,
 }
 
 impl ServerConfig {
     /// Defaults: 16 KiB chunks, 500 µs idle sleep, 2 s drain grace, no
-    /// faults, telemetry off.
+    /// faults, telemetry off, no per-connection ledger.
     pub fn new(integrity: Integrity) -> ServerConfig {
         ServerConfig {
             integrity,
@@ -319,6 +388,7 @@ impl ServerConfig {
             drain_grace: Duration::from_secs(2),
             injector: FaultInjector::disabled(),
             telemetry: Telemetry::disabled(),
+            conn_stats: None,
         }
     }
 }
@@ -453,6 +523,9 @@ fn serve<S: WireService>(
                         );
                         WireStats::add(&stats.inner.accepted, 1);
                         WireStats::add(&stats.inner.open, 1);
+                        if let Some(hub) = &config.conn_stats {
+                            hub.update(conn.raw(), |t| t.open = true);
+                        }
                         mirror.connections.set(conns.len() as f64);
                         mirror.instant(Phase::WireConnect, conn.raw(), 0);
                         service.on_connect(conn, &mut outbox);
@@ -483,6 +556,9 @@ fn serve<S: WireService>(
                         progressed = true;
                         WireStats::add(&stats.inner.rx_bytes, n as u64);
                         mirror.rx_bytes.add(n as u64);
+                        if let Some(hub) = &config.conn_stats {
+                            hub.update(conn_id.raw(), |t| t.rx_bytes += n as u64);
+                        }
                         conn.decoder.extend(&read_buf[..n]);
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -503,6 +579,13 @@ fn serve<S: WireService>(
             }
             let decode_now = conn.decoder.stats();
             let reassembly_now = conn.reassembler.stats();
+            if let Some(hub) = &config.conn_stats {
+                hub.update(conn_id.raw(), |t| {
+                    t.rx_frames += decode_now.frames - conn.prev_decode.frames;
+                    t.checksum_rejects += decode_now.rejected - conn.prev_decode.rejected;
+                    t.resyncs += decode_now.resyncs - conn.prev_decode.resyncs;
+                });
+            }
             stats.absorb_decode_delta(&mut conn.prev_decode, decode_now);
             stats.absorb_reassembly_delta(&mut conn.prev_reassembly, reassembly_now);
             mirror
@@ -557,6 +640,9 @@ fn serve<S: WireService>(
                 );
                 stats.record_mangle(report);
                 mirror.instant(Phase::WireTx, conn_id.raw(), seq);
+                if let Some(hub) = &config.conn_stats {
+                    hub.update(conn_id.raw(), |t| t.tx_frames += frames.len() as u64);
+                }
                 for frame in &frames {
                     mirror.tx_frames.inc();
                     conn.outbuf.extend_from_slice(frame);
@@ -565,7 +651,7 @@ fn serve<S: WireService>(
         }
 
         // 5. Flush output buffers.
-        for conn in conns.values_mut() {
+        for (conn_id, conn) in conns.iter_mut() {
             if !conn.open || conn.pending_out() == 0 {
                 continue;
             }
@@ -584,6 +670,9 @@ fn serve<S: WireService>(
                         conn.out_pos += n;
                         WireStats::add(&stats.inner.tx_bytes, n as u64);
                         mirror.tx_bytes.add(n as u64);
+                        if let Some(hub) = &config.conn_stats {
+                            hub.update(conn_id.raw(), |t| t.tx_bytes += n as u64);
+                        }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -610,6 +699,9 @@ fn serve<S: WireService>(
             .collect();
         for conn_id in closed {
             conns.remove(&conn_id);
+            if let Some(hub) = &config.conn_stats {
+                hub.update(conn_id.raw(), |t| t.open = false);
+            }
             let open_now = stats.inner.open.load(Ordering::Relaxed).saturating_sub(1);
             stats.inner.open.store(open_now, Ordering::Relaxed);
             mirror.connections.set(conns.len() as f64);

@@ -16,7 +16,10 @@ cleanup() {
         kill "${pid}" 2>/dev/null || true
     done
     rm -f results/ci-smoke.json results/ci-smoke.trace.jsonl \
-        results/ci-smoke.trace.stream.json results/ci-wire-smoke.json
+        results/ci-smoke.trace.stream.json results/ci-wire-smoke.json \
+        results/ci-smoke-bin.json results/ci-smoke-bin.trace.bin \
+        results/ci-smoke-bin.trace.jsonl results/ci-smoke-bin.trace.stream.json \
+        results/ci-top.json
 }
 trap cleanup EXIT
 
@@ -49,6 +52,16 @@ run cargo run -q --release ${CARGO_FLAGS} -p oddci-check --bin oddci-check -- \
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-cli --bin oddci -- trace \
     --scenario small --seed 7 \
     --out results/ci-smoke.json --stream results/ci-smoke.trace.jsonl
+
+# Binary-trace round trip: stream the same scenario through the binary
+# sink (must drop nothing), convert the artifact back to JSONL + Chrome
+# offline, then let schema_check validate the binary header alongside
+# the converted text artifacts.
+run cargo run -q --release ${CARGO_FLAGS} -p oddci-cli --bin oddci -- trace \
+    --scenario small --seed 7 --binary \
+    --out results/ci-smoke-bin.json --stream results/ci-smoke-bin.trace.bin
+run cargo run -q --release ${CARGO_FLAGS} -p oddci-cli --bin oddci -- trace \
+    convert results/ci-smoke-bin.trace.bin
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-bench --bin schema_check
 
 # Wire smoke: one real multi-process run of the socket-backed live plane —
@@ -62,6 +75,18 @@ echo "==> wire smoke: headend + 3 pna processes on 127.0.0.1:${WIRE_PORT}"
     > results/ci-wire-smoke.json &
 HEADEND_PID=$!
 sleep 1
+# Live-stats smoke: poll the running headend's metrics plane over the
+# same socket. StatsQuery is answered without a Hello handshake, so the
+# monitoring connection never consumes a node identity.
+"${ODDCI_BIN}" top --connect "127.0.0.1:${WIRE_PORT}" --count 1 --json \
+    > results/ci-top.json
+python3 - <<'EOF'
+import json
+with open("results/ci-top.json") as f:
+    snap = json.load(f)
+assert snap["registry"]["counters"], snap
+print("    live stats: non-empty metrics registry from the running headend")
+EOF
 for seed in 101 102 103; do
     "${ODDCI_BIN}" pna --connect "127.0.0.1:${WIRE_PORT}" --seed "${seed}" \
         > /dev/null &
