@@ -369,6 +369,92 @@ pub fn sink_stats_snapshot_torn(sp: &mut Spawner) {
     sink_stats_model(sp, false);
 }
 
+// ------------------------------------------------------- epoch adoption
+
+struct EpochModel {
+    /// HelloAcks racing toward one reconnecting PNA: the revenant
+    /// primary's (epoch 0) and the standby's (epoch 1).
+    acks: Arc<ModelChannel<u64>>,
+    /// The PNA's adopted epoch, stored as `epoch + 1` (0 = none yet).
+    adopted: Arc<ModelAtomic>,
+    pna_done: Arc<ModelChannel<()>>,
+}
+
+impl EpochModel {
+    fn new() -> Self {
+        EpochModel {
+            acks: Arc::new(ModelChannel::new("epoch.acks", 2)),
+            adopted: Arc::new(ModelAtomic::new("epoch.adopted", 0)),
+            pna_done: Arc::new(ModelChannel::new("epoch.pna_done", 0)),
+        }
+    }
+}
+
+/// The failover hello race: after a primary crash both the standby *and*
+/// a revenant primary (restarted from stale state, still fencing at
+/// epoch 0) can answer a redialing PNA's hello. The wire client guards
+/// this with epoch fencing — an ack below the highest epoch seen is
+/// refused (`hello_handshake` in `crates/live/src/wire.rs`).
+fn epoch_adoption_model(sp: &mut Spawner, fence_acks: bool) {
+    let m = Arc::new(EpochModel::new());
+
+    let p = Arc::clone(&m);
+    sp.spawn("revenant-primary", move |ctx| {
+        p.acks.send(&ctx, 0).expect("pna is receiving");
+    });
+
+    let s = Arc::clone(&m);
+    sp.spawn("standby", move |ctx| {
+        s.acks.send(&ctx, 1).expect("pna is receiving");
+    });
+
+    let n = Arc::clone(&m);
+    sp.spawn("pna", move |ctx| {
+        for _ in 0..2 {
+            let epoch = n.acks.recv(&ctx).expect("both headends ack");
+            let current = n.adopted.load(&ctx);
+            if fence_acks {
+                // Correct protocol: refuse an ack below the highest
+                // epoch already seen.
+                if epoch + 1 >= current {
+                    n.adopted.store(&ctx, epoch + 1);
+                }
+            } else {
+                // Buggy variant: adopt whichever headend answered last.
+                n.adopted.store(&ctx, epoch + 1);
+            }
+        }
+        n.pna_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    let v = Arc::clone(&m);
+    sp.spawn("verifier", move |ctx| {
+        v.pna_done.recv(&ctx).expect("pna finishes");
+        let adopted = v.adopted.load(&ctx);
+        assert_eq!(
+            adopted,
+            2,
+            "pna flipped back to the dead primary: adopted epoch {} after \
+             the standby acked epoch 1",
+            adopted.saturating_sub(1)
+        );
+    });
+}
+
+/// Correct protocol: the PNA fences hello acks by epoch, so whatever
+/// order the standby's and the revenant primary's acks land in, it ends
+/// on the standby's epoch.
+pub fn epoch_adoption(sp: &mut Spawner) {
+    epoch_adoption_model(sp, true);
+}
+
+/// Buggy variant: the PNA adopts any acking headend, so schedules where
+/// the revenant primary's ack lands after the standby's flip the node
+/// back to a fenced-off epoch.
+pub fn epoch_adoption_flipback(sp: &mut Spawner) {
+    epoch_adoption_model(sp, false);
+}
+
 // ----------------------------------------------------------------- registry
 
 /// A named scenario plus its expected verdict under exploration.
@@ -424,6 +510,16 @@ pub static ALL: &[Scenario] = &[
         setup: sink_stats_snapshot_torn,
         expect_clean: false,
     },
+    Scenario {
+        name: "epoch-adoption",
+        setup: epoch_adoption,
+        expect_clean: true,
+    },
+    Scenario {
+        name: "epoch-adoption-flipback",
+        setup: epoch_adoption_flipback,
+        expect_clean: false,
+    },
 ];
 
 /// Look a scenario up by its CLI name.
@@ -454,6 +550,24 @@ mod tests {
             .explore(shutdown_under_active_sink);
         assert!(r.failure.is_none(), "{:?}", r.failure);
         assert!(r.last_schedule.starts_with("s11:"));
+    }
+
+    #[test]
+    fn fenced_epoch_adoption_survives_exploration() {
+        let r = Explorer::new(11).max_schedules(120).explore(epoch_adoption);
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+    }
+
+    #[test]
+    fn epoch_flipback_is_found_and_replayable() {
+        let r = Explorer::new(11)
+            .max_schedules(400)
+            .explore(epoch_adoption_flipback);
+        let f = r.failure.expect("explorer must find the epoch flip-back");
+        assert!(f.message.contains("flipped back"), "{}", f.message);
+        let replay = Explorer::new(11).replay(&f.schedule, epoch_adoption_flipback);
+        let msg = replay.failure.expect("pinned schedule reproduces");
+        assert!(msg.contains("flipped back"), "{msg}");
     }
 
     #[test]

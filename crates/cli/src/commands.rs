@@ -1088,6 +1088,9 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
     use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
 
     let listen = socket_addr(p, "listen")?;
+    if p.get("standby").is_some() {
+        return headend_standby(p, listen);
+    }
     let pnas: u64 = p.num("pnas", 3)?;
     let queries: u64 = p.num("queries", 8)?;
     let target: u64 = p.num("target", pnas.min(3))?;
@@ -1120,11 +1123,18 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
     if metrics_interval_ms == 0 {
         return Err(ArgError("--metrics-interval-ms must be positive".into()));
     }
+    let snapshot_dir = p.get("snapshot-dir").map(std::path::PathBuf::from);
+    let snapshot_interval_ms: u64 = p.num("snapshot-interval-ms", 500)?;
+    if snapshot_interval_ms == 0 {
+        return Err(ArgError("--snapshot-interval-ms must be positive".into()));
+    }
 
     let live = LiveOddci::start(LiveConfig {
         nodes: pnas,
         seed,
         mode,
+        snapshot_dir,
+        snapshot_interval: std::time::Duration::from_millis(snapshot_interval_ms),
         ..Default::default()
     });
     let addr = live.wire_addr().expect("socket mode exposes its address");
@@ -1236,9 +1246,9 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
     let _ = writeln!(out, "  makespan    : {makespan:.3}s");
     let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
     let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
-    if shutdown.threads_failed > 0 {
-        let _ = writeln!(out, "  PANICKED    : {} thread(s)", shutdown.threads_failed);
-    }
+    // Always printed: a zero here is the operator's positive confirmation
+    // that no headend thread panicked, not just the absence of bad news.
+    let _ = writeln!(out, "  threads lost: {}", shutdown.threads_failed);
     let _ = writeln!(
         out,
         "  wire        : {} conn(s), {} tx / {} rx frames, {} multi-chunk tx",
@@ -1266,6 +1276,131 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// The `--standby DIR` arm of `oddci headend`: instead of starting
+/// fresh, adopt the snapshot in DIR — rebind the dead primary's address,
+/// import its membership, heartbeat ledgers and job tables at a bumped
+/// fencing epoch, let the surviving PNAs redial in, and wait for every
+/// adopted in-flight job to finish before the usual shutdown broadcast.
+fn headend_standby(p: &Parsed, listen: std::net::SocketAddr) -> Result<String, ArgError> {
+    use oddci_live::{HeadendMode, LiveConfig, LiveOddci};
+    use std::time::{Duration, Instant};
+
+    let dir = std::path::PathBuf::from(p.get("standby").expect("caller checked"));
+    let pnas: u64 = p.num("pnas", 3)?;
+    let shards: usize = p.num("shards", 2)?;
+    let dispatch: usize = p.num("dispatch", 2)?;
+    let batch: usize = p.num("batch", 8)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let timeout_secs: u64 = p.num("timeout", 120)?;
+    let snapshot_interval_ms: u64 = p.num("snapshot-interval-ms", 500)?;
+    if pnas == 0 || timeout_secs == 0 || snapshot_interval_ms == 0 {
+        return Err(ArgError(
+            "--pnas, --timeout and --snapshot-interval-ms must be positive".into(),
+        ));
+    }
+    let snap_path = dir.join(oddci_live::SNAPSHOT_FILE);
+    let snap = oddci_live::snapshot::read_file(&snap_path)
+        .map_err(|e| ArgError(format!("cannot read snapshot {}: {e}", snap_path.display())))?;
+    let mode = HeadendMode::Socket {
+        listen,
+        shards,
+        dispatch,
+        batch,
+    };
+    mode.validate().map_err(ArgError)?;
+
+    let standby = LiveOddci::start_standby(
+        LiveConfig {
+            nodes: pnas,
+            seed,
+            mode,
+            // The standby keeps snapshotting into the same directory, so
+            // a second failover has fresh state to adopt.
+            snapshot_dir: Some(dir),
+            snapshot_interval: Duration::from_millis(snapshot_interval_ms),
+            ..Default::default()
+        },
+        &snap,
+    )
+    .map_err(|e| ArgError(format!("standby failed to adopt: {e}")))?;
+    let addr = standby
+        .wire_addr()
+        .expect("socket mode exposes its address");
+    let epoch = standby.epoch();
+
+    let deadline = Instant::now() + Duration::from_secs(timeout_secs);
+    let jobs = standby.running_jobs();
+    let mut tasks_completed = 0u64;
+    let mut requeues = 0u64;
+    for req in &jobs {
+        match standby.wait_job(*req, deadline.saturating_duration_since(Instant::now())) {
+            Some(outcome) => {
+                tasks_completed += outcome.report.tasks_completed;
+                requeues += outcome.report.requeues;
+            }
+            None => {
+                standby.shutdown();
+                return Err(ArgError(format!(
+                    "adopted job {req:?} did not complete within {timeout_secs}s \
+                     — are the surviving PNAs redialing {addr}?"
+                )));
+            }
+        }
+    }
+    // Hold the shutdown broadcast until every surviving PNA has redialed
+    // and re-acked, so none is stranded against a dead address.
+    let reconnect_deadline = Instant::now() + Duration::from_secs(5);
+    while standby.wire_stats().is_some_and(|s| s.accepted < pnas) {
+        if Instant::now() >= reconnect_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = standby
+        .wire_stats()
+        .expect("socket mode exposes wire stats");
+    let shutdown = standby.shutdown();
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "listen": addr.to_string(),
+            "epoch": epoch,
+            "snapshot_epoch": snap.epoch,
+            "adopted_jobs": jobs.len(),
+            "tasks_completed": tasks_completed,
+            "requeues": requeues,
+            "tasks_unaccounted": shutdown.tasks_unaccounted,
+            "threads_failed": shutdown.threads_failed,
+            "wire": {
+                "accepted": stats.accepted,
+                "tx_frames": stats.tx_frames,
+                "rx_frames": stats.rx_frames,
+                "checksum_rejects": stats.checksum_rejects,
+                "resyncs": stats.resyncs,
+            },
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("serialize standby json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "standby headend on {addr}: adopted epoch {} -> {epoch}, {} in-flight job(s)",
+        snap.epoch,
+        jobs.len()
+    );
+    let _ = writeln!(out, "  completed   : {tasks_completed}");
+    let _ = writeln!(out, "  requeues    : {requeues}");
+    let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    let _ = writeln!(out, "  threads lost: {}", shutdown.threads_failed);
+    let _ = writeln!(
+        out,
+        "  wire        : {} conn(s), {} tx / {} rx frames",
+        stats.accepted, stats.tx_frames, stats.rx_frames
+    );
+    Ok(out)
+}
+
 /// `oddci pna`: one Processing Node Agent process. Connects to a
 /// `oddci headend --listen` address, handshakes, and runs the full §3.2
 /// receiver loop — wakeup, boot from the streamed image, task fetch,
@@ -1277,6 +1412,7 @@ pub fn pna(p: &Parsed) -> Result<String, ArgError> {
     let seed: u64 = p.num("seed", 7)?;
     let heartbeat_ms: u64 = p.num("heartbeat-ms", 150)?;
     let connect_secs: u64 = p.num("connect-timeout", 10)?;
+    let reconnect_ms: u64 = p.num("reconnect-ms", 0)?;
     if heartbeat_ms == 0 || connect_secs == 0 {
         return Err(ArgError(
             "--heartbeat-ms and --connect-timeout must be positive".into(),
@@ -1286,6 +1422,12 @@ pub fn pna(p: &Parsed) -> Result<String, ArgError> {
     cfg.seed = seed;
     cfg.heartbeat_interval = std::time::Duration::from_millis(heartbeat_ms);
     cfg.connect_timeout = std::time::Duration::from_secs(connect_secs);
+    // 0 keeps the legacy behavior: a dead connection is a shutdown. Any
+    // positive window arms the redial loop that lets a standby headend
+    // adopt this node after a primary crash.
+    if reconnect_ms > 0 {
+        cfg.reconnect = Some(std::time::Duration::from_millis(reconnect_ms));
+    }
     let report =
         oddci_live::run_wire_pna(cfg).map_err(|e| ArgError(format!("pna on {connect}: {e}")))?;
     let stats = &report.stats;
@@ -1293,6 +1435,7 @@ pub fn pna(p: &Parsed) -> Result<String, ArgError> {
     if p.flag("json") {
         let v = serde_json::json!({
             "node": report.node.raw(),
+            "epoch": report.epoch,
             "wire": {
                 "tx_frames": stats.tx_frames,
                 "rx_frames": stats.rx_frames,
@@ -1310,8 +1453,9 @@ pub fn pna(p: &Parsed) -> Result<String, ArgError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "pna node {} ran to shutdown against {connect}",
-        report.node.raw()
+        "pna node {} ran to shutdown against {connect} (epoch {})",
+        report.node.raw(),
+        report.epoch
     );
     let _ = writeln!(
         out,
@@ -1323,6 +1467,234 @@ pub fn pna(p: &Parsed) -> Result<String, ArgError> {
         "  integrity : {} multi-chunk rx, {} checksum reject(s), {} resync(s)",
         stats.multi_chunk_rx, stats.checksum_rejects, stats.resyncs
     );
+    Ok(out)
+}
+
+/// `oddci failover`: the headend-durability scenario. Boots a snapshotting
+/// socket headend plus reconnecting in-process PNAs, kills the primary at
+/// the first `headend-crash` opportunity in the fault plan (no goodbye —
+/// the listener just dies), then boots a standby from the latest snapshot
+/// on the same address and proves the job finishes with every task
+/// accounted for and every PNA re-acked at the bumped epoch.
+pub fn failover(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_faults::{FaultInjector, FaultPlan};
+    use oddci_live::wire::WirePnaConfig;
+    use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let listen = match p.get("listen") {
+        Some(_) => socket_addr(p, "listen")?,
+        None => "127.0.0.1:0".parse().expect("loopback default"),
+    };
+    let pnas: u64 = p.num("pnas", 3)?;
+    let queries: u64 = p.num("queries", 64)?;
+    let target: u64 = p.num("target", pnas.min(3))?;
+    let seed: u64 = p.num("seed", 42)?;
+    let timeout_secs: u64 = p.num("timeout", 60)?;
+    let snapshot_interval_ms: u64 = p.num("snapshot-interval-ms", 50)?;
+    let db_len: usize = p.num("db-len", 200_000)?;
+    if pnas == 0 || queries == 0 || timeout_secs == 0 || snapshot_interval_ms == 0 || db_len == 0 {
+        return Err(ArgError(
+            "--pnas, --queries, --timeout, --snapshot-interval-ms and --db-len \
+             must be positive"
+                .into(),
+        ));
+    }
+    if target == 0 || target > pnas {
+        return Err(ArgError(format!(
+            "--target must be within 1..=--pnas ({pnas}), got {target}"
+        )));
+    }
+    let plan = match p.get("faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(ArgError)?,
+        // Default: the primary is guaranteed dead half a second in.
+        None => FaultPlan::parse("headend-crash=1.0@0.5..30").expect("default plan parses"),
+    };
+    // The kill time comes from the plan, the same way the live planes poll
+    // the injector: scan `headend_crashed` on a 10 ms tick and take the
+    // first hit.
+    let injector = FaultInjector::new(plan, seed);
+    let crash_at = (0..timeout_secs * 100)
+        .map(|t| t as f64 / 100.0)
+        .find(|&t| injector.headend_crashed(SimTime::from_secs_f64(t)))
+        .ok_or_else(|| {
+            ArgError(
+                "the fault plan never crashes the headend — include e.g. \
+                 `--faults headend-crash=1.0@0.5..30`"
+                    .into(),
+            )
+        })?;
+
+    let dir = match p.get("snapshot-dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("oddci-failover-{}", std::process::id())),
+    };
+    let mk_config = |listen: std::net::SocketAddr| LiveConfig {
+        nodes: pnas,
+        seed,
+        heartbeat_interval: Duration::from_millis(60),
+        mode: HeadendMode::Socket {
+            listen,
+            shards: 2,
+            dispatch: 2,
+            batch: 4,
+        },
+        snapshot_dir: Some(dir.clone()),
+        snapshot_interval: Duration::from_millis(snapshot_interval_ms),
+        ..Default::default()
+    };
+    mk_config(listen).mode.validate().map_err(ArgError)?;
+
+    let primary = LiveOddci::start(mk_config(listen));
+    let addr = primary.wire_addr().expect("socket headends listen");
+
+    let pna_threads: Vec<_> = (0..pnas)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut cfg = WirePnaConfig::new(addr);
+                cfg.seed = 100 + i;
+                cfg.heartbeat_interval = Duration::from_millis(60);
+                cfg.reconnect = Some(Duration::from_secs(timeout_secs));
+                oddci_live::run_wire_pna(cfg)
+            })
+        })
+        .collect();
+    let join_pnas = |threads: Vec<std::thread::JoinHandle<_>>| -> Vec<u64> {
+        threads
+            .into_iter()
+            .filter_map(|h| h.join().ok().and_then(Result::ok))
+            .map(|rep: oddci_live::WirePnaReport| rep.epoch)
+            .collect()
+    };
+
+    // A database big enough (by default) that the kill genuinely lands
+    // mid-job rather than after a sub-second sprint.
+    let image = AlignmentImage {
+        db_len,
+        ..AlignmentImage::small_demo()
+    };
+    let job_queries: Vec<Arc<Vec<u8>>> = (0..queries)
+        .map(|i| Arc::new(random_sequence(64, seed ^ i)))
+        .collect();
+    let submitted = Instant::now();
+    let req = match primary.submit_query_job(image, job_queries, target) {
+        Some(req) => req,
+        None => {
+            primary.shutdown();
+            let _ = join_pnas(pna_threads);
+            return Err(ArgError("job submission failed".into()));
+        }
+    };
+
+    // Hold fire until the plan's kill time has passed AND a snapshot that
+    // has seen the job exists — killing before the first export would just
+    // demonstrate losing everything.
+    let snap_path = dir.join(oddci_live::SNAPSHOT_FILE);
+    let deadline = submitted + Duration::from_secs(timeout_secs);
+    let snap = loop {
+        if submitted.elapsed().as_secs_f64() >= crash_at {
+            if let Ok(s) = oddci_live::snapshot::read_file(&snap_path) {
+                if !s.job_queries.is_empty() {
+                    break s;
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            primary.shutdown();
+            let _ = join_pnas(pna_threads);
+            return Err(ArgError(format!(
+                "no snapshot containing the job appeared within {timeout_secs}s"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    primary.crash();
+
+    let adopt_started = Instant::now();
+    let standby = match LiveOddci::start_standby(mk_config(addr), &snap) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = join_pnas(pna_threads);
+            return Err(ArgError(format!("standby failed to adopt: {e}")));
+        }
+    };
+    let adopt_ms = adopt_started.elapsed().as_secs_f64() * 1e3;
+    let adopted_req = standby.running_jobs().contains(&req);
+    let standby_epoch = standby.epoch();
+
+    let outcome = standby.wait_job(req, deadline.saturating_duration_since(Instant::now()));
+    // Even if the job was already complete in the snapshot, hold the
+    // standby open until every PNA has redialed and re-acked: shutting
+    // down before they reconnect would strand them against a dead
+    // address for their whole redial window.
+    let reconnect_deadline = Instant::now() + Duration::from_secs(5);
+    while standby.wire_stats().is_some_and(|s| s.accepted < pnas) {
+        if Instant::now() >= reconnect_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let shutdown = standby.shutdown();
+    let pna_epochs = join_pnas(pna_threads);
+    let outcome = match outcome {
+        Some(o) => o,
+        None => {
+            return Err(ArgError(format!(
+                "job did not complete on the standby within {timeout_secs}s"
+            )))
+        }
+    };
+    let tasks_lost = queries.saturating_sub(outcome.scores.len() as u64);
+    let reacked = pna_epochs.iter().filter(|&&e| e == standby_epoch).count() as u64;
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "listen": addr.to_string(),
+            "pnas": pnas,
+            "queries": queries,
+            "target": target,
+            "crash_at_secs": crash_at,
+            "snapshot_epoch": snap.epoch,
+            "standby_epoch": standby_epoch,
+            "adopt_ms": adopt_ms,
+            "adopted_running_job": adopted_req,
+            "tasks_completed": outcome.report.tasks_completed,
+            "tasks_lost": tasks_lost,
+            "requeues": outcome.report.requeues,
+            "tasks_unaccounted": shutdown.tasks_unaccounted,
+            "threads_failed": shutdown.threads_failed,
+            "pnas_reacked": reacked,
+            "pna_epochs": pna_epochs,
+        });
+        return Ok(serde_json::to_string_pretty(&v).expect("serialize failover json"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "failover on {addr}: killed primary at t={crash_at:.2}s, {queries} tasks in flight"
+    );
+    let _ = writeln!(
+        out,
+        "  adoption    : epoch {} -> {standby_epoch} in {adopt_ms:.1}ms",
+        snap.epoch
+    );
+    let _ = writeln!(out, "  completed   : {}", outcome.report.tasks_completed);
+    let _ = writeln!(out, "  tasks lost  : {tasks_lost}");
+    let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
+    let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    let _ = writeln!(out, "  threads lost: {}", shutdown.threads_failed);
+    let _ = writeln!(
+        out,
+        "  PNAs        : {reacked} of {pnas} re-acked at epoch {standby_epoch}"
+    );
+    if tasks_lost > 0 || shutdown.tasks_unaccounted > 0 {
+        return Err(ArgError(format!(
+            "failover lost work: {tasks_lost} task(s) missing, {} unaccounted\n{out}",
+            shutdown.tasks_unaccounted
+        )));
+    }
     Ok(out)
 }
 

@@ -15,6 +15,8 @@
 //! * `headend` — serve the live plane over real TCP sockets for PNA
 //!   processes to join.
 //! * `pna` — one Processing Node Agent process connecting to a headend.
+//! * `failover` — kill a snapshotting headend mid-job and prove a standby
+//!   adopts its state without losing a task.
 //! * `check` — the concurrency gate: workspace lint plus the bounded
 //!   schedule explorer over the scaled-down headend scenarios.
 //!
@@ -83,6 +85,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "soak" => commands::soak(&parsed).map_err(|e| e.to_string()),
         "headend" => commands::headend(&parsed).map_err(|e| e.to_string()),
         "pna" => commands::pna(&parsed).map_err(|e| e.to_string()),
+        "failover" => commands::failover(&parsed).map_err(|e| e.to_string()),
         "check" => commands::check(&parsed).map_err(|e| e.to_string()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -176,6 +179,13 @@ COMMANDS:
                   --metrics-out PATH  rewrite a Prometheus text snapshot
                                       of the metrics registry on an interval
                   --metrics-interval-ms M  snapshot period     [1000]
+                  --snapshot-dir PATH  write durability snapshots
+                                       (headend.snap, atomic) here
+                  --snapshot-interval-ms M  snapshot cadence   [500]
+                  --standby PATH   adopt the snapshot in PATH instead of
+                                   starting fresh: rebind the dead
+                                   primary's address at a bumped fencing
+                                   epoch and finish its in-flight jobs
                   --json           machine-readable output
     pna         one Processing Node Agent: connect to a headend, boot from
                 the streamed wakeup image, work until shutdown
@@ -183,6 +193,26 @@ COMMANDS:
                   --seed S         node seed                   [7]
                   --heartbeat-ms M heartbeat interval          [150]
                   --connect-timeout S  dial deadline, seconds  [10]
+                  --reconnect-ms M survive a dead connection: keep
+                                   redialing for M ms per outage, resuming
+                                   this node identity at whatever headend
+                                   answers (epoch-fenced)      [0 = off]
+                  --json           machine-readable output
+    failover    durability drill: snapshotting headend + reconnecting
+                PNAs; kill the primary at the fault plan's first
+                headend-crash opportunity, adopt from the snapshot on a
+                standby, prove zero tasks lost
+                  --listen ADDR    bind address (HOST:PORT) [127.0.0.1:0]
+                  --pnas N         in-process PNA threads      [3]
+                  --queries N      alignment queries           [64]
+                  --target N       instance size               [min(pnas,3)]
+                  --seed S         run seed                    [42]
+                  --db-len N       database bytes in the image [200000]
+                  --faults SPEC    must include a headend-crash window
+                                   [headend-crash=1.0@0.5..30]
+                  --snapshot-dir PATH  snapshot directory      [temp dir]
+                  --snapshot-interval-ms M  snapshot cadence   [50]
+                  --timeout S      overall deadline, seconds   [60]
                   --json           machine-readable output
     top         poll a running socket headend's live metrics plane
                 (counters/gauges/histograms with deltas and rates, plus
@@ -504,6 +534,34 @@ mod tests {
     fn trace_rejects_unknown_scenario() {
         let err = run(&argv(&["trace", "bogus"])).unwrap_err();
         assert!(err.contains("unknown scenario"), "{err}");
+    }
+
+    #[test]
+    fn failover_drill_loses_no_tasks() {
+        let out = run(&argv(&[
+            "failover",
+            "--pnas",
+            "3",
+            "--queries",
+            "48",
+            "--snapshot-interval-ms",
+            "40",
+            "--faults",
+            "headend-crash=1.0@0.3..30",
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["tasks_lost"], 0, "{out}");
+        assert_eq!(v["tasks_unaccounted"], 0, "{out}");
+        assert_eq!(v["standby_epoch"], 1, "{out}");
+        assert_eq!(v["pnas_reacked"], 3, "{out}");
+    }
+
+    #[test]
+    fn failover_requires_a_crash_window() {
+        let err = run(&argv(&["failover", "--faults", "heartbeat-drop=0.2"])).unwrap_err();
+        assert!(err.contains("never crashes"), "{err}");
     }
 
     #[test]

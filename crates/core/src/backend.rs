@@ -9,6 +9,7 @@
 
 use oddci_types::{JobId, NodeId, OddciError, Result, SimDuration, SimTime, TaskId};
 use oddci_workload::{Job, Task};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Reply to a node's task request.
@@ -51,6 +52,38 @@ impl JobState {
         }
         recycled
     }
+}
+
+/// Serializable snapshot of one job's scheduling ledger.
+///
+/// The full [`Job`] (task definitions included) travels in the snapshot so
+/// a standby can keep cutting batches without re-submission. Assignment
+/// order inside `pending` is preserved — re-queued tasks sit at the front
+/// and must stay there across a failover. `node_task` is *not* exported:
+/// it is derivable from `assigned` and rebuilt on import.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobExport {
+    /// The job definition, tasks included.
+    pub job: Job,
+    /// Unassigned tasks in queue order.
+    pub pending: Vec<TaskId>,
+    /// In-flight assignments.
+    pub assigned: Vec<(TaskId, NodeId)>,
+    /// Completed tasks.
+    pub completed: Vec<TaskId>,
+    /// How long before the snapshot the job was submitted.
+    pub submitted_age: SimDuration,
+    /// How long before the snapshot it completed, if it did.
+    pub completed_age: Option<SimDuration>,
+    /// Tasks re-queued after node losses so far.
+    pub requeues: u64,
+}
+
+/// Complete exported Backend state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendState {
+    /// Every registered job's ledger.
+    pub jobs: Vec<JobExport>,
 }
 
 /// The Backend.
@@ -238,6 +271,59 @@ impl Backend {
     /// The registered job, if any.
     pub fn job(&self, job: JobId) -> Option<&Job> {
         self.jobs.get(&job).map(|s| &s.job)
+    }
+
+    /// Exports every job's ledger for a snapshot taken at `now`.
+    pub fn export_state(&self, now: SimTime) -> BackendState {
+        BackendState {
+            jobs: self
+                .jobs
+                .values()
+                .map(|s| JobExport {
+                    job: s.job.clone(),
+                    pending: s.pending.iter().copied().collect(),
+                    assigned: s.assigned.iter().map(|(&t, &n)| (t, n)).collect(),
+                    completed: s.completed.iter().copied().collect(),
+                    submitted_age: now.since(s.submitted_at),
+                    completed_age: s.completed_at.map(|t| now.since(t)),
+                    requeues: s.requeues,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces all state from an exported snapshot, rebasing submission
+    /// timestamps onto `now` (the adopting headend's clock).
+    ///
+    /// In-flight assignments survive verbatim: a node that finished its
+    /// task during the failover window uploads to the standby and the
+    /// result is accepted against the imported ledger; a node that died
+    /// during the window is declared lost by the imported heartbeat ledger
+    /// and its tasks re-queue here, so no task is ever unaccounted.
+    pub fn import_state(&mut self, state: BackendState, now: SimTime) {
+        self.jobs = state
+            .jobs
+            .into_iter()
+            .map(|e| {
+                let mut node_task: BTreeMap<NodeId, BTreeSet<TaskId>> = BTreeMap::new();
+                for &(task, node) in &e.assigned {
+                    node_task.entry(node).or_default().insert(task);
+                }
+                (
+                    e.job.id,
+                    JobState {
+                        pending: e.pending.into_iter().collect(),
+                        assigned: e.assigned.into_iter().collect(),
+                        node_task,
+                        completed: e.completed.into_iter().collect(),
+                        submitted_at: now.saturating_sub(e.submitted_age),
+                        completed_at: e.completed_age.map(|age| now.saturating_sub(age)),
+                        requeues: e.requeues,
+                        job: e.job,
+                    },
+                )
+            })
+            .collect();
     }
 }
 
@@ -484,5 +570,62 @@ mod tests {
         let mut b = Backend::new();
         b.register_job(job(1), SimTime::from_secs(100));
         assert_eq!(b.makespan(JobId::new(1)), None);
+    }
+
+    #[test]
+    fn export_import_round_trips_ledger() {
+        let mut b = Backend::new();
+        b.register_job(job(4), SimTime::from_secs(1));
+        let j = JobId::new(1);
+        let batch = b.fetch_batch(j, NodeId::new(10), 2).unwrap();
+        b.complete_task(j, batch[0].id, NodeId::new(10), SimTime::from_secs(2))
+            .unwrap();
+        b.node_lost(NodeId::new(10)); // re-queues batch[1] at the front
+        b.fetch_task(j, NodeId::new(11)).unwrap();
+        let now = SimTime::from_secs(3);
+        let state = b.export_state(now);
+
+        let mut adopted = Backend::new();
+        adopted.import_state(state.clone(), now);
+        assert_eq!(adopted.export_state(now), state);
+        assert_eq!(adopted.completed_count(j), 1);
+        assert_eq!(adopted.assigned_count(j), 1);
+        assert_eq!(adopted.pending_count(j), 2);
+        assert_eq!(adopted.requeue_count(j), 1);
+        assert_eq!(adopted.unaccounted_tasks(j), 0);
+
+        // The adopted ledger keeps full semantics: the in-flight node's
+        // upload is accepted, a loss re-queues, and the job completes with
+        // every task accounted.
+        adopted
+            .complete_task(j, batch[1].id, NodeId::new(11), SimTime::from_secs(4))
+            .unwrap();
+        for t in adopted.fetch_batch(j, NodeId::new(12), 4).unwrap() {
+            adopted
+                .complete_task(j, t.id, NodeId::new(12), SimTime::from_secs(5))
+                .unwrap();
+        }
+        assert!(adopted.is_complete(j));
+        assert_eq!(adopted.unaccounted_tasks(j), 0);
+    }
+
+    #[test]
+    fn import_rebases_submission_onto_new_clock() {
+        let mut b = Backend::new();
+        // Submitted at t=100s on the primary, snapshot at t=130s: age 30s.
+        b.register_job(job(1), SimTime::from_secs(100));
+        let state = b.export_state(SimTime::from_secs(130));
+
+        // Standby clock reads 40s at adoption → submission rebased to 10s.
+        let mut adopted = Backend::new();
+        adopted.import_state(state, SimTime::from_secs(40));
+        let j = JobId::new(1);
+        let TaskOutcome::Assigned(t) = adopted.fetch_task(j, NodeId::new(1)).unwrap() else {
+            panic!()
+        };
+        adopted
+            .complete_task(j, t.id, NodeId::new(1), SimTime::from_secs(70))
+            .unwrap();
+        assert_eq!(adopted.makespan(j), Some(SimDuration::from_secs(60)));
     }
 }

@@ -16,14 +16,14 @@ use crate::messages::{
 use oddci_crypto::MessageAuthenticator;
 use oddci_types::{
     DataSize, HeartbeatConfig, ImageId, InstanceId, MessageId, NodeId, OddciError, Probability,
-    Result, SimTime,
+    Result, SimDuration, SimTime,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A Provider's request for a new instance.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InstanceRequest {
     /// Image to distribute.
     pub image: ImageId,
@@ -123,6 +123,61 @@ struct NodeRecord {
     last_heartbeat: SimTime,
     state: PnaStateKind,
     instance: Option<InstanceId>,
+}
+
+/// Serializable snapshot of one instance's controller-side bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceExport {
+    /// Instance identity.
+    pub id: InstanceId,
+    /// The original Provider request (target, image, requirements).
+    pub request: InstanceRequest,
+    /// Lifecycle status at snapshot time.
+    pub status: InstanceStatus,
+    /// Member nodes at snapshot time.
+    pub members: Vec<NodeId>,
+    /// Wakeup (re)broadcasts issued so far.
+    pub wakeups_sent: u32,
+}
+
+/// Serializable snapshot of one heartbeat-registry entry.
+///
+/// Heartbeat recency is stored as an **age** relative to the snapshot
+/// instant rather than an absolute [`SimTime`]: the primary and a standby
+/// headend run separate clocks (each starts at its own process launch), so
+/// absolute instants from one are meaningless on the other. Ages rebase
+/// cleanly via [`SimTime::saturating_sub`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeExport {
+    /// The node.
+    pub node: NodeId,
+    /// How long before the snapshot its last heartbeat arrived.
+    pub heartbeat_age: SimDuration,
+    /// Last reported PNA state.
+    pub state: PnaStateKind,
+    /// Instance membership claimed by that heartbeat.
+    pub instance: Option<InstanceId>,
+}
+
+/// Complete exported Controller state: membership, heartbeat ledger, and —
+/// critically — the message-id namespace. An adopting Controller must keep
+/// signing from the same `next_message`/`message_stride` stream, because
+/// PNAs deduplicate carousel repetitions by [`MessageId`] and would drop a
+/// restarted id sequence as already-seen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// All instances and their membership.
+    pub instances: Vec<InstanceExport>,
+    /// The heartbeat registry, ages relative to the snapshot instant.
+    pub registry: Vec<NodeExport>,
+    /// Next locally allocated instance id.
+    pub next_instance: u64,
+    /// Next control-message id to sign with.
+    pub next_message: u64,
+    /// Id-namespace stride (shard count).
+    pub message_stride: u64,
+    /// Heartbeats processed so far.
+    pub heartbeats_received: u64,
 }
 
 /// The Controller.
@@ -465,6 +520,79 @@ impl Controller {
     pub fn known_nodes(&self) -> usize {
         self.registry.len()
     }
+
+    /// Exports all mutable state for a snapshot taken at `now`.
+    ///
+    /// The signing key and policy are *not* exported — they are deployment
+    /// configuration the standby already holds; only the dynamic ledger
+    /// travels in the snapshot.
+    pub fn export_state(&self, now: SimTime) -> ControllerState {
+        ControllerState {
+            instances: self
+                .instances
+                .iter()
+                .map(|(&id, rec)| InstanceExport {
+                    id,
+                    request: rec.request,
+                    status: rec.status,
+                    members: rec.members.iter().copied().collect(),
+                    wakeups_sent: rec.wakeups_sent,
+                })
+                .collect(),
+            registry: self
+                .registry
+                .iter()
+                .map(|(&node, rec)| NodeExport {
+                    node,
+                    heartbeat_age: now.since(rec.last_heartbeat),
+                    state: rec.state,
+                    instance: rec.instance,
+                })
+                .collect(),
+            next_instance: self.next_instance,
+            next_message: self.next_message,
+            message_stride: self.message_stride,
+            heartbeats_received: self.heartbeats_received,
+        }
+    }
+
+    /// Replaces all mutable state from an exported snapshot, rebasing
+    /// heartbeat ages onto `now` (the adopting headend's clock).
+    pub fn import_state(&mut self, state: ControllerState, now: SimTime) {
+        self.instances = state
+            .instances
+            .into_iter()
+            .map(|e| {
+                (
+                    e.id,
+                    InstanceRecord {
+                        request: e.request,
+                        status: e.status,
+                        members: e.members.into_iter().collect(),
+                        wakeups_sent: e.wakeups_sent,
+                    },
+                )
+            })
+            .collect();
+        self.registry = state
+            .registry
+            .into_iter()
+            .map(|e| {
+                (
+                    e.node,
+                    NodeRecord {
+                        last_heartbeat: now.saturating_sub(e.heartbeat_age),
+                        state: e.state,
+                        instance: e.instance,
+                    },
+                )
+            })
+            .collect();
+        self.next_instance = state.next_instance;
+        self.next_message = state.next_message;
+        self.message_stride = state.message_stride;
+        self.heartbeats_received = state.heartbeats_received;
+    }
 }
 
 #[cfg(test)]
@@ -748,5 +876,59 @@ mod tests {
         c.on_heartbeat(idle_hb(1, 1), SimTime::from_secs(1));
         c.on_heartbeat(idle_hb(2, 1), SimTime::from_secs(1));
         assert_eq!(c.heartbeats_received, 2);
+    }
+
+    #[test]
+    fn export_import_round_trips_state() {
+        let mut c = Controller::with_id_namespace(KEY, ControllerPolicy::default(), 3, 8);
+        let (id, _) = c.create_instance(request(2), SimTime::ZERO);
+        c.on_heartbeat(busy_hb(1, id, 1), SimTime::from_secs(1));
+        c.on_heartbeat(busy_hb(2, id, 1), SimTime::from_secs(1));
+        c.on_heartbeat(idle_hb(9, 2), SimTime::from_secs(2));
+        let now = SimTime::from_secs(3);
+        let state = c.export_state(now);
+
+        let mut adopted = Controller::new(KEY, ControllerPolicy::default());
+        adopted.import_state(state.clone(), now);
+        // Same snapshot instant → byte-identical re-export.
+        assert_eq!(adopted.export_state(now), state);
+        assert_eq!(adopted.instance_size(id), 2);
+        assert_eq!(adopted.known_nodes(), 3);
+        assert_eq!(adopted.heartbeats_received, 3);
+        // Message-id namespace continues where the primary stopped: the
+        // first post-adoption broadcast must carry a *fresh* id, offset 3
+        // stride 8, after the two messages (#3 wakeup implicit in create,
+        // none since) the primary already signed.
+        let (_, out) = adopted.create_instance(request(1), now);
+        let ControllerOutput::Broadcast(signed) = &out[0] else {
+            panic!("expected broadcast")
+        };
+        let ControlMessage::Wakeup(w) = signed.message else {
+            panic!("expected wakeup")
+        };
+        assert_eq!(w.id, MessageId::new(3 + 8));
+    }
+
+    #[test]
+    fn import_rebases_heartbeat_ages_onto_new_clock() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(1), SimTime::ZERO);
+        // Heartbeat at t=100s, snapshot at t=150s: age 50s.
+        c.on_heartbeat(busy_hb(1, id, 100), SimTime::from_secs(100));
+        let state = c.export_state(SimTime::from_secs(150));
+
+        // Standby's clock reads only 60s when it adopts.
+        let mut adopted = Controller::new(KEY, ControllerPolicy::default());
+        adopted.import_state(state, SimTime::from_secs(60));
+        // Node is 50s stale on the standby clock — inside the default 180s
+        // deadline, so it survives the first tick...
+        assert!(adopted.tick(SimTime::from_secs(61)).is_empty());
+        assert_eq!(adopted.instance_size(id), 1);
+        // ...and is lost once the rebased age crosses the deadline.
+        let out = adopted.tick(SimTime::from_secs(191));
+        assert!(out.contains(&ControllerOutput::NodeLost {
+            node: NodeId::new(1),
+            instance: id
+        }));
     }
 }

@@ -54,6 +54,35 @@ struct RequestRecord {
     report: Option<JobReport>,
 }
 
+/// Serializable snapshot of one request record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestExport {
+    /// Request handle.
+    pub request: ProviderRequest,
+    /// The job it drives.
+    pub job: JobId,
+    /// Instance serving it.
+    pub instance: InstanceId,
+    /// Requested instance size.
+    pub target: u64,
+    /// How long before the snapshot it was submitted.
+    pub submitted_age: SimDuration,
+    /// Lifecycle state.
+    pub state: RequestState,
+    /// Final report, if complete.
+    pub report: Option<JobReport>,
+}
+
+/// Complete exported Provider state. `by_job` is derivable and rebuilt on
+/// import.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderState {
+    /// Every request record.
+    pub requests: Vec<RequestExport>,
+    /// Next request id to allocate.
+    pub next: u64,
+}
+
 /// The Provider.
 #[derive(Debug, Default)]
 pub struct Provider {
@@ -160,6 +189,50 @@ impl Provider {
             .filter(|(_, r)| r.state == RequestState::Running)
             .map(|(&id, _)| id)
     }
+
+    /// Exports every request record for a snapshot taken at `now`.
+    pub fn export_state(&self, now: SimTime) -> ProviderState {
+        ProviderState {
+            requests: self
+                .requests
+                .iter()
+                .map(|(&id, r)| RequestExport {
+                    request: id,
+                    job: r.job,
+                    instance: r.instance,
+                    target: r.target,
+                    submitted_age: now.since(r.submitted_at),
+                    state: r.state,
+                    report: r.report,
+                })
+                .collect(),
+            next: self.next,
+        }
+    }
+
+    /// Replaces all state from an exported snapshot, rebasing submission
+    /// timestamps onto `now` (the adopting headend's clock).
+    pub fn import_state(&mut self, state: ProviderState, now: SimTime) {
+        self.requests = state
+            .requests
+            .iter()
+            .map(|e| {
+                (
+                    e.request,
+                    RequestRecord {
+                        job: e.job,
+                        instance: e.instance,
+                        target: e.target,
+                        submitted_at: now.saturating_sub(e.submitted_age),
+                        state: e.state,
+                        report: e.report,
+                    },
+                )
+            })
+            .collect();
+        self.by_job = state.requests.iter().map(|e| (e.job, e.request)).collect();
+        self.next = state.next;
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +292,31 @@ mod tests {
         p.complete(a, SimTime::from_secs(1), 10, 0, 1);
         let running: Vec<_> = p.running().collect();
         assert_eq!(running, vec![b]);
+    }
+
+    #[test]
+    fn export_import_round_trips_requests() {
+        let mut p = Provider::new();
+        let a = p.open_request(JobId::new(1), InstanceId::new(1), 10, SimTime::from_secs(1));
+        let b = p.open_request(JobId::new(2), InstanceId::new(2), 20, SimTime::from_secs(2));
+        p.complete(a, SimTime::from_secs(5), 10, 0, 1);
+        let now = SimTime::from_secs(6);
+        let state = p.export_state(now);
+
+        let mut adopted = Provider::new();
+        adopted.import_state(state.clone(), now);
+        assert_eq!(adopted.export_state(now), state);
+        assert_eq!(adopted.running().collect::<Vec<_>>(), vec![b]);
+        assert_eq!(adopted.report(a), p.report(a));
+        assert_eq!(adopted.request_for_job(JobId::new(2)), Some(b));
+        // The open request completes normally on the standby...
+        assert_eq!(
+            adopted.complete(b, SimTime::from_secs(9), 20, 1, 1),
+            Some(InstanceId::new(2))
+        );
+        // ...and fresh ids continue past the imported namespace.
+        let c = adopted.open_request(JobId::new(3), InstanceId::new(3), 5, SimTime::from_secs(9));
+        assert!(c > b);
     }
 
     #[test]

@@ -90,11 +90,15 @@ pub enum FaultClass {
     /// Wire frames of one send are duplicated / reordered; the
     /// reassembler must still deliver each message exactly once.
     FrameReorder,
+    /// The headend process is killed outright (no shutdown handshake);
+    /// the `oddci failover` scenario uses the roll to time the SIGKILL,
+    /// after which a standby must adopt the last snapshot.
+    HeadendCrash,
 }
 
 impl FaultClass {
     /// All classes, in declaration order.
-    pub const ALL: [FaultClass; 12] = [
+    pub const ALL: [FaultClass; 13] = [
         FaultClass::CarouselCorruption,
         FaultClass::CarouselTruncation,
         FaultClass::DirectLoss,
@@ -107,6 +111,7 @@ impl FaultClass {
         FaultClass::FrameCorrupt,
         FaultClass::FrameTruncate,
         FaultClass::FrameReorder,
+        FaultClass::HeadendCrash,
     ];
 
     /// Stable kebab-case name (CLI syntax and seed derivation).
@@ -124,6 +129,7 @@ impl FaultClass {
             FaultClass::FrameCorrupt => "frame-corrupt",
             FaultClass::FrameTruncate => "frame-truncate",
             FaultClass::FrameReorder => "frame-reorder",
+            FaultClass::HeadendCrash => "headend-crash",
         }
     }
 
@@ -145,6 +151,7 @@ impl FaultClass {
             FaultClass::PnaCrash => 60.0,
             FaultClass::BackendStall => 45.0,
             FaultClass::FrameCorrupt | FaultClass::FrameTruncate | FaultClass::FrameReorder => 0.0,
+            FaultClass::HeadendCrash => 0.0,
         }
     }
 
@@ -394,7 +401,7 @@ const GLOBAL: u64 = u64::MAX;
 pub struct FaultInjector {
     plan: FaultPlan,
     /// Per-class derived seeds, parallel to [`FaultClass::ALL`].
-    class_seeds: [u64; 12],
+    class_seeds: [u64; 13],
 }
 
 impl FaultInjector {
@@ -403,7 +410,7 @@ impl FaultInjector {
     /// streams).
     pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
         plan.validate().expect("valid fault plan");
-        let mut class_seeds = [0u64; 12];
+        let mut class_seeds = [0u64; 13];
         for (i, class) in FaultClass::ALL.iter().enumerate() {
             class_seeds[i] = mix(fnv1a(seed, class.label()));
         }
@@ -555,6 +562,13 @@ impl FaultInjector {
         self.roll(FaultClass::FrameReorder, node.raw(), now)
             .is_some()
     }
+
+    /// Does the headend crash at this opportunity? Global (node-free) roll;
+    /// the `oddci failover` scenario polls it each tick and SIGKILLs the
+    /// primary on the first hit.
+    pub fn headend_crashed(&self, now: SimTime) -> bool {
+        self.roll(FaultClass::HeadendCrash, GLOBAL, now).is_some()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -667,6 +681,8 @@ pub struct FaultCounters {
     pub frame_truncations: u64,
     /// Wire sends duplicated / reordered in flight.
     pub frame_reorders: u64,
+    /// Headend kills injected (failover drills).
+    pub headend_crashes: u64,
 }
 
 impl FaultCounters {
@@ -685,6 +701,7 @@ impl FaultCounters {
             FaultClass::FrameCorrupt => self.frame_corruptions += 1,
             FaultClass::FrameTruncate => self.frame_truncations += 1,
             FaultClass::FrameReorder => self.frame_reorders += 1,
+            FaultClass::HeadendCrash => self.headend_crashes += 1,
         }
     }
 
@@ -703,6 +720,7 @@ impl FaultCounters {
             FaultClass::FrameCorrupt => self.frame_corruptions,
             FaultClass::FrameTruncate => self.frame_truncations,
             FaultClass::FrameReorder => self.frame_reorders,
+            FaultClass::HeadendCrash => self.headend_crashes,
         }
     }
 
@@ -893,6 +911,18 @@ mod tests {
         assert_eq!(c.pna_crashes, 2);
         assert_eq!(c.get(FaultClass::BackendStall), 1);
         assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn headend_crash_rolls_inside_its_window() {
+        let plan = FaultPlan::parse("headend-crash=1.0@1.5..2").unwrap();
+        let inj = FaultInjector::new(plan, 3);
+        assert!(!inj.headend_crashed(SimTime::from_secs_f64(1.0)));
+        assert!(inj.headend_crashed(SimTime::from_secs_f64(1.5)));
+        assert!(!inj.headend_crashed(SimTime::from_secs_f64(2.0)));
+        let mut c = FaultCounters::default();
+        c.record(FaultClass::HeadendCrash);
+        assert_eq!(c.get(FaultClass::HeadendCrash), 1);
     }
 
     #[test]

@@ -35,9 +35,12 @@
 use crate::bus::BroadcastBus;
 use crate::image::{AlignmentImage, LiveBroadcast};
 use crate::runtime::{wall_now, BusMsg, LiveConfig, TaskBatchReply};
+use crate::snapshot::{ImageExport, SnapshotState};
 use oddci_check::sync::{bounded, Mutex, Receiver, RecvTimeoutError, Sender};
 use oddci_core::backend::Backend;
-use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
+use oddci_core::controller::{
+    Controller, ControllerOutput, ControllerPolicy, ControllerState, InstanceRequest,
+};
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
 use oddci_core::provider::{JobReport, Provider, ProviderRequest};
 use oddci_core::sharded::split_target;
@@ -56,6 +59,9 @@ use std::time::Instant;
 const QUEUE_CAP: usize = 1024;
 /// Capacity of the carousel thread's inbox (control traffic is sparse).
 const CAROUSEL_CAP: usize = 256;
+/// How long a snapshot export/import waits for a shard or the carousel
+/// to answer before declaring the headend unhealthy.
+const EXPORT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// Traffic into the carousel thread.
 pub(crate) enum CarouselMsg {
@@ -66,6 +72,10 @@ pub(crate) enum CarouselMsg {
     },
     /// Publish a signed control message (from any shard).
     Publish(oddci_core::messages::SignedMessage),
+    /// Export the registered image recipes for a durability snapshot.
+    Export {
+        reply: Sender<Vec<(InstanceId, ImageExport)>>,
+    },
     Shutdown,
 }
 
@@ -85,6 +95,16 @@ pub(crate) enum ShardMsg {
     Dismantle {
         instance: InstanceId,
         publish: bool,
+    },
+    /// Export this shard's Controller state for a durability snapshot.
+    Export {
+        reply: Sender<ControllerState>,
+    },
+    /// Replace this shard's Controller state from a snapshot (standby
+    /// adoption); the reply is the completion barrier.
+    Import {
+        state: ControllerState,
+        reply: Sender<()>,
     },
     Shutdown,
 }
@@ -254,6 +274,107 @@ impl ShardedHeadend {
         (self.shard_txs.clone(), self.dispatch_txs.clone())
     }
 
+    /// A detached handle the snapshot writer thread exports through.
+    pub(crate) fn snapshot_handle(&self) -> SnapshotHandle {
+        SnapshotHandle {
+            hub: Arc::clone(&self.hub),
+            carousel_tx: self.carousel_tx.clone(),
+            shard_txs: self.shard_txs.clone(),
+            start: self.start,
+        }
+    }
+
+    /// Replaces this headend's state from a snapshot: every shard's
+    /// Controller, the carousel's image table and the hub's job state.
+    /// Must run before node traffic arrives (standby adoption happens
+    /// before the wire server binds).
+    pub(crate) fn import_state(&self, snap: &SnapshotState) -> Result<(), String> {
+        if snap.shards.len() != self.shard_txs.len() {
+            return Err(format!(
+                "snapshot has {} controller shards but this headend runs {} — \
+                 message-id namespaces are per-shard, so the counts must match",
+                snap.shards.len(),
+                self.shard_txs.len()
+            ));
+        }
+        for (tx, state) in self.shard_txs.iter().zip(&snap.shards) {
+            let (rtx, rrx) = bounded(1);
+            tx.send(ShardMsg::Import {
+                state: state.clone(),
+                reply: rtx,
+            })
+            .map_err(|_| "controller shard gone during import".to_string())?;
+            rrx.recv_timeout(EXPORT_TIMEOUT)
+                .map_err(|_| "controller shard did not acknowledge import".to_string())?;
+        }
+        for (instance, recipe) in &snap.images {
+            self.carousel_tx
+                .send(CarouselMsg::Register {
+                    instance: *instance,
+                    image: Arc::new(recipe.to_image()),
+                })
+                .map_err(|_| "carousel gone during import".to_string())?;
+        }
+        let now = wall_now(&self.start);
+        {
+            let mut hub = self.hub.lock();
+            hub.backend.import_state(snap.backend.clone(), now);
+            hub.provider.import_state(snap.provider.clone(), now);
+            hub.instance_job = snap.instance_job.iter().copied().collect();
+            hub.job_instance = snap
+                .instance_job
+                .iter()
+                .map(|&(instance, job)| (job, instance))
+                .collect();
+            hub.job_queries = snap
+                .job_queries
+                .iter()
+                .map(|(job, queries)| (*job, queries.iter().map(|q| Arc::new(q.clone())).collect()))
+                .collect();
+            hub.job_scores = snap
+                .job_scores
+                .iter()
+                .map(|(job, scores)| (*job, scores.iter().copied().collect()))
+                .collect();
+            hub.wakeups = snap.wakeups.iter().copied().collect();
+        }
+        let next_instance = snap
+            .instance_job
+            .iter()
+            .map(|&(instance, _)| instance.raw() + 1)
+            .max()
+            .unwrap_or(0);
+        self.next_instance.store(next_instance, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Re-applies `NodeLost` events recorded after a snapshot was cut:
+    /// the crashed primary may have detected losses (re-queuing their
+    /// assignments) that the snapshot predates. Replaying them means the
+    /// standby re-queues immediately instead of waiting out its own
+    /// miss-threshold window. Returns how many losses were applied.
+    pub(crate) fn replay_node_losses(&self, nodes: &[NodeId]) -> u64 {
+        let mut hub = self.hub.lock();
+        let mut applied = 0u64;
+        for &node in nodes {
+            applied += u64::from(!hub.backend.node_lost(node).is_empty());
+        }
+        applied
+    }
+
+    /// Wall-clock runtime instant, in microseconds on this headend's
+    /// clock (a standby's clock starts at adoption, not at the primary's
+    /// boot — snapshot import rebases ages accordingly).
+    pub(crate) fn now_us(&self) -> u64 {
+        wall_now(&self.start).as_micros()
+    }
+
+    /// Provider requests still running. A standby uses this right after
+    /// adoption to find the jobs it must keep waiting on.
+    pub(crate) fn running_jobs(&self) -> Vec<ProviderRequest> {
+        self.hub.lock().provider.running().collect()
+    }
+
     /// Registers a job, admits its instance on every shard (split
     /// targets) and opens the Provider request. Runs on the caller's
     /// thread — the coordinator is whoever submits.
@@ -349,6 +470,73 @@ impl ShardedHeadend {
 }
 
 // ---------------------------------------------------------------------
+// Snapshot export
+// ---------------------------------------------------------------------
+
+/// Channels and shared state a snapshot writer needs to cut a consistent
+/// export without owning the headend. Cloned senders keep the export path
+/// off the headend's own threads: the writer asks each shard and the
+/// carousel over their inboxes and reads the hub under its lock.
+pub(crate) struct SnapshotHandle {
+    hub: Arc<Mutex<Hub>>,
+    carousel_tx: Sender<CarouselMsg>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    start: Instant,
+}
+
+impl SnapshotHandle {
+    /// Cuts one snapshot at the current instant. Returns `None` when the
+    /// headend is winding down (a channel closed mid-export) — callers
+    /// just skip that cycle.
+    ///
+    /// Consistency: the Backend/Provider/job tables are read atomically
+    /// under the hub lock — that is the task-accounting ground truth. The
+    /// per-shard Controller states are collected just before, so they can
+    /// trail the hub by the export's own latency; membership and
+    /// heartbeat ledgers re-converge from live traffic after adoption, so
+    /// that skew is harmless (and the task ledger never is skewed).
+    pub(crate) fn export(&self, epoch: u64, wire: (u64, Vec<u64>)) -> Option<SnapshotState> {
+        let mut shards = Vec::with_capacity(self.shard_txs.len());
+        for tx in &self.shard_txs {
+            let (rtx, rrx) = bounded(1);
+            tx.send(ShardMsg::Export { reply: rtx }).ok()?;
+            shards.push(rrx.recv_timeout(EXPORT_TIMEOUT).ok()?);
+        }
+        let (rtx, rrx) = bounded(1);
+        self.carousel_tx
+            .send(CarouselMsg::Export { reply: rtx })
+            .ok()?;
+        let images = rrx.recv_timeout(EXPORT_TIMEOUT).ok()?;
+
+        let now = wall_now(&self.start);
+        let hub = self.hub.lock();
+        let snap = SnapshotState {
+            epoch,
+            taken_at_us: now.as_micros(),
+            shards,
+            backend: hub.backend.export_state(now),
+            provider: hub.provider.export_state(now),
+            instance_job: hub.instance_job.iter().map(|(&i, &j)| (i, j)).collect(),
+            job_queries: hub
+                .job_queries
+                .iter()
+                .map(|(&job, queries)| (job, queries.iter().map(|q| q.as_ref().clone()).collect()))
+                .collect(),
+            job_scores: hub
+                .job_scores
+                .iter()
+                .map(|(&job, scores)| (job, scores.iter().map(|(&t, &s)| (t, s)).collect()))
+                .collect(),
+            wakeups: hub.wakeups.iter().map(|(&i, &w)| (i, w)).collect(),
+            images,
+            wire_next_node: wire.0,
+            wire_nodes: wire.1,
+        };
+        Some(snap)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Carousel thread
 // ---------------------------------------------------------------------
 
@@ -383,6 +571,13 @@ fn carousel_main(
                     instance.raw(),
                 );
                 bus.publish(&BusMsg::Control(LiveBroadcast { signed, image }));
+            }
+            CarouselMsg::Export { reply } => {
+                let recipes = images
+                    .iter()
+                    .map(|(&instance, image)| (instance, ImageExport::from_image(image)))
+                    .collect();
+                let _ = reply.send(recipes);
             }
             CarouselMsg::Shutdown => return,
         }
@@ -436,6 +631,13 @@ fn shard_main(
                         apply_outputs(outputs, &carousel_tx, &hub, &start, &tele);
                     }
                 }
+            }
+            Ok(ShardMsg::Export { reply }) => {
+                let _ = reply.send(controller.export_state(wall_now(&start)));
+            }
+            Ok(ShardMsg::Import { state, reply }) => {
+                controller.import_state(state, wall_now(&start));
+                let _ = reply.send(());
             }
             Ok(ShardMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
             Err(RecvTimeoutError::Timeout) => {}

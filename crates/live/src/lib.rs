@@ -32,9 +32,11 @@ pub mod bus;
 pub mod headend;
 pub mod image;
 pub mod runtime;
+pub mod snapshot;
 pub mod wire;
 
 pub use bus::BroadcastBus;
 pub use image::{AlignmentImage, LiveBroadcast};
 pub use runtime::{HeadendMode, JobOutcome, LiveConfig, LiveOddci, ShutdownReport};
+pub use snapshot::{SnapshotError, SnapshotState, SNAPSHOT_FILE};
 pub use wire::{run_wire_pna, WirePnaConfig, WirePnaReport};

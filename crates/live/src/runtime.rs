@@ -18,9 +18,11 @@
 //! `oddci-core` runs unmodified on this plane.
 
 use crate::bus::BroadcastBus;
-use crate::headend::{DispatchMsg, ShardMsg, ShardedHeadend};
+use crate::headend::{DispatchMsg, ShardMsg, ShardedHeadend, SnapshotHandle};
 use crate::image::{AlignmentImage, LiveBroadcast};
-use oddci_check::sync::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::snapshot::{self, SnapshotState};
+use crate::wire::WireMembership;
+use oddci_check::sync::{bounded, unbounded, Mutex, Receiver, RecvTimeoutError, Sender};
 use oddci_core::backend::{Backend, TaskOutcome};
 use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
@@ -159,6 +161,15 @@ pub struct LiveConfig {
     pub telemetry: Telemetry,
     /// Headend architecture (sharded by default).
     pub mode: HeadendMode,
+    /// Where to publish durability snapshots (`headend.snap`, written
+    /// atomically every [`snapshot_interval`](LiveConfig::snapshot_interval)).
+    /// `None` (the default) disables snapshotting. Only the sharded and
+    /// socket headends snapshot; the single-loop baseline predates
+    /// durability and has no export path.
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Snapshot cadence. Shorter intervals shrink the replay window a
+    /// standby must cover but cost one state export per tick.
+    pub snapshot_interval: Duration,
 }
 
 impl Default for LiveConfig {
@@ -172,6 +183,8 @@ impl Default for LiveConfig {
             faults: FaultPlan::none(),
             telemetry: Telemetry::disabled(),
             mode: HeadendMode::default(),
+            snapshot_dir: None,
+            snapshot_interval: Duration::from_millis(500),
         }
     }
 }
@@ -341,6 +354,7 @@ enum Headend {
         sh: Option<ShardedHeadend>,
         server: Option<oddci_wire::WireServer>,
         conn_stats: Arc<oddci_wire::ConnStatsHub>,
+        membership: Arc<Mutex<WireMembership>>,
     },
 }
 
@@ -351,6 +365,13 @@ pub struct LiveOddci {
     nodes: Vec<JoinHandle<()>>,
     next_job: AtomicU64,
     config: LiveConfig,
+    /// Fencing epoch this headend acks hellos with (0 for a primary;
+    /// snapshot epoch + 1 for a standby).
+    epoch: u64,
+    snapshot_handle: Option<SnapshotHandle>,
+    /// Dropping the sender stops the snapshot writer thread.
+    snapshot_stop: Option<Sender<()>>,
+    snapshot_thread: Option<JoinHandle<()>>,
 }
 
 impl LiveOddci {
@@ -432,6 +453,8 @@ impl LiveOddci {
                 let shard_txs = Arc::new(shard_txs);
                 let dispatch_txs = Arc::new(dispatch_txs);
                 let conn_stats = Arc::new(oddci_wire::ConnStatsHub::new());
+                let membership =
+                    Arc::new(Mutex::named(WireMembership::new(), "live.wire.membership"));
                 let service = crate::wire::LiveWireService::new(
                     Arc::clone(&shard_txs),
                     Arc::clone(&dispatch_txs),
@@ -439,6 +462,8 @@ impl LiveOddci {
                     bus.subscribe(),
                     config.telemetry.clone(),
                     Arc::clone(&conn_stats),
+                    0, // a fresh primary starts at epoch 0
+                    Arc::clone(&membership),
                 );
                 let mut scfg =
                     oddci_wire::ServerConfig::new(oddci_wire::Integrity::hmac(&config.key));
@@ -455,6 +480,7 @@ impl LiveOddci {
                         sh: Some(sh),
                         server: Some(server),
                         conn_stats,
+                        membership,
                     },
                     NodeLink::Sharded {
                         shards: shard_txs,
@@ -495,13 +521,179 @@ impl LiveOddci {
             }));
         }
 
+        let (snapshot_handle, snapshot_stop, snapshot_thread) = match &headend {
+            Headend::Sharded(Some(sh)) | Headend::Socket { sh: Some(sh), .. } => {
+                let handle = sh.snapshot_handle();
+                match &config.snapshot_dir {
+                    Some(dir) => {
+                        let membership = match &headend {
+                            Headend::Socket { membership, .. } => Some(Arc::clone(membership)),
+                            _ => None,
+                        };
+                        let (stop, thread) = spawn_snapshot_writer(
+                            sh.snapshot_handle(),
+                            membership,
+                            0,
+                            dir.clone(),
+                            config.snapshot_interval,
+                            start,
+                            config.telemetry.clone(),
+                        );
+                        (Some(handle), Some(stop), Some(thread))
+                    }
+                    None => (Some(handle), None, None),
+                }
+            }
+            _ => (None, None, None),
+        };
+
         LiveOddci {
             headend,
             bus,
             nodes,
             next_job: AtomicU64::new(0),
             config,
+            epoch: 0,
+            snapshot_handle,
+            snapshot_stop,
+            snapshot_thread,
         }
+    }
+
+    /// Boots a **standby** headend from a durability snapshot: the same
+    /// socket architecture as [`LiveOddci::start`], but every shard's
+    /// Controller, the carousel's image table, the hub's job state and
+    /// the wire node-id namespace are adopted from `snap` *before* the
+    /// listener binds — so the first PNA to redial finds its membership,
+    /// its instance and its task ledger already in place. The standby
+    /// acks hellos with `snap.epoch + 1`, which is what lets PNAs fence
+    /// off the dead primary.
+    ///
+    /// Only [`HeadendMode::Socket`] makes sense here (a standby adopts
+    /// *remote* PNAs; in-process node threads die with their runtime), and
+    /// the shard count must match the snapshot's — message-id namespaces
+    /// are per-shard.
+    pub fn start_standby(config: LiveConfig, snap: &SnapshotState) -> Result<LiveOddci, String> {
+        let HeadendMode::Socket {
+            listen,
+            shards,
+            dispatch,
+            batch,
+        } = config.mode
+        else {
+            return Err("a standby headend adopts remote PNAs: use HeadendMode::Socket".into());
+        };
+        config.mode.validate()?;
+        if config.nodes == 0 {
+            return Err("a live system needs at least one node".into());
+        }
+        let bus = Arc::new(BroadcastBus::new());
+        let start = Instant::now();
+        let adopt_begin = wall_now(&start).as_micros();
+        let injector = Arc::new(FaultInjector::new(
+            config.faults.clone(),
+            config.seed ^ 0xFA17_FA17,
+        ));
+        let sh = ShardedHeadend::start(
+            &config,
+            shards,
+            dispatch,
+            Arc::clone(&bus),
+            start,
+            Arc::clone(&injector),
+        );
+        if let Err(e) = sh.import_state(snap) {
+            let _ = sh.shutdown();
+            return Err(e);
+        }
+        let epoch = snap.epoch + 1;
+        let membership = Arc::new(Mutex::named(
+            WireMembership::adopted(snap.wire_next_node, &snap.wire_nodes),
+            "live.wire.membership",
+        ));
+        let (shard_txs, dispatch_txs) = sh.node_links();
+        let shard_txs = Arc::new(shard_txs);
+        let dispatch_txs = Arc::new(dispatch_txs);
+        let conn_stats = Arc::new(oddci_wire::ConnStatsHub::new());
+        // The dead primary's listener can linger briefly after a kill;
+        // retry AddrInUse for a few seconds instead of failing adoption.
+        let bind_deadline = Instant::now() + Duration::from_secs(5);
+        let server = loop {
+            let service = crate::wire::LiveWireService::new(
+                Arc::clone(&shard_txs),
+                Arc::clone(&dispatch_txs),
+                batch,
+                bus.subscribe(),
+                config.telemetry.clone(),
+                Arc::clone(&conn_stats),
+                epoch,
+                Arc::clone(&membership),
+            );
+            let mut scfg = oddci_wire::ServerConfig::new(oddci_wire::Integrity::hmac(&config.key));
+            scfg.injector = FaultInjector::new(config.faults.clone(), config.seed ^ 0xFA17_FA17);
+            scfg.telemetry = config.telemetry.clone();
+            scfg.conn_stats = Some(Arc::clone(&conn_stats));
+            match oddci_wire::WireServer::bind(listen, scfg, service) {
+                Ok(s) => break s,
+                Err(oddci_wire::WireError::Io(e))
+                    if e.kind() == std::io::ErrorKind::AddrInUse
+                        && Instant::now() < bind_deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => {
+                    let _ = sh.shutdown();
+                    return Err(format!("standby cannot bind {listen}: {e}"));
+                }
+            }
+        };
+        config.telemetry.span(
+            adopt_begin,
+            wall_now(&start).as_micros(),
+            Phase::HeadendAdopt,
+            CONTROL_TRACK,
+            epoch,
+        );
+        // Job ids must keep climbing past everything the primary issued.
+        let next_job = snap
+            .job_queries
+            .iter()
+            .map(|(job, _)| job.raw() + 1)
+            .chain(snap.job_scores.iter().map(|(job, _)| job.raw() + 1))
+            .max()
+            .unwrap_or(0);
+        let handle = sh.snapshot_handle();
+        let (snapshot_stop, snapshot_thread) = match &config.snapshot_dir {
+            Some(dir) => {
+                let (stop, thread) = spawn_snapshot_writer(
+                    sh.snapshot_handle(),
+                    Some(Arc::clone(&membership)),
+                    epoch,
+                    dir.clone(),
+                    config.snapshot_interval,
+                    start,
+                    config.telemetry.clone(),
+                );
+                (Some(stop), Some(thread))
+            }
+            None => (None, None),
+        };
+        Ok(LiveOddci {
+            headend: Headend::Socket {
+                sh: Some(sh),
+                server: Some(server),
+                conn_stats,
+                membership,
+            },
+            bus,
+            nodes: Vec::new(),
+            next_job: AtomicU64::new(next_job),
+            config,
+            epoch,
+            snapshot_handle: Some(handle),
+            snapshot_stop,
+            snapshot_thread,
+        })
     }
 
     /// The configuration this runtime started with.
@@ -591,6 +783,23 @@ impl LiveOddci {
         target: u64,
         timeout: Duration,
     ) -> Option<JobOutcome> {
+        let req = self.submit_query_job(image, queries, target)?;
+        self.wait_job(req, timeout)
+    }
+
+    /// Submits a job of caller-supplied queries without waiting: the
+    /// split half of [`run_query_job`](LiveOddci::run_query_job), for
+    /// callers who outlive the headend serving the job — the failover
+    /// path submits on the primary, crashes it, and [`wait_job`]s the
+    /// *standby's* matching request.
+    ///
+    /// [`wait_job`]: LiveOddci::wait_job
+    pub fn submit_query_job(
+        &self,
+        image: AlignmentImage,
+        queries: Vec<Arc<Vec<u8>>>,
+        target: u64,
+    ) -> Option<ProviderRequest> {
         assert!(!queries.is_empty(), "a job needs at least one query");
         let n_queries = queries.len() as u64;
         let job_id = JobId::new(self.next_job.fetch_add(1, Ordering::Relaxed));
@@ -611,7 +820,7 @@ impl LiveOddci {
             tasks,
         );
 
-        let req = match &self.headend {
+        match &self.headend {
             Headend::Single { tx, .. } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 tx.send(ToHeadend::Submit {
@@ -622,13 +831,16 @@ impl LiveOddci {
                     reply: reply_tx,
                 })
                 .ok()?;
-                reply_rx.recv_timeout(Duration::from_secs(5)).ok()?
+                reply_rx.recv_timeout(Duration::from_secs(5)).ok()
             }
             Headend::Sharded(sh) | Headend::Socket { sh, .. } => {
-                sh.as_ref()?.submit(job, queries, Arc::new(image), target)
+                Some(sh.as_ref()?.submit(job, queries, Arc::new(image), target))
             }
-        };
+        }
+    }
 
+    /// Polls a submitted request until it completes or `timeout` passes.
+    pub fn wait_job(&self, req: ProviderRequest, timeout: Duration) -> Option<JobOutcome> {
         let deadline = Instant::now() + timeout;
         loop {
             let out = match &self.headend {
@@ -649,6 +861,98 @@ impl LiveOddci {
         }
     }
 
+    /// Provider requests still running — what a standby must keep
+    /// waiting on after adoption. Empty in single-loop mode (the
+    /// baseline predates durability).
+    pub fn running_jobs(&self) -> Vec<ProviderRequest> {
+        match &self.headend {
+            Headend::Sharded(sh) | Headend::Socket { sh, .. } => sh
+                .as_ref()
+                .map(ShardedHeadend::running_jobs)
+                .unwrap_or_default(),
+            Headend::Single { .. } => Vec::new(),
+        }
+    }
+
+    /// The fencing epoch this headend acks hellos with: 0 for a primary,
+    /// snapshot epoch + 1 for a standby.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cuts a snapshot right now, bypassing the periodic writer. `None`
+    /// in single-loop mode or while the headend is winding down.
+    pub fn snapshot_now(&self) -> Option<SnapshotState> {
+        let handle = self.snapshot_handle.as_ref()?;
+        let wire = match &self.headend {
+            Headend::Socket { membership, .. } => membership.lock().export(),
+            _ => (0, Vec::new()),
+        };
+        handle.export(self.epoch, wire)
+    }
+
+    /// Re-applies `NodeLost` instants recorded after `since_us` (a
+    /// snapshot's `taken_at_us`) from a recovered trace-event suffix: the
+    /// dead primary may have re-queued a lost node's assignments *after*
+    /// the snapshot was cut, and replaying those losses lets the standby
+    /// re-queue immediately instead of waiting out its own miss-threshold
+    /// window. Returns how many losses changed the ledger.
+    pub fn replay_trace(&self, events: &[oddci_telemetry::Event], since_us: u64) -> u64 {
+        let sh = match &self.headend {
+            Headend::Sharded(Some(sh)) | Headend::Socket { sh: Some(sh), .. } => sh,
+            _ => return 0,
+        };
+        let begin = sh.now_us();
+        let mut nodes: Vec<NodeId> = events
+            .iter()
+            .filter(|e| {
+                e.phase == Phase::NodeLost
+                    && e.kind == oddci_telemetry::EventKind::Instant
+                    && e.ts_us > since_us
+            })
+            .map(|e| NodeId::new(e.track))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let applied = sh.replay_node_losses(&nodes);
+        self.config.telemetry.span(
+            begin,
+            sh.now_us(),
+            Phase::HeadendReplay,
+            CONTROL_TRACK,
+            applied,
+        );
+        applied
+    }
+
+    /// Kills a socket headend the way SIGKILL would: the listener and its
+    /// service drop (PNAs see a dead connection, not a goodbye), the
+    /// headend threads are abandoned to exit on channel disconnect, and
+    /// nothing is drained or accounted. The telemetry sink is flushed
+    /// only because in-process "processes" share a sink — bytes already
+    /// written to the fd would survive a real kill anyway.
+    ///
+    /// # Panics
+    /// Outside [`HeadendMode::Socket`]: in-process modes share channels
+    /// with live node threads, which would loop forever against a dropped
+    /// headend.
+    pub fn crash(mut self) {
+        drop(self.snapshot_stop.take());
+        if let Some(t) = self.snapshot_thread.take() {
+            let _ = t.join();
+        }
+        match &mut self.headend {
+            Headend::Socket { sh, server, .. } => {
+                if let Some(mut server) = server.take() {
+                    let _ = server.stop();
+                }
+                drop(sh.take());
+            }
+            _ => panic!("crash() models a dead socket headend; use HeadendMode::Socket"),
+        }
+        self.config.telemetry.flush_sink();
+    }
+
     /// Stops the headend and all nodes, joining every thread.
     ///
     /// The shutdown barrier: `Shutdown` goes out on the bus first and
@@ -663,8 +967,14 @@ impl LiveOddci {
     /// computed: the streamed artifact always covers the full run the
     /// report describes.
     pub fn shutdown(mut self) -> ShutdownReport {
-        self.bus.publish(&BusMsg::Shutdown);
         let mut threads_failed = 0u64;
+        // The snapshot writer exports over the shard channels, so it must
+        // stop before those receivers wind down.
+        drop(self.snapshot_stop.take());
+        if let Some(t) = self.snapshot_thread.take() {
+            threads_failed += u64::from(t.join().is_err());
+        }
+        self.bus.publish(&BusMsg::Shutdown);
         let tasks_unaccounted = match &mut self.headend {
             Headend::Single { tx, thread } => {
                 let _ = tx.send(ToHeadend::Shutdown);
@@ -722,6 +1032,54 @@ impl LiveOddci {
             threads_failed,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot writer
+// ---------------------------------------------------------------------
+
+/// Spawns the periodic snapshot writer: every `interval` it cuts a state
+/// export and atomically replaces `dir/headend.snap`. Dropping the
+/// returned sender (or sending on it) stops the thread.
+fn spawn_snapshot_writer(
+    handle: SnapshotHandle,
+    membership: Option<Arc<Mutex<WireMembership>>>,
+    epoch: u64,
+    dir: std::path::PathBuf,
+    interval: Duration,
+    start: Instant,
+    tele: Telemetry,
+) -> (Sender<()>, JoinHandle<()>) {
+    let (tx, rx) = bounded::<()>(1);
+    let thread = std::thread::spawn(move || {
+        if std::fs::create_dir_all(&dir).is_err() {
+            return; // nowhere to write; durability is best-effort
+        }
+        let path = dir.join(snapshot::SNAPSHOT_FILE);
+        loop {
+            match rx.recv_timeout(interval) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            let begin = wall_now(&start).as_micros();
+            let wire = membership
+                .as_ref()
+                .map(|m| m.lock().export())
+                .unwrap_or((0, Vec::new()));
+            let Some(snap) = handle.export(epoch, wire) else {
+                return; // headend winding down mid-export
+            };
+            let _ = snapshot::write_file(&path, &snap);
+            tele.span(
+                begin,
+                wall_now(&start).as_micros(),
+                Phase::HeadendSnapshot,
+                CONTROL_TRACK,
+                epoch,
+            );
+        }
+    });
+    (tx, thread)
 }
 
 // ---------------------------------------------------------------------
@@ -1352,5 +1710,126 @@ fn send_results(
             }
             None => return,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{run_wire_pna, WirePnaConfig};
+
+    #[test]
+    fn snapshot_now_round_trips_through_encode_decode() {
+        let live = LiveOddci::start(LiveConfig {
+            nodes: 2,
+            ..Default::default()
+        });
+        let image = AlignmentImage::small_demo();
+        let outcome = live
+            .run_alignment_job(image, 4, 2, Duration::from_secs(30))
+            .expect("job completes");
+        assert_eq!(outcome.scores.len(), 4);
+        let snap = live.snapshot_now().expect("sharded headends can snapshot");
+        let decoded =
+            crate::snapshot::decode(&crate::snapshot::encode(&snap)).expect("container decodes");
+        assert_eq!(decoded.epoch, snap.epoch);
+        assert_eq!(decoded.taken_at_us, snap.taken_at_us);
+        assert_eq!(decoded.instance_job, snap.instance_job);
+        assert_eq!(decoded.job_scores, snap.job_scores);
+        assert_eq!(decoded.wire_next_node, snap.wire_next_node);
+        let report = live.shutdown();
+        assert_eq!(report.tasks_unaccounted, 0);
+    }
+
+    /// The full failover story, in-process: a socket headend snapshots
+    /// while three reconnecting PNAs chew on a job, dies the way SIGKILL
+    /// would, and a standby adopts its snapshot on the same port. The
+    /// job must complete on the standby with every task accounted for
+    /// and every PNA fenced up to the new epoch.
+    #[test]
+    fn standby_adopts_a_killed_socket_headend_mid_job() {
+        let dir = std::env::temp_dir().join(format!(
+            "oddci-failover-test-{}-{:x}",
+            std::process::id(),
+            std::ptr::from_ref(&()) as usize
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk_config = |listen: std::net::SocketAddr| LiveConfig {
+            nodes: 3,
+            heartbeat_interval: Duration::from_millis(60),
+            mode: HeadendMode::Socket {
+                listen,
+                shards: 2,
+                dispatch: 2,
+                batch: 4,
+            },
+            snapshot_dir: Some(dir.clone()),
+            snapshot_interval: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let primary = LiveOddci::start(mk_config("127.0.0.1:0".parse().expect("addr")));
+        let addr = primary.wire_addr().expect("socket headends listen");
+
+        let pnas: Vec<_> = (0..3u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut cfg = WirePnaConfig::new(addr);
+                    cfg.seed = 100 + i;
+                    cfg.heartbeat_interval = Duration::from_millis(60);
+                    cfg.reconnect = Some(Duration::from_secs(30));
+                    run_wire_pna(cfg)
+                })
+            })
+            .collect();
+
+        // Enough work that the kill lands mid-job.
+        let image = AlignmentImage::small_demo();
+        let queries: Vec<Arc<Vec<u8>>> = (0..64)
+            .map(|i| Arc::new(random_sequence(64, 7 ^ i)))
+            .collect();
+        let req = primary
+            .submit_query_job(image, queries, 3)
+            .expect("submit succeeds");
+
+        // Wait for a snapshot that has seen the job, then pull the plug.
+        let snap_path = dir.join(crate::snapshot::SNAPSHOT_FILE);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let snap = loop {
+            if let Ok(s) = crate::snapshot::read_file(&snap_path) {
+                if !s.job_queries.is_empty() {
+                    break s;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no snapshot containing the job appeared"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        primary.crash();
+
+        let standby =
+            LiveOddci::start_standby(mk_config(addr), &snap).expect("standby adopts the snapshot");
+        assert_eq!(standby.epoch(), snap.epoch + 1);
+        assert!(
+            standby.running_jobs().contains(&req),
+            "the adopted Provider still tracks the in-flight request"
+        );
+        let outcome = standby
+            .wait_job(req, Duration::from_secs(60))
+            .expect("job completes on the standby");
+        assert_eq!(outcome.scores.len(), 64);
+
+        let report = standby.shutdown();
+        assert_eq!(report.tasks_unaccounted, 0, "no task lost across failover");
+        assert_eq!(report.threads_failed, 0);
+        for h in pnas {
+            let rep = h
+                .join()
+                .expect("pna thread joins")
+                .expect("pna survives the failover");
+            assert_eq!(rep.epoch, 1, "every PNA re-acked at the standby's epoch");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -36,9 +36,9 @@ use oddci_wire::{
     WireMsg, WireService, WireStatsSnapshot, PROTO_VERSION,
 };
 use oddci_workload::alignment::{random_sequence, Scoring};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -107,6 +107,43 @@ pub(crate) fn decode_image(bytes: &[u8]) -> Result<AlignmentImage, WireError> {
 // Headend side: the wire service
 // ---------------------------------------------------------------------
 
+/// The wire plane's node-id namespace, shared between the serving loop
+/// (which assigns ids on hello) and the snapshot writer (which must
+/// capture them so a standby never reassigns a live node's identity).
+///
+/// A standby seeds this from the snapshot: `next_node` continues the
+/// primary's sequence and `assigned` validates `resume` requests — a
+/// reconnecting PNA keeps the id it already heartbeats under.
+pub(crate) struct WireMembership {
+    /// Next fresh node id.
+    pub(crate) next_node: u64,
+    /// Every node id handed out so far (primary's plus this headend's).
+    pub(crate) assigned: BTreeSet<u64>,
+}
+
+impl WireMembership {
+    /// An empty namespace (a fresh primary).
+    pub(crate) fn new() -> WireMembership {
+        WireMembership {
+            next_node: 0,
+            assigned: BTreeSet::new(),
+        }
+    }
+
+    /// A namespace adopted from a snapshot.
+    pub(crate) fn adopted(next_node: u64, nodes: &[u64]) -> WireMembership {
+        WireMembership {
+            next_node,
+            assigned: nodes.iter().copied().collect(),
+        }
+    }
+
+    /// Snapshot form: `(next_node, assigned ids)`.
+    pub(crate) fn export(&self) -> (u64, Vec<u64>) {
+        (self.next_node, self.assigned.iter().copied().collect())
+    }
+}
+
 /// A reply the headend still owes a connection: the shard/dispatch
 /// worker answers on `rx`, and the serving loop's `poll` relays it out.
 struct PendingReply<T> {
@@ -130,7 +167,11 @@ pub(crate) struct LiveWireService {
     conn_stats: Arc<ConnStatsHub>,
     start: Instant,
     conn_nodes: BTreeMap<ConnId, NodeId>,
-    next_node: u64,
+    /// This headend's fencing epoch, echoed in every `HelloAck`. A PNA
+    /// that has seen a higher epoch refuses the ack, so a revenant
+    /// primary can never reclaim a fleet a standby has adopted.
+    epoch: u64,
+    membership: Arc<Mutex<WireMembership>>,
     pending_hb: Vec<PendingReply<HeartbeatReply>>,
     pending_tasks: Vec<PendingReply<TaskBatchReply>>,
     db_cache: BTreeMap<(u64, u64), Arc<Vec<u8>>>,
@@ -138,6 +179,7 @@ pub(crate) struct LiveWireService {
 
 impl LiveWireService {
     /// Builds the service in front of an already-running sharded headend.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shards: Arc<Vec<Sender<ShardMsg>>>,
         dispatch: Arc<Vec<Sender<DispatchMsg>>>,
@@ -145,6 +187,8 @@ impl LiveWireService {
         bus_rx: Receiver<BusMsg>,
         tele: Telemetry,
         conn_stats: Arc<ConnStatsHub>,
+        epoch: u64,
+        membership: Arc<Mutex<WireMembership>>,
     ) -> LiveWireService {
         LiveWireService {
             shards,
@@ -155,7 +199,8 @@ impl LiveWireService {
             conn_stats,
             start: Instant::now(),
             conn_nodes: BTreeMap::new(),
-            next_node: 0,
+            epoch,
+            membership,
             pending_hb: Vec::new(),
             pending_tasks: Vec::new(),
             db_cache: BTreeMap::new(),
@@ -246,17 +291,34 @@ impl LiveWireService {
 impl WireService for LiveWireService {
     fn on_message(&mut self, conn: ConnId, msg: WireMsg, out: &mut Outbox) {
         match msg {
-            WireMsg::Hello { proto } => {
+            WireMsg::Hello { proto, resume, .. } => {
                 // A version we don't speak gets no ack — the client's
-                // handshake timeout turns that into a clean error.
+                // handshake timeout turns that into a clean error. The
+                // client's claimed epoch is ignored here: fencing is
+                // enforced on the PNA side, which refuses any ack whose
+                // epoch is below the highest it has seen.
                 if proto != PROTO_VERSION {
                     return;
                 }
                 let node = match self.conn_nodes.get(&conn) {
                     Some(node) => *node,
                     None => {
-                        let node = NodeId::new(self.next_node);
-                        self.next_node += 1;
+                        let node = {
+                            let mut m = self.membership.lock();
+                            match resume {
+                                // A reconnecting node keeps its identity if
+                                // this headend (or the snapshot it adopted)
+                                // ever issued it; an unknown claim gets a
+                                // fresh id like any newcomer.
+                                Some(node) if m.assigned.contains(&node.raw()) => node,
+                                _ => {
+                                    let id = m.next_node;
+                                    m.next_node += 1;
+                                    m.assigned.insert(id);
+                                    NodeId::new(id)
+                                }
+                            }
+                        };
                         self.conn_nodes.insert(conn, node);
                         self.tele.instant(
                             self.now_us(),
@@ -267,7 +329,13 @@ impl WireService for LiveWireService {
                         node
                     }
                 };
-                out.send(conn, WireMsg::HelloAck { node });
+                out.send(
+                    conn,
+                    WireMsg::HelloAck {
+                        node,
+                        epoch: self.epoch,
+                    },
+                );
             }
             WireMsg::Heartbeat { corr, hb } => {
                 let (rtx, rrx) = bounded(1);
@@ -391,28 +459,71 @@ fn from_wire_batch(batch: WireBatch) -> TaskBatchReply {
 /// A `NodeLink` backed by one TCP connection: requests go out with a
 /// correlation id, the demultiplexer thread completes the parked reply
 /// channel when the echo comes back.
+///
+/// The client sits behind a swappable `Arc` so the demultiplexer can
+/// replace a dead connection with a freshly dialed one (headend
+/// failover) while senders keep working: they clone the current handle
+/// under a short lock and send outside it.
 pub(crate) struct RemoteLink {
-    client: WireClient,
+    client: Mutex<Arc<WireClient>>,
     pending_hb: Mutex<BTreeMap<u64, Sender<HeartbeatReply>>>,
     pending_tasks: Mutex<BTreeMap<u64, Sender<TaskBatchReply>>>,
     next_corr: AtomicU64,
+    /// With reconnect enabled, a failed socket send is reported as
+    /// *success* to the node loop: the message is treated like one lost
+    /// on the wire (the reply timeout and backoff machinery absorb it)
+    /// while the demultiplexer redials in the background. Without it, a
+    /// failed send means the headend is gone for good.
+    tolerate_disconnect: bool,
+    /// Set once the node loop is done and the link is closing for real —
+    /// tells the demultiplexer not to redial a deliberate teardown.
+    closing: AtomicBool,
+    /// Highest epoch any `HelloAck` has carried. Reconnect handshakes
+    /// refuse acks below this — the fencing rule that keeps a revenant
+    /// primary from reclaiming the node.
+    epoch_seen: AtomicU64,
 }
 
 impl RemoteLink {
-    fn new(client: WireClient) -> RemoteLink {
+    fn new(client: WireClient, tolerate_disconnect: bool, epoch: u64) -> RemoteLink {
         RemoteLink {
-            client,
+            client: Mutex::named(Arc::new(client), "live.wire.client"),
             // `named_send_sensitive`: no channel send may happen while
             // either map's lock is held — callers park the reply sender,
             // release, then write to the socket.
             pending_hb: Mutex::named_send_sensitive(BTreeMap::new(), "live.wire.pending_hb"),
             pending_tasks: Mutex::named_send_sensitive(BTreeMap::new(), "live.wire.pending_tasks"),
             next_corr: AtomicU64::new(0),
+            tolerate_disconnect,
+            closing: AtomicBool::new(false),
+            epoch_seen: AtomicU64::new(epoch),
         }
+    }
+
+    /// The current connection handle.
+    fn client(&self) -> Arc<WireClient> {
+        Arc::clone(&self.client.lock())
+    }
+
+    /// Installs a freshly dialed connection and drops every parked
+    /// correlation — replies to requests sent on the dead socket will
+    /// never arrive, and the waiting callers' timeouts already fired (or
+    /// soon will).
+    fn swap_client(&self, client: WireClient) {
+        *self.client.lock() = Arc::new(client);
+        self.pending_hb.lock().clear();
+        self.pending_tasks.lock().clear();
     }
 
     fn corr(&self) -> u64 {
         self.next_corr.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends on the current connection; see `tolerate_disconnect` for
+    /// how a dead socket is reported.
+    fn send(&self, msg: &WireMsg) -> bool {
+        self.client().send(msg)
+            || (self.tolerate_disconnect && !self.closing.load(Ordering::SeqCst))
     }
 
     pub(crate) fn send_heartbeat(&self, hb: Heartbeat, reply: Sender<HeartbeatReply>) -> bool {
@@ -424,7 +535,7 @@ impl RemoteLink {
                 map.pop_first();
             }
         }
-        self.client.send(&WireMsg::Heartbeat { corr, hb })
+        self.send(&WireMsg::Heartbeat { corr, hb })
     }
 
     pub(crate) fn request_tasks(
@@ -441,7 +552,7 @@ impl RemoteLink {
                 map.pop_first();
             }
         }
-        self.client.send(&WireMsg::TaskRequest {
+        self.send(&WireMsg::TaskRequest {
             corr,
             instance,
             node,
@@ -454,7 +565,7 @@ impl RemoteLink {
         node: NodeId,
         results: Vec<(oddci_types::TaskId, i32)>,
     ) -> bool {
-        self.client.send(&WireMsg::Results { job, node, results })
+        self.send(&WireMsg::Results { job, node, results })
     }
 }
 
@@ -516,6 +627,13 @@ pub struct WirePnaConfig {
     pub telemetry: Telemetry,
     /// How long to keep redialing the headend before giving up.
     pub connect_timeout: Duration,
+    /// When set, a dead connection is not fatal: the PNA keeps redialing
+    /// for this long (per outage), resuming its node identity at
+    /// whatever headend answers — the standby-failover path. Each
+    /// re-handshake enforces epoch fencing: an ack carrying a lower
+    /// epoch than the highest seen is refused. `None` (the default)
+    /// keeps the original behavior: disconnect means shutdown.
+    pub reconnect: Option<Duration>,
 }
 
 impl WirePnaConfig {
@@ -529,6 +647,7 @@ impl WirePnaConfig {
             faults: FaultPlan::none(),
             telemetry: Telemetry::disabled(),
             connect_timeout: Duration::from_secs(5),
+            reconnect: None,
         }
     }
 }
@@ -540,39 +659,38 @@ pub struct WirePnaReport {
     pub node: NodeId,
     /// Final wire-transport counters for the connection.
     pub stats: WireStatsSnapshot,
+    /// Highest fencing epoch any headend acked with (0 until a failover
+    /// bumps it).
+    pub epoch: u64,
 }
 
-/// Runs one PNA against a socket headend until the plane shuts down:
-/// dial, handshake, then the standard `node_main` loop over a
-/// `RemoteLink`. Blocks until the headend broadcasts `Shutdown` or the
-/// connection dies.
-pub fn run_wire_pna(config: WirePnaConfig) -> Result<WirePnaReport, WireError> {
-    let start = Instant::now();
-    let injector = Arc::new(FaultInjector::new(
-        config.faults.clone(),
-        config.seed ^ 0xFA17_FA17,
-    ));
-    let mut ccfg = ClientConfig::new(Integrity::hmac(&config.key));
-    ccfg.connect_timeout = config.connect_timeout;
-    ccfg.telemetry = config.telemetry.clone();
-    // Wire-level faults roll under a seed distinct from the protocol
-    // injector's so the two fault streams don't correlate.
-    ccfg.injector = FaultInjector::new(config.faults.clone(), config.seed ^ 0x3D1E_C7A1);
-    let client = WireClient::connect(config.addr, ccfg)?;
-
-    if !client.send(&WireMsg::Hello {
+/// Performs the hello handshake on a fresh connection: announces the
+/// protocol version, the highest epoch seen so far and (on reconnect)
+/// the node identity to resume, then waits for the ack.
+///
+/// The carousel broadcasts to every connection, so wakeups can land
+/// before the ack — they come back in the returned stash for replay.
+/// The hello itself is re-sent on a short timer: a single mangled frame
+/// (fault injection, hostile networks) must not strand the handshake,
+/// and a duplicate hello just gets the same ack again. An ack whose
+/// epoch is *below* `min_epoch` is a fencing violation (a revenant
+/// primary) and fails the handshake.
+fn hello_handshake(
+    client: &WireClient,
+    min_epoch: u64,
+    resume: Option<NodeId>,
+) -> Result<(NodeId, u64, Vec<WireMsg>), WireError> {
+    let hello = WireMsg::Hello {
         proto: PROTO_VERSION,
-    }) {
+        epoch: min_epoch,
+        resume,
+    };
+    if !client.send(&hello) {
         return Err(WireError::Protocol("connection closed during hello".into()));
     }
-    // The carousel broadcasts to every connection, so wakeups can land
-    // before our ack — stash them and replay once we know who we are.
-    // The hello itself is re-sent on a short timer: a single mangled
-    // frame (fault injection, hostile networks) must not strand the
-    // handshake, and a duplicate hello just gets the same ack again.
     let mut stashed = Vec::new();
     let deadline = Instant::now() + HELLO_TIMEOUT;
-    let node = loop {
+    loop {
         let left = deadline.saturating_duration_since(Instant::now());
         if left.is_zero() {
             return Err(WireError::Timeout("no HelloAck from headend"));
@@ -581,20 +699,92 @@ pub fn run_wire_pna(config: WirePnaConfig) -> Result<WirePnaReport, WireError> {
             .receiver()
             .recv_timeout(left.min(Duration::from_millis(100)))
         {
-            Ok(WireMsg::HelloAck { node }) => break node,
+            Ok(WireMsg::HelloAck { node, epoch }) => {
+                if epoch < min_epoch {
+                    return Err(WireError::Protocol(format!(
+                        "headend acked with stale epoch {epoch} (this node has seen {min_epoch})"
+                    )));
+                }
+                return Ok((node, epoch, stashed));
+            }
             Ok(other) => stashed.push(other),
             Err(_) => {
                 if client.is_closed() {
                     return Err(WireError::Protocol("connection closed during hello".into()));
                 }
-                let _ = client.send(&WireMsg::Hello {
-                    proto: PROTO_VERSION,
-                });
+                let _ = client.send(&hello);
             }
         }
-    };
+    }
+}
 
-    let link = Arc::new(RemoteLink::new(client));
+/// Redials the headend until `window` expires, re-running the handshake
+/// with the node's identity and epoch floor. Returns the new connection
+/// plus the (possibly higher) epoch it acked with. Bails out early when
+/// `closing` flips — the node loop finished mid-outage and nobody wants
+/// the connection anymore.
+fn redial(
+    addr: SocketAddr,
+    mkcfg: &dyn Fn() -> ClientConfig,
+    node: NodeId,
+    min_epoch: u64,
+    window: Duration,
+    closing: &AtomicBool,
+) -> Option<(WireClient, u64, Vec<WireMsg>)> {
+    let deadline = Instant::now() + window;
+    loop {
+        if closing.load(Ordering::SeqCst) {
+            return None;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return None;
+        }
+        let mut cfg = mkcfg();
+        cfg.connect_timeout = left.min(Duration::from_millis(500));
+        match WireClient::connect(addr, cfg) {
+            Ok(client) => match hello_handshake(&client, min_epoch, Some(node)) {
+                Ok((_, epoch, stashed)) => return Some((client, epoch, stashed)),
+                // Stale epoch or a connection that died mid-handshake:
+                // drop it and keep dialing inside the window.
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            },
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Runs one PNA against a socket headend until the plane shuts down:
+/// dial, handshake, then the standard `node_main` loop over a
+/// `RemoteLink`. Blocks until the headend broadcasts `Shutdown` or the
+/// connection dies — unless [`WirePnaConfig::reconnect`] is set, in
+/// which case a dead connection triggers redial-and-resume (failover).
+pub fn run_wire_pna(config: WirePnaConfig) -> Result<WirePnaReport, WireError> {
+    let start = Instant::now();
+    let injector = Arc::new(FaultInjector::new(
+        config.faults.clone(),
+        config.seed ^ 0xFA17_FA17,
+    ));
+    let mkcfg = {
+        let key = config.key.clone();
+        let telemetry = config.telemetry.clone();
+        let faults = config.faults.clone();
+        let seed = config.seed;
+        let connect_timeout = config.connect_timeout;
+        move || {
+            let mut ccfg = ClientConfig::new(Integrity::hmac(&key));
+            ccfg.connect_timeout = connect_timeout;
+            ccfg.telemetry = telemetry.clone();
+            // Wire-level faults roll under a seed distinct from the
+            // protocol injector's so the fault streams don't correlate.
+            ccfg.injector = FaultInjector::new(faults.clone(), seed ^ 0x3D1E_C7A1);
+            ccfg
+        }
+    };
+    let client = WireClient::connect(config.addr, mkcfg())?;
+    let (node, epoch, stashed) = hello_handshake(&client, 0, None)?;
+
+    let link = Arc::new(RemoteLink::new(client, config.reconnect.is_some(), epoch));
     let (bus_tx, bus_rx) = unbounded();
     for msg in stashed {
         demux(&link, &bus_tx, msg);
@@ -604,14 +794,62 @@ pub fn run_wire_pna(config: WirePnaConfig) -> Result<WirePnaReport, WireError> {
         .spawn({
             let link = Arc::clone(&link);
             let bus_tx = bus_tx.clone();
+            let addr = config.addr;
+            let reconnect = config.reconnect;
             move || loop {
-                match link.client.receiver().recv() {
-                    Ok(msg) => demux(&link, &bus_tx, msg),
+                let client = link.client();
+                match client.receiver().recv() {
+                    Ok(msg) => {
+                        // A broadcast Shutdown ends the plane: flip
+                        // `closing` so in-flight sends fail fast instead
+                        // of masking as wire drops (the node loop would
+                        // ride its full retry backoff otherwise), deliver
+                        // it, and exit before the headend closes the
+                        // socket — a disconnect that must not read as an
+                        // outage worth redialing through.
+                        if matches!(msg, WireMsg::Shutdown) {
+                            link.closing.store(true, Ordering::SeqCst);
+                            demux(&link, &bus_tx, msg);
+                            break;
+                        }
+                        demux(&link, &bus_tx, msg);
+                    }
                     Err(_) => {
-                        // Connection gone: the node sees Shutdown and
+                        drop(client);
+                        // Deliberate teardown (node loop finished) or no
+                        // reconnect window: the node sees Shutdown and
                         // winds down like any other plane teardown.
-                        let _ = bus_tx.send(BusMsg::Shutdown);
-                        break;
+                        let window = match reconnect {
+                            Some(w) if !link.closing.load(Ordering::SeqCst) => w,
+                            _ => {
+                                let _ = bus_tx.send(BusMsg::Shutdown);
+                                break;
+                            }
+                        };
+                        let floor = link.epoch_seen.load(Ordering::SeqCst);
+                        match redial(addr, &mkcfg, node, floor, window, &link.closing) {
+                            Some((new_client, epoch, stashed)) => {
+                                link.epoch_seen.store(epoch, Ordering::SeqCst);
+                                link.swap_client(new_client);
+                                // The node loop may have finished while we
+                                // were redialing; don't serve a link that
+                                // is tearing down.
+                                if link.closing.load(Ordering::SeqCst) {
+                                    link.client().request_close();
+                                    break;
+                                }
+                                for msg in stashed {
+                                    demux(&link, &bus_tx, msg);
+                                }
+                            }
+                            None => {
+                                // Same deal: the outage outlived the
+                                // window, so stop masking send failures.
+                                link.closing.store(true, Ordering::SeqCst);
+                                let _ = bus_tx.send(BusMsg::Shutdown);
+                                break;
+                            }
+                        }
                     }
                 }
             }
@@ -630,12 +868,15 @@ pub fn run_wire_pna(config: WirePnaConfig) -> Result<WirePnaReport, WireError> {
         config.telemetry.clone(),
     );
 
-    // Unblock the demultiplexer (its recv fails once the reader stops),
-    // then let the link's last owner join the reader thread on drop.
-    link.client.request_close();
+    // Unblock the demultiplexer (its recv fails once the reader stops,
+    // and `closing` keeps it from redialing a deliberate teardown), then
+    // let the link's last owner join the reader thread on drop.
+    link.closing.store(true, Ordering::SeqCst);
+    link.client().request_close();
     let _ = demux_thread.join();
-    let stats = link.client.stats().snapshot();
-    Ok(WirePnaReport { node, stats })
+    let stats = link.client().stats().snapshot();
+    let epoch = link.epoch_seen.load(Ordering::SeqCst);
+    Ok(WirePnaReport { node, stats, epoch })
 }
 
 #[cfg(test)]

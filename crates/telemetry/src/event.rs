@@ -59,11 +59,17 @@ pub enum Phase {
     WireTx,
     /// One wire frame arrived and passed its checksum.
     WireRx,
+    /// One durability snapshot of headend state was cut and persisted.
+    HeadendSnapshot,
+    /// A standby headend adopted a snapshot: state import + re-bind.
+    HeadendAdopt,
+    /// Post-snapshot trace-suffix replay during adoption.
+    HeadendReplay,
 }
 
 impl Phase {
     /// Every phase, in declaration order (dense indexing).
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 20] = [
         Phase::CarouselPublish,
         Phase::WakeupWait,
         Phase::PnaAccept,
@@ -81,6 +87,9 @@ impl Phase {
         Phase::WireConnect,
         Phase::WireTx,
         Phase::WireRx,
+        Phase::HeadendSnapshot,
+        Phase::HeadendAdopt,
+        Phase::HeadendReplay,
     ];
 
     /// Number of phases (size of dense per-phase arrays).
@@ -111,6 +120,9 @@ impl Phase {
             Phase::WireConnect => "wire.connect",
             Phase::WireTx => "wire.tx",
             Phase::WireRx => "wire.rx",
+            Phase::HeadendSnapshot => "headend.snapshot",
+            Phase::HeadendAdopt => "headend.adopt",
+            Phase::HeadendReplay => "headend.replay",
         }
     }
 
@@ -127,6 +139,9 @@ impl Phase {
                 | Phase::DirectTransfer
                 | Phase::Kernel
                 | Phase::JobRun
+                | Phase::HeadendSnapshot
+                | Phase::HeadendAdopt
+                | Phase::HeadendReplay
         )
     }
 }
@@ -183,6 +198,9 @@ mod tests {
     fn span_phases_are_marked() {
         assert!(Phase::DveBoot.is_span());
         assert!(Phase::JobRun.is_span());
+        assert!(Phase::HeadendSnapshot.is_span());
+        assert!(Phase::HeadendAdopt.is_span());
+        assert!(Phase::HeadendReplay.is_span());
         assert!(!Phase::Heartbeat.is_span());
         assert!(!Phase::CarouselPublish.is_span());
     }

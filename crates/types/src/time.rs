@@ -74,6 +74,17 @@ impl SimTime {
     pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
     }
+
+    /// This instant moved `d` into the past, saturating at time zero.
+    ///
+    /// Snapshot restore uses this to rebase exported heartbeat/submission
+    /// *ages* onto the adopting headend's clock: a standby whose clock
+    /// started later than the primary's must never produce an instant
+    /// before its own epoch.
+    #[inline]
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
 }
 
 impl SimDuration {
@@ -268,6 +279,16 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
         assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500ms");
         assert_eq!(SimDuration::from_micros(7).to_string(), "7µs");
+    }
+
+    #[test]
+    fn saturating_sub_stops_at_zero() {
+        let t = SimTime::from_secs(5);
+        assert_eq!(
+            t.saturating_sub(SimDuration::from_secs(2)),
+            SimTime::from_secs(3)
+        );
+        assert_eq!(t.saturating_sub(SimDuration::from_secs(9)), SimTime::ZERO);
     }
 
     #[test]

@@ -24,7 +24,13 @@ use oddci_types::{
 use oddci_workload::Task;
 
 /// Wire protocol version spoken in [`WireMsg::Hello`].
-pub const PROTO_VERSION: u16 = 1;
+///
+/// v2 added the headend **epoch** to the handshake (and an optional resume
+/// identity to `Hello`): each headend incarnation speaks from a monotonic
+/// epoch, and a PNA that has seen epoch `e` refuses any `HelloAck` with a
+/// lower one — the fencing token that prevents a zombie primary from
+/// reclaiming nodes after a standby adopted them.
+pub const PROTO_VERSION: u16 = 2;
 
 /// A batch of tasks answering one [`WireMsg::TaskRequest`].
 #[derive(Debug, Clone, PartialEq)]
@@ -47,11 +53,21 @@ pub enum WireMsg {
     Hello {
         /// Protocol version the client speaks.
         proto: u16,
+        /// Highest headend epoch the client has spoken with (0 on a fresh
+        /// connect). A server never acks from a lower epoch.
+        epoch: u64,
+        /// Node identity to resume after a reconnect, so a standby that
+        /// adopted this node's membership from a snapshot re-acks the
+        /// *same* id instead of minting a fresh one.
+        resume: Option<NodeId>,
     },
     /// Server → client: node identity assigned to this connection.
     HelloAck {
         /// The node id the PNA runs under.
         node: NodeId,
+        /// The serving headend's epoch. Clients reject acks whose epoch is
+        /// lower than the highest they have seen.
+        epoch: u64,
     },
     /// Client → server: one heartbeat, expecting a reply.
     Heartbeat {
@@ -145,8 +161,25 @@ impl WireMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(64);
         match self {
-            WireMsg::Hello { proto } => w.u16(*proto),
-            WireMsg::HelloAck { node } => w.u64(node.raw()),
+            WireMsg::Hello {
+                proto,
+                epoch,
+                resume,
+            } => {
+                w.u16(*proto);
+                w.u64(*epoch);
+                match resume {
+                    None => w.u8(0),
+                    Some(node) => {
+                        w.u8(1);
+                        w.u64(node.raw());
+                    }
+                }
+            }
+            WireMsg::HelloAck { node, epoch } => {
+                w.u64(node.raw());
+                w.u64(*epoch);
+            }
             WireMsg::Heartbeat { corr, hb } => {
                 w.u64(*corr);
                 encode_heartbeat(&mut w, hb);
@@ -252,9 +285,23 @@ impl WireMsg {
     pub fn decode(kind: u8, payload: &[u8]) -> Result<WireMsg, WireError> {
         let mut r = Reader::new(payload);
         let msg = match kind {
-            1 => WireMsg::Hello { proto: r.u16()? },
+            1 => {
+                let proto = r.u16()?;
+                let epoch = r.u64()?;
+                let resume = match r.u8()? {
+                    0 => None,
+                    1 => Some(NodeId::new(r.u64()?)),
+                    _ => return Err(WireError::Malformed("unknown resume tag")),
+                };
+                WireMsg::Hello {
+                    proto,
+                    epoch,
+                    resume,
+                }
+            }
             2 => WireMsg::HelloAck {
                 node: NodeId::new(r.u64()?),
+                epoch: r.u64()?,
             },
             3 => WireMsg::Heartbeat {
                 corr: r.u64()?,
@@ -507,9 +554,17 @@ mod tests {
         let msgs = vec![
             WireMsg::Hello {
                 proto: PROTO_VERSION,
+                epoch: 0,
+                resume: None,
+            },
+            WireMsg::Hello {
+                proto: PROTO_VERSION,
+                epoch: 7,
+                resume: Some(NodeId::new(17)),
             },
             WireMsg::HelloAck {
                 node: NodeId::new(17),
+                epoch: 8,
             },
             WireMsg::Heartbeat {
                 corr: 99,
@@ -653,9 +708,15 @@ mod tests {
     #[test]
     fn kinds_are_unique() {
         let kinds = [
-            WireMsg::Hello { proto: 1 }.kind(),
+            WireMsg::Hello {
+                proto: 1,
+                epoch: 0,
+                resume: None,
+            }
+            .kind(),
             WireMsg::HelloAck {
                 node: NodeId::new(0),
+                epoch: 0,
             }
             .kind(),
             WireMsg::Shutdown.kind(),

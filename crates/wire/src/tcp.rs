@@ -999,13 +999,17 @@ mod tests {
         .expect("bind");
         let mut c = client(server.local_addr(), Integrity::hmac(b"test-key"));
         assert!(c.send(&WireMsg::Hello {
-            proto: crate::message::PROTO_VERSION
+            proto: crate::message::PROTO_VERSION,
+            epoch: 0,
+            resume: None,
         }));
         let back = c
             .receiver()
             .recv_timeout(Duration::from_secs(5))
             .expect("echo");
-        assert!(matches!(back, WireMsg::Hello { proto } if proto == crate::message::PROTO_VERSION));
+        assert!(
+            matches!(back, WireMsg::Hello { proto, .. } if proto == crate::message::PROTO_VERSION)
+        );
         c.close();
         assert!(server.stop(), "serving thread exited cleanly");
     }
@@ -1073,6 +1077,7 @@ mod tests {
                     conn,
                     WireMsg::HelloAck {
                         node: NodeId::new(conn.raw()),
+                        epoch: 1,
                     },
                 );
             }
@@ -1084,14 +1089,16 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for c in &clients {
             assert!(c.send(&WireMsg::Hello {
-                proto: crate::message::PROTO_VERSION
+                proto: crate::message::PROTO_VERSION,
+                epoch: 0,
+                resume: None,
             }));
             match c
                 .receiver()
                 .recv_timeout(Duration::from_secs(5))
                 .expect("ack")
             {
-                WireMsg::HelloAck { node } => {
+                WireMsg::HelloAck { node, .. } => {
                     seen.insert(node.raw());
                 }
                 other => panic!("unexpected {other:?}"),

@@ -11,15 +11,20 @@ CARGO_FLAGS=${CARGO_FLAGS:-}
 # their creation and the explicit cleanup fails. PNA processes from the
 # wire smoke are reaped too, so a failed headend never leaks children.
 PNA_PIDS=""
+HEADEND_PIDS=""
 cleanup() {
-    for pid in ${PNA_PIDS}; do
+    for pid in ${PNA_PIDS} ${HEADEND_PIDS}; do
         kill "${pid}" 2>/dev/null || true
     done
     rm -f results/ci-smoke.json results/ci-smoke.trace.jsonl \
         results/ci-smoke.trace.stream.json results/ci-wire-smoke.json \
         results/ci-smoke-bin.json results/ci-smoke-bin.trace.bin \
         results/ci-smoke-bin.trace.jsonl results/ci-smoke-bin.trace.stream.json \
-        results/ci-top.json
+        results/ci-top.json results/ci-help.txt \
+        results/ci-failover-primary.json results/ci-failover-standby.json \
+        results/ci-failover-pna-201.json results/ci-failover-pna-202.json \
+        results/ci-failover-pna-203.json
+    rm -rf results/ci-failover-snap
 }
 trap cleanup EXIT
 
@@ -107,6 +112,103 @@ assert report["threads_failed"] == 0, report
 assert report["wire"]["multi_chunk_tx"] >= 1, report
 assert report["wire"]["checksum_rejects"] == 0, report
 print("    wire smoke: 9 tasks over loopback, accounting balanced")
+EOF
+
+# Failover smoke: a snapshotting primary plus three reconnecting PNAs;
+# SIGKILL the primary mid-job (no goodbye — the listener just dies),
+# boot a standby from the latest snapshot on the same port, and require
+# the job to finish with zero tasks lost and every PNA re-acked at the
+# bumped fencing epoch.
+FAILOVER_PORT=${FAILOVER_PORT:-7842}
+FAILOVER_SNAP=results/ci-failover-snap
+rm -rf "${FAILOVER_SNAP}"
+echo "==> failover smoke: SIGKILL primary, standby adoption on 127.0.0.1:${FAILOVER_PORT}"
+"${ODDCI_BIN}" headend --listen "127.0.0.1:${FAILOVER_PORT}" \
+    --pnas 3 --target 3 --queries 96 --db-len 500000 --timeout 60 \
+    --snapshot-dir "${FAILOVER_SNAP}" --snapshot-interval-ms 50 --json \
+    > results/ci-failover-primary.json &
+HEADEND_PIDS="$!"
+for seed in 201 202 203; do
+    "${ODDCI_BIN}" pna --connect "127.0.0.1:${FAILOVER_PORT}" --seed "${seed}" \
+        --reconnect-ms 30000 --json > "results/ci-failover-pna-${seed}.json" &
+    PNA_PIDS="${PNA_PIDS} $!"
+done
+# Pull the plug only once a snapshot exists (otherwise there is nothing
+# to adopt) and a beat of work has flowed through the instance.
+for _ in $(seq 1 100); do
+    [ -f "${FAILOVER_SNAP}/headend.snap" ] && break
+    sleep 0.05
+done
+sleep 0.4
+kill -9 ${HEADEND_PIDS} || true
+wait ${HEADEND_PIDS} 2>/dev/null || true
+HEADEND_PIDS=""
+"${ODDCI_BIN}" headend --listen "127.0.0.1:${FAILOVER_PORT}" \
+    --standby "${FAILOVER_SNAP}" --pnas 3 --timeout 60 --json \
+    > results/ci-failover-standby.json
+for pid in ${PNA_PIDS}; do
+    wait "${pid}"
+done
+PNA_PIDS=""
+python3 - <<'EOF'
+import json
+with open("results/ci-failover-standby.json") as f:
+    standby = json.load(f)
+assert standby["epoch"] == 1, standby
+assert standby["adopted_jobs"] >= 1, standby
+assert standby["tasks_completed"] == 96, standby
+assert standby["tasks_unaccounted"] == 0, standby
+assert standby["threads_failed"] == 0, standby
+for seed in (201, 202, 203):
+    with open(f"results/ci-failover-pna-{seed}.json") as f:
+        pna = json.load(f)
+    assert pna["epoch"] == 1, (seed, pna)
+print("    failover smoke: standby adopted at epoch 1, 96 tasks, none lost")
+EOF
+rm -rf "${FAILOVER_SNAP}"
+
+# Docs gates: every relative markdown cross-reference must resolve, and
+# every `--flag` the operator runbook documents must exist in `oddci
+# help` (so the runbook cannot drift from the CLI).
+echo "==> docs: markdown link check + runbook flag check"
+"${ODDCI_BIN}" help > results/ci-help.txt
+python3 - <<'EOF'
+import os, re
+
+bad = []
+for root, dirs, files in os.walk("."):
+    dirs[:] = [d for d in dirs if d not in (".git", "target", "vendor", "results")]
+    for name in files:
+        if not name.endswith(".md"):
+            continue
+        path = os.path.join(root, name)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for m in re.finditer(r"\[[^\]]*\]\(([^)\s]+)\)", text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                bad.append(f"{path}: broken link -> {m.group(1)}")
+assert not bad, "\n".join(bad)
+print("    docs: every relative markdown link resolves")
+
+with open("results/ci-help.txt", encoding="utf-8") as f:
+    known = set(re.findall(r"--[a-z][a-z0-9-]*", f.read()))
+# Cargo's own flags show up in runbook build/test instructions.
+known |= {"--release", "--offline", "--workspace"}
+with open("OPERATIONS.md", encoding="utf-8") as f:
+    ops = f.read()
+# Link targets (e.g. anchors like `#6-durability--failover`) are not
+# documented flags — drop them before scanning.
+ops = re.sub(r"\]\([^)]*\)", "]", ops)
+missing = sorted({f for f in re.findall(r"--[a-z][a-z0-9-]*", ops) if f not in known})
+assert not missing, f"OPERATIONS.md documents flags `oddci help` does not know: {missing}"
+print(f"    docs: every OPERATIONS.md flag appears in `oddci help`")
 EOF
 
 echo "==> CI green"

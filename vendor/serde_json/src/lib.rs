@@ -306,13 +306,31 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty by peek");
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate only
+                    // this scalar's bytes: validating the whole remaining
+                    // buffer here made string parsing O(n²) per document.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::new("invalid UTF-8 in string")),
+                    };
+                    let scalar = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    let c = std::str::from_utf8(scalar)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?
+                        .chars()
+                        .next()
+                        .expect("non-empty validated scalar");
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }
@@ -451,6 +469,17 @@ mod tests {
     fn parses_escapes_and_unicode() {
         let v: Value = from_str(r#"{"s": "a\nb\t\"c\" é"}"#).unwrap();
         assert_eq!(v["s"], "a\nb\t\"c\" é");
+    }
+
+    #[test]
+    fn parses_two_three_and_four_byte_scalars() {
+        // One scalar per UTF-8 width, exercising the length-dispatched
+        // fast path (the old path validated the whole remaining buffer
+        // per character, which was quadratic).
+        let v: Value = from_str(r#""é € 🚀""#).unwrap();
+        assert_eq!(v, "é € 🚀");
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
     }
 
     #[test]
