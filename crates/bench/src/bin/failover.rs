@@ -147,6 +147,7 @@ fn synthetic_snapshot(nodes: u64) -> SnapshotState {
         )],
         wire_next_node: nodes,
         wire_nodes: (0..nodes).collect(),
+        autoscale: None,
     }
 }
 

@@ -24,6 +24,25 @@ use std::path::{Path, PathBuf};
 /// fast while still catching truncated writes and format drift.
 const JSONL_SAMPLE_LINES: usize = 4096;
 
+/// Artifacts the results directory must *contain*, not merely validate
+/// when present: the durability (X12) and elasticity (X13) runs are
+/// load-bearing evidence, so a sweep that silently skipped them must
+/// fail the gate instead of passing on whatever files remain.
+const REQUIRED_ARTIFACTS: &[&str] = &[
+    "failover.metrics.json",
+    "autoscale.json",
+    "autoscale.metrics.json",
+];
+
+/// Required artifact names absent from `present` (bare file names).
+fn missing_required(present: &[String]) -> Vec<&'static str> {
+    REQUIRED_ARTIFACTS
+        .iter()
+        .copied()
+        .filter(|required| !present.iter().any(|name| name == required))
+        .collect()
+}
+
 fn type_name(v: &Value) -> &'static str {
     match v {
         Value::Null => "null",
@@ -258,6 +277,16 @@ fn main() {
     streams.sort();
 
     let mut failed = false;
+    let present: Vec<String> = std::fs::read_dir(&results_dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", results_dir.display()))
+        .filter_map(|entry| entry.ok())
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .collect();
+    for name in missing_required(&present) {
+        failed = true;
+        println!("FAIL  {}", results_dir.join(name).display());
+        println!("      required artifact is missing");
+    }
     for file in &files {
         let errors = check_file(file, &schema);
         if errors.is_empty() {
@@ -298,6 +327,29 @@ mod tests {
 
     fn schema() -> Value {
         serde_json::from_str(include_str!("../../../../scripts/metrics.schema.json")).unwrap()
+    }
+
+    #[test]
+    fn required_artifacts_must_exist() {
+        // A full sweep leaves nothing missing.
+        let full: Vec<String> = REQUIRED_ARTIFACTS
+            .iter()
+            .map(|s| s.to_string())
+            .chain(["chaos.metrics.json".to_string()])
+            .collect();
+        assert!(missing_required(&full).is_empty());
+
+        // Dropping the durability run must be flagged even though every
+        // *present* file would validate — required, not pass-if-present.
+        let partial: Vec<String> = full
+            .iter()
+            .filter(|name| *name != "failover.metrics.json")
+            .cloned()
+            .collect();
+        assert_eq!(missing_required(&partial), vec!["failover.metrics.json"]);
+
+        // An empty results dir misses the whole list, in declared order.
+        assert_eq!(missing_required(&[]), REQUIRED_ARTIFACTS.to_vec());
     }
 
     #[test]

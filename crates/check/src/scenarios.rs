@@ -455,6 +455,143 @@ pub fn epoch_adoption_flipback(sp: &mut Spawner) {
     epoch_adoption_model(sp, false);
 }
 
+// ------------------------------------------------ scale-down vs heartbeat
+
+#[derive(Debug)]
+struct TrimHub {
+    /// Members currently in the instance.
+    active: Vec<u64>,
+    /// Tasks handed to a member and not yet completed: `(node, task)`.
+    assigned: Vec<(u64, u64)>,
+    /// Tasks waiting at the Backend.
+    queue: Vec<u64>,
+}
+
+struct TrimModel {
+    hub: Arc<ModelMutex<TrimHub>>,
+    hb_done: Arc<ModelChannel<()>>,
+    trim_done: Arc<ModelChannel<()>>,
+}
+
+impl TrimModel {
+    fn new() -> Self {
+        TrimModel {
+            hub: Arc::new(ModelMutex::new(
+                "trim.hub",
+                TrimHub {
+                    active: vec![1, 2],
+                    assigned: Vec::new(),
+                    queue: (0..EVENTS).collect(),
+                },
+            )),
+            hb_done: Arc::new(ModelChannel::new("trim.hb_done", 0)),
+            trim_done: Arc::new(ModelChannel::new("trim.trim_done", 0)),
+        }
+    }
+}
+
+/// The autoscale trim race: the reconciler shrinks the instance while
+/// heartbeat-carried fetches keep assigning queued tasks to members. The
+/// live shard handler evicts a member and requeues its in-flight tasks
+/// inside ONE hub critical section; the tempting refactor — requeue the
+/// victim's tasks first, then drop it from the membership — opens a
+/// window where a concurrent fetch hands a fresh task to the
+/// about-to-be-trimmed member. That task is assigned to a node no longer
+/// in the instance and nothing will ever requeue it: stranded.
+fn scale_down_heartbeat_model(sp: &mut Spawner, trim_atomically: bool) {
+    let m = Arc::new(TrimModel::new());
+
+    // Heartbeat-driven fetches: each heartbeat assigns one queued task to
+    // a live member, preferring the trim victim (node 2) while it is
+    // still active — the worst-case schedule for a sloppy trimmer.
+    let h = Arc::clone(&m);
+    sp.spawn("heartbeat-fetch", move |ctx| {
+        for _ in 0..EVENTS {
+            h.hub.lock(&ctx).with(|hub| {
+                if let Some(task) = hub.queue.pop() {
+                    let node = if hub.active.contains(&2) { 2 } else { 1 };
+                    hub.assigned.push((node, task));
+                }
+            });
+        }
+        h.hb_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    // The reconciler trims node 2 out of the instance.
+    let t = Arc::clone(&m);
+    sp.spawn("trim", move |ctx| {
+        if trim_atomically {
+            // Correct protocol: membership drop and task requeue in one
+            // critical section — no fetch can slip between them.
+            t.hub.lock(&ctx).with(|hub| {
+                hub.active.retain(|&n| n != 2);
+                let mut orphaned = Vec::new();
+                hub.assigned.retain(|&(node, task)| {
+                    if node == 2 {
+                        orphaned.push(task);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                hub.queue.extend(orphaned);
+            });
+        } else {
+            // Buggy variant: requeue the victim's tasks, release the
+            // lock, then drop it from the membership. A fetch landing in
+            // between assigns a fresh task to node 2 — which the second
+            // section abandons without requeueing.
+            t.hub.lock(&ctx).with(|hub| {
+                let mut orphaned = Vec::new();
+                hub.assigned.retain(|&(node, task)| {
+                    if node == 2 {
+                        orphaned.push(task);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                hub.queue.extend(orphaned);
+            });
+            t.hub.lock(&ctx).with(|hub| {
+                hub.active.retain(|&n| n != 2);
+            });
+        }
+        t.trim_done.send(&ctx, ()).expect("verifier is waiting");
+    });
+
+    let v = Arc::clone(&m);
+    sp.spawn("verifier", move |ctx| {
+        v.hb_done.recv(&ctx).expect("heartbeat finishes");
+        v.trim_done.recv(&ctx).expect("trim finishes");
+        v.hub.lock(&ctx).with(|hub| {
+            for &(node, task) in &hub.assigned {
+                assert!(
+                    hub.active.contains(&node),
+                    "task {task} stranded on trimmed node {node} \
+                     (assigned {:?}, active {:?}, queue {:?})",
+                    hub.assigned,
+                    hub.active,
+                    hub.queue
+                );
+            }
+        });
+    });
+}
+
+/// Correct protocol: trimming a member and requeueing its in-flight
+/// tasks happen in one hub critical section, so no concurrent heartbeat
+/// fetch can strand a task on the trimmed node.
+pub fn scale_down_vs_heartbeat(sp: &mut Spawner) {
+    scale_down_heartbeat_model(sp, true);
+}
+
+/// Buggy variant: requeue and membership drop in separate critical
+/// sections — a fetch between them assigns a task the trim abandons.
+pub fn scale_down_vs_heartbeat_stranded(sp: &mut Spawner) {
+    scale_down_heartbeat_model(sp, false);
+}
+
 // ----------------------------------------------------------------- registry
 
 /// A named scenario plus its expected verdict under exploration.
@@ -520,6 +657,16 @@ pub static ALL: &[Scenario] = &[
         setup: epoch_adoption_flipback,
         expect_clean: false,
     },
+    Scenario {
+        name: "scale-down-vs-heartbeat",
+        setup: scale_down_vs_heartbeat,
+        expect_clean: true,
+    },
+    Scenario {
+        name: "scale-down-vs-heartbeat-stranded",
+        setup: scale_down_vs_heartbeat_stranded,
+        expect_clean: false,
+    },
 ];
 
 /// Look a scenario up by its CLI name.
@@ -568,6 +715,26 @@ mod tests {
         let replay = Explorer::new(11).replay(&f.schedule, epoch_adoption_flipback);
         let msg = replay.failure.expect("pinned schedule reproduces");
         assert!(msg.contains("flipped back"), "{msg}");
+    }
+
+    #[test]
+    fn atomic_trim_survives_exploration() {
+        let r = Explorer::new(11)
+            .max_schedules(200)
+            .explore(scale_down_vs_heartbeat);
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+    }
+
+    #[test]
+    fn split_trim_strands_a_task_and_replays() {
+        let r = Explorer::new(11)
+            .max_schedules(400)
+            .explore(scale_down_vs_heartbeat_stranded);
+        let f = r.failure.expect("explorer must find the stranded task");
+        assert!(f.message.contains("stranded"), "{}", f.message);
+        let replay = Explorer::new(11).replay(&f.schedule, scale_down_vs_heartbeat_stranded);
+        let msg = replay.failure.expect("pinned schedule reproduces");
+        assert!(msg.contains("stranded"), "{msg}");
     }
 
     #[test]

@@ -496,20 +496,22 @@ fn render_top(
         "counter", "value", "delta", "per sec"
     );
     for (name, value) in &reply_registry.counters {
-        let before = prev
-            .and_then(|s| s.counters.get(name))
-            .copied()
-            .unwrap_or(0);
-        let delta = value.saturating_sub(before);
-        let rate = if prev.is_some() && elapsed_secs > 0.0 {
-            format!("{:.1}", delta as f64 / elapsed_secs)
-        } else {
-            "-".to_string()
-        };
-        let shown_delta = if prev.is_some() {
-            format!("+{delta}")
-        } else {
-            "-".to_string()
+        // A delta needs two samples *of this counter*. Counters created
+        // after the previous poll (e.g. a fault class firing for the
+        // first time) have no baseline — deltaing them against zero
+        // would report their whole lifetime value as one interval's
+        // rate, so they render as `-` until the next poll.
+        let (shown_delta, rate) = match prev.and_then(|s| s.counters.get(name)) {
+            Some(&before) => {
+                let delta = value.saturating_sub(before);
+                let rate = if elapsed_secs > 0.0 {
+                    format!("{:.1}", delta as f64 / elapsed_secs)
+                } else {
+                    "-".to_string()
+                };
+                (format!("+{delta}"), rate)
+            }
+            None => ("-".to_string(), "-".to_string()),
         };
         let _ = writeln!(out, "  {name:<34} {value:>12} {shown_delta:>10} {rate:>10}");
     }
@@ -1128,6 +1130,7 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
     if snapshot_interval_ms == 0 {
         return Err(ArgError("--snapshot-interval-ms must be positive".into()));
     }
+    let autoscale = autoscale_policy(p, pnas as usize)?;
 
     let live = LiveOddci::start(LiveConfig {
         nodes: pnas,
@@ -1135,6 +1138,7 @@ pub fn headend(p: &Parsed) -> Result<String, ArgError> {
         mode,
         snapshot_dir,
         snapshot_interval: std::time::Duration::from_millis(snapshot_interval_ms),
+        autoscale,
         ..Default::default()
     });
     let addr = live.wire_addr().expect("socket mode exposes its address");
@@ -1698,6 +1702,261 @@ pub fn failover(p: &Parsed) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Builds the elastic-sizing policy from the shared autoscale flags
+/// (`--min-instances`, `--max-instances`, `--slo-queue-depth`,
+/// `--cooldown-ms`). Returns `None` when none of them were given —
+/// the headend then runs with the paper's fixed-size Provider.
+fn autoscale_policy(
+    p: &Parsed,
+    default_max: usize,
+) -> Result<Option<oddci_core::AutoscalePolicy>, ArgError> {
+    let given = [
+        "min-instances",
+        "max-instances",
+        "slo-queue-depth",
+        "cooldown-ms",
+    ]
+    .iter()
+    .any(|k| p.get(k).is_some());
+    if !given {
+        return Ok(None);
+    }
+    let policy = oddci_core::AutoscalePolicy {
+        min_size: p.num("min-instances", 1)?,
+        max_size: p.num("max-instances", default_max)?,
+        slo_queue_depth: p.num("slo-queue-depth", 4)?,
+        cooldown: SimDuration::from_millis(p.num("cooldown-ms", 2_000)?),
+        ..oddci_core::AutoscalePolicy::default()
+    };
+    policy.validate().map_err(ArgError)?;
+    Ok(Some(policy))
+}
+
+/// `oddci autoscale`: the elastic-sizing drill. Boots a sharded socket
+/// headend with the desired-state reconciler enabled, submits a job at
+/// the *minimum* instance size, and lets the queue-depth SLO drive the
+/// Provider up toward `--max-instances` and back down as the backlog
+/// drains. The fault plan includes a spot-like `airtime-revoked` window
+/// (the broadcaster reclaims the channel, evicting the whole
+/// membership); the drill proves the reconciler absorbs it — tasks
+/// requeue, a Replace re-requests the capacity, and the job finishes
+/// with zero loss. Fails unless at least one scale-up AND one
+/// scale-down happened.
+pub fn autoscale(p: &Parsed) -> Result<String, ArgError> {
+    use oddci_faults::FaultPlan;
+    use oddci_live::wire::WirePnaConfig;
+    use oddci_live::{AlignmentImage, HeadendMode, LiveConfig, LiveOddci};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let listen = match p.get("listen") {
+        Some(_) => socket_addr(p, "listen")?,
+        None => "127.0.0.1:0".parse().expect("loopback default"),
+    };
+    let pnas: u64 = p.num("pnas", 6)?;
+    let queries: u64 = p.num("queries", 64)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let timeout_secs: u64 = p.num("timeout", 60)?;
+    let db_len: usize = p.num("db-len", 800_000)?;
+    let reconcile_ms: u64 = p.num("reconcile-ms", 25)?;
+    if pnas == 0 || queries == 0 || timeout_secs == 0 || db_len == 0 || reconcile_ms == 0 {
+        return Err(ArgError(
+            "--pnas, --queries, --timeout, --db-len and --reconcile-ms must be positive".into(),
+        ));
+    }
+    // The drill defaults to a tight loop: SLO of 8 queued tasks per
+    // member, a short cooldown so the scale-down fits inside one job.
+    let cooldown_ms: u64 = p.num("cooldown-ms", 400)?;
+    let policy = oddci_core::AutoscalePolicy {
+        min_size: p.num("min-instances", 2)?,
+        max_size: p.num("max-instances", pnas as usize)?,
+        slo_queue_depth: p.num("slo-queue-depth", 8)?,
+        cooldown: SimDuration::from_millis(cooldown_ms),
+        ..oddci_core::AutoscalePolicy::default()
+    };
+    policy.validate().map_err(ArgError)?;
+    if policy.max_size as u64 > pnas {
+        return Err(ArgError(format!(
+            "--max-instances {} exceeds --pnas {pnas}",
+            policy.max_size
+        )));
+    }
+    let plan = match p.get("faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(ArgError)?,
+        // Default: the broadcaster reclaims the channel once, mid-job —
+        // the window is narrower than the revocation gate (one cooldown),
+        // so exactly one eviction fires.
+        None => FaultPlan::parse("airtime-revoked=1.0@1.2..1.5").expect("default plan parses"),
+    };
+
+    let live = LiveOddci::start(LiveConfig {
+        nodes: pnas,
+        seed,
+        heartbeat_interval: Duration::from_millis(60),
+        faults: plan,
+        mode: HeadendMode::Socket {
+            listen,
+            shards: 2,
+            dispatch: 2,
+            batch: 4,
+        },
+        autoscale: Some(policy),
+        autoscale_interval: Duration::from_millis(reconcile_ms),
+        ..Default::default()
+    });
+    let addr = live.wire_addr().expect("socket headends listen");
+
+    let pna_threads: Vec<_> = (0..pnas)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut cfg = WirePnaConfig::new(addr);
+                cfg.seed = 100 + i;
+                cfg.heartbeat_interval = Duration::from_millis(60);
+                oddci_live::run_wire_pna(cfg)
+            })
+        })
+        .collect();
+
+    let image = AlignmentImage {
+        db_len,
+        ..AlignmentImage::small_demo()
+    };
+    let job_queries: Vec<Arc<Vec<u8>>> = (0..queries)
+        .map(|i| Arc::new(random_sequence(64, seed ^ i)))
+        .collect();
+    let submitted = Instant::now();
+    // Submit at the floor: the backlog against the SLO is what must pull
+    // the instance up, not the operator's initial guess.
+    let req = match live.submit_query_job(image, job_queries, policy.min_size as u64) {
+        Some(req) => req,
+        None => {
+            live.shutdown();
+            for t in pna_threads {
+                let _ = t.join();
+            }
+            return Err(ArgError("job submission failed".into()));
+        }
+    };
+    let outcome = live.wait_job(req, Duration::from_secs(timeout_secs));
+    let makespan = submitted.elapsed().as_secs_f64();
+    // The drained queue must pull the instance back toward the floor.
+    // Completion can land inside the cooldown window, so give the
+    // reconciler a few post-job windows to issue the trim before
+    // declaring the run inelastic.
+    let drain_deadline = Instant::now() + Duration::from_millis(cooldown_ms.saturating_mul(4));
+    let export = loop {
+        let export = live
+            .autoscale_state()
+            .expect("drill always enables the reconciler");
+        if outcome.is_none() || export.scale_downs > 0 || Instant::now() >= drain_deadline {
+            break export;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let revocations = live
+        .telemetry()
+        .registry()
+        .counter("faults.airtime_revoked")
+        .get();
+    let shutdown = live.shutdown();
+    for t in pna_threads {
+        let _ = t.join();
+    }
+    let outcome = outcome.ok_or_else(|| {
+        ArgError(format!(
+            "job did not complete within {timeout_secs}s (desired {}, {} scale-up(s), \
+             {} replacement(s))",
+            export.desired, export.scale_ups, export.replacements
+        ))
+    })?;
+    let tasks_lost = queries.saturating_sub(outcome.scores.len() as u64);
+
+    if p.flag("json") {
+        let v = serde_json::json!({
+            "listen": addr.to_string(),
+            "pnas": pnas,
+            "queries": queries,
+            "min_instances": policy.min_size,
+            "max_instances": policy.max_size,
+            "slo_queue_depth": policy.slo_queue_depth,
+            "ticks": export.ticks,
+            "scale_ups": export.scale_ups,
+            "scale_downs": export.scale_downs,
+            "replacements": export.replacements,
+            "revocations": revocations,
+            "final_desired": export.desired,
+            "tasks_completed": outcome.report.tasks_completed,
+            "tasks_lost": tasks_lost,
+            "requeues": outcome.report.requeues,
+            "tasks_unaccounted": shutdown.tasks_unaccounted,
+            "threads_failed": shutdown.threads_failed,
+            "makespan_secs": makespan,
+        });
+        let rendered = serde_json::to_string_pretty(&v).expect("serialize autoscale json");
+        return check_drill(
+            &export,
+            revocations,
+            tasks_lost,
+            shutdown.tasks_unaccounted,
+            rendered,
+        );
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "autoscale on {addr}: {queries} tasks, instance {}..={} (SLO {} queued/member)",
+        policy.min_size, policy.max_size, policy.slo_queue_depth
+    );
+    let _ = writeln!(
+        out,
+        "  reconciler  : {} tick(s), {} up / {} down / {} replacement(s), final desired {}",
+        export.ticks, export.scale_ups, export.scale_downs, export.replacements, export.desired
+    );
+    let _ = writeln!(out, "  revocations : {revocations} (airtime reclaimed)");
+    let _ = writeln!(out, "  completed   : {}", outcome.report.tasks_completed);
+    let _ = writeln!(out, "  tasks lost  : {tasks_lost}");
+    let _ = writeln!(out, "  requeues    : {}", outcome.report.requeues);
+    let _ = writeln!(out, "  unaccounted : {}", shutdown.tasks_unaccounted);
+    let _ = writeln!(out, "  threads lost: {}", shutdown.threads_failed);
+    let _ = writeln!(out, "  makespan    : {makespan:.3}s");
+    check_drill(
+        &export,
+        revocations,
+        tasks_lost,
+        shutdown.tasks_unaccounted,
+        out,
+    )
+}
+
+/// The autoscale drill's verdict: elastic both ways, revocation absorbed
+/// (when the plan fired one), and no work lost.
+fn check_drill(
+    export: &oddci_core::AutoscaleExport,
+    revocations: u64,
+    tasks_lost: u64,
+    unaccounted: u64,
+    out: String,
+) -> Result<String, ArgError> {
+    if tasks_lost > 0 || unaccounted > 0 {
+        return Err(ArgError(format!(
+            "autoscale lost work: {tasks_lost} task(s) missing, {unaccounted} unaccounted\n{out}"
+        )));
+    }
+    if export.scale_ups == 0 || export.scale_downs == 0 {
+        return Err(ArgError(format!(
+            "instance was not elastic: {} scale-up(s), {} scale-down(s)\n{out}",
+            export.scale_ups, export.scale_downs
+        )));
+    }
+    if revocations > 0 && export.replacements == 0 {
+        return Err(ArgError(format!(
+            "{revocations} revocation(s) fired but no replacement was issued\n{out}"
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1863,6 +2122,88 @@ mod tests {
             assert!(v["wire"]["rx_messages"].as_u64().unwrap() > 0, "{out}");
             assert!(v["wire"]["multi_chunk_rx"].as_u64().unwrap() >= 1, "{out}");
         }
+    }
+
+    #[test]
+    fn top_renders_dashes_until_a_counter_has_two_samples() {
+        use oddci_telemetry::RegistrySnapshot;
+        let mut first = RegistrySnapshot::default();
+        first.counters.insert("wire.tx_frames".into(), 1_000);
+
+        // First poll: no previous snapshot at all — everything is `-`.
+        let out = render_top(&first, &[], None, 0.0);
+        let row = out.lines().find(|l| l.contains("wire.tx_frames")).unwrap();
+        assert!(row.contains('-'), "{out}");
+        assert!(
+            !row.contains('+'),
+            "first poll must not fake a delta: {out}"
+        );
+
+        // Second poll: the counter has a baseline, but a *new* counter
+        // (a fault class that just fired) does not. The old one gets a
+        // real delta and rate; the new one stays `-` — deltaing its
+        // lifetime value against zero would print a garbage rate.
+        let mut second = RegistrySnapshot::default();
+        second.counters.insert("wire.tx_frames".into(), 1_500);
+        second
+            .counters
+            .insert("faults.airtime_revoked".into(), 7_777);
+        let out = render_top(&second, &[], Some(&first), 2.0);
+        let old = out.lines().find(|l| l.contains("wire.tx_frames")).unwrap();
+        assert!(old.contains("+500"), "{out}");
+        assert!(old.contains("250.0"), "{out}");
+        let fresh = out
+            .lines()
+            .find(|l| l.contains("faults.airtime_revoked"))
+            .unwrap();
+        assert!(!fresh.contains('+'), "{out}");
+        assert!(
+            !fresh.contains("3888"),
+            "7777/2s garbage rate leaked through: {out}"
+        );
+    }
+
+    #[test]
+    fn autoscale_drill_scales_both_ways_without_loss() {
+        let out = autoscale(&parsed(&[
+            "autoscale",
+            "--pnas",
+            "4",
+            "--queries",
+            "32",
+            "--db-len",
+            "400000",
+            "--max-instances",
+            "4",
+            "--cooldown-ms",
+            "250",
+            "--faults",
+            "airtime-revoked=1.0@0.15..0.45",
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert!(v["scale_ups"].as_u64().unwrap() >= 1, "{out}");
+        assert!(v["scale_downs"].as_u64().unwrap() >= 1, "{out}");
+        assert!(v["replacements"].as_u64().unwrap() >= 1, "{out}");
+        assert_eq!(v["tasks_lost"], 0, "{out}");
+        assert_eq!(v["tasks_unaccounted"], 0, "{out}");
+        assert_eq!(v["tasks_completed"], 32, "{out}");
+    }
+
+    #[test]
+    fn autoscale_rejects_inconsistent_bounds() {
+        let err = autoscale(&parsed(&[
+            "autoscale",
+            "--pnas",
+            "2",
+            "--max-instances",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--max-instances"), "{err}");
+        let err = autoscale(&parsed(&["autoscale", "--min-instances", "0"])).unwrap_err();
+        assert!(err.to_string().contains("min_size"), "{err}");
     }
 
     #[test]

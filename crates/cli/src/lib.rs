@@ -17,6 +17,9 @@
 //! * `pna` — one Processing Node Agent process connecting to a headend.
 //! * `failover` — kill a snapshotting headend mid-job and prove a standby
 //!   adopts its state without losing a task.
+//! * `autoscale` — the elastic-sizing drill: the desired-state reconciler
+//!   scales a live instance up and back down against a queue-depth SLO
+//!   while absorbing a spot-like airtime revocation.
 //! * `check` — the concurrency gate: workspace lint plus the bounded
 //!   schedule explorer over the scaled-down headend scenarios.
 //!
@@ -86,6 +89,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "headend" => commands::headend(&parsed).map_err(|e| e.to_string()),
         "pna" => commands::pna(&parsed).map_err(|e| e.to_string()),
         "failover" => commands::failover(&parsed).map_err(|e| e.to_string()),
+        "autoscale" => commands::autoscale(&parsed).map_err(|e| e.to_string()),
         "check" => commands::check(&parsed).map_err(|e| e.to_string()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -186,6 +190,12 @@ COMMANDS:
                                    starting fresh: rebind the dead
                                    primary's address at a bumped fencing
                                    epoch and finish its in-flight jobs
+                  --min-instances N  enable elastic sizing: floor    [1]
+                  --max-instances N  elastic ceiling             [pnas]
+                  --slo-queue-depth N  queued tasks per member the
+                                       reconciler sizes toward      [4]
+                  --cooldown-ms M  min gap between scaling actions
+                                   (replacements bypass it)      [2000]
                   --json           machine-readable output
     pna         one Processing Node Agent: connect to a headend, boot from
                 the streamed wakeup image, work until shutdown
@@ -212,6 +222,27 @@ COMMANDS:
                                    [headend-crash=1.0@0.5..30]
                   --snapshot-dir PATH  snapshot directory      [temp dir]
                   --snapshot-interval-ms M  snapshot cadence   [50]
+                  --timeout S      overall deadline, seconds   [60]
+                  --json           machine-readable output
+    autoscale   elastic-sizing drill: a sharded headend under the
+                desired-state reconciler, submitted at the minimum
+                instance size; the queue-depth SLO scales it up, the
+                draining backlog scales it down, and a spot-like
+                airtime revocation mid-job is absorbed as a
+                cooldown-bypassing replacement; fails unless >=1
+                scale-up and >=1 scale-down land with zero task loss
+                  --listen ADDR    bind address (HOST:PORT) [127.0.0.1:0]
+                  --pnas N         in-process PNA threads      [6]
+                  --queries N      alignment queries           [64]
+                  --seed S         run seed                    [42]
+                  --db-len N       database bytes in the image [800000]
+                  --min-instances N  reconciler floor          [2]
+                  --max-instances N  reconciler ceiling        [pnas]
+                  --slo-queue-depth N  queued tasks per member [8]
+                  --cooldown-ms M  gap between scaling actions [400]
+                  --reconcile-ms M reconciler tick period      [25]
+                  --faults SPEC    fault plan
+                                   [airtime-revoked=1.0@1.2..1.5]
                   --timeout S      overall deadline, seconds   [60]
                   --json           machine-readable output
     top         poll a running socket headend's live metrics plane

@@ -349,6 +349,41 @@ impl Controller {
         Ok(())
     }
 
+    /// Evicts every member of an instance at once — the broadcaster
+    /// reclaimed the channel (spot-style `airtime-revoked` fault). Each
+    /// member produces a [`ControllerOutput::NodeLost`] so the Backend
+    /// requeues its in-flight task, plus a [`ControllerOutput::DirectReset`]
+    /// so the PNA returns to idle. The instance itself stays alive at its
+    /// target (status back to Forming) so the next [`tick`](Self::tick)
+    /// recomposes it with fresh wakeups once the reconciler re-requests
+    /// capacity.
+    pub fn revoke_members(&mut self, id: InstanceId) -> Result<Vec<ControllerOutput>> {
+        let record = self
+            .instances
+            .get_mut(&id)
+            .ok_or(OddciError::UnknownInstance(id))?;
+        if record.status == InstanceStatus::Dismantled {
+            return Err(OddciError::InvalidState {
+                operation: "revoke_members",
+                state: "Dismantled".into(),
+            });
+        }
+        let members: Vec<NodeId> = std::mem::take(&mut record.members).into_iter().collect();
+        if !members.is_empty() {
+            record.status = InstanceStatus::Forming;
+        }
+        let mut out = Vec::with_capacity(members.len() * 2);
+        for node in members {
+            out.push(ControllerOutput::NodeLost { node, instance: id });
+            out.push(ControllerOutput::DirectReset { node, instance: id });
+            if let Entry::Occupied(mut e) = self.registry.entry(node) {
+                e.get_mut().state = PnaStateKind::Idle;
+                e.get_mut().instance = None;
+            }
+        }
+        Ok(out)
+    }
+
     /// Consolidated view of one instance.
     pub fn instance(&self, id: InstanceId) -> Option<&InstanceRecord> {
         self.instances.get(&id)
@@ -359,6 +394,16 @@ impl Controller {
         self.instances
             .get(&id)
             .map_or(0, |r| r.members.len() as u64)
+    }
+
+    /// Total live members across every instance this controller tracks —
+    /// what the autoscale reconciler samples as the current capacity of
+    /// one shard.
+    pub fn total_members(&self) -> u64 {
+        self.instances
+            .values()
+            .map(|r| r.members.len() as u64)
+            .sum()
     }
 
     /// Processes one heartbeat, returning the reply plus any side effects.
@@ -842,6 +887,46 @@ mod tests {
             .on_heartbeat(busy_hb(3, id, 3), SimTime::from_secs(3))
             .is_empty());
         assert_eq!(c.instance_size(id), 1);
+    }
+
+    #[test]
+    fn revoke_members_evicts_everyone_and_recomposes() {
+        let mut c = Controller::new(KEY, ControllerPolicy::default());
+        let (id, _) = c.create_instance(request(3), SimTime::ZERO);
+        for n in 1..=3 {
+            c.on_heartbeat(busy_hb(n, id, 1), SimTime::from_secs(1));
+        }
+        assert_eq!(c.instance(id).unwrap().status, InstanceStatus::Active);
+        let out = c.revoke_members(id).unwrap();
+        // Every member is reported lost (task requeue) and reset (to idle).
+        for n in 1..=3u64 {
+            assert!(out.contains(&ControllerOutput::NodeLost {
+                node: NodeId::new(n),
+                instance: id
+            }));
+            assert!(out.contains(&ControllerOutput::DirectReset {
+                node: NodeId::new(n),
+                instance: id
+            }));
+        }
+        assert_eq!(c.instance_size(id), 0);
+        assert_eq!(c.instance(id).unwrap().status, InstanceStatus::Forming);
+        // The evicted nodes are idle again, so the next tick recomposes.
+        let out = c.tick(SimTime::from_secs(2));
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                ControllerOutput::Broadcast(SignedMessage {
+                    message: ControlMessage::Wakeup(_),
+                    ..
+                })
+            )),
+            "{out:?}"
+        );
+        // Revoking a dismantled instance is an error, as is an unknown id.
+        c.dismantle(id).unwrap();
+        assert!(c.revoke_members(id).is_err());
+        assert!(c.revoke_members(InstanceId::new(99)).is_err());
     }
 
     #[test]

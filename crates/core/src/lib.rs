@@ -49,6 +49,7 @@
 //! assert_eq!(report.tasks_completed, 400);
 //! ```
 
+pub mod autoscale;
 pub mod backend;
 pub mod controller;
 pub mod federation;
@@ -59,6 +60,7 @@ pub mod provider;
 pub mod sharded;
 pub mod world;
 
+pub use autoscale::{AutoscaleExport, AutoscalePolicy, Reconciler, ScaleDecision, ScaleInputs};
 pub use backend::{Backend, TaskOutcome};
 pub use controller::{Controller, ControllerPolicy, InstanceRequest, InstanceStatus};
 pub use federation::{FederatedReport, Federation};

@@ -94,11 +94,16 @@ pub enum FaultClass {
     /// the `oddci failover` scenario uses the roll to time the SIGKILL,
     /// after which a standby must adopt the last snapshot.
     HeadendCrash,
+    /// The broadcaster reclaims the channel mid-job (spot-style): every
+    /// member of the running instance is evicted at once, their in-flight
+    /// tasks requeued, and the autoscale reconciler must re-request
+    /// replacement capacity.
+    AirtimeRevoked,
 }
 
 impl FaultClass {
     /// All classes, in declaration order.
-    pub const ALL: [FaultClass; 13] = [
+    pub const ALL: [FaultClass; 14] = [
         FaultClass::CarouselCorruption,
         FaultClass::CarouselTruncation,
         FaultClass::DirectLoss,
@@ -112,6 +117,7 @@ impl FaultClass {
         FaultClass::FrameTruncate,
         FaultClass::FrameReorder,
         FaultClass::HeadendCrash,
+        FaultClass::AirtimeRevoked,
     ];
 
     /// Stable kebab-case name (CLI syntax and seed derivation).
@@ -130,6 +136,7 @@ impl FaultClass {
             FaultClass::FrameTruncate => "frame-truncate",
             FaultClass::FrameReorder => "frame-reorder",
             FaultClass::HeadendCrash => "headend-crash",
+            FaultClass::AirtimeRevoked => "airtime-revoked",
         }
     }
 
@@ -152,6 +159,7 @@ impl FaultClass {
             FaultClass::BackendStall => 45.0,
             FaultClass::FrameCorrupt | FaultClass::FrameTruncate | FaultClass::FrameReorder => 0.0,
             FaultClass::HeadendCrash => 0.0,
+            FaultClass::AirtimeRevoked => 0.0,
         }
     }
 
@@ -401,7 +409,7 @@ const GLOBAL: u64 = u64::MAX;
 pub struct FaultInjector {
     plan: FaultPlan,
     /// Per-class derived seeds, parallel to [`FaultClass::ALL`].
-    class_seeds: [u64; 13],
+    class_seeds: [u64; 14],
 }
 
 impl FaultInjector {
@@ -410,7 +418,7 @@ impl FaultInjector {
     /// streams).
     pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
         plan.validate().expect("valid fault plan");
-        let mut class_seeds = [0u64; 13];
+        let mut class_seeds = [0u64; 14];
         for (i, class) in FaultClass::ALL.iter().enumerate() {
             class_seeds[i] = mix(fnv1a(seed, class.label()));
         }
@@ -569,6 +577,14 @@ impl FaultInjector {
     pub fn headend_crashed(&self, now: SimTime) -> bool {
         self.roll(FaultClass::HeadendCrash, GLOBAL, now).is_some()
     }
+
+    /// Does the broadcaster reclaim the channel at this opportunity?
+    /// Global (node-free) roll: when it fires, the *whole* instance loses
+    /// its membership at once — the spot-reclamation event the autoscale
+    /// reconciler absorbs by re-requesting capacity.
+    pub fn airtime_revoked(&self, now: SimTime) -> bool {
+        self.roll(FaultClass::AirtimeRevoked, GLOBAL, now).is_some()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -683,6 +699,8 @@ pub struct FaultCounters {
     pub frame_reorders: u64,
     /// Headend kills injected (failover drills).
     pub headend_crashes: u64,
+    /// Broadcast channels reclaimed mid-job (spot-style instance kills).
+    pub airtime_revocations: u64,
 }
 
 impl FaultCounters {
@@ -702,6 +720,7 @@ impl FaultCounters {
             FaultClass::FrameTruncate => self.frame_truncations += 1,
             FaultClass::FrameReorder => self.frame_reorders += 1,
             FaultClass::HeadendCrash => self.headend_crashes += 1,
+            FaultClass::AirtimeRevoked => self.airtime_revocations += 1,
         }
     }
 
@@ -721,6 +740,7 @@ impl FaultCounters {
             FaultClass::FrameTruncate => self.frame_truncations,
             FaultClass::FrameReorder => self.frame_reorders,
             FaultClass::HeadendCrash => self.headend_crashes,
+            FaultClass::AirtimeRevoked => self.airtime_revocations,
         }
     }
 
@@ -923,6 +943,19 @@ mod tests {
         let mut c = FaultCounters::default();
         c.record(FaultClass::HeadendCrash);
         assert_eq!(c.get(FaultClass::HeadendCrash), 1);
+    }
+
+    #[test]
+    fn airtime_revocation_rolls_inside_its_window() {
+        let plan = FaultPlan::parse("airtime-revoked=1.0@2..2.5").unwrap();
+        let inj = FaultInjector::new(plan, 17);
+        assert!(!inj.airtime_revoked(SimTime::from_secs_f64(1.9)));
+        assert!(inj.airtime_revoked(SimTime::from_secs_f64(2.0)));
+        assert!(!inj.airtime_revoked(SimTime::from_secs_f64(2.5)));
+        let mut c = FaultCounters::default();
+        c.record(FaultClass::AirtimeRevoked);
+        assert_eq!(c.get(FaultClass::AirtimeRevoked), 1);
+        assert_eq!(c.airtime_revocations, 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::image::{AlignmentImage, LiveBroadcast};
 use crate::runtime::{wall_now, BusMsg, LiveConfig, TaskBatchReply};
 use crate::snapshot::{ImageExport, SnapshotState};
 use oddci_check::sync::{bounded, Mutex, Receiver, RecvTimeoutError, Sender};
+use oddci_core::autoscale::{Reconciler, ScaleDecision, ScaleInputs};
 use oddci_core::backend::Backend;
 use oddci_core::controller::{
     Controller, ControllerOutput, ControllerPolicy, ControllerState, InstanceRequest,
@@ -95,6 +96,20 @@ pub(crate) enum ShardMsg {
     Dismantle {
         instance: InstanceId,
         publish: bool,
+    },
+    /// Steer this shard's slice of an instance to a new per-shard target
+    /// (autoscale reconciliation). Growth rides the next tick's
+    /// recomposition wakeup; shrinking trims lazily via heartbeat
+    /// replies.
+    Resize {
+        instance: InstanceId,
+        target: u64,
+    },
+    /// Spot-style airtime revocation: the broadcaster reclaimed the
+    /// channel, so every member of the instance is evicted at once and
+    /// their in-flight tasks re-queued.
+    Revoke {
+        instance: InstanceId,
     },
     /// Export this shard's Controller state for a durability snapshot.
     Export {
@@ -531,9 +546,170 @@ impl SnapshotHandle {
             images,
             wire_next_node: wire.0,
             wire_nodes: wire.1,
+            // Filled in by the runtime, which owns the shared reconciler.
+            autoscale: None,
         };
         Some(snap)
     }
+}
+
+// ---------------------------------------------------------------------
+// Autoscale reconciler thread
+// ---------------------------------------------------------------------
+
+/// What the reconciler thread needs to observe and steer the headend:
+/// the hub (queue depth, throughput, running instances) and the shard
+/// inboxes (resize / revoke commands).
+pub(crate) struct ReconcilerLinks {
+    hub: Arc<Mutex<Hub>>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    start: Instant,
+}
+
+impl ShardedHeadend {
+    /// Handles for [`spawn_reconciler`].
+    pub(crate) fn reconciler_links(&self) -> ReconcilerLinks {
+        ReconcilerLinks {
+            hub: Arc::clone(&self.hub),
+            shard_txs: self.shard_txs.clone(),
+            start: self.start,
+        }
+    }
+}
+
+/// Spawns the elastic-sizing control loop. Every `interval` it samples
+/// the Backend queue depth, the per-shard heartbeat-lag and membership
+/// gauges and the task-fetch p99, feeds them to the shared
+/// [`Reconciler`], and applies the decision by resizing every running
+/// instance (per-shard split targets). An `airtime-revoked` fault roll
+/// first evicts every member ([`ShardMsg::Revoke`]); the reconciler then
+/// restores the lost capacity as a [`ScaleDecision::Replace`], bypassing
+/// its cooldown. Dropping the returned sender stops the thread.
+///
+/// Locking rule: the hub lock and the reconciler lock are each dropped
+/// before any channel send.
+pub(crate) fn spawn_reconciler(
+    links: ReconcilerLinks,
+    shared: Arc<Mutex<Reconciler>>,
+    interval: std::time::Duration,
+    injector: Arc<FaultInjector>,
+    tele: Telemetry,
+) -> (Sender<()>, JoinHandle<()>) {
+    let (tx, rx) = bounded::<()>(1);
+    let thread = std::thread::spawn(move || {
+        let shards = links.shard_txs.len();
+        let lag_gauges: Vec<_> = (0..shards)
+            .map(|i| {
+                tele.registry()
+                    .gauge(&format!("controller.heartbeat_lag.shard{i}"))
+            })
+            .collect();
+        let member_gauges: Vec<_> = (0..shards)
+            .map(|i| {
+                tele.registry()
+                    .gauge(&format!("controller.members.shard{i}"))
+            })
+            .collect();
+        let desired_gauge = tele.registry().gauge("provider.desired_size");
+        let queue_gauge = tele.registry().gauge("backend.queue_depth");
+        let revocations = tele.registry().counter("faults.airtime_revoked");
+        let cooldown = shared.lock().policy().cooldown;
+        let mut last_sample = (wall_now(&links.start), 0u64);
+        // At most one revocation per cooldown window: the fault plan rolls
+        // per reconcile tick, and a 100%-rate window would otherwise evict
+        // the replacement capacity as fast as it forms.
+        let mut revoke_gate = SimTime::ZERO;
+        loop {
+            match rx.recv_timeout(interval) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            let begin = wall_now(&links.start);
+            let (instances, queue_depth, completed) = {
+                let hub = links.hub.lock();
+                let open = hub.backend.open_jobs();
+                let queue: u64 = open.iter().map(|&j| hub.backend.pending_count(j)).sum();
+                let done: u64 = hub.job_scores.values().map(|s| s.len() as u64).sum();
+                let instances: Vec<InstanceId> = open
+                    .iter()
+                    .filter_map(|j| hub.job_instance.get(j).copied())
+                    .collect();
+                (instances, queue, done)
+            };
+
+            // Spot-like reclamation: evict the whole membership, then let
+            // the reconciler's Replace decision restore it.
+            if !instances.is_empty() && begin >= revoke_gate && injector.airtime_revoked(begin) {
+                for &instance in &instances {
+                    for stx in &links.shard_txs {
+                        let _ = stx.send(ShardMsg::Revoke { instance });
+                    }
+                }
+                revocations.inc();
+                shared.lock().observe_revocation();
+                revoke_gate = begin + cooldown;
+            }
+
+            let elapsed = begin.since(last_sample.0).as_secs_f64();
+            let tasks_per_sec = if elapsed > 0.0 {
+                completed.saturating_sub(last_sample.1) as f64 / elapsed
+            } else {
+                0.0
+            };
+            last_sample = (begin, completed);
+            let inputs = ScaleInputs {
+                queue_depth: queue_depth as usize,
+                heartbeat_lag: lag_gauges.iter().map(|g| g.get()).fold(0.0, f64::max),
+                tasks_per_sec,
+                fetch_p99: tele.phase_summary(Phase::TaskFetch).p99,
+                current_size: member_gauges.iter().map(|g| g.get()).sum::<f64>() as usize,
+            };
+            let (decision, desired) = {
+                let mut r = shared.lock();
+                let d = r.tick(begin, &inputs);
+                (d, r.desired())
+            };
+            desired_gauge.set(desired as f64);
+            queue_gauge.set(queue_depth as f64);
+
+            if decision.acted() {
+                let targets = split_target(desired as u64, shards);
+                for &instance in &instances {
+                    for (stx, &target) in links.shard_txs.iter().zip(&targets) {
+                        let _ = stx.send(ShardMsg::Resize { instance, target });
+                    }
+                }
+            }
+            let end = wall_now(&links.start);
+            match decision {
+                ScaleDecision::ScaleUp { to, .. } => {
+                    tele.instant(
+                        end.as_micros(),
+                        Phase::ProviderScaleUp,
+                        CONTROL_TRACK,
+                        to as u64,
+                    );
+                }
+                ScaleDecision::ScaleDown { to, .. } => {
+                    tele.instant(
+                        end.as_micros(),
+                        Phase::ProviderScaleDown,
+                        CONTROL_TRACK,
+                        to as u64,
+                    );
+                }
+                ScaleDecision::Replace { .. } | ScaleDecision::Hold => {}
+            }
+            tele.span(
+                begin.as_micros(),
+                end.as_micros(),
+                Phase::ProviderReconcile,
+                CONTROL_TRACK,
+                desired as u64,
+            );
+        }
+    });
+    (tx, thread)
 }
 
 // ---------------------------------------------------------------------
@@ -606,6 +782,9 @@ fn shard_main(
     let lag_gauge = tele
         .registry()
         .gauge(&format!("controller.heartbeat_lag.shard{index}"));
+    let members_gauge = tele
+        .registry()
+        .gauge(&format!("controller.members.shard{index}"));
     let mut last_tick = Instant::now();
     loop {
         match rx.recv_timeout(tick) {
@@ -632,6 +811,21 @@ fn shard_main(
                     }
                 }
             }
+            Ok(ShardMsg::Resize { instance, target }) => {
+                // Unknown or dismantled instances are fine to skip: the
+                // reconciler races job completion by design.
+                let _ = controller.resize(instance, target);
+            }
+            Ok(ShardMsg::Revoke { instance }) => {
+                if let Ok(outputs) = controller.revoke_members(instance) {
+                    // The evicted members' DirectResets have no in-flight
+                    // heartbeat reply to ride, so they are telemetered and
+                    // dropped here; NodeLost still re-queues every
+                    // assignment, and the next tick's recomposition wakeup
+                    // re-forms the membership.
+                    apply_outputs(outputs, &carousel_tx, &hub, &start, &tele);
+                }
+            }
             Ok(ShardMsg::Export { reply }) => {
                 let _ = reply.send(controller.export_state(wall_now(&start)));
             }
@@ -642,6 +836,7 @@ fn shard_main(
             Ok(ShardMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
             Err(RecvTimeoutError::Timeout) => {}
         }
+        members_gauge.set(controller.total_members() as f64);
         if last_tick.elapsed() >= tick {
             last_tick = Instant::now();
             let outputs = controller.tick(wall_now(&start));

@@ -23,6 +23,7 @@ use crate::image::{AlignmentImage, LiveBroadcast};
 use crate::snapshot::{self, SnapshotState};
 use crate::wire::WireMembership;
 use oddci_check::sync::{bounded, unbounded, Mutex, Receiver, RecvTimeoutError, Sender};
+use oddci_core::autoscale::{AutoscaleExport, AutoscalePolicy, Reconciler};
 use oddci_core::backend::{Backend, TaskOutcome};
 use oddci_core::controller::{Controller, ControllerOutput, ControllerPolicy, InstanceRequest};
 use oddci_core::messages::{ControlMessage, Heartbeat, HeartbeatReply};
@@ -170,6 +171,14 @@ pub struct LiveConfig {
     /// Snapshot cadence. Shorter intervals shrink the replay window a
     /// standby must cover but cost one state export per tick.
     pub snapshot_interval: Duration,
+    /// Elastic sizing: when set, a reconciler thread continuously
+    /// re-sizes every running instance against this SLO (see
+    /// [`AutoscalePolicy`]). `None` (the default) keeps the paper's
+    /// size-once behavior. Only the sharded and socket headends scale;
+    /// the single-loop baseline ignores this.
+    pub autoscale: Option<AutoscalePolicy>,
+    /// Reconciliation cadence for the autoscale loop.
+    pub autoscale_interval: Duration,
 }
 
 impl Default for LiveConfig {
@@ -185,6 +194,8 @@ impl Default for LiveConfig {
             mode: HeadendMode::default(),
             snapshot_dir: None,
             snapshot_interval: Duration::from_millis(500),
+            autoscale: None,
+            autoscale_interval: Duration::from_millis(200),
         }
     }
 }
@@ -372,6 +383,11 @@ pub struct LiveOddci {
     /// Dropping the sender stops the snapshot writer thread.
     snapshot_stop: Option<Sender<()>>,
     snapshot_thread: Option<JoinHandle<()>>,
+    /// The shared elastic-sizing loop state, when autoscale is on.
+    autoscale: Option<Arc<Mutex<Reconciler>>>,
+    /// Dropping the sender stops the reconciler thread.
+    autoscale_stop: Option<Sender<()>>,
+    autoscale_thread: Option<JoinHandle<()>>,
 }
 
 impl LiveOddci {
@@ -521,6 +537,27 @@ impl LiveOddci {
             }));
         }
 
+        // Elastic sizing: the reconciler thread steers every running
+        // instance toward the policy's SLO. Created before the snapshot
+        // writer so snapshots can embed the desired-state record.
+        let (autoscale, autoscale_stop, autoscale_thread) = match (&headend, &config.autoscale) {
+            (Headend::Sharded(Some(sh)) | Headend::Socket { sh: Some(sh), .. }, Some(policy)) => {
+                let shared = Arc::new(Mutex::named(
+                    Reconciler::new(*policy, policy.min_size),
+                    "live.autoscale",
+                ));
+                let (stop, thread) = crate::headend::spawn_reconciler(
+                    sh.reconciler_links(),
+                    Arc::clone(&shared),
+                    config.autoscale_interval,
+                    Arc::clone(&injector),
+                    config.telemetry.clone(),
+                );
+                (Some(shared), Some(stop), Some(thread))
+            }
+            _ => (None, None, None),
+        };
+
         let (snapshot_handle, snapshot_stop, snapshot_thread) = match &headend {
             Headend::Sharded(Some(sh)) | Headend::Socket { sh: Some(sh), .. } => {
                 let handle = sh.snapshot_handle();
@@ -533,6 +570,7 @@ impl LiveOddci {
                         let (stop, thread) = spawn_snapshot_writer(
                             sh.snapshot_handle(),
                             membership,
+                            autoscale.as_ref().map(Arc::clone),
                             0,
                             dir.clone(),
                             config.snapshot_interval,
@@ -557,6 +595,9 @@ impl LiveOddci {
             snapshot_handle,
             snapshot_stop,
             snapshot_thread,
+            autoscale,
+            autoscale_stop,
+            autoscale_thread,
         }
     }
 
@@ -663,11 +704,35 @@ impl LiveOddci {
             .max()
             .unwrap_or(0);
         let handle = sh.snapshot_handle();
+        // Resume scaling from the snapshot's desired-state record: the
+        // adopted loop keeps the primary's desired size and unserved
+        // cooldown, so the standby never re-provisions capacity the
+        // primary already requested.
+        let (autoscale, autoscale_stop, autoscale_thread) = match &config.autoscale {
+            Some(policy) => {
+                let now = wall_now(&start);
+                let reconciler = match &snap.autoscale {
+                    Some(export) => Reconciler::from_export(*policy, export, now),
+                    None => Reconciler::new(*policy, policy.min_size),
+                };
+                let shared = Arc::new(Mutex::named(reconciler, "live.autoscale"));
+                let (stop, thread) = crate::headend::spawn_reconciler(
+                    sh.reconciler_links(),
+                    Arc::clone(&shared),
+                    config.autoscale_interval,
+                    Arc::clone(&injector),
+                    config.telemetry.clone(),
+                );
+                (Some(shared), Some(stop), Some(thread))
+            }
+            None => (None, None, None),
+        };
         let (snapshot_stop, snapshot_thread) = match &config.snapshot_dir {
             Some(dir) => {
                 let (stop, thread) = spawn_snapshot_writer(
                     sh.snapshot_handle(),
                     Some(Arc::clone(&membership)),
+                    autoscale.as_ref().map(Arc::clone),
                     epoch,
                     dir.clone(),
                     config.snapshot_interval,
@@ -693,6 +758,9 @@ impl LiveOddci {
             snapshot_handle: Some(handle),
             snapshot_stop,
             snapshot_thread,
+            autoscale,
+            autoscale_stop,
+            autoscale_thread,
         })
     }
 
@@ -888,7 +956,23 @@ impl LiveOddci {
             Headend::Socket { membership, .. } => membership.lock().export(),
             _ => (0, Vec::new()),
         };
-        handle.export(self.epoch, wire)
+        let mut snap = handle.export(self.epoch, wire)?;
+        snap.autoscale = self.autoscale_state();
+        Some(snap)
+    }
+
+    /// The elastic-sizing loop's current state — desired size, unserved
+    /// cooldown, action counters. `None` when autoscale is off or the
+    /// headend mode cannot scale.
+    pub fn autoscale_state(&self) -> Option<AutoscaleExport> {
+        let shared = self.autoscale.as_ref()?;
+        let now = match &self.headend {
+            Headend::Sharded(Some(sh)) | Headend::Socket { sh: Some(sh), .. } => {
+                SimTime::from_micros(sh.now_us())
+            }
+            _ => SimTime::ZERO,
+        };
+        Some(shared.lock().export(now))
     }
 
     /// Re-applies `NodeLost` instants recorded after `since_us` (a
@@ -937,6 +1021,10 @@ impl LiveOddci {
     /// with live node threads, which would loop forever against a dropped
     /// headend.
     pub fn crash(mut self) {
+        drop(self.autoscale_stop.take());
+        if let Some(t) = self.autoscale_thread.take() {
+            let _ = t.join();
+        }
         drop(self.snapshot_stop.take());
         if let Some(t) = self.snapshot_thread.take() {
             let _ = t.join();
@@ -968,8 +1056,12 @@ impl LiveOddci {
     /// report describes.
     pub fn shutdown(mut self) -> ShutdownReport {
         let mut threads_failed = 0u64;
-        // The snapshot writer exports over the shard channels, so it must
-        // stop before those receivers wind down.
+        // The reconciler and snapshot writer both talk to the shard
+        // channels, so they must stop before those receivers wind down.
+        drop(self.autoscale_stop.take());
+        if let Some(t) = self.autoscale_thread.take() {
+            threads_failed += u64::from(t.join().is_err());
+        }
         drop(self.snapshot_stop.take());
         if let Some(t) = self.snapshot_thread.take() {
             threads_failed += u64::from(t.join().is_err());
@@ -1041,9 +1133,11 @@ impl LiveOddci {
 /// Spawns the periodic snapshot writer: every `interval` it cuts a state
 /// export and atomically replaces `dir/headend.snap`. Dropping the
 /// returned sender (or sending on it) stops the thread.
+#[allow(clippy::too_many_arguments)]
 fn spawn_snapshot_writer(
     handle: SnapshotHandle,
     membership: Option<Arc<Mutex<WireMembership>>>,
+    autoscale: Option<Arc<Mutex<Reconciler>>>,
     epoch: u64,
     dir: std::path::PathBuf,
     interval: Duration,
@@ -1066,9 +1160,12 @@ fn spawn_snapshot_writer(
                 .as_ref()
                 .map(|m| m.lock().export())
                 .unwrap_or((0, Vec::new()));
-            let Some(snap) = handle.export(epoch, wire) else {
+            let Some(mut snap) = handle.export(epoch, wire) else {
                 return; // headend winding down mid-export
             };
+            snap.autoscale = autoscale
+                .as_ref()
+                .map(|r| r.lock().export(wall_now(&start)));
             let _ = snapshot::write_file(&path, &snap);
             tele.span(
                 begin,
@@ -1782,27 +1879,44 @@ mod tests {
             })
             .collect();
 
-        // Enough work that the kill lands mid-job.
-        let image = AlignmentImage::small_demo();
-        let queries: Vec<Arc<Vec<u8>>> = (0..64)
-            .map(|i| Arc::new(random_sequence(64, 7 ^ i)))
+        // Enough work that the kill lands mid-job: planted homologs
+        // against a larger library are genuinely expensive to score, so
+        // the job cannot outrun the snapshot cadence even on a loaded
+        // test machine.
+        let image = AlignmentImage {
+            db_len: 200_000,
+            ..AlignmentImage::small_demo()
+        };
+        let db = random_sequence(image.db_len, image.db_seed);
+        let queries: Vec<Arc<Vec<u8>>> = (0..64u64)
+            .map(|i| {
+                let start = (i as usize * 199) % (db.len() - 200);
+                Arc::new(mutate(&db[start..start + 200], 0.05, 7 ^ i))
+            })
             .collect();
         let req = primary
             .submit_query_job(image, queries, 3)
             .expect("submit succeeds");
 
-        // Wait for a snapshot that has seen the job, then pull the plug.
+        // Wait for a snapshot whose Provider still shows the request in
+        // flight, then pull the plug — adopting a finished job would
+        // make the running_jobs assertion below vacuous.
         let snap_path = dir.join(crate::snapshot::SNAPSHOT_FILE);
         let deadline = Instant::now() + Duration::from_secs(10);
         let snap = loop {
             if let Ok(s) = crate::snapshot::read_file(&snap_path) {
-                if !s.job_queries.is_empty() {
+                let mid_job = !s.job_queries.is_empty()
+                    && s.provider.requests.iter().any(|r| {
+                        r.request == req
+                            && matches!(r.state, oddci_core::provider::RequestState::Running)
+                    });
+                if mid_job {
                     break s;
                 }
             }
             assert!(
                 Instant::now() < deadline,
-                "no snapshot containing the job appeared"
+                "no snapshot caught the job in flight"
             );
             std::thread::sleep(Duration::from_millis(20));
         };
@@ -1816,7 +1930,145 @@ mod tests {
             "the adopted Provider still tracks the in-flight request"
         );
         let outcome = standby
-            .wait_job(req, Duration::from_secs(60))
+            .wait_job(req, Duration::from_secs(120))
+            .expect("job completes on the standby");
+        assert_eq!(outcome.scores.len(), 64);
+
+        let report = standby.shutdown();
+        assert_eq!(report.tasks_unaccounted, 0, "no task lost across failover");
+        assert_eq!(report.threads_failed, 0);
+        for h in pnas {
+            let rep = h
+                .join()
+                .expect("pna thread joins")
+                .expect("pna survives the failover");
+            assert_eq!(rep.epoch, 1, "every PNA re-acked at the standby's epoch");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Failover mid-scale-up: the primary's reconciler grows the instance
+    /// from the floor, a snapshot captures the desired-state record, the
+    /// primary dies, and the standby must resume from that record — same
+    /// desired size, same action counters, inherited cooldown — instead
+    /// of re-provisioning capacity the primary already requested.
+    #[test]
+    fn standby_resumes_autoscale_desired_state_from_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "oddci-autoscale-failover-test-{}-{:x}",
+            std::process::id(),
+            std::ptr::from_ref(&()) as usize
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = AutoscalePolicy {
+            min_size: 1,
+            max_size: 4,
+            slo_queue_depth: 4,
+            // Long cooldown: the scale-up the primary took must fence the
+            // standby's loop for the rest of the test.
+            cooldown: SimDuration::from_secs(30),
+            ..AutoscalePolicy::default()
+        };
+        let mk_config = |listen: std::net::SocketAddr| LiveConfig {
+            nodes: 4,
+            heartbeat_interval: Duration::from_millis(60),
+            mode: HeadendMode::Socket {
+                listen,
+                shards: 2,
+                dispatch: 2,
+                batch: 4,
+            },
+            snapshot_dir: Some(dir.clone()),
+            snapshot_interval: Duration::from_millis(50),
+            autoscale: Some(policy),
+            autoscale_interval: Duration::from_millis(25),
+            ..Default::default()
+        };
+        let primary = LiveOddci::start(mk_config("127.0.0.1:0".parse().expect("addr")));
+        let addr = primary.wire_addr().expect("socket headends listen");
+
+        let pnas: Vec<_> = (0..4u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut cfg = WirePnaConfig::new(addr);
+                    cfg.seed = 200 + i;
+                    cfg.heartbeat_interval = Duration::from_millis(60);
+                    cfg.reconnect = Some(Duration::from_secs(30));
+                    run_wire_pna(cfg)
+                })
+            })
+            .collect();
+
+        // Submit at the policy floor: 64 queued tasks against
+        // slo_queue_depth=4 force the reconciler off the floor on its
+        // first tick, so the kill lands mid-scale-up. Planted homolog
+        // queries against a bigger database keep the job busy well past
+        // the snapshot cut even in release builds.
+        let image = AlignmentImage {
+            db_len: 300_000,
+            ..AlignmentImage::small_demo()
+        };
+        let db = random_sequence(image.db_len, image.db_seed);
+        let queries: Vec<Arc<Vec<u8>>> = (0..64u64)
+            .map(|i| {
+                let start = (i as usize * 211) % (db.len() - 200);
+                Arc::new(mutate(&db[start..start + 200], 0.05, 900 + i))
+            })
+            .collect();
+        let req = primary
+            .submit_query_job(image, queries, policy.min_size as u64)
+            .expect("submit succeeds");
+
+        // Wait for the reconciler's first scale-up, cut a snapshot that
+        // carries the desired-state record, then pull the plug.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while primary.autoscale_state().is_none_or(|a| a.scale_ups < 1) {
+            assert!(
+                Instant::now() < deadline,
+                "the reconciler never scaled up off the floor"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = primary.snapshot_now().expect("socket headends snapshot");
+        assert!(
+            !snap.job_queries.is_empty(),
+            "the job must outlive the snapshot cut"
+        );
+        let pre = snap.autoscale.expect("snapshot carries the record");
+        assert!(pre.scale_ups >= 1);
+        assert!(pre.desired > policy.min_size, "scale-up left the floor");
+        primary.crash();
+
+        let standby =
+            LiveOddci::start_standby(mk_config(addr), &snap).expect("standby adopts the snapshot");
+        let adopted = standby
+            .autoscale_state()
+            .expect("autoscale config revives the reconciler");
+        assert_eq!(
+            adopted.desired, pre.desired,
+            "desired state carries over verbatim"
+        );
+        assert!(adopted.scale_ups >= pre.scale_ups);
+
+        // Let several reconcile ticks pass: the inherited cooldown must
+        // fence any further action, so the standby cannot double-provision
+        // the capacity the primary already requested.
+        std::thread::sleep(Duration::from_millis(150));
+        let later = standby
+            .autoscale_state()
+            .expect("reconciler still running on the standby");
+        assert_eq!(
+            later.scale_ups, pre.scale_ups,
+            "standby re-provisioned capacity the primary already requested"
+        );
+        assert_eq!(later.desired, pre.desired);
+        assert!(
+            later.ticks > adopted.ticks,
+            "the standby's reconciler is actually ticking"
+        );
+
+        let outcome = standby
+            .wait_job(req, Duration::from_secs(120))
             .expect("job completes on the standby");
         assert_eq!(outcome.scores.len(), 64);
 

@@ -24,6 +24,7 @@
 //! into place, so the published path always holds a complete snapshot.
 
 use crate::image::AlignmentImage;
+use oddci_core::autoscale::AutoscaleExport;
 use oddci_core::backend::BackendState;
 use oddci_core::controller::ControllerState;
 use oddci_core::provider::ProviderState;
@@ -135,6 +136,13 @@ pub struct SnapshotState {
     pub wire_next_node: u64,
     /// Node ids the wire plane has handed out (resume validation).
     pub wire_nodes: Vec<u64>,
+    /// Autoscale reconciler state, when elastic sizing is on: the
+    /// desired-state record a standby resumes scaling from without
+    /// double-provisioning. Cooldowns are stored as *remaining*
+    /// durations (the standby's clock starts at adoption). Absent in
+    /// snapshots cut before elastic sizing existed.
+    #[serde(default)]
+    pub autoscale: Option<AutoscaleExport>,
 }
 
 /// Why a snapshot failed to decode. Every variant is a clean error — a
@@ -279,7 +287,38 @@ mod tests {
             )],
             wire_next_node: 5,
             wire_nodes: vec![0, 1, 2, 3, 4],
+            autoscale: None,
         }
+    }
+
+    #[test]
+    fn pre_autoscale_payload_still_decodes() {
+        // A version-1 payload without the `autoscale` key (written before
+        // elastic sizing existed) must decode with the field defaulted.
+        let mut snap = sample();
+        snap.autoscale = Some(AutoscaleExport {
+            desired: 3,
+            cooldown_remaining_micros: 0,
+            pending_replace: false,
+            ticks: 1,
+            scale_ups: 0,
+            scale_downs: 0,
+            replacements: 0,
+        });
+        let json = serde_json::to_string(&snap).expect("encodes");
+        let stripped: serde_json::Value = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).expect("parses");
+            match &mut v {
+                serde_json::Value::Object(entries) => {
+                    entries.retain(|(key, _)| key != "autoscale");
+                }
+                other => panic!("snapshot payload is not an object: {other:?}"),
+            }
+            v
+        };
+        let back: SnapshotState = serde_json::from_value(stripped).expect("old payload decodes");
+        assert_eq!(back.autoscale, None);
+        assert_eq!(back.epoch, snap.epoch);
     }
 
     #[test]

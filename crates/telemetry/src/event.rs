@@ -65,11 +65,18 @@ pub enum Phase {
     HeadendAdopt,
     /// Post-snapshot trace-suffix replay during adoption.
     HeadendReplay,
+    /// One autoscale reconciliation pass: sample gauges, compute the
+    /// desired size, apply the decision.
+    ProviderReconcile,
+    /// The reconciler raised the instance's desired size.
+    ProviderScaleUp,
+    /// The reconciler lowered the instance's desired size.
+    ProviderScaleDown,
 }
 
 impl Phase {
     /// Every phase, in declaration order (dense indexing).
-    pub const ALL: [Phase; 20] = [
+    pub const ALL: [Phase; 23] = [
         Phase::CarouselPublish,
         Phase::WakeupWait,
         Phase::PnaAccept,
@@ -90,6 +97,9 @@ impl Phase {
         Phase::HeadendSnapshot,
         Phase::HeadendAdopt,
         Phase::HeadendReplay,
+        Phase::ProviderReconcile,
+        Phase::ProviderScaleUp,
+        Phase::ProviderScaleDown,
     ];
 
     /// Number of phases (size of dense per-phase arrays).
@@ -123,6 +133,9 @@ impl Phase {
             Phase::HeadendSnapshot => "headend.snapshot",
             Phase::HeadendAdopt => "headend.adopt",
             Phase::HeadendReplay => "headend.replay",
+            Phase::ProviderReconcile => "provider.reconcile",
+            Phase::ProviderScaleUp => "provider.scale_up",
+            Phase::ProviderScaleDown => "provider.scale_down",
         }
     }
 
@@ -142,6 +155,7 @@ impl Phase {
                 | Phase::HeadendSnapshot
                 | Phase::HeadendAdopt
                 | Phase::HeadendReplay
+                | Phase::ProviderReconcile
         )
     }
 }
@@ -201,7 +215,10 @@ mod tests {
         assert!(Phase::HeadendSnapshot.is_span());
         assert!(Phase::HeadendAdopt.is_span());
         assert!(Phase::HeadendReplay.is_span());
+        assert!(Phase::ProviderReconcile.is_span());
         assert!(!Phase::Heartbeat.is_span());
         assert!(!Phase::CarouselPublish.is_span());
+        assert!(!Phase::ProviderScaleUp.is_span());
+        assert!(!Phase::ProviderScaleDown.is_span());
     }
 }

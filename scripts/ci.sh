@@ -20,7 +20,7 @@ cleanup() {
         results/ci-smoke.trace.stream.json results/ci-wire-smoke.json \
         results/ci-smoke-bin.json results/ci-smoke-bin.trace.bin \
         results/ci-smoke-bin.trace.jsonl results/ci-smoke-bin.trace.stream.json \
-        results/ci-top.json results/ci-help.txt \
+        results/ci-top.json results/ci-help.txt results/ci-autoscale.json \
         results/ci-failover-primary.json results/ci-failover-standby.json \
         results/ci-failover-pna-201.json results/ci-failover-pna-202.json \
         results/ci-failover-pna-203.json
@@ -45,8 +45,9 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps ${CARGO_FLAGS
 # Concurrency gates: the workspace lint (raw-lock ban, telemetry phase
 # vocabulary, no unwrap in live hot paths) must be clean, and a bounded
 # model-check over the scaled-down headend scenarios must find every
-# seeded bug and none in the fixed protocols. Fixed seed, bounded
-# schedules: deterministic and well under 30 s.
+# seeded bug and none in the fixed protocols — including the autoscale
+# trim race (scale-down-vs-heartbeat and its seeded-bug twin). Fixed
+# seed, bounded schedules: deterministic and well under 30 s.
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-check --bin oddci-check -- lint
 run cargo run -q --release ${CARGO_FLAGS} -p oddci-check --bin oddci-check -- \
     model --seed 11 --schedules 400
@@ -166,6 +167,33 @@ for seed in (201, 202, 203):
 print("    failover smoke: standby adopted at epoch 1, 96 tasks, none lost")
 EOF
 rm -rf "${FAILOVER_SNAP}"
+
+# Autoscale smoke: the elastic-sizing drill on a fixed seed. The drill
+# submits one backlog at the minimum instance size and fails by itself
+# unless the reconciler scaled up at least once, trimmed back down at
+# least once, replaced the revoked membership, and lost no work; the
+# assertions below re-check that verdict from the JSON artifact so CI
+# output records the evidence, not just the exit code.
+echo "==> autoscale smoke: elastic drill, spot-like revocation, fixed seed"
+"${ODDCI_BIN}" autoscale --seed 42 --json > results/ci-autoscale.json
+python3 - <<'EOF'
+import json
+with open("results/ci-autoscale.json") as f:
+    drill = json.load(f)
+assert drill["scale_ups"] >= 1, drill
+assert drill["scale_downs"] >= 1, drill
+assert drill["tasks_lost"] == 0, drill
+assert drill["tasks_unaccounted"] == 0, drill
+assert drill["threads_failed"] == 0, drill
+assert drill["tasks_completed"] == drill["queries"], drill
+print(
+    "    autoscale smoke: {} up / {} down / {} replace, "
+    "{} tasks, none lost".format(
+        drill["scale_ups"], drill["scale_downs"],
+        drill["replacements"], drill["tasks_completed"],
+    )
+)
+EOF
 
 # Docs gates: every relative markdown cross-reference must resolve, and
 # every `--flag` the operator runbook documents must exist in `oddci

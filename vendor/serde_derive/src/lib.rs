@@ -9,6 +9,8 @@
 //!
 //! Supported shapes — everything this workspace derives on:
 //! - structs with named fields (object), honoring `#[serde(transparent)]`
+//!   and per-field `#[serde(default)]` (a missing key deserializes via
+//!   `Default` instead of erroring — version-tolerant payloads)
 //! - tuple structs: arity 1 is a newtype (inner value), arity ≥2 an array
 //! - unit structs (null)
 //! - enums, externally tagged: unit variants as strings, newtype variants
@@ -21,10 +23,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of the deriving item.
 enum Item {
-    NamedStruct { name: String, fields: Vec<String>, transparent: bool },
+    NamedStruct { name: String, fields: Vec<Field>, transparent: bool },
     TupleStruct { name: String, arity: usize },
     UnitStruct { name: String },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One named field and the `#[serde(...)]` switches it carries.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key deserializes via `Default`.
+    default: bool,
 }
 
 struct Variant {
@@ -35,7 +44,7 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -52,39 +61,54 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- parsing
 
-/// True if this `#[...]` attribute group is `serde(...)` containing the
-/// word `transparent`.
-fn is_transparent_attr(group: &proc_macro::Group) -> bool {
+/// The `#[serde(...)]` switches this stand-in honors.
+#[derive(Clone, Copy, Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: bool,
+}
+
+/// The serde switches named inside one `#[serde(...)]` attribute group
+/// (the group content, i.e. the tokens between the brackets).
+fn serde_attrs(group: &proc_macro::Group) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return attrs,
     }
-    match tokens.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
-        _ => false,
+    if let Some(TokenTree::Group(inner)) = tokens.next() {
+        for tree in inner.stream() {
+            if let TokenTree::Ident(i) = &tree {
+                match i.to_string().as_str() {
+                    "transparent" => attrs.transparent = true,
+                    "default" => attrs.default = true,
+                    _ => {}
+                }
+            }
+        }
     }
+    attrs
 }
 
 /// Consumes a run of `#[...]` attributes from the front of `tokens`,
-/// returning whether any was `#[serde(transparent)]`.
-fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
-    let mut transparent = false;
+/// returning the union of serde switches they named.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut acc = SerdeAttrs::default();
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 match tokens.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                        transparent |= is_transparent_attr(&g);
+                        let attrs = serde_attrs(&g);
+                        acc.transparent |= attrs.transparent;
+                        acc.default |= attrs.default;
                     }
                     other => panic!("serde_derive: expected [...] after '#', got {other:?}"),
                 }
             }
-            _ => return transparent,
+            _ => return acc,
         }
     }
 }
@@ -104,7 +128,7 @@ fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::In
 
 fn parse_item(input: TokenStream) -> Item {
     let mut tokens = input.into_iter().peekable();
-    let transparent = skip_attrs(&mut tokens);
+    let transparent = skip_attrs(&mut tokens).transparent;
     skip_visibility(&mut tokens);
 
     let keyword = match tokens.next() {
@@ -141,18 +165,21 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parses `field: Type, ...` field names, skipping attributes, visibility
-/// and the types themselves (commas inside `<...>` or nested groups do not
-/// split fields).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses `field: Type, ...` field names (with their serde switches),
+/// skipping visibility and the types themselves (commas inside `<...>` or
+/// nested groups do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs(&mut tokens);
+        let attrs = skip_attrs(&mut tokens);
         skip_visibility(&mut tokens);
         match tokens.next() {
             None => return fields,
-            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            Some(TokenTree::Ident(i)) => fields.push(Field {
+                name: i.to_string(),
+                default: attrs.default,
+            }),
             other => panic!("serde_derive: expected field name, got {other:?}"),
         }
         match tokens.next() {
@@ -258,11 +285,12 @@ fn render_serialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields, transparent } => {
             let body = if *transparent && fields.len() == 1 {
-                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
             } else {
                 let pushes: String = fields
                     .iter()
                     .map(|f| {
+                        let f = &f.name;
                         format!(
                             "__fields.push((\"{f}\".to_string(), \
                              ::serde::Serialize::to_value(&self.{f})));"
@@ -325,18 +353,21 @@ fn render_serialize(item: &Item) -> String {
                             let pushes: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "__fields.push((\"{f}\".to_string(), \
                                          ::serde::Serialize::to_value({f})));"
                                     )
                                 })
                                 .collect();
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "{name}::{vn} {{ {} }} => {{ \
                                  let mut __fields = ::std::vec::Vec::new(); {pushes} \
                                  ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
                                  ::serde::Value::Object(__fields))]) }},",
-                                fields.join(", ")
+                                binders.join(", ")
                             )
                         }
                     }
@@ -361,19 +392,11 @@ fn render_deserialize(item: &Item) -> String {
                 format!(
                     "::std::result::Result::Ok({name} {{ {}: \
                      ::serde::Deserialize::from_value(__value)? }})",
-                    fields[0]
+                    fields[0].name
                 )
             } else {
-                let inits: String = fields
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "{f}: ::serde::Deserialize::from_value(\
-                             __value.field(\"{f}\").ok_or_else(|| \
-                             ::serde::de::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
-                        )
-                    })
-                    .collect();
+                let inits: String =
+                    fields.iter().map(|f| field_init(name, "__value", f)).collect();
                 format!("::std::result::Result::Ok({name} {{ {inits} }})")
             };
             impl_deserialize(name, &body)
@@ -434,13 +457,7 @@ fn render_deserialize(item: &Item) -> String {
                         VariantShape::Named(fields) => {
                             let inits: String = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         __payload.field(\"{f}\").ok_or_else(|| \
-                                         ::serde::de::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
-                                    )
-                                })
+                                .map(|f| field_init(name, "__payload", f))
                                 .collect();
                             Some(format!(
                                 "\"{vn}\" => return ::std::result::Result::Ok(\
@@ -461,6 +478,27 @@ fn render_deserialize(item: &Item) -> String {
             );
             impl_deserialize(name, &body)
         }
+    }
+}
+
+/// One `field: <expr>,` initializer reading out of the object bound to
+/// `source`. `#[serde(default)]` fields fall back to `Default::default()`
+/// when the key is absent; all others are an error.
+fn field_init(name: &str, source: &str, field: &Field) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match {source}.field(\"{f}\") {{ \
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+             ::std::option::Option::None => ::std::default::Default::default(), \
+             }},"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::from_value(\
+             {source}.field(\"{f}\").ok_or_else(|| \
+             ::serde::de::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
+        )
     }
 }
 
